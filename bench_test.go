@@ -1,0 +1,97 @@
+// Package repro's root benchmarks regenerate every experiment in
+// EXPERIMENTS.md (one Benchmark per table/figure; see DESIGN.md §3 for
+// the index). Each benchmark iteration runs the experiment's full Quick
+// sweep, so ns/op measures the cost of regenerating that table. Run the
+// full-size tables with cmd/experiments instead:
+//
+//	go test -bench=. -benchmem            # all experiments, quick sweeps
+//	go run ./cmd/experiments              # full-size tables
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiment.Get(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := e.Run(experiment.Config{Seed: int64(i + 1), Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// Theorem 4.1 / Algorithm 1: single-source tree distances.
+func BenchmarkE01_TreeSingleSource(b *testing.B) { benchExperiment(b, "E1") }
+
+// Theorem 4.2: all-pairs tree distances.
+func BenchmarkE02_TreeAllPairs(b *testing.B) { benchExperiment(b, "E2") }
+
+// Theorem A.1: path-graph hub hierarchy.
+func BenchmarkE03_PathHierarchy(b *testing.B) { benchExperiment(b, "E3") }
+
+// Theorems 4.5 + 4.3 / Algorithm 2: bounded-weight graphs, approximate DP.
+func BenchmarkE04_BoundedWeightApprox(b *testing.B) { benchExperiment(b, "E4") }
+
+// Theorems 4.6 + 4.3: bounded-weight graphs, pure DP.
+func BenchmarkE05_BoundedWeightPure(b *testing.B) { benchExperiment(b, "E5") }
+
+// Theorem 4.7: grid coverings.
+func BenchmarkE06_GridCovering(b *testing.B) { benchExperiment(b, "E6") }
+
+// Theorem 5.5 / Algorithm 3: path error vs hop count.
+func BenchmarkE07_PathErrorVsHops(b *testing.B) { benchExperiment(b, "E7") }
+
+// Corollary 5.6: worst-case path error.
+func BenchmarkE08_PathErrorWorstCase(b *testing.B) { benchExperiment(b, "E8") }
+
+// Theorem 5.1 / Lemma 5.2: shortest-path reconstruction attack.
+func BenchmarkE09_PathReconstruction(b *testing.B) { benchExperiment(b, "E9") }
+
+// Theorem B.3: private almost-minimum spanning tree.
+func BenchmarkE10_PrivateMST(b *testing.B) { benchExperiment(b, "E10") }
+
+// Theorem B.1 / Lemma B.2: MST reconstruction attack.
+func BenchmarkE11_MSTReconstruction(b *testing.B) { benchExperiment(b, "E11") }
+
+// Theorem B.6: private low-weight perfect matching.
+func BenchmarkE12_PrivateMatching(b *testing.B) { benchExperiment(b, "E12") }
+
+// Theorem B.4 / Lemma B.5: matching reconstruction attack.
+func BenchmarkE13_MatchingReconstruction(b *testing.B) { benchExperiment(b, "E13") }
+
+// Section 1.1 motivation: private navigation on a synthetic city.
+func BenchmarkE14_TrafficNavigation(b *testing.B) { benchExperiment(b, "E14") }
+
+// Section 1.2: error vs influence scale.
+func BenchmarkE15_SensitivityScaling(b *testing.B) { benchExperiment(b, "E15") }
+
+// Lemma 4.4 ablation: covering construction quality.
+func BenchmarkE16_CoveringAblation(b *testing.B) { benchExperiment(b, "E16") }
+
+// Remark after Theorem 4.6: single-source release strategies.
+func BenchmarkE17_SingleSource(b *testing.B) { benchExperiment(b, "E17") }
+
+// Appendix A / [DNPR10]: continual counter equals path distances.
+func BenchmarkE18_ContinualCounter(b *testing.B) { benchExperiment(b, "E18") }
+
+// Figure 1: Algorithm 1 tree partition.
+func BenchmarkF01_TreePartition(b *testing.B) { benchExperiment(b, "F1") }
+
+// Figure 2: shortest-path lower-bound gadget.
+func BenchmarkF02_PathGadget(b *testing.B) { benchExperiment(b, "F2") }
+
+// Figure 3: MST and matching lower-bound gadgets.
+func BenchmarkF03_MSTMatchingGadgets(b *testing.B) { benchExperiment(b, "F3") }

@@ -1,0 +1,63 @@
+// Command citygen generates a synthetic city road network with congested
+// travel times (the paper's Section 1.1 setting) and writes it in the
+// text edge-list format that cmd/dpgraph consumes, making the two tools a
+// self-contained demo pipeline:
+//
+//	citygen -side 20 -hour 8 > city.txt
+//	dpgraph -graph city.txt -eps 1 path 0 399
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/traffic"
+)
+
+func main() {
+	var (
+		side      = flag.Int("side", 16, "grid side length (side*side intersections)")
+		hour      = flag.Float64("hour", 8, "time of day in [0, 24) for the congestion model")
+		intensity = flag.Float64("intensity", 1, "congestion intensity (1 = normal day)")
+		removal   = flag.Float64("removal", 0.1, "block removal probability in [0, 1)")
+		arterial  = flag.Int("arterial", 4, "arterial avenue spacing (0 disables)")
+		seed      = flag.Int64("seed", 0, "generator seed (0: time-based)")
+		jsonOut   = flag.Bool("json", false, "emit JSON instead of the text format")
+	)
+	flag.Parse()
+	if err := run(*side, *hour, *intensity, *removal, *arterial, *seed, *jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "citygen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(side int, hour, intensity, removal float64, arterial int, seed int64, jsonOut bool) error {
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	city, err := traffic.NewCity(traffic.Config{
+		Side:             side,
+		BlockRemovalProb: removal,
+		ArterialEvery:    arterial,
+	}, rng)
+	if err != nil {
+		return err
+	}
+	w := city.TravelTimes(traffic.CongestionModel{Hour: hour, Intensity: intensity}, rng)
+	if jsonOut {
+		data, err := graph.MarshalJSONGraph(city.G, w)
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(append(data, '\n'))
+		return err
+	}
+	fmt.Printf("# synthetic city: side=%d hour=%g intensity=%g seed=%d\n", side, hour, intensity, seed)
+	fmt.Printf("# weights are private travel times in minutes; cap M=%g\n", city.MaxTime)
+	return graph.WriteText(os.Stdout, city.G, w)
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestRunProducesLoadableGraph drives run() with stdout redirected to a
+// file and re-parses the output through the graph readers.
+func TestRunProducesLoadableGraph(t *testing.T) {
+	for _, jsonOut := range []bool{false, true} {
+		f, err := os.CreateTemp(t.TempDir(), "city")
+		if err != nil {
+			t.Fatal(err)
+		}
+		old := os.Stdout
+		os.Stdout = f
+		err = run(8, 8, 1, 0.1, 4, 42, jsonOut)
+		os.Stdout = old
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		data, err := os.ReadFile(f.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var g *graph.Graph
+		var w []float64
+		if jsonOut {
+			g, w, err = graph.UnmarshalJSONGraph(data)
+		} else {
+			rf, _ := os.Open(f.Name())
+			g, w, err = graph.ReadText(rf)
+			rf.Close()
+		}
+		if err != nil {
+			t.Fatalf("jsonOut=%v: %v", jsonOut, err)
+		}
+		if g.N() != 64 || len(w) != g.M() || !g.Connected() {
+			t.Fatalf("jsonOut=%v: bad graph N=%d M=%d", jsonOut, g.N(), g.M())
+		}
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	devnull, _ := os.Open(os.DevNull)
+	old := os.Stdout
+	os.Stdout = devnull
+	defer func() { os.Stdout = old }()
+	if err := run(1, 8, 1, 0.1, 4, 1, false); err == nil {
+		t.Error("side=1 accepted")
+	}
+	if err := run(8, 8, 1, 1.5, 4, 1, false); err == nil {
+		t.Error("removal=1.5 accepted")
+	}
+}

@@ -1,0 +1,195 @@
+// Command dpgraph answers differentially private queries over a weighted
+// graph read from a file (text edge-list or JSON; see internal/graph/io.go
+// for the formats). The topology is treated as public and the weights as
+// private; each invocation spends the stated privacy budget once.
+//
+// Usage:
+//
+//	dpgraph -graph city.txt -eps 1 distance 3 17
+//	dpgraph -graph city.txt -eps 1 path 3 17
+//	dpgraph -graph city.txt -eps 1 [-delta 1e-6 -maxweight 16] apsd 3 17
+//	dpgraph -graph tree.txt -eps 1 treedist 3 17
+//	dpgraph -graph city.txt -eps 1 mst
+//	dpgraph -graph city.txt -eps 1 matching
+//	dpgraph -graph city.txt -eps 1 release
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dpgraph:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		graphPath = flag.String("graph", "", "path to graph file (text edge-list or JSON)")
+		eps       = flag.Float64("eps", 1, "privacy parameter epsilon")
+		delta     = flag.Float64("delta", 0, "privacy parameter delta (apsd only)")
+		gamma     = flag.Float64("gamma", 0.05, "failure probability for error bounds")
+		scale     = flag.Float64("scale", 1, "l1 influence of one individual on the weights")
+		maxWeight = flag.Float64("maxweight", 0, "weight cap M for bounded-weight apsd")
+		seed      = flag.Int64("seed", 0, "noise seed (0: time-based)")
+	)
+	flag.Parse()
+	if *graphPath == "" || flag.NArg() < 1 {
+		flag.Usage()
+		return fmt.Errorf("need -graph and a subcommand (distance|path|apsd|treedist|mst|matching|release)")
+	}
+	g, w, err := loadGraph(*graphPath)
+	if err != nil {
+		return err
+	}
+	if w == nil {
+		return fmt.Errorf("graph file %s carries no weights", *graphPath)
+	}
+	s := *seed
+	if s == 0 {
+		s = time.Now().UnixNano()
+	}
+	opts := core.Options{
+		Epsilon: *eps,
+		Delta:   *delta,
+		Gamma:   *gamma,
+		Scale:   *scale,
+		Rand:    rand.New(rand.NewSource(s)),
+	}
+
+	cmd := flag.Arg(0)
+	argPair := func() (int, int, error) {
+		if flag.NArg() != 3 {
+			return 0, 0, fmt.Errorf("%s needs two vertex arguments", cmd)
+		}
+		a, err1 := strconv.Atoi(flag.Arg(1))
+		b, err2 := strconv.Atoi(flag.Arg(2))
+		if err1 != nil || err2 != nil {
+			return 0, 0, fmt.Errorf("bad vertex arguments %q %q", flag.Arg(1), flag.Arg(2))
+		}
+		return a, b, nil
+	}
+
+	switch cmd {
+	case "distance":
+		a, b, err := argPair()
+		if err != nil {
+			return err
+		}
+		d, err := core.PrivateDistance(g, w, a, b, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("private distance %d -> %d: %.4f  (noise scale %.4f, %s)\n", a, b, d, *scale / *eps, opts.Params())
+	case "path":
+		a, b, err := argPair()
+		if err != nil {
+			return err
+		}
+		pp, err := core.PrivateShortestPaths(g, w, opts)
+		if err != nil {
+			return err
+		}
+		path, err := pp.Path(a, b)
+		if err != nil {
+			return err
+		}
+		verts := g.PathVertices(a, path)
+		fmt.Printf("private path %d -> %d (%d hops): %s\n", a, b, len(path), joinInts(verts))
+		fmt.Printf("released-weight length: %.4f; error bound for k-hop optimum: %.4f per hop pair\n",
+			graph.PathWeight(pp.Weights, path), pp.ErrorBound(1))
+	case "apsd":
+		a, b, err := argPair()
+		if err != nil {
+			return err
+		}
+		if *maxWeight > 0 {
+			rel, err := core.BoundedWeightAPSD(g, w, *maxWeight, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("bounded-weight apsd %d -> %d: %.4f  (k=%d |Z|=%d, bound %.4f, %s)\n",
+				a, b, rel.Query(a, b), rel.K, len(rel.Z), rel.ErrorBound(*gamma), rel.Params)
+		} else {
+			rel, err := core.APSDComposition(g, w, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("composition apsd %d -> %d: %.4f  (noise scale %.4f, bound %.4f, %s)\n",
+				a, b, rel.Query(a, b), rel.NoiseScale, rel.ErrorBound, rel.Params)
+		}
+	case "treedist":
+		a, b, err := argPair()
+		if err != nil {
+			return err
+		}
+		apsd, err := core.TreeAllPairs(g, w, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("tree apsd %d -> %d: %.4f  (per-pair bound %.4f, %s)\n",
+			a, b, apsd.Query(a, b), apsd.PerPairErrorBound(*gamma), apsd.SSSP.Params)
+	case "mst":
+		rel, err := core.PrivateMST(g, w, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("private spanning tree (%d edges, released weight %.4f, bound %.4f, %s):\n%s\n",
+			len(rel.Tree), rel.ReleasedWeight, rel.ErrorBound(g, *gamma), rel.Params, joinInts(rel.Tree))
+	case "matching":
+		rel, err := core.PrivateMatching(g, w, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("private perfect matching (%d edges, released weight %.4f, bound %.4f, %s):\n%s\n",
+			len(rel.Matching), rel.ReleasedWeight, rel.ErrorBound(g, *gamma), rel.Params, joinInts(rel.Matching))
+	case "release":
+		rel, err := core.ReleaseGraph(g, w, opts)
+		if err != nil {
+			return err
+		}
+		out, err := graph.MarshalJSONGraph(g, rel.Weights)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+	default:
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+	return nil
+}
+
+func loadGraph(path string) (*graph.Graph, []float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	trimmed := strings.TrimSpace(string(data))
+	if strings.HasPrefix(trimmed, "{") {
+		var probe json.RawMessage
+		if json.Unmarshal(data, &probe) == nil {
+			return graph.UnmarshalJSONGraph(data)
+		}
+	}
+	return graph.ReadText(strings.NewReader(string(data)))
+}
+
+func joinInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadGraphText(t *testing.T) {
+	path := writeFile(t, "g.txt", "graph 3\nedge 0 1 2.5\nedge 1 2 1\n")
+	g, w, err := loadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 || w[0] != 2.5 {
+		t.Fatalf("N=%d M=%d w=%v", g.N(), g.M(), w)
+	}
+}
+
+func TestLoadGraphJSON(t *testing.T) {
+	path := writeFile(t, "g.json", `{"vertices":2,"edges":[[0,1]],"weights":[3]}`)
+	g, w, err := loadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 2 || w[0] != 3 {
+		t.Fatal("JSON load failed")
+	}
+}
+
+func TestLoadGraphMissingFile(t *testing.T) {
+	if _, _, err := loadGraph(filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadGraphMalformed(t *testing.T) {
+	path := writeFile(t, "bad.txt", "not a graph\n")
+	if _, _, err := loadGraph(path); err == nil {
+		t.Error("malformed file accepted")
+	}
+	path = writeFile(t, "bad.json", `{"vertices":2,"edges":[[0,9]]}`)
+	if _, _, err := loadGraph(path); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestJoinInts(t *testing.T) {
+	if got := joinInts([]int{3, 1, 4}); got != "3 1 4" {
+		t.Errorf("joinInts = %q", got)
+	}
+	if got := joinInts(nil); got != "" {
+		t.Errorf("empty joinInts = %q", got)
+	}
+}

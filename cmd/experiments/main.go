@@ -1,0 +1,86 @@
+// Command experiments runs the reproduction suite: one experiment per
+// theorem/figure of the paper (see DESIGN.md §3). Tables are printed as
+// aligned text by default; -markdown emits the EXPERIMENTS.md body and
+// -csv emits machine-readable rows.
+//
+// Usage:
+//
+//	experiments [-run E1,E7] [-quick] [-seed 1] [-markdown|-csv] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	var (
+		run      = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		quick    = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		seed     = flag.Int64("seed", 1, "random seed (equal seeds give identical tables)")
+		markdown = flag.Bool("markdown", false, "emit GitHub markdown")
+		csv      = flag.Bool("csv", false, "emit CSV")
+		list     = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiment.All() {
+			fmt.Printf("%-4s %-62s %s\n", e.ID, e.Title, e.Ref)
+		}
+		return
+	}
+
+	var selected []experiment.Experiment
+	if *run == "" {
+		selected = experiment.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiment.Get(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	cfg := experiment.Config{Seed: *seed, Quick: *quick}
+	failed := 0
+	for _, e := range selected {
+		start := time.Now()
+		table, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		switch {
+		case *markdown:
+			if err := table.RenderMarkdown(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: render %s: %v\n", e.ID, err)
+				failed++
+			}
+		case *csv:
+			if err := table.RenderCSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: render %s: %v\n", e.ID, err)
+				failed++
+			}
+		default:
+			if err := table.Render(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: render %s: %v\n", e.ID, err)
+				failed++
+			}
+			fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,106 @@
+// Traffic: the paper's motivating application (Section 1.1) end to end.
+//
+// A navigation service knows the city street map (public) and aggregates
+// drivers' GPS-derived travel times (private). It wants to answer "fastest
+// route from A to B right now" without revealing the congestion pattern —
+// which could expose, say, where a protest or a celebrity convoy is.
+//
+// We simulate a business day: every two hours the service refreshes its
+// private release from current travel times and serves routes. The demo
+// prints, per refresh, the median/95th-percentile stretch of private
+// routes versus true fastest routes, plus a commuter's 8am route.
+//
+// Run: go run ./examples/traffic
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/traffic"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	city, err := traffic.NewCity(traffic.Config{Side: 20}, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("city: %d intersections, %d road segments (arterials every 4 blocks)\n\n",
+		city.G.N(), city.G.M())
+
+	const eps = 1.0
+	home := city.VertexAt(1, 1)
+	office := city.VertexAt(18, 17)
+
+	fmt.Println("hour  medStretch  p95Stretch  medAbsErr(min)  commute(min true/opt)")
+	for hour := 6.0; hour <= 20; hour += 2 {
+		w := city.TravelTimes(traffic.CongestionModel{Hour: hour}, rng)
+		pp, err := core.PrivateShortestPaths(city.G, w, core.Options{Epsilon: eps, Rand: rng})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		var stretches, absErrs []float64
+		for trip := 0; trip < 150; trip++ {
+			s := rng.Intn(city.G.N())
+			t := rng.Intn(city.G.N())
+			if s == t {
+				continue
+			}
+			exact, err := graph.Distance(city.G, w, s, t)
+			if err != nil {
+				log.Fatal(err)
+			}
+			route, err := pp.Path(s, t)
+			if err != nil {
+				log.Fatal(err)
+			}
+			got := graph.PathWeight(w, route)
+			stretches = append(stretches, got/exact)
+			absErrs = append(absErrs, got-exact)
+		}
+		commuteRoute, err := pp.Path(home, office)
+		if err != nil {
+			log.Fatal(err)
+		}
+		commuteTrue := graph.PathWeight(w, commuteRoute)
+		commuteOpt, err := graph.Distance(city.G, w, home, office)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%4.0f  %10.3f  %10.3f  %14.2f  %6.1f / %.1f\n",
+			hour, quantile(stretches, 0.5), quantile(stretches, 0.95),
+			quantile(absErrs, 0.5), commuteTrue, commuteOpt)
+	}
+
+	// For dashboards, the service can also publish private all-pairs
+	// travel-time estimates via the bounded-weight mechanism: travel
+	// times are bounded by city.MaxTime, so Algorithm 2 applies.
+	w := city.TravelTimes(traffic.CongestionModel{Hour: 8}, rng)
+	rel, err := core.BoundedWeightAPSD(city.G, w, city.MaxTime,
+		core.Options{Epsilon: eps, Delta: 1e-6, Rand: rng})
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact, err := graph.Distance(city.G, w, home, office)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n8am dashboard estimate home->office: %.1f min (true %.1f; covering k=%d |Z|=%d; bound ±%.1f)\n",
+		rel.Query(home, office), exact, rel.K, len(rel.Z), rel.ErrorBound(0.05))
+}
+
+func quantile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}

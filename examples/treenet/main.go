@@ -1,0 +1,85 @@
+// Treenet: all-pairs distances on a hierarchical (tree) network.
+//
+// Many distribution networks are trees: river systems, utility feeders,
+// ISP access networks, org hierarchies. Here an electricity utility wants
+// to publish pairwise "electrical distance" (impedance along the unique
+// feeder path) between all substations, but line impedances reveal
+// private load data. The tree mechanism (Algorithm 1 + Theorem 4.2)
+// answers every pair with polylog(V) error — exponentially better than
+// the V/eps error of generic mechanisms.
+//
+// Run: go run ./examples/treenet
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+
+	// The feeder network: 2048 substations along a long rural trunk line
+	// with 2047 local taps — a deep tree, so paths between far substations
+	// cross hundreds of lines. (On shallow trees with few-hop paths, even
+	// the naive noisy-graph release does fine; depth is where the tree
+	// mechanism's polylog guarantee earns its keep.)
+	n := 4095
+	g := graph.Caterpillar(2048, n-2048)
+	w := graph.UniformRandomWeights(g, 0.5, 3.0, rng) // per-line impedance
+
+	opts := core.Options{Epsilon: 1.0, Gamma: 0.05, Rand: rng}
+	apsd, err := core.TreeAllPairs(g, w, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := graph.NewTree(g, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Spot-check a few pairs.
+	fmt.Println("pair            exact   private   |err|")
+	for _, pair := range [][2]int{{12, 3077}, {500, 501}, {1, 4094}, {2048, 1024}} {
+		exact := tr.TreeDistance(w, pair[0], pair[1])
+		got := apsd.Query(pair[0], pair[1])
+		fmt.Printf("%5d %5d  %8.2f  %8.2f  %6.2f\n", pair[0], pair[1], exact, got, math.Abs(got-exact))
+	}
+
+	// Survey error over many random pairs and compare mechanisms.
+	worstTree, worstNaive := 0.0, 0.0
+	naive, err := core.ReleaseGraph(g, w, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	naiveDist := tr.RootDistances(naive.Weights) // naive estimate via noisy weights
+	lca := graph.NewLCA(tr)
+	for i := 0; i < 4000; i++ {
+		x, y := rng.Intn(n), rng.Intn(n)
+		if x == y {
+			continue
+		}
+		exact := tr.TreeDistance(w, x, y)
+		if e := math.Abs(apsd.Query(x, y) - exact); e > worstTree {
+			worstTree = e
+		}
+		z := lca.Find(x, y)
+		naiveEst := naiveDist[x] + naiveDist[y] - 2*naiveDist[z]
+		if e := math.Abs(naiveEst - exact); e > worstNaive {
+			worstNaive = e
+		}
+	}
+	fmt.Printf("\nmax |err| over 4000 pairs, V=%d, eps=1:\n", n)
+	fmt.Printf("  tree mechanism (Thm 4.2):   %7.2f   grows ~log^2.5 V  (bound %.2f)\n", worstTree, apsd.AllPairsErrorBound(0.05))
+	fmt.Printf("  naive noisy-graph release:  %7.2f   grows ~sqrt(V) on deep trees\n", worstNaive)
+	fmt.Printf("  generic composition noise per query would be ~%.0f (grows ~V)\n", float64(n))
+	fmt.Println("\nat this V the naive release's sqrt(V) constant is still smaller; the")
+	fmt.Println("tree mechanism's polylog curve overtakes it as networks grow (run")
+	fmt.Println("'go run ./cmd/experiments -run E3' to see the fitted growth exponents:")
+	fmt.Println("~0.25 for the polylog mechanisms vs ~0.53 for the naive release)")
+}

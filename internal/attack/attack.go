@@ -1,0 +1,178 @@
+// Package attack implements the reconstruction adversaries behind the
+// paper's lower bounds (Theorem 5.1 and Lemmas 5.2-5.4 for shortest
+// paths; Theorems B.1/B.4 and Lemmas B.2/B.5 for spanning trees and
+// matchings).
+//
+// Each attack follows the same template: a database x in {0,1}^n is
+// encoded as a weight function w_x on a hard gadget graph; the private
+// mechanism under attack is run on w_x; and its combinatorial output (a
+// path, tree or matching) is decoded into a guess y in {0,1}^n. Lemma 5.2
+// shows the guess's expected Hamming distance to x is at most the
+// mechanism's approximation error, while Lemma 5.4 shows any
+// differentially private algorithm must have expected Hamming distance at
+// least n(1-(1+e^eps)delta)/(1+e^{2eps}) on some input — so accurate
+// private mechanisms for these problems cannot exist.
+package attack
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// ReconstructionBound returns the Theorem 5.1 lower bound
+// alpha = n * (1 - (1+e^eps)*delta) / (1 + e^{2*eps}): any algorithm that
+// is (eps, delta)-DP on the gadget graph must, on some input, release an
+// object with expected approximation error at least alpha (equivalently,
+// the Lemma 5.2 adversary attains expected Hamming distance alpha).
+// For small eps and delta this is about 0.49*n.
+func ReconstructionBound(n int, eps, delta float64) float64 {
+	return float64(n) * (1 - (1+math.Exp(eps))*delta) / (1 + math.Exp(2*eps))
+}
+
+// RandomBits draws n uniform bits.
+func RandomBits(n int, rng *rand.Rand) []bool {
+	x := make([]bool, n)
+	for i := range x {
+		x[i] = rng.Intn(2) == 1
+	}
+	return x
+}
+
+// HammingDistance counts positions where x and y differ. It panics on
+// length mismatch.
+func HammingDistance(x, y []bool) int {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("attack: Hamming distance of lengths %d and %d", len(x), len(y)))
+	}
+	d := 0
+	for i := range x {
+		if x[i] != y[i] {
+			d++
+		}
+	}
+	return d
+}
+
+// PathMechanism is a mechanism that releases an s-t path (edge IDs) for a
+// weighted graph. The adversary treats it as a black box.
+type PathMechanism func(g *graph.Graph, w []float64, s, t int) ([]int, error)
+
+// PathResult reports one run of the Lemma 5.2 adversary.
+type PathResult struct {
+	Guess     []bool  // decoded database
+	Hamming   int     // Hamming distance between guess and the true x
+	PathError float64 // true weight of the released path (the shortest path has weight 0)
+}
+
+// PathReconstruction runs the Lemma 5.2 adversary against mech on the
+// Figure-2 gadget for database x: encode x as w_x, obtain a path from
+// s = 0 to t = n, decode the parallel-edge choices into a guess, and
+// measure both the guess's Hamming distance and the path's true weight
+// (its approximation error, since the optimum is 0). Lemma 5.2 guarantees
+// Hamming <= PathError whenever the released path is a simple s-t path
+// through all gadget positions.
+func PathReconstruction(x []bool, mech PathMechanism, gadget *graph.PathGadget) (*PathResult, error) {
+	if gadget.N != len(x) {
+		return nil, fmt.Errorf("attack: gadget has %d positions, database has %d bits", gadget.N, len(x))
+	}
+	w := gadget.Weights(x)
+	path, err := mech(gadget.G, w, gadget.S, gadget.T)
+	if err != nil {
+		return nil, err
+	}
+	if err := gadget.G.ValidatePath(gadget.S, gadget.T, path); err != nil {
+		return nil, fmt.Errorf("attack: mechanism released an invalid path: %w", err)
+	}
+	y := gadget.Decode(path)
+	return &PathResult{
+		Guess:     y,
+		Hamming:   HammingDistance(x, y),
+		PathError: graph.PathWeight(w, path),
+	}, nil
+}
+
+// TreeMechanism is a mechanism that releases a spanning tree (edge IDs).
+type TreeMechanism func(g *graph.Graph, w []float64) ([]int, error)
+
+// TreeResult reports one run of the Lemma B.2 adversary.
+type TreeResult struct {
+	Guess     []bool
+	Hamming   int
+	TreeError float64 // true weight of the released tree (the MST has weight 0)
+}
+
+// MSTReconstruction runs the Lemma B.2 adversary against mech on the
+// Figure-3 (left) star multigraph gadget.
+func MSTReconstruction(x []bool, mech TreeMechanism, gadget *graph.MSTGadget) (*TreeResult, error) {
+	if gadget.N != len(x) {
+		return nil, fmt.Errorf("attack: gadget has %d positions, database has %d bits", gadget.N, len(x))
+	}
+	w := gadget.Weights(x)
+	tree, err := mech(gadget.G, w)
+	if err != nil {
+		return nil, err
+	}
+	if !graph.IsSpanningTree(gadget.G, tree) {
+		return nil, fmt.Errorf("attack: mechanism released a non-spanning-tree")
+	}
+	y := gadget.Decode(tree)
+	return &TreeResult{
+		Guess:     y,
+		Hamming:   HammingDistance(x, y),
+		TreeError: graph.PathWeight(w, tree),
+	}, nil
+}
+
+// MatchingMechanism is a mechanism that releases a perfect matching.
+type MatchingMechanism func(g *graph.Graph, w []float64) ([]int, error)
+
+// MatchingResult reports one run of the Lemma B.5 adversary.
+type MatchingResult struct {
+	Guess         []bool
+	Hamming       int
+	MatchingError float64 // true weight of the released matching (optimum 0)
+}
+
+// MatchingReconstruction runs the Lemma B.5 adversary against mech on the
+// Figure-3 (right) hourglass gadget.
+func MatchingReconstruction(x []bool, mech MatchingMechanism, gadget *graph.HourglassGadget) (*MatchingResult, error) {
+	if gadget.N != len(x) {
+		return nil, fmt.Errorf("attack: gadget has %d positions, database has %d bits", gadget.N, len(x))
+	}
+	w := gadget.Weights(x)
+	m, err := mech(gadget.G, w)
+	if err != nil {
+		return nil, err
+	}
+	if !graph.IsPerfectMatching(gadget.G, m) {
+		return nil, fmt.Errorf("attack: mechanism released a non-perfect-matching")
+	}
+	y := gadget.Decode(m)
+	return &MatchingResult{
+		Guess:         y,
+		Hamming:       HammingDistance(x, y),
+		MatchingError: graph.PathWeight(w, m),
+	}, nil
+}
+
+// RandomizedResponse is the classical eps-DP bit release [War65]: each
+// bit is reported truthfully with probability e^eps/(1+e^eps) and flipped
+// otherwise. Lemma 5.3 shows its per-bit disagreement probability
+// 1/(1+e^eps) is optimal for eps-DP mechanisms, which is the engine of
+// Lemma 5.4's reconstruction bound; experiments compare attacks against
+// this floor.
+func RandomizedResponse(x []bool, eps float64, rng *rand.Rand) []bool {
+	pTruth := math.Exp(eps) / (1 + math.Exp(eps))
+	y := make([]bool, len(x))
+	for i, b := range x {
+		if rng.Float64() < pTruth {
+			y[i] = b
+		} else {
+			y[i] = !b
+		}
+	}
+	return y
+}

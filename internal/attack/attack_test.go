@@ -1,0 +1,264 @@
+package attack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func TestReconstructionBoundValues(t *testing.T) {
+	// Small eps, delta=0: bound approaches n/2.
+	if got := ReconstructionBound(100, 0.001, 0); got < 49.9 || got > 50 {
+		t.Errorf("bound at eps~0 = %g", got)
+	}
+	// Large eps: bound approaches 0.
+	if got := ReconstructionBound(100, 20, 0); got > 1e-10 {
+		t.Errorf("bound at eps=20 = %g", got)
+	}
+	// delta shrinks the bound.
+	if ReconstructionBound(100, 1, 0.1) >= ReconstructionBound(100, 1, 0) {
+		t.Error("delta did not shrink bound")
+	}
+	// The paper's 0.49(V-1) claim for small eps, delta.
+	if got := ReconstructionBound(512, 0.01, 1e-9); got < 0.49*512 {
+		t.Errorf("bound %g below 0.49 n", got)
+	}
+}
+
+func TestHammingDistance(t *testing.T) {
+	if HammingDistance([]bool{true, false}, []bool{true, true}) != 1 {
+		t.Error("hamming wrong")
+	}
+	if HammingDistance(nil, nil) != 0 {
+		t.Error("empty hamming")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch accepted")
+		}
+	}()
+	HammingDistance([]bool{true}, nil)
+}
+
+func TestRandomBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	x := RandomBits(1000, rng)
+	ones := 0
+	for _, b := range x {
+		if b {
+			ones++
+		}
+	}
+	if ones < 400 || ones > 600 {
+		t.Errorf("ones = %d, not near half", ones)
+	}
+}
+
+// exactPathMech ignores privacy and returns the true shortest path.
+func exactPathMech(g *graph.Graph, w []float64, s, t int) ([]int, error) {
+	path, _, _, err := graph.ShortestPath(g, w, s, t)
+	return path, err
+}
+
+func TestPathReconstructionExactMechanism(t *testing.T) {
+	// Against a non-private exact mechanism the adversary recovers
+	// everything: Hamming = 0, path error = 0.
+	rng := rand.New(rand.NewSource(57))
+	gadget := graph.NewPathGadget(64)
+	x := RandomBits(64, rng)
+	res, err := PathReconstruction(x, exactPathMech, gadget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hamming != 0 || res.PathError != 0 {
+		t.Errorf("exact mech: hamming=%d err=%g", res.Hamming, res.PathError)
+	}
+}
+
+func TestPathReconstructionLemmaInequality(t *testing.T) {
+	// Lemma 5.2: Hamming <= path error, per run, for simple s-t paths.
+	rng := rand.New(rand.NewSource(58))
+	gadget := graph.NewPathGadget(128)
+	for _, eps := range []float64{0.1, 1, 10} {
+		for trial := 0; trial < 5; trial++ {
+			x := RandomBits(128, rng)
+			mech := func(g *graph.Graph, w []float64, s, tt int) ([]int, error) {
+				pp, err := core.PrivateShortestPaths(g, w, core.Options{Epsilon: eps, Rand: rng})
+				if err != nil {
+					return nil, err
+				}
+				return pp.Path(s, tt)
+			}
+			res, err := PathReconstruction(x, mech, gadget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if float64(res.Hamming) > res.PathError+1e-9 {
+				t.Fatalf("eps=%g: hamming %d > path error %g", eps, res.Hamming, res.PathError)
+			}
+		}
+	}
+}
+
+func TestPathReconstructionPrivateMechanismRespectsFloor(t *testing.T) {
+	// At strong privacy, mean Hamming distance must be near n/2 — in
+	// particular at or above the Theorem 5.1 floor (with sampling slack).
+	rng := rand.New(rand.NewSource(59))
+	n := 512
+	gadget := graph.NewPathGadget(n)
+	eps := 0.05
+	trials := 10
+	total := 0
+	for trial := 0; trial < trials; trial++ {
+		x := RandomBits(n, rng)
+		mech := func(g *graph.Graph, w []float64, s, tt int) ([]int, error) {
+			pp, err := core.PrivateShortestPaths(g, w, core.Options{Epsilon: eps, Rand: rng})
+			if err != nil {
+				return nil, err
+			}
+			return pp.Path(s, tt)
+		}
+		res, err := PathReconstruction(x, mech, gadget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += res.Hamming
+	}
+	mean := float64(total) / float64(trials)
+	floor := ReconstructionBound(n, 2*eps, 0)
+	if mean < floor*0.8 {
+		t.Errorf("mean hamming %g below floor %g: mechanism leaks more than DP allows?", mean, floor)
+	}
+}
+
+func TestPathReconstructionRejectsBadMechanism(t *testing.T) {
+	gadget := graph.NewPathGadget(8)
+	x := make([]bool, 8)
+	bad := func(g *graph.Graph, w []float64, s, t int) ([]int, error) {
+		return []int{0, 0, 0}, nil // not a valid s-t walk
+	}
+	if _, err := PathReconstruction(x, bad, gadget); err == nil {
+		t.Error("invalid path accepted")
+	}
+	if _, err := PathReconstruction(make([]bool, 5), exactPathMech, gadget); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func exactMSTMech(g *graph.Graph, w []float64) ([]int, error) {
+	tree, _, err := graph.MST(g, w)
+	return tree, err
+}
+
+func TestMSTReconstructionExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	gadget := graph.NewMSTGadget(64)
+	x := RandomBits(64, rng)
+	res, err := MSTReconstruction(x, exactMSTMech, gadget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hamming != 0 || res.TreeError != 0 {
+		t.Errorf("exact MST mech: hamming=%d err=%g", res.Hamming, res.TreeError)
+	}
+}
+
+func TestMSTReconstructionLemmaInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	gadget := graph.NewMSTGadget(128)
+	for trial := 0; trial < 8; trial++ {
+		x := RandomBits(128, rng)
+		mech := func(g *graph.Graph, w []float64) ([]int, error) {
+			rel, err := core.PrivateMST(g, w, core.Options{Epsilon: 1, Rand: rng})
+			if err != nil {
+				return nil, err
+			}
+			return rel.Tree, nil
+		}
+		res, err := MSTReconstruction(x, mech, gadget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(res.Hamming) > res.TreeError+1e-9 {
+			t.Fatalf("hamming %d > tree error %g", res.Hamming, res.TreeError)
+		}
+	}
+}
+
+func TestMSTReconstructionRejectsNonTree(t *testing.T) {
+	gadget := graph.NewMSTGadget(8)
+	bad := func(g *graph.Graph, w []float64) ([]int, error) {
+		return []int{0, 1}, nil // parallel pair: a cycle, not spanning
+	}
+	if _, err := MSTReconstruction(make([]bool, 8), bad, gadget); err == nil {
+		t.Error("non-tree accepted")
+	}
+}
+
+func exactMatchingMech(g *graph.Graph, w []float64) ([]int, error) {
+	m, _, err := graph.MinWeightPerfectMatching(g, w)
+	return m, err
+}
+
+func TestMatchingReconstructionExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	gadget := graph.NewHourglassGadget(64)
+	x := RandomBits(64, rng)
+	res, err := MatchingReconstruction(x, exactMatchingMech, gadget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hamming != 0 || res.MatchingError != 0 {
+		t.Errorf("exact matching mech: hamming=%d err=%g", res.Hamming, res.MatchingError)
+	}
+}
+
+func TestMatchingReconstructionLemmaInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	gadget := graph.NewHourglassGadget(64)
+	for trial := 0; trial < 8; trial++ {
+		x := RandomBits(64, rng)
+		mech := func(g *graph.Graph, w []float64) ([]int, error) {
+			rel, err := core.PrivateMatching(g, w, core.Options{Epsilon: 1, Rand: rng})
+			if err != nil {
+				return nil, err
+			}
+			return rel.Matching, nil
+		}
+		res, err := MatchingReconstruction(x, mech, gadget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(res.Hamming) > res.MatchingError+1e-9 {
+			t.Fatalf("hamming %d > matching error %g", res.Hamming, res.MatchingError)
+		}
+	}
+}
+
+func TestMatchingReconstructionRejectsNonMatching(t *testing.T) {
+	gadget := graph.NewHourglassGadget(4)
+	bad := func(g *graph.Graph, w []float64) ([]int, error) {
+		return []int{0}, nil
+	}
+	if _, err := MatchingReconstruction(make([]bool, 4), bad, gadget); err == nil {
+		t.Error("partial matching accepted")
+	}
+}
+
+func TestRandomizedResponseRate(t *testing.T) {
+	// Per-bit disagreement should be ~1/(1+e^eps) — the Lemma 5.3 floor.
+	rng := rand.New(rand.NewSource(64))
+	n := 100000
+	for _, eps := range []float64{0.5, 1, 2} {
+		x := RandomBits(n, rng)
+		y := RandomizedResponse(x, eps, rng)
+		want := 1 / (1 + math.Exp(eps))
+		got := float64(HammingDistance(x, y)) / float64(n)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("eps=%g: disagreement %g, want %g", eps, got, want)
+		}
+	}
+}

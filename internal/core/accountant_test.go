@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dp"
+	"repro/internal/graph"
+)
+
+// TestAccountantEnforcedAcrossMechanisms drives several mechanisms
+// against one shared budget and verifies enforcement and logging.
+func TestAccountantEnforcedAcrossMechanisms(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	acct := dp.NewAccountant(dp.PrivacyParams{Epsilon: 2.5, Delta: 1e-6})
+	g := graph.Grid(5)
+	w := graph.UniformRandomWeights(g, 1, 3, rng)
+	opts := Options{Epsilon: 1, Rand: rng, Accountant: acct}
+
+	if _, err := PrivateDistance(g, w, 0, 24, opts); err != nil {
+		t.Fatalf("first query rejected: %v", err)
+	}
+	if _, err := PrivateShortestPaths(g, w, opts); err != nil {
+		t.Fatalf("second query rejected: %v", err)
+	}
+	if got := acct.Spent().Epsilon; got != 2 {
+		t.Fatalf("spent %g, want 2", got)
+	}
+	// Third eps-1 release fits exactly within 2.5? No: 3 > 2.5 — reject.
+	if _, err := PrivateMST(g, w, opts); err == nil {
+		t.Fatal("over-budget release accepted")
+	}
+	// The failed release must not have consumed budget.
+	if got := acct.Spent().Epsilon; got != 2 {
+		t.Fatalf("failed release changed spend to %g", got)
+	}
+	// A smaller release still fits.
+	small := opts
+	small.Epsilon = 0.5
+	if _, err := PrivateMSTCost(g, w, small); err != nil {
+		t.Fatalf("in-budget release rejected: %v", err)
+	}
+	log := acct.Log()
+	if len(log) != 3 {
+		t.Fatalf("log has %d entries", len(log))
+	}
+	if log[0].Label != "PrivateDistance" || log[1].Label != "PrivateShortestPaths" || log[2].Label != "PrivateMSTCost" {
+		t.Errorf("labels = %v", log)
+	}
+}
+
+// TestAccountantChargedOncePerRelease checks compositions of mechanisms
+// charge once: TreeAllPairs wraps TreeSingleSource, BoundedWeightAPSD
+// wraps CoveringAPSD.
+func TestAccountantChargedOncePerRelease(t *testing.T) {
+	rng := rand.New(rand.NewSource(122))
+	acct := dp.NewAccountant(dp.PrivacyParams{Epsilon: 10, Delta: 1e-5})
+	g := graph.BalancedBinaryTree(63)
+	w := graph.UniformRandomWeights(g, 1, 2, rng)
+	if _, err := TreeAllPairs(g, w, Options{Epsilon: 1, Rand: rng, Accountant: acct}); err != nil {
+		t.Fatal(err)
+	}
+	if got := acct.Spent().Epsilon; got != 1 {
+		t.Fatalf("TreeAllPairs spent %g, want 1", got)
+	}
+	grid := graph.Grid(8)
+	gw := graph.UniformRandomWeights(grid, 0, 1, rng)
+	if _, err := BoundedWeightAPSD(grid, gw, 1, Options{Epsilon: 1, Delta: 1e-6, Rand: rng, Accountant: acct}); err != nil {
+		t.Fatal(err)
+	}
+	spent := acct.Spent()
+	if spent.Epsilon != 2 || spent.Delta != 1e-6 {
+		t.Fatalf("after both: %v", spent)
+	}
+}
+
+// TestAccountantBlocksBeforeRelease verifies rejection happens before any
+// output exists (ReleaseGraph returns nil).
+func TestAccountantBlocksBeforeRelease(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	acct := dp.NewAccountant(dp.PrivacyParams{Epsilon: 0.5})
+	g := graph.Path(5)
+	w := graph.UniformWeights(g, 1)
+	rel, err := ReleaseGraph(g, w, Options{Epsilon: 1, Rand: rng, Accountant: acct})
+	if err == nil || rel != nil {
+		t.Fatal("over-budget ReleaseGraph returned output")
+	}
+}
+
+// TestNoAccountantNoCharge confirms mechanisms work with a nil accountant
+// (the default).
+func TestNoAccountantNoCharge(t *testing.T) {
+	rng := rand.New(rand.NewSource(124))
+	g := graph.Path(5)
+	if _, err := PathHierarchy(graph.UniformWeights(g, 1), 2, Options{Epsilon: 1, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccountantMechanismsCoverage(t *testing.T) {
+	// Every mechanism must charge: run each under a tight budget equal to
+	// its cost, then confirm a repeat is rejected.
+	rng := rand.New(rand.NewSource(125))
+	g := graph.Grid(4)
+	w := graph.UniformRandomWeights(g, 0.1, 1, rng)
+	tree := graph.BalancedBinaryTree(15)
+	tw := graph.UniformRandomWeights(tree, 0.1, 1, rng)
+	bip := graph.CompleteBipartite(4, 4)
+	bw := graph.UniformRandomWeights(bip, 0, 1, rng)
+
+	runs := []struct {
+		name  string
+		delta float64
+		run   func(o Options) error
+	}{
+		{"PrivateDistance", 0, func(o Options) error { _, err := PrivateDistance(g, w, 0, 15, o); return err }},
+		{"APSDComposition", 0, func(o Options) error { _, err := APSDComposition(g, w, o); return err }},
+		{"ReleaseGraph", 0, func(o Options) error { _, err := ReleaseGraph(g, w, o); return err }},
+		{"TreeSingleSource", 0, func(o Options) error { _, err := TreeSingleSource(tree, tw, 0, o); return err }},
+		{"PathHierarchy", 0, func(o Options) error { _, err := PathHierarchy(tw[:14], 2, o); return err }},
+		{"BoundedWeightAPSD", 1e-6, func(o Options) error { _, err := BoundedWeightAPSD(g, w, 1, o); return err }},
+		{"PrivateShortestPaths", 0, func(o Options) error { _, err := PrivateShortestPaths(g, w, o); return err }},
+		{"PrivateMST", 0, func(o Options) error { _, err := PrivateMST(g, w, o); return err }},
+		{"PrivateMatching", 0, func(o Options) error { _, err := PrivateMatching(bip, bw, o); return err }},
+		{"SingleSourceComposition", 0, func(o Options) error { _, err := SingleSourceComposition(g, w, 0, o); return err }},
+		{"PrivateMSTCost", 0, func(o Options) error { _, err := PrivateMSTCost(g, w, o); return err }},
+	}
+	for _, r := range runs {
+		acct := dp.NewAccountant(dp.PrivacyParams{Epsilon: 1, Delta: r.delta})
+		o := Options{Epsilon: 1, Delta: r.delta, Rand: rng, Accountant: acct}
+		if err := r.run(o); err != nil {
+			t.Errorf("%s: first run rejected: %v", r.name, err)
+			continue
+		}
+		if err := r.run(o); err == nil {
+			t.Errorf("%s: second run did not exhaust budget (mechanism not charging?)", r.name)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestPrivateMSTReleasesSpanningTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.ConnectedErdosRenyi(40, 0.15, rng)
+		w := graph.UniformRandomWeights(g, -5, 10, rng)
+		rel, err := PrivateMST(g, w, Options{Epsilon: 1, Rand: rng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !graph.IsSpanningTree(g, rel.Tree) {
+			t.Fatal("released edges are not a spanning tree")
+		}
+	}
+}
+
+func TestPrivateMSTExactAtHugeEps(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	g := graph.Grid(6)
+	w := graph.UniformRandomWeights(g, 0, 10, rng)
+	rel, err := PrivateMST(g, w, Options{Epsilon: 1e9, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, opt, err := graph.MST(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rel.TrueWeight(w)-opt) > 1e-3 {
+		t.Errorf("huge-eps MST weight %g vs optimum %g", rel.TrueWeight(w), opt)
+	}
+}
+
+func TestPrivateMSTErrorWithinBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	violations := 0
+	for trial := 0; trial < 20; trial++ {
+		g := graph.ConnectedErdosRenyi(60, 0.1, rng)
+		w := graph.UniformRandomWeights(g, 0, 10, rng)
+		rel, err := PrivateMST(g, w, Options{Epsilon: 1, Rand: rng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, opt, err := graph.MST(g, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		excess := rel.TrueWeight(w) - opt
+		if excess < 0 {
+			t.Fatal("released tree beats the optimum")
+		}
+		if excess > rel.ErrorBound(g, 0.05) {
+			violations++
+		}
+	}
+	if violations > 1 {
+		t.Errorf("%d of 20 trials exceed the Theorem B.3 bound", violations)
+	}
+}
+
+func TestPrivateMSTValidation(t *testing.T) {
+	g := graph.Path(3)
+	if _, err := PrivateMST(g, []float64{1}, Options{Epsilon: 1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := PrivateMST(g, []float64{1, 1}, Options{}); err == nil {
+		t.Error("bad options accepted")
+	}
+	disc := graph.New(3)
+	disc.AddEdge(0, 1)
+	if _, err := PrivateMST(disc, []float64{1}, Options{Epsilon: 1}); err == nil {
+		t.Error("disconnected graph accepted")
+	}
+}
+
+func TestPrivateMatchingReleasesPerfectMatching(t *testing.T) {
+	rng := rand.New(rand.NewSource(106))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.CompleteBipartite(15, 15)
+		w := graph.UniformRandomWeights(g, -2, 8, rng)
+		rel, err := PrivateMatching(g, w, Options{Epsilon: 1, Rand: rng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !graph.IsPerfectMatching(g, rel.Matching) {
+			t.Fatal("released edges are not a perfect matching")
+		}
+	}
+}
+
+func TestPrivateMatchingExactAtHugeEps(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	g := graph.CompleteBipartite(10, 10)
+	w := graph.UniformRandomWeights(g, 0, 5, rng)
+	rel, err := PrivateMatching(g, w, Options{Epsilon: 1e9, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, opt, err := graph.MinWeightPerfectMatching(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rel.TrueWeight(w)-opt) > 1e-3 {
+		t.Errorf("huge-eps matching weight %g vs optimum %g", rel.TrueWeight(w), opt)
+	}
+}
+
+func TestPrivateMatchingErrorWithinBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(108))
+	violations := 0
+	for trial := 0; trial < 20; trial++ {
+		hg := graph.NewHourglassGadget(30)
+		w := graph.UniformRandomWeights(hg.G, 0, 5, rng)
+		rel, err := PrivateMatching(hg.G, w, Options{Epsilon: 1, Rand: rng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, opt, err := graph.MinWeightPerfectMatching(hg.G, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		excess := rel.TrueWeight(w) - opt
+		if excess < 0 {
+			t.Fatal("released matching beats the optimum")
+		}
+		if excess > rel.ErrorBound(hg.G, 0.05) {
+			violations++
+		}
+	}
+	if violations > 1 {
+		t.Errorf("%d of 20 trials exceed the Theorem B.6 bound", violations)
+	}
+}
+
+func TestPrivateMatchingOddGraph(t *testing.T) {
+	g := graph.Path(3)
+	if _, err := PrivateMatching(g, []float64{1, 1}, Options{Epsilon: 1}); err == nil {
+		t.Error("odd-vertex graph accepted")
+	}
+}
+
+func TestPrivateMatchingValidation(t *testing.T) {
+	g := graph.Path(2)
+	if _, err := PrivateMatching(g, nil, Options{Epsilon: 1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := PrivateMatching(g, []float64{1}, Options{}); err == nil {
+		t.Error("bad options accepted")
+	}
+}
+
+func TestPrivateMSTNegativeWeightsAllowed(t *testing.T) {
+	// Appendix B explicitly allows negative weights.
+	rng := rand.New(rand.NewSource(109))
+	g := graph.Complete(10)
+	w := graph.UniformRandomWeights(g, -10, -1, rng)
+	rel, err := PrivateMST(g, w, Options{Epsilon: 1, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.IsSpanningTree(g, rel.Tree) {
+		t.Fatal("not spanning")
+	}
+	if rel.TrueWeight(w) >= 0 {
+		t.Error("all-negative weights should give negative tree weight")
+	}
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestOptionsValidation(t *testing.T) {
+	cases := []Options{
+		{},                        // no epsilon
+		{Epsilon: -1},             // negative epsilon
+		{Epsilon: 1, Delta: 1},    // delta = 1
+		{Epsilon: 1, Delta: -0.1}, // negative delta
+		{Epsilon: 1, Gamma: 1.5},  // gamma out of range
+		{Epsilon: 1, Gamma: -0.2}, // negative gamma
+		{Epsilon: 1, Scale: -1},   // negative scale
+	}
+	for i, o := range cases {
+		if _, err := o.withDefaults(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, o)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o, err := Options{Epsilon: 2}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Gamma != 0.05 || o.Scale != 1 || o.Rand == nil {
+		t.Errorf("defaults = %+v", o)
+	}
+	if p := o.Params(); p.Epsilon != 2 || p.Delta != 0 {
+		t.Errorf("params = %v", p)
+	}
+}
+
+func TestPrivateDistanceAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	g := graph.Grid(6)
+	w := graph.UniformRandomWeights(g, 1, 5, rng)
+	exact, err := graph.Distance(g, w, 0, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strong signal: eps large means nearly exact.
+	d, err := PrivateDistance(g, w, 0, 35, Options{Epsilon: 1e6, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-exact) > 0.01 {
+		t.Errorf("huge-eps distance %g vs exact %g", d, exact)
+	}
+	// Moderate eps: within a generous multiple of 1/eps (fixed seed).
+	d, err = PrivateDistance(g, w, 0, 35, Options{Epsilon: 1, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-exact) > 15 {
+		t.Errorf("eps=1 distance error %g implausibly large", math.Abs(d-exact))
+	}
+}
+
+func TestPrivateDistanceUnreachable(t *testing.T) {
+	g := graph.New(2)
+	if _, err := PrivateDistance(g, nil, 0, 1, Options{Epsilon: 1}); err == nil {
+		t.Error("unreachable pair accepted")
+	}
+}
+
+func TestPrivateDistanceBadOptions(t *testing.T) {
+	g := graph.Path(2)
+	if _, err := PrivateDistance(g, []float64{1}, 0, 1, Options{}); err == nil {
+		t.Error("zero epsilon accepted")
+	}
+}
+
+func TestAPSDCompositionSymmetricAndSane(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	g := graph.ConnectedErdosRenyi(30, 0.2, rng)
+	w := graph.UniformRandomWeights(g, 0, 4, rng)
+	rel, err := APSDComposition(g, w, Options{Epsilon: 1, Delta: 1e-6, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 30; s++ {
+		if rel.Dist[s][s] != 0 {
+			t.Fatal("diagonal nonzero")
+		}
+		for u := 0; u < 30; u++ {
+			if rel.Dist[s][u] != rel.Dist[u][s] {
+				t.Fatal("matrix asymmetric for undirected graph")
+			}
+		}
+	}
+	exact, err := graph.AllPairsDistances(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.MaxAbsError(exact) > rel.ErrorBound*3 {
+		t.Errorf("max error %g way above bound %g", rel.MaxAbsError(exact), rel.ErrorBound)
+	}
+	if rel.MeanAbsError(exact) <= 0 {
+		t.Error("mean error should be positive with noise")
+	}
+}
+
+func TestAPSDCompositionAdvancedBeatsBasic(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	g := graph.Grid(8)
+	w := graph.UniformRandomWeights(g, 0, 1, rng)
+	pure, err := APSDComposition(g, w, Options{Epsilon: 1, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := APSDComposition(g, w, Options{Epsilon: 1, Delta: 1e-6, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx.NoiseScale >= pure.NoiseScale {
+		t.Errorf("advanced noise %g not below basic %g", approx.NoiseScale, pure.NoiseScale)
+	}
+	if pure.Params.Delta != 0 || approx.Params.Delta != 1e-6 {
+		t.Error("params not recorded")
+	}
+}
+
+func TestAPSDCompositionDisconnected(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	rel, err := APSDComposition(g, []float64{1}, Options{Epsilon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(rel.Query(0, 2), 1) {
+		t.Error("unreachable pair not Inf")
+	}
+}
+
+func TestAPSDCompositionDirected(t *testing.T) {
+	rng := rand.New(rand.NewSource(68))
+	g := graph.NewDirected(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 0)
+	w := []float64{1, 1, 1, 1}
+	rel, err := APSDComposition(g, w, Options{Epsilon: 100, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Directed distances are asymmetric: 0->3 is 3 hops, 3->0 is 1.
+	if !(rel.Query(3, 0) < rel.Query(0, 3)) {
+		t.Errorf("directed asymmetry lost: %g vs %g", rel.Query(3, 0), rel.Query(0, 3))
+	}
+}
+
+func TestReleaseGraphPostProcessing(t *testing.T) {
+	rng := rand.New(rand.NewSource(69))
+	g := graph.Grid(5)
+	w := graph.UniformRandomWeights(g, 1, 3, rng)
+	rel, err := ReleaseGraph(g, w, Options{Epsilon: 1000, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Weights) != g.M() {
+		t.Fatal("wrong length")
+	}
+	exact, err := graph.Distance(g, w, 0, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := rel.Distance(0, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-exact) > 0.1 {
+		t.Errorf("huge-eps released distance %g vs %g", d, exact)
+	}
+	ap, err := rel.AllPairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ap[0][24]-exact) > 0.1 {
+		t.Error("AllPairs disagrees")
+	}
+	if rel.EdgeErrorBound(0.05) <= 0 {
+		t.Error("edge error bound not positive")
+	}
+}
+
+func TestReleaseGraphNoiseMagnitude(t *testing.T) {
+	// With eps=1 and gamma=0.05 the max edge error should respect the
+	// union tail bound (fixed seed).
+	rng := rand.New(rand.NewSource(70))
+	g := graph.Complete(30)
+	w := graph.UniformWeights(g, 10)
+	rel, err := ReleaseGraph(g, w, Options{Epsilon: 1, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-edge, the tail bound at gamma/E fails with probability gamma/E,
+	// so the expected number of violations of the simultaneous bound is
+	// below gamma; allow one for seed luck but no more.
+	bound := rel.EdgeErrorBound(0.05)
+	over := 0
+	for e := 0; e < g.M(); e++ {
+		if math.Abs(rel.Weights[e]-w[e]) > bound {
+			over++
+		}
+	}
+	if over > 1 {
+		t.Errorf("%d of %d edges beyond the simultaneous bound (expected <=1 at gamma=0.05)", over, g.M())
+	}
+}
+
+func TestSameSeedSensitivityReleaseGraph(t *testing.T) {
+	// Same-seed audit: with identical noise draws, neighboring inputs
+	// produce released vectors whose l1 distance equals the input
+	// distance — the identity query's sensitivity.
+	rng1 := rand.New(rand.NewSource(71))
+	rng2 := rand.New(rand.NewSource(71))
+	g := graph.Grid(5)
+	w := graph.UniformWeights(g, 5)
+	w2 := append([]float64(nil), w...)
+	w2[3] += 0.6
+	w2[9] -= 0.4
+	r1, err := ReleaseGraph(g, w, Options{Epsilon: 1, Rand: rng1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ReleaseGraph(g, w2, Options{Epsilon: 1, Rand: rng2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := graph.L1Distance(r1.Weights, r2.Weights); math.Abs(d-1.0) > 1e-9 {
+		t.Errorf("same-seed output l1 distance %g, want 1 (the input l1 distance)", d)
+	}
+}

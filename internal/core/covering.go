@@ -1,0 +1,208 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dp"
+	"repro/internal/graph"
+)
+
+// CoveringRelease is the output of Algorithm 2 (bounded-weight all-pairs
+// distances): noisy distances between all pairs of covering vertices,
+// from which the distance between any pair u, v is approximated by the
+// released distance between the covering vertices nearest to u and v.
+type CoveringRelease struct {
+	// Z is the k-covering used (public: derived from topology only).
+	Z []int
+	// K is the covering radius in hops.
+	K int
+	// MaxWeight is the weight cap M; the assignment error is at most
+	// 2*K*MaxWeight per query.
+	MaxWeight float64
+	// NoiseScale is the Laplace scale on each released pairwise distance.
+	NoiseScale float64
+	// Params is the privacy guarantee.
+	Params dp.PrivacyParams
+
+	assign []int       // assign[v] = nearest covering vertex
+	zIndex map[int]int // covering vertex -> row index
+	zdist  [][]float64 // released noisy distances between covering vertices
+}
+
+// CoveringAPSD runs Algorithm 2 under (eps, delta)-DP (Theorem 4.5): it
+// releases the Z(Z-1)/2 pairwise distances between covering vertices,
+// each a sensitivity-Scale query, with per-query noise calibrated by
+// advanced composition (Lemma 3.4). Requires opts.Delta > 0. maxWeight is
+// the public weight cap M; weights must lie in [0, M].
+func CoveringAPSD(g *graph.Graph, w []float64, Z []int, k int, maxWeight float64, opts Options) (*CoveringRelease, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if o.Delta == 0 {
+		return nil, fmt.Errorf("core: CoveringAPSD requires delta > 0; use CoveringAPSDPure for pure DP")
+	}
+	return coveringRelease(g, w, Z, k, maxWeight, o, false)
+}
+
+// CoveringAPSDPure runs Algorithm 2 under pure eps-DP (Theorem 4.6),
+// calibrating noise by basic composition: Lap(Scale * Z(Z-1)/2 / eps) per
+// released distance.
+func CoveringAPSDPure(g *graph.Graph, w []float64, Z []int, k int, maxWeight float64, opts Options) (*CoveringRelease, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	o.Delta = 0
+	return coveringRelease(g, w, Z, k, maxWeight, o, true)
+}
+
+func coveringRelease(g *graph.Graph, w []float64, Z []int, k int, maxWeight float64, o Options, pure bool) (*CoveringRelease, error) {
+	if len(Z) == 0 {
+		return nil, fmt.Errorf("core: empty covering")
+	}
+	if !(maxWeight > 0) {
+		return nil, fmt.Errorf("core: maxWeight must be positive, got %g", maxWeight)
+	}
+	for id, x := range w {
+		if x < 0 || x > maxWeight {
+			return nil, fmt.Errorf("core: edge %d weight %g outside [0, %g]", id, x, maxWeight)
+		}
+	}
+	if !graph.VerifyCovering(g, Z, k) {
+		return nil, fmt.Errorf("core: Z is not a %d-covering of the graph", k)
+	}
+	z := len(Z)
+	queries := z * (z - 1) / 2
+	if queries == 0 {
+		queries = 1
+	}
+	noiseScale := o.Scale * dp.NoiseScaleForKQueries(dp.PrivacyParams{Epsilon: o.Epsilon, Delta: o.Delta}, queries)
+	if err := o.charge("CoveringAPSD"); err != nil {
+		return nil, err
+	}
+	lap := dp.NewLaplace(noiseScale)
+
+	zIndex := make(map[int]int, z)
+	for i, zv := range Z {
+		zIndex[zv] = i
+	}
+	zdist := make([][]float64, z)
+	for i := range zdist {
+		zdist[i] = make([]float64, z)
+	}
+	for i, zv := range Z {
+		tree, err := graph.Dijkstra(g, w, zv)
+		if err != nil {
+			return nil, err
+		}
+		for j := i + 1; j < z; j++ {
+			d := tree.Dist[Z[j]]
+			if math.IsInf(d, 1) {
+				return nil, fmt.Errorf("core: covering vertices %d and %d are disconnected", zv, Z[j])
+			}
+			noisy := d + lap.Sample(o.Rand)
+			zdist[i][j] = noisy
+			zdist[j][i] = noisy
+		}
+	}
+	assign, _ := graph.NearestCoveringVertex(g, Z)
+	for v, a := range assign {
+		if a == -1 {
+			return nil, fmt.Errorf("core: vertex %d not covered", v)
+		}
+	}
+	params := dp.PrivacyParams{Epsilon: o.Epsilon, Delta: o.Delta}
+	if pure {
+		params.Delta = 0
+	}
+	return &CoveringRelease{
+		Z:          append([]int(nil), Z...),
+		K:          k,
+		MaxWeight:  maxWeight,
+		NoiseScale: noiseScale,
+		Params:     params,
+		assign:     assign,
+		zIndex:     zIndex,
+		zdist:      zdist,
+	}, nil
+}
+
+// Query returns the released approximation of the u-v distance: the noisy
+// distance between the covering vertices nearest u and v (zero when they
+// coincide). Error is at most 2*K*MaxWeight plus the Laplace tail.
+func (c *CoveringRelease) Query(u, v int) float64 {
+	zu := c.zIndex[c.assign[u]]
+	zv := c.zIndex[c.assign[v]]
+	return c.zdist[zu][zv]
+}
+
+// Assign returns the covering vertex serving v.
+func (c *CoveringRelease) Assign(v int) int { return c.assign[v] }
+
+// NumQueries returns the number of released noisy distances.
+func (c *CoveringRelease) NumQueries() int {
+	z := len(c.Z)
+	return z * (z - 1) / 2
+}
+
+// ErrorBound returns the per-query additive error bound holding for all
+// pairs simultaneously with probability 1-gamma:
+// 2*K*MaxWeight + NoiseScale * log(#queries/gamma).
+func (c *CoveringRelease) ErrorBound(gamma float64) float64 {
+	q := c.NumQueries()
+	if q == 0 {
+		q = 1
+	}
+	return 2*float64(c.K)*c.MaxWeight + dp.UnionTailBound(c.NoiseScale, q, gamma)
+}
+
+// Matrix materializes all-pairs estimates for every vertex pair.
+func (c *CoveringRelease) Matrix(n int) [][]float64 {
+	d := make([][]float64, n)
+	for u := 0; u < n; u++ {
+		d[u] = make([]float64, n)
+		for v := 0; v < n; v++ {
+			if u != v {
+				d[u][v] = c.Query(u, v)
+			}
+		}
+	}
+	return d
+}
+
+// BoundedWeightAPSD implements Theorem 4.3: it chooses the covering
+// radius k from V, M and eps, builds the Lemma 4.4 covering, and runs
+// Algorithm 2. With opts.Delta > 0 it uses k = floor(sqrt(V/(M*eps)))
+// for additive error O~(sqrt(V*M/eps) * sqrt(log 1/delta)); with
+// opts.Delta == 0 it uses k = floor(V^{2/3}/(M*eps)^{1/3}) for error
+// O~((V*M)^{2/3} / eps^{1/3}). The theorem's regime 1/V < M*eps < V
+// keeps k within [1, V-1]; outside it the radius is clamped.
+func BoundedWeightAPSD(g *graph.Graph, w []float64, maxWeight float64, opts Options) (*CoveringRelease, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	v := float64(g.N())
+	var k int
+	if o.Delta > 0 {
+		k = int(math.Floor(math.Sqrt(v / (maxWeight * o.Epsilon))))
+	} else {
+		k = int(math.Floor(math.Pow(v, 2.0/3.0) / math.Cbrt(maxWeight*o.Epsilon)))
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > g.N()-1 {
+		k = g.N() - 1
+	}
+	Z, err := graph.Covering(g, k)
+	if err != nil {
+		return nil, err
+	}
+	if o.Delta > 0 {
+		return CoveringAPSD(g, w, Z, k, maxWeight, opts)
+	}
+	return CoveringAPSDPure(g, w, Z, k, maxWeight, opts)
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestCoveringAPSDRequiresDelta(t *testing.T) {
+	g := graph.Path(10)
+	w := graph.UniformWeights(g, 0.5)
+	z, err := graph.Covering(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CoveringAPSD(g, w, z, 2, 1, Options{Epsilon: 1}); err == nil {
+		t.Error("delta=0 accepted by approximate-DP mechanism")
+	}
+}
+
+func TestCoveringAPSDValidation(t *testing.T) {
+	g := graph.Path(10)
+	w := graph.UniformWeights(g, 0.5)
+	opts := Options{Epsilon: 1, Delta: 1e-6}
+	if _, err := CoveringAPSD(g, w, nil, 2, 1, opts); err == nil {
+		t.Error("empty covering accepted")
+	}
+	if _, err := CoveringAPSD(g, w, []int{5}, 1, 1, opts); err == nil {
+		t.Error("non-covering accepted")
+	}
+	if _, err := CoveringAPSD(g, w, []int{5}, 9, 0, opts); err == nil {
+		t.Error("maxWeight=0 accepted")
+	}
+	if _, err := CoveringAPSD(g, graph.UniformWeights(g, 2), []int{5}, 9, 1, opts); err == nil {
+		t.Error("weights above cap accepted")
+	}
+	neg := graph.UniformWeights(g, 0.5)
+	neg[0] = -0.1
+	if _, err := CoveringAPSD(g, neg, []int{5}, 9, 1, opts); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestCoveringAPSDDisconnected(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	w := []float64{0.5, 0.5}
+	if _, err := CoveringAPSD(g, w, []int{0, 2}, 1, 1, Options{Epsilon: 1, Delta: 1e-6}); err == nil {
+		t.Error("disconnected covering pair accepted")
+	}
+}
+
+func TestCoveringAPSDExactAtHugeEps(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	g := graph.Grid(8)
+	w := graph.UniformRandomWeights(g, 0, 1, rng)
+	k := 2
+	z, err := graph.Covering(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := CoveringAPSD(g, w, z, k, 1, Options{Epsilon: 1e9, Delta: 1e-6, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At huge eps the only error is the 2kM assignment slack.
+	for trial := 0; trial < 300; trial++ {
+		u, v := rng.Intn(64), rng.Intn(64)
+		exact, err := graph.Distance(g, w, u, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := math.Abs(rel.Query(u, v) - exact); e > 2*float64(k)*1.0+1e-6 {
+			t.Fatalf("pair (%d,%d): error %g > 2kM", u, v, e)
+		}
+	}
+}
+
+func TestCoveringAPSDErrorWithinBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	g := graph.Grid(12)
+	n := g.N()
+	w := graph.UniformRandomWeights(g, 0, 2, rng)
+	rel, err := BoundedWeightAPSD(g, w, 2, Options{Epsilon: 1, Delta: 1e-6, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := rel.ErrorBound(0.01)
+	for trial := 0; trial < 400; trial++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		exact, err := graph.Distance(g, w, u, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := math.Abs(rel.Query(u, v) - exact); e > bound {
+			t.Fatalf("pair (%d,%d): error %g > bound %g", u, v, e, bound)
+		}
+	}
+}
+
+func TestCoveringAPSDPureNoiseLargerThanApprox(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	g := graph.Grid(10)
+	w := graph.UniformRandomWeights(g, 0, 1, rng)
+	k := 3
+	z, err := graph.Covering(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(z) < 3 {
+		t.Skip("covering too small to compare")
+	}
+	approx, err := CoveringAPSD(g, w, z, k, 1, Options{Epsilon: 1, Delta: 1e-6, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pure, err := CoveringAPSDPure(g, w, z, k, 1, Options{Epsilon: 1, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pure.NoiseScale <= approx.NoiseScale {
+		t.Errorf("pure noise %g not above approx %g", pure.NoiseScale, approx.NoiseScale)
+	}
+	if pure.Params.Delta != 0 {
+		t.Error("pure mechanism reports delta > 0")
+	}
+}
+
+func TestCoveringAPSDAssignAndSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	g := graph.Grid(6)
+	w := graph.UniformRandomWeights(g, 0, 1, rng)
+	rel, err := BoundedWeightAPSD(g, w, 1, Options{Epsilon: 1, Delta: 1e-6, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hop := graph.HopDistances(g, rel.Assign(17))
+	if hop[17] > rel.K {
+		t.Errorf("assigned covering vertex is %d hops away > k=%d", hop[17], rel.K)
+	}
+	for trial := 0; trial < 50; trial++ {
+		u, v := rng.Intn(36), rng.Intn(36)
+		if rel.Query(u, v) != rel.Query(v, u) {
+			t.Fatal("asymmetric")
+		}
+	}
+	// Same covering vertex -> estimate 0.
+	z0 := rel.Assign(0)
+	if rel.Query(z0, z0) != 0 {
+		t.Error("self query nonzero")
+	}
+}
+
+func TestCoveringAPSDMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	g := graph.Grid(5)
+	w := graph.UniformRandomWeights(g, 0, 1, rng)
+	rel, err := BoundedWeightAPSD(g, w, 1, Options{Epsilon: 1, Delta: 1e-6, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rel.Matrix(25)
+	for u := 0; u < 25; u++ {
+		for v := 0; v < 25; v++ {
+			want := rel.Query(u, v)
+			if u == v {
+				want = 0
+			}
+			if m[u][v] != want {
+				t.Fatal("matrix disagrees")
+			}
+		}
+	}
+}
+
+func TestBoundedWeightAPSDChoosesK(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	g := graph.Grid(16) // V = 256
+	w := graph.UniformRandomWeights(g, 0, 4, rng)
+	// (eps, delta): k = floor(sqrt(256 / (4*1))) = 8.
+	rel, err := BoundedWeightAPSD(g, w, 4, Options{Epsilon: 1, Delta: 1e-6, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.K != 8 {
+		t.Errorf("approx k = %d, want 8", rel.K)
+	}
+	// Pure: k = floor(256^{2/3} / 4^{1/3}) = floor(40.3/1.59) = 25.
+	relPure, err := BoundedWeightAPSD(g, w, 4, Options{Epsilon: 1, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantK := int(math.Floor(math.Pow(256, 2.0/3.0) / math.Cbrt(4.0)))
+	if relPure.K != wantK {
+		t.Errorf("pure k = %d, want %d", relPure.K, wantK)
+	}
+}
+
+func TestBoundedWeightAPSDClampsK(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	// Tiny M*eps pushes k above V-1: must clamp.
+	g := graph.Path(8)
+	w := graph.UniformWeights(g, 0.001)
+	rel, err := BoundedWeightAPSD(g, w, 0.001, Options{Epsilon: 0.01, Delta: 1e-6, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.K > 7 {
+		t.Errorf("k = %d not clamped to V-1", rel.K)
+	}
+	// Huge M*eps pushes k below 1: must clamp to 1.
+	g2 := graph.Grid(4)
+	w2 := graph.UniformWeights(g2, 100)
+	rel2, err := BoundedWeightAPSD(g2, w2, 100, Options{Epsilon: 100, Delta: 1e-6, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel2.K != 1 {
+		t.Errorf("k = %d, want 1", rel2.K)
+	}
+}
+
+func TestCoveringAPSDSameSeedSensitivity(t *testing.T) {
+	// Same-seed audit: shifting one edge weight by d moves each released
+	// Z-pair distance by at most d, so any query moves by at most d.
+	g := graph.Grid(6)
+	w := graph.UniformWeights(g, 0.5)
+	w2 := append([]float64(nil), w...)
+	w2[20] += 0.3
+	k := 2
+	z, err := graph.Covering(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := CoveringAPSD(g, w, z, k, 1, Options{Epsilon: 1, Delta: 1e-6, Rand: rand.New(rand.NewSource(8))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := CoveringAPSD(g, w2, z, k, 1, Options{Epsilon: 1, Delta: 1e-6, Rand: rand.New(rand.NewSource(8))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 36; u++ {
+		for v := 0; v < 36; v++ {
+			if d := math.Abs(r1.Query(u, v) - r2.Query(u, v)); d > 0.3+1e-9 {
+				t.Fatalf("query (%d,%d) drifted %g > 0.3", u, v, d)
+			}
+		}
+	}
+}
+
+func TestGridCoveringWithCoveringAPSD(t *testing.T) {
+	// Theorem 4.7 wiring: grid covering + Algorithm 2.
+	rng := rand.New(rand.NewSource(95))
+	side := 9
+	g := graph.Grid(side)
+	s := int(math.Ceil(math.Cbrt(float64(side * side))))
+	z := graph.GridCovering(side, s)
+	k := 2 * (s - 1)
+	w := graph.UniformRandomWeights(g, 0, 1, rng)
+	rel, err := CoveringAPSD(g, w, z, k, 1, Options{Epsilon: 1, Delta: 1e-6, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Z) != len(z) {
+		t.Error("covering not preserved")
+	}
+}

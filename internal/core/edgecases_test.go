@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// The mechanisms must behave on degenerate topologies: single edges,
+// stars, zero weights, enormous weights, and extreme Scale values.
+
+func TestMechanismsOnSingleEdge(t *testing.T) {
+	rng := rand.New(rand.NewSource(126))
+	g := graph.Path(2)
+	w := []float64{7}
+	opts := Options{Epsilon: 1, Rand: rng}
+
+	if _, err := PrivateDistance(g, w, 0, 1, opts); err != nil {
+		t.Errorf("PrivateDistance: %v", err)
+	}
+	if pp, err := PrivateShortestPaths(g, w, opts); err != nil {
+		t.Errorf("PrivateShortestPaths: %v", err)
+	} else if path, err := pp.Path(0, 1); err != nil || len(path) != 1 {
+		t.Errorf("single-edge path = %v, %v", path, err)
+	}
+	if sssp, err := TreeSingleSource(g, w, 0, opts); err != nil {
+		t.Errorf("TreeSingleSource: %v", err)
+	} else if sssp.Released > 4 {
+		t.Errorf("released %d values for a single edge", sssp.Released)
+	}
+	if _, err := PathHierarchy(w, 2, opts); err != nil {
+		t.Errorf("PathHierarchy: %v", err)
+	}
+	if rel, err := PrivateMST(g, w, opts); err != nil || len(rel.Tree) != 1 {
+		t.Errorf("PrivateMST: %v", err)
+	}
+	if rel, err := PrivateMatching(g, w, opts); err != nil || len(rel.Matching) != 1 {
+		t.Errorf("PrivateMatching: %v", err)
+	}
+}
+
+func TestMechanismsOnZeroWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(127))
+	g := graph.Grid(4)
+	w := make([]float64, g.M())
+	opts := Options{Epsilon: 1, Rand: rng}
+	if _, err := PrivateShortestPaths(g, w, opts); err != nil {
+		t.Errorf("zero weights paths: %v", err)
+	}
+	if _, err := BoundedWeightAPSD(g, w, 1, Options{Epsilon: 1, Delta: 1e-6, Rand: rng}); err != nil {
+		t.Errorf("zero weights APSD: %v", err)
+	}
+	tree := graph.BalancedBinaryTree(15)
+	if _, err := TreeAllPairs(tree, make([]float64, 14), opts); err != nil {
+		t.Errorf("zero weights tree: %v", err)
+	}
+}
+
+func TestMechanismsOnHugeWeights(t *testing.T) {
+	// With weights ~1e12, relative error should be tiny: the additive
+	// noise is independent of weight magnitude (the paper's point that
+	// large weights make the additive error negligible).
+	rng := rand.New(rand.NewSource(128))
+	g := graph.Grid(5)
+	w := graph.UniformRandomWeights(g, 1e12, 2e12, rng)
+	pp, err := PrivateShortestPaths(g, w, Options{Epsilon: 1, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pp.PathWeight(w, 0, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := graph.Distance(g, w, 0, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := (got - exact) / exact; rel > 1e-9 {
+		t.Errorf("relative error %g on huge weights", rel)
+	}
+}
+
+func TestMechanismsOnStar(t *testing.T) {
+	rng := rand.New(rand.NewSource(129))
+	g := graph.Star(64)
+	w := graph.UniformRandomWeights(g, 1, 2, rng)
+	sssp, err := TreeSingleSource(g, w, 0, Options{Epsilon: 1e9, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < 64; v++ {
+		if math.Abs(sssp.Dist[v]-w[v-1]) > 1e-3 {
+			t.Fatalf("star distance to %d wrong", v)
+		}
+	}
+	// Star with leaf root.
+	sssp, err = TreeSingleSource(g, w, 5, Options{Epsilon: 1e9, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sssp.Dist[0]-w[4]) > 1e-3 {
+		t.Error("leaf-rooted star wrong")
+	}
+}
+
+func TestExtremeScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(130))
+	g := graph.Path(16)
+	w := graph.UniformWeights(g, 1)
+	// Tiny scale: near-exact release even at small epsilon.
+	pp, err := PrivateShortestPaths(g, w, Options{Epsilon: 0.01, Scale: 1e-9, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pp.PathWeight(w, 0, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-15) > 1e-3 {
+		t.Errorf("tiny-scale path weight %g", got)
+	}
+	// Large scale: mechanisms still run and bounds grow linearly.
+	sssp, err := TreeSingleSource(g, w, 0, Options{Epsilon: 1, Scale: 100, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := TreeSingleSource(g, w, 0, Options{Epsilon: 1, Scale: 1, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sssp.ErrorBound(0.05)/ref.ErrorBound(0.05)-100) > 1e-6 {
+		t.Error("bound does not scale linearly in Scale")
+	}
+}
+
+func TestPrivateMaxMatching(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	g := graph.CompleteBipartite(6, 6)
+	w := graph.UniformRandomWeights(g, 0, 10, rng)
+	rel, err := PrivateMaxMatching(g, w, Options{Epsilon: 1e9, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.IsPerfectMatching(g, rel.Matching) {
+		t.Fatal("not a perfect matching")
+	}
+	_, opt, err := graph.MaxWeightPerfectMatching(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rel.TrueWeight(w)-opt) > 1e-3 {
+		t.Errorf("huge-eps max matching %g vs optimum %g", rel.TrueWeight(w), opt)
+	}
+	if math.Abs(rel.ReleasedWeight-rel.TrueWeight(w)) > 1e-3 {
+		t.Errorf("released weight %g should be near true weight at huge eps", rel.ReleasedWeight)
+	}
+	// Moderate eps: shortfall stays within the Theorem B.6 bound.
+	rel, err = PrivateMaxMatching(g, w, Options{Epsilon: 1, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt-rel.TrueWeight(w) > rel.ErrorBound(g, 0.01) {
+		t.Errorf("shortfall %g beyond bound", opt-rel.TrueWeight(w))
+	}
+}
+
+func TestTreeMechanismDeterministicGivenSeed(t *testing.T) {
+	g := graph.BalancedBinaryTree(127)
+	w := graph.UniformWeights(g, 2)
+	a, err := TreeSingleSource(g, w, 0, Options{Epsilon: 1, Rand: rand.New(rand.NewSource(10))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TreeSingleSource(g, w, 0, Options{Epsilon: 1, Rand: rand.New(rand.NewSource(10))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Dist {
+		if a.Dist[v] != b.Dist[v] {
+			t.Fatal("same seed, different release")
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/dp"
+	"repro/internal/graph"
+)
+
+// MatchingRelease is the output of the Theorem B.6 mechanism: a perfect
+// matching computed on a noisy weight vector.
+type MatchingRelease struct {
+	// Matching is the released matching's edge IDs, sorted.
+	Matching []int
+	// ReleasedWeight is the matching's weight under the noisy weights.
+	ReleasedWeight float64
+	// NoiseScale is Scale/eps.
+	NoiseScale float64
+	// Params is the privacy guarantee (pure eps-DP).
+	Params dp.PrivacyParams
+}
+
+// PrivateMatching releases an almost-minimum-weight perfect matching
+// (Theorem B.6): add Lap(Scale/eps) noise to every edge weight and return
+// an exact minimum-weight perfect matching of the noisy graph
+// (post-processing; the privacy guarantee does not depend on which exact
+// matcher is used). With probability 1-gamma the released matching's true
+// weight exceeds the optimum by at most (V*Scale/eps) log(E/gamma).
+// Negative weights are permitted, as in Appendix B.
+func PrivateMatching(g *graph.Graph, w []float64, opts Options) (*MatchingRelease, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if len(w) != g.M() {
+		return nil, errors.New("core: PrivateMatching weight vector length mismatch")
+	}
+	noiseScale := o.Scale / o.Epsilon
+	if err := o.charge("PrivateMatching"); err != nil {
+		return nil, err
+	}
+	noisy := dp.AddLaplace(w, noiseScale, o.Rand)
+	m, wt, err := graph.MinWeightPerfectMatching(g, noisy)
+	if err != nil {
+		return nil, err
+	}
+	return &MatchingRelease{
+		Matching:       m,
+		ReleasedWeight: wt,
+		NoiseScale:     noiseScale,
+		Params:         dp.PrivacyParams{Epsilon: o.Epsilon},
+	}, nil
+}
+
+// PrivateMaxMatching releases an almost-maximum-weight perfect matching.
+// Appendix B.2 notes the minimization results carry over verbatim to the
+// maximization problems; mechanically this is PrivateMatching on negated
+// weights, with the same eps-DP guarantee and error bound (now a
+// shortfall below the maximum rather than an excess above the minimum).
+func PrivateMaxMatching(g *graph.Graph, w []float64, opts Options) (*MatchingRelease, error) {
+	neg := make([]float64, len(w))
+	for i, x := range w {
+		neg[i] = -x
+	}
+	rel, err := PrivateMatching(g, neg, opts)
+	if err != nil {
+		return nil, err
+	}
+	rel.ReleasedWeight = -rel.ReleasedWeight
+	return rel, nil
+}
+
+// TrueWeight returns the released matching's weight under the private
+// weights (data-owner side, for error measurement).
+func (r *MatchingRelease) TrueWeight(w []float64) float64 {
+	return graph.PathWeight(w, r.Matching)
+}
+
+// ErrorBound returns the Theorem B.6 additive bound holding with
+// probability 1-gamma: V * NoiseScale * log(E/gamma) (the matching has
+// V/2 edges; each endpoint of the comparison contributes V/2 noise
+// magnitudes).
+func (r *MatchingRelease) ErrorBound(g *graph.Graph, gamma float64) float64 {
+	if g.M() == 0 {
+		return 0
+	}
+	return float64(g.N()) * dp.UnionTailBound(r.NoiseScale, g.M(), gamma)
+}

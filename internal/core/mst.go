@@ -1,0 +1,69 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/dp"
+	"repro/internal/graph"
+)
+
+// MSTRelease is the output of the Theorem B.3 mechanism: a spanning tree
+// computed on a noisy weight vector.
+type MSTRelease struct {
+	// Tree is the released spanning tree's edge IDs, sorted.
+	Tree []int
+	// ReleasedWeight is the tree's weight under the released (noisy)
+	// weights; safe to publish alongside the tree.
+	ReleasedWeight float64
+	// NoiseScale is Scale/eps.
+	NoiseScale float64
+	// Params is the privacy guarantee (pure eps-DP).
+	Params dp.PrivacyParams
+}
+
+// PrivateMST releases an almost-minimum spanning tree (Theorem B.3): add
+// Lap(Scale/eps) noise to every edge weight (the Laplace mechanism on the
+// identity query, eps-DP) and return the exact MST of the noisy graph
+// (post-processing). With probability 1-gamma the released tree's true
+// weight exceeds the optimum by at most (2(V-1)*Scale/eps) log(E/gamma).
+// Negative weights are permitted, as in Appendix B.
+func PrivateMST(g *graph.Graph, w []float64, opts Options) (*MSTRelease, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if len(w) != g.M() {
+		return nil, errors.New("core: PrivateMST weight vector length mismatch")
+	}
+	noiseScale := o.Scale / o.Epsilon
+	if err := o.charge("PrivateMST"); err != nil {
+		return nil, err
+	}
+	noisy := dp.AddLaplace(w, noiseScale, o.Rand)
+	tree, wt, err := graph.MST(g, noisy)
+	if err != nil {
+		return nil, err
+	}
+	return &MSTRelease{
+		Tree:           tree,
+		ReleasedWeight: wt,
+		NoiseScale:     noiseScale,
+		Params:         dp.PrivacyParams{Epsilon: o.Epsilon},
+	}, nil
+}
+
+// TrueWeight returns the released tree's weight under the private weights
+// (data-owner side, for error measurement).
+func (r *MSTRelease) TrueWeight(w []float64) float64 {
+	return graph.PathWeight(w, r.Tree)
+}
+
+// ErrorBound returns the Theorem B.3 additive bound holding with
+// probability 1-gamma: 2(V-1) * NoiseScale * log(E/gamma), i.e. twice the
+// tree size times the simultaneous per-edge noise bound.
+func (r *MSTRelease) ErrorBound(g *graph.Graph, gamma float64) float64 {
+	if g.M() == 0 {
+		return 0
+	}
+	return 2 * float64(g.N()-1) * dp.UnionTailBound(r.NoiseScale, g.M(), gamma)
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dp"
+)
+
+// PathHubs is the Appendix A release for the path graph P on V vertices
+// (vertices 0..V-1, edge i joining i and i+1): a hierarchy of hub levels
+// where level l releases noisy distances between consecutive multiples of
+// Base^l. Any pairwise distance is assembled from at most 2(Base-1) gaps
+// per level, so the error is O(log^1.5 V * log(1/gamma))/eps for Base = 2
+// — a restatement of the binary-tree counter of [DNPR10].
+type PathHubs struct {
+	V      int
+	Base   int // the hub spacing ratio c (paper: V^{1/k}; here an integer >= 2)
+	Levels int // k: number of hub levels
+	// gaps[l][j] is the released noisy distance between hubs j*Base^l and
+	// (j+1)*Base^l.
+	gaps [][]float64
+	// NoiseScale is the Laplace scale of each released gap, Scale*Levels/eps.
+	NoiseScale float64
+	// Params is the privacy guarantee (pure eps-DP).
+	Params dp.PrivacyParams
+}
+
+// PathHierarchy releases the hub hierarchy for the path graph whose edge
+// weights are w (so V = len(w) + 1), with hub ratio base (>= 2; use 2 for
+// the paper's k = log V setting).
+//
+// Privacy: at each level the gaps cover pairwise disjoint edge intervals,
+// so one level's query vector has sensitivity Scale; with Levels levels
+// the full vector has sensitivity Scale*Levels, and Lap(Scale*Levels/eps)
+// noise per coordinate gives eps-DP (Lemma 3.2).
+func PathHierarchy(w []float64, base int, opts Options) (*PathHubs, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if base < 2 {
+		return nil, fmt.Errorf("core: PathHierarchy base must be >= 2, got %d", base)
+	}
+	v := len(w) + 1
+	if v < 2 {
+		return nil, fmt.Errorf("core: PathHierarchy needs at least one edge")
+	}
+	// Number of levels: enough that base^(Levels-1) < V <= base^Levels;
+	// the top level then has fewer than base gaps.
+	levels := 1
+	for span := base; span < v-1; span *= base {
+		levels++
+	}
+	scale := o.Scale * float64(levels) / o.Epsilon
+	if err := o.charge("PathHierarchy"); err != nil {
+		return nil, err
+	}
+	lap := dp.NewLaplace(scale)
+
+	// prefix[i] = exact distance from vertex 0 to vertex i.
+	prefix := make([]float64, v)
+	for i, x := range w {
+		prefix[i+1] = prefix[i] + x
+	}
+	gaps := make([][]float64, levels)
+	span := 1
+	for l := 0; l < levels; l++ {
+		count := (v - 1) / span // gaps with both endpoints <= V-1
+		gaps[l] = make([]float64, count)
+		for j := 0; j < count; j++ {
+			exact := prefix[(j+1)*span] - prefix[j*span]
+			gaps[l][j] = exact + lap.Sample(o.Rand)
+		}
+		span *= base
+	}
+	return &PathHubs{
+		V:          v,
+		Base:       base,
+		Levels:     levels,
+		gaps:       gaps,
+		NoiseScale: scale,
+		Params:     dp.PrivacyParams{Epsilon: o.Epsilon},
+	}, nil
+}
+
+// Query returns the released estimate of the distance between vertices x
+// and y on the path, assembled from at most 2(Base-1) gap estimates per
+// level. Pure post-processing of the released hierarchy.
+func (p *PathHubs) Query(x, y int) float64 {
+	if x > y {
+		x, y = y, x
+	}
+	if x < 0 || y >= p.V {
+		panic(fmt.Sprintf("core: PathHubs.Query(%d, %d) out of range [0, %d)", x, y, p.V))
+	}
+	total := 0.0
+	lo, hi := x, y
+	span := 1
+	for l := 0; l < p.Levels && lo < hi; l++ {
+		next := span * p.Base
+		// Climb lo upward to the next alignment boundary.
+		for lo%next != 0 && lo+span <= hi {
+			total += p.gaps[l][lo/span]
+			lo += span
+		}
+		// Climb hi downward to the previous alignment boundary.
+		for hi%next != 0 && hi-span >= lo {
+			total += p.gaps[l][hi/span-1]
+			hi -= span
+		}
+		span = next
+	}
+	// Top level: walk the remaining aligned gaps (fewer than Base).
+	span /= p.Base
+	for lo < hi {
+		total += p.gaps[p.Levels-1][lo/span]
+		lo += span
+	}
+	return total
+}
+
+// GapsUsed counts the number of released values Query(x, y) sums; at most
+// 2(Base-1)*Levels + Base. Exposed for tests of the Appendix A argument.
+func (p *PathHubs) GapsUsed(x, y int) int {
+	if x > y {
+		x, y = y, x
+	}
+	used := 0
+	lo, hi := x, y
+	span := 1
+	for l := 0; l < p.Levels && lo < hi; l++ {
+		next := span * p.Base
+		for lo%next != 0 && lo+span <= hi {
+			used++
+			lo += span
+		}
+		for hi%next != 0 && hi-span >= lo {
+			used++
+			hi -= span
+		}
+		span = next
+	}
+	span /= p.Base
+	for lo < hi {
+		used++
+		lo += span
+	}
+	return used
+}
+
+// MaxGapsPerQuery returns the worst-case number of summed gap estimates.
+func (p *PathHubs) MaxGapsPerQuery() int {
+	return 2*(p.Base-1)*p.Levels + p.Base
+}
+
+// ErrorBound returns the per-query additive error bound holding with
+// probability 1-gamma: a sum of at most MaxGapsPerQuery independent
+// Lap(NoiseScale) variables, bounded by Lemma 3.1.
+func (p *PathHubs) ErrorBound(gamma float64) float64 {
+	return dp.SumTailBound(p.NoiseScale, p.MaxGapsPerQuery(), gamma)
+}
+
+// ReleasedCount returns the total number of noisy values in the hierarchy.
+func (p *PathHubs) ReleasedCount() int {
+	total := 0
+	for _, g := range p.gaps {
+		total += len(g)
+	}
+	return total
+}

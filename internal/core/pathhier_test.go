@@ -1,0 +1,218 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func pathPrefix(w []float64) []float64 {
+	prefix := make([]float64, len(w)+1)
+	for i, x := range w {
+		prefix[i+1] = prefix[i] + x
+	}
+	return prefix
+}
+
+func TestPathHierarchyExactAtHugeEps(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for _, v := range []int{2, 3, 5, 16, 17, 100, 129, 1024} {
+		w := make([]float64, v-1)
+		for i := range w {
+			w[i] = rng.Float64() * 10
+		}
+		hubs, err := PathHierarchy(w, 2, Options{Epsilon: 1e9, Rand: rng})
+		if err != nil {
+			t.Fatalf("V=%d: %v", v, err)
+		}
+		prefix := pathPrefix(w)
+		for trial := 0; trial < 100; trial++ {
+			x, y := rng.Intn(v), rng.Intn(v)
+			want := math.Abs(prefix[y] - prefix[x])
+			if got := hubs.Query(x, y); math.Abs(got-want) > 1e-3 {
+				t.Fatalf("V=%d pair (%d,%d): %g vs %g", v, x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestPathHierarchyAllPairsExhaustive(t *testing.T) {
+	// Exhaustive over all pairs for several sizes and bases.
+	rng := rand.New(rand.NewSource(84))
+	for _, base := range []int{2, 3, 4} {
+		for _, v := range []int{2, 7, 33, 64} {
+			w := make([]float64, v-1)
+			for i := range w {
+				w[i] = rng.Float64()
+			}
+			hubs, err := PathHierarchy(w, base, Options{Epsilon: 1e9, Rand: rng})
+			if err != nil {
+				t.Fatal(err)
+			}
+			prefix := pathPrefix(w)
+			for x := 0; x < v; x++ {
+				for y := 0; y < v; y++ {
+					want := math.Abs(prefix[y] - prefix[x])
+					if math.Abs(hubs.Query(x, y)-want) > 1e-3 {
+						t.Fatalf("base=%d V=%d (%d,%d)", base, v, x, y)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPathHierarchyGapsUsedBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	for _, base := range []int{2, 3} {
+		v := 1000
+		w := make([]float64, v-1)
+		hubs, err := PathHierarchy(w, base, Options{Epsilon: 1, Rand: rng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxAllowed := hubs.MaxGapsPerQuery()
+		worst := 0
+		for trial := 0; trial < 3000; trial++ {
+			x, y := rng.Intn(v), rng.Intn(v)
+			used := hubs.GapsUsed(x, y)
+			if used > worst {
+				worst = used
+			}
+		}
+		if worst > maxAllowed {
+			t.Errorf("base=%d: used %d gaps > declared max %d", base, worst, maxAllowed)
+		}
+		// The Appendix A point: gaps per query is O(log V), far below V.
+		if worst > 4*hubs.Levels+base {
+			t.Errorf("base=%d: worst %d above 4*levels+base", base, worst)
+		}
+	}
+}
+
+func TestPathHierarchyErrorWithinBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(86))
+	v := 2048
+	w := make([]float64, v-1)
+	for i := range w {
+		w[i] = rng.Float64() * 10
+	}
+	hubs, err := PathHierarchy(w, 2, Options{Epsilon: 1, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := pathPrefix(w)
+	bound := hubs.ErrorBound(0.05 / 2000)
+	for trial := 0; trial < 2000; trial++ {
+		x, y := rng.Intn(v), rng.Intn(v)
+		want := math.Abs(prefix[y] - prefix[x])
+		if e := math.Abs(hubs.Query(x, y) - want); e > bound {
+			t.Fatalf("pair (%d,%d): error %g > bound %g", x, y, e, bound)
+		}
+	}
+}
+
+func TestPathHierarchyLevels(t *testing.T) {
+	// V=1025: levels must satisfy base^(levels) >= V-1 roughly; for
+	// base 2 and 1024 edges that's 10 levels.
+	w := make([]float64, 1024)
+	hubs, err := PathHierarchy(w, 2, Options{Epsilon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hubs.Levels != 10 {
+		t.Errorf("levels = %d, want 10", hubs.Levels)
+	}
+	if hubs.ReleasedCount() >= 2*1025 {
+		t.Errorf("released %d values, expected < 2V", hubs.ReleasedCount())
+	}
+}
+
+func TestPathHierarchySameSeedSensitivity(t *testing.T) {
+	// Same-seed audit: neighboring inputs move each released gap by at
+	// most the weight change within it; per query the drift is bounded
+	// by Levels (sensitivity per level is 1).
+	v := 256
+	w := make([]float64, v-1)
+	for i := range w {
+		w[i] = 2
+	}
+	w2 := append([]float64(nil), w...)
+	w2[100] += 1
+	h1, err := PathHierarchy(w, 2, Options{Epsilon: 1, Rand: rand.New(rand.NewSource(7))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := PathHierarchy(w2, 2, Options{Epsilon: 1, Rand: rand.New(rand.NewSource(7))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < v; x += 3 {
+		for y := x + 1; y < v; y += 5 {
+			d := math.Abs(h1.Query(x, y) - h2.Query(x, y))
+			if d > float64(h1.Levels)+1e-9 {
+				t.Fatalf("query (%d,%d) drifted %g > levels %d", x, y, d, h1.Levels)
+			}
+		}
+	}
+}
+
+func TestPathHierarchyValidation(t *testing.T) {
+	if _, err := PathHierarchy([]float64{1}, 1, Options{Epsilon: 1}); err == nil {
+		t.Error("base=1 accepted")
+	}
+	if _, err := PathHierarchy(nil, 2, Options{Epsilon: 1}); err == nil {
+		t.Error("empty path accepted")
+	}
+	if _, err := PathHierarchy([]float64{1}, 2, Options{}); err == nil {
+		t.Error("bad options accepted")
+	}
+}
+
+func TestPathHierarchyQueryPanicsOutOfRange(t *testing.T) {
+	hubs, err := PathHierarchy([]float64{1, 1}, 2, Options{Epsilon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range query accepted")
+		}
+	}()
+	hubs.Query(0, 5)
+}
+
+func TestPathHierarchyMatchesTreeMechanismScale(t *testing.T) {
+	// Both polylog mechanisms should land in the same error ballpark on
+	// the path graph (within an order of magnitude), far below the naive
+	// sqrt(V) accumulation.
+	rng := rand.New(rand.NewSource(87))
+	v := 4096
+	g := graph.Path(v)
+	w := graph.UniformRandomWeights(g, 0, 10, rng)
+	hubs, err := PathHierarchy(w, 2, Options{Epsilon: 1, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := TreeAllPairs(g, w, Options{Epsilon: 1, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := pathPrefix(w)
+	worstHub, worstTree := 0.0, 0.0
+	for trial := 0; trial < 1000; trial++ {
+		x, y := rng.Intn(v), rng.Intn(v)
+		want := math.Abs(prefix[y] - prefix[x])
+		if e := math.Abs(hubs.Query(x, y) - want); e > worstHub {
+			worstHub = e
+		}
+		if e := math.Abs(tree.Query(x, y) - want); e > worstTree {
+			worstTree = e
+		}
+	}
+	if worstHub > 10*worstTree || worstTree > 10*worstHub {
+		t.Errorf("mechanisms differ too much: hubs %g vs tree %g", worstHub, worstTree)
+	}
+}

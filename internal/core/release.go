@@ -1,0 +1,70 @@
+package core
+
+import (
+	"repro/internal/dp"
+	"repro/internal/graph"
+)
+
+// ReleasedGraph is an eps-differentially private synthetic weight vector
+// for a public topology. Because differential privacy is closed under
+// post-processing, any computation on Weights (shortest paths, spanning
+// trees, matchings, ...) inherits the guarantee without further cost.
+type ReleasedGraph struct {
+	G *graph.Graph
+	// Weights is w(e) + Lap(Scale/eps) per edge, plus Shift if requested.
+	Weights []float64
+	// Shift is the deterministic bias added to every edge (zero for
+	// ReleaseGraph; (Scale/eps) log(E/gamma) for Algorithm 3).
+	Shift float64
+	// NoiseScale is the per-edge Laplace scale Scale/eps.
+	NoiseScale float64
+	// Params is the privacy guarantee.
+	Params dp.PrivacyParams
+}
+
+// ReleaseGraph releases a noisy weight vector: w'(e) = w(e) +
+// Lap(Scale/eps). The weight vector itself is the identity query with l1
+// sensitivity Scale, so this is the Laplace mechanism and is eps-DP. With
+// probability 1-gamma every edge error is below (Scale/eps) log(E/gamma),
+// so every path's weight is preserved to within
+// (hops * Scale/eps) log(E/gamma) and all-pairs distances to within
+// (V * Scale/eps) log(E/gamma) (Section 4).
+func ReleaseGraph(g *graph.Graph, w []float64, opts Options) (*ReleasedGraph, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	scale := o.Scale / o.Epsilon
+	if err := o.charge("ReleaseGraph"); err != nil {
+		return nil, err
+	}
+	return &ReleasedGraph{
+		G:          g,
+		Weights:    dp.AddLaplace(w, scale, o.Rand),
+		NoiseScale: scale,
+		Params:     dp.PrivacyParams{Epsilon: o.Epsilon},
+	}, nil
+}
+
+// EdgeErrorBound returns the bound that holds simultaneously for all edge
+// noise magnitudes with probability 1-gamma: (NoiseScale) * log(E/gamma).
+func (r *ReleasedGraph) EdgeErrorBound(gamma float64) float64 {
+	m := r.G.M()
+	if m == 0 {
+		return 0
+	}
+	return dp.UnionTailBound(r.NoiseScale, m, gamma)
+}
+
+// Distance answers a distance query by Dijkstra on the released weights
+// (clamped at zero, since released weights can be negative but Dijkstra
+// requires nonnegative; clamping is post-processing and can only reduce
+// per-edge error when true weights are nonnegative).
+func (r *ReleasedGraph) Distance(s, t int) (float64, error) {
+	return graph.Distance(r.G, graph.ClampWeights(r.Weights, 0, graph.Inf), s, t)
+}
+
+// AllPairs answers all-pairs distance queries on the released weights.
+func (r *ReleasedGraph) AllPairs() ([][]float64, error) {
+	return graph.AllPairsDistances(r.G, graph.ClampWeights(r.Weights, 0, graph.Inf))
+}

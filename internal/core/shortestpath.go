@@ -1,0 +1,129 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dp"
+	"repro/internal/graph"
+)
+
+// PrivatePaths is the output of Algorithm 3 (private shortest paths): a
+// released weight vector w'(e) = w(e) + Lap(Scale/eps) + Shift with
+// Shift = (Scale/eps) * log(E/gamma). Releasing w' is the Laplace
+// mechanism plus a public constant, so it is eps-DP; every path extracted
+// from w' is post-processing. The shift makes every released weight an
+// overestimate with probability 1-gamma, which biases the shortest-path
+// search toward few-hop paths: per Theorem 5.5, if a k-hop path of weight
+// W exists, the released path has true weight at most
+// W + (2k*Scale/eps) log(E/gamma).
+type PrivatePaths struct {
+	G *graph.Graph
+	// Weights is the released (shifted, noisy) weight vector.
+	Weights []float64
+	// Shift is the deterministic per-edge bias (1/eps) log(E/gamma).
+	Shift float64
+	// NoiseScale is Scale/eps.
+	NoiseScale float64
+	// Gamma is the failure probability the shift was sized for.
+	Gamma float64
+	// Params is the privacy guarantee (pure eps-DP).
+	Params dp.PrivacyParams
+
+	trees []*graph.ShortestPathTree // lazily built per source
+}
+
+// PrivateShortestPaths runs Algorithm 3 on (g, w). Negative released
+// weights (possible when a large negative noise draw outweighs the shift)
+// are clamped to zero so that Dijkstra applies; clamping is
+// post-processing and preserves privacy.
+func PrivateShortestPaths(g *graph.Graph, w []float64, opts Options) (*PrivatePaths, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if len(w) != g.M() {
+		return nil, errors.New("core: PrivateShortestPaths weight vector length mismatch")
+	}
+	m := g.M()
+	if m == 0 {
+		return nil, errors.New("core: PrivateShortestPaths on an edgeless graph")
+	}
+	noiseScale := o.Scale / o.Epsilon
+	shift := noiseScale * math.Log(float64(m)/o.Gamma)
+	if err := o.charge("PrivateShortestPaths"); err != nil {
+		return nil, err
+	}
+	lap := dp.NewLaplace(noiseScale)
+	released := make([]float64, m)
+	for e := range released {
+		released[e] = w[e] + lap.Sample(o.Rand) + shift
+		if released[e] < 0 {
+			released[e] = 0
+		}
+	}
+	return &PrivatePaths{
+		G:          g,
+		Weights:    released,
+		Shift:      shift,
+		NoiseScale: noiseScale,
+		Gamma:      o.Gamma,
+		Params:     dp.PrivacyParams{Epsilon: o.Epsilon},
+		trees:      make([]*graph.ShortestPathTree, g.N()),
+	}, nil
+}
+
+// treeFrom returns (building on first use) the shortest path tree from s
+// under the released weights.
+func (p *PrivatePaths) treeFrom(s int) (*graph.ShortestPathTree, error) {
+	if s < 0 || s >= p.G.N() {
+		return nil, fmt.Errorf("core: source %d out of range [0, %d)", s, p.G.N())
+	}
+	if p.trees[s] == nil {
+		t, err := graph.Dijkstra(p.G, p.Weights, s)
+		if err != nil {
+			return nil, err
+		}
+		p.trees[s] = t
+	}
+	return p.trees[s], nil
+}
+
+// Path returns the released s-t path as edge IDs. The same release
+// answers every pair without further privacy cost.
+func (p *PrivatePaths) Path(s, t int) ([]int, error) {
+	tree, err := p.treeFrom(s)
+	if err != nil {
+		return nil, err
+	}
+	path, ok := tree.PathTo(t)
+	if !ok {
+		return nil, fmt.Errorf("core: vertex %d unreachable from %d", t, s)
+	}
+	return path, nil
+}
+
+// PathWeight returns the true weight (under the private w) of the
+// released s-t path. Only callable by the data owner; exposed for
+// experiments measuring approximation error.
+func (p *PrivatePaths) PathWeight(w []float64, s, t int) (float64, error) {
+	path, err := p.Path(s, t)
+	if err != nil {
+		return 0, err
+	}
+	return graph.PathWeight(w, path), nil
+}
+
+// ErrorBound returns the Theorem 5.5 additive error bound for pairs
+// joined by a k-hop path: (2k * Scale/eps) * log(E/gamma). It holds for
+// all pairs simultaneously with probability 1-Gamma.
+func (p *PrivatePaths) ErrorBound(kHops int) float64 {
+	return 2 * float64(kHops) * p.NoiseScale * math.Log(float64(p.G.M())/p.Gamma)
+}
+
+// WorstCaseErrorBound returns the Corollary 5.6 bound with k = V:
+// (2V * Scale/eps) * log(E/gamma).
+func (p *PrivatePaths) WorstCaseErrorBound() float64 {
+	return p.ErrorBound(p.G.N())
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestPrivateShortestPathsReleasesValidPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(96))
+	g := graph.ConnectedErdosRenyi(60, 0.1, rng)
+	w := graph.UniformRandomWeights(g, 0, 10, rng)
+	pp, err := PrivateShortestPaths(g, w, Options{Epsilon: 1, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 100; trial++ {
+		s, u := rng.Intn(60), rng.Intn(60)
+		path, err := pp.Path(s, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.ValidatePath(s, u, path); err != nil {
+			t.Fatalf("released path invalid: %v", err)
+		}
+	}
+}
+
+func TestPrivateShortestPathsWeightsNonnegativeAndShifted(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	g := graph.Grid(10)
+	w := graph.UniformRandomWeights(g, 0, 1, rng)
+	pp, err := PrivateShortestPaths(g, w, Options{Epsilon: 0.1, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.Shift <= 0 {
+		t.Error("shift not positive")
+	}
+	for e, x := range pp.Weights {
+		if x < 0 {
+			t.Fatalf("released weight %d is negative: %g", e, x)
+		}
+	}
+	wantShift := (1.0 / 0.1) * math.Log(float64(g.M())/0.05)
+	if math.Abs(pp.Shift-wantShift) > 1e-9 {
+		t.Errorf("shift = %g, want %g", pp.Shift, wantShift)
+	}
+}
+
+func TestPrivateShortestPathsTheorem55Inequality(t *testing.T) {
+	// For every pair: true weight of released path <= exact distance +
+	// 2 * hops(exact shortest path) * shift, on the 1-gamma event. Fixed
+	// seeds; allow the few-percent failure by counting violations.
+	rng := rand.New(rand.NewSource(98))
+	violations, total := 0, 0
+	for trial := 0; trial < 6; trial++ {
+		g := graph.ConnectedErdosRenyi(50, 0.15, rng)
+		w := graph.UniformRandomWeights(g, 0, 10, rng)
+		pp, err := PrivateShortestPaths(g, w, Options{Epsilon: 1, Gamma: 0.05, Rand: rng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < 50; s += 7 {
+			exactTree, err := graph.Dijkstra(g, w, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for u := 0; u < 50; u++ {
+				if u == s {
+					continue
+				}
+				got, err := pp.PathWeight(w, s, u)
+				if err != nil {
+					t.Fatal(err)
+				}
+				k := exactTree.Hops(u)
+				if got > exactTree.Dist[u]+pp.ErrorBound(k)+1e-9 {
+					violations++
+				}
+				total++
+			}
+		}
+	}
+	if float64(violations) > 0.05*float64(total) {
+		t.Errorf("%d of %d pairs violate the Theorem 5.5 bound", violations, total)
+	}
+}
+
+func TestPrivateShortestPathsExactAtHugeEps(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	g := graph.Grid(7)
+	w := graph.UniformRandomWeights(g, 1, 5, rng)
+	pp, err := PrivateShortestPaths(g, w, Options{Epsilon: 1e9, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		s, u := rng.Intn(49), rng.Intn(49)
+		got, err := pp.PathWeight(w, s, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := graph.Distance(g, w, s, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// At huge eps both noise and shift vanish, so released paths are
+		// true shortest paths.
+		if math.Abs(got-exact) > 1e-3 {
+			t.Fatalf("pair (%d,%d): %g vs %g", s, u, got, exact)
+		}
+	}
+}
+
+func TestPrivateShortestPathsHopBiasPrefersFewHops(t *testing.T) {
+	// Two s-t routes of equal true weight: 1 hop of weight 10 vs 10 hops
+	// of weight 1. The shift must steer the mechanism to the 1-hop route
+	// nearly always.
+	rng := rand.New(rand.NewSource(100))
+	g := graph.New(11)
+	direct := g.AddEdge(0, 10)
+	w := []float64{10}
+	for i := 0; i < 10; i++ {
+		g.AddEdge(i, i+1)
+		w = append(w, 1)
+	}
+	wins := 0
+	for trial := 0; trial < 50; trial++ {
+		pp, err := PrivateShortestPaths(g, w, Options{Epsilon: 1, Rand: rng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		path, err := pp.Path(0, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(path) == 1 && path[0] == direct {
+			wins++
+		}
+	}
+	if wins < 45 {
+		t.Errorf("direct route chosen only %d/50 times", wins)
+	}
+}
+
+func TestPrivateShortestPathsUnreachable(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	pp, err := PrivateShortestPaths(g, []float64{1}, Options{Epsilon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pp.Path(0, 2); err == nil {
+		t.Error("unreachable pair accepted")
+	}
+	if _, err := pp.Path(-1, 0); err == nil {
+		t.Error("bad source accepted")
+	}
+}
+
+func TestPrivateShortestPathsValidation(t *testing.T) {
+	if _, err := PrivateShortestPaths(graph.New(3), nil, Options{Epsilon: 1}); err == nil {
+		t.Error("edgeless graph accepted")
+	}
+	g := graph.Path(3)
+	if _, err := PrivateShortestPaths(g, []float64{1}, Options{Epsilon: 1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := PrivateShortestPaths(g, []float64{1, 1}, Options{}); err == nil {
+		t.Error("bad options accepted")
+	}
+}
+
+func TestPrivateShortestPathsBounds(t *testing.T) {
+	g := graph.Grid(5)
+	pp, err := PrivateShortestPaths(g, graph.UniformWeights(g, 1), Options{Epsilon: 2, Gamma: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k5 := pp.ErrorBound(5)
+	want := 2 * 5 * (1.0 / 2) * math.Log(float64(g.M())/0.1)
+	if math.Abs(k5-want) > 1e-9 {
+		t.Errorf("ErrorBound(5) = %g, want %g", k5, want)
+	}
+	if pp.WorstCaseErrorBound() != pp.ErrorBound(g.N()) {
+		t.Error("worst-case bound inconsistent")
+	}
+}
+
+func TestPrivateShortestPathsDirected(t *testing.T) {
+	// Section 2: shortest path results also apply to directed graphs.
+	rng := rand.New(rand.NewSource(101))
+	g := graph.NewDirected(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	g.AddEdge(0, 4)
+	w := []float64{1, 1, 1, 1, 10}
+	pp, err := PrivateShortestPaths(g, w, Options{Epsilon: 1e9, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := pp.Path(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.ValidatePath(0, 4, path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pp.Path(4, 0); err == nil {
+		t.Error("reverse path exists in a forward-only DAG")
+	}
+}
+
+func TestPrivateShortestPathsTreeCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	g := graph.Grid(6)
+	pp, err := PrivateShortestPaths(g, graph.UniformWeights(g, 1), Options{Epsilon: 1, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := pp.Path(3, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := pp.Path(3, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1) != len(p2) {
+		t.Error("cached tree returned different path")
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Error("cached tree returned different path")
+		}
+	}
+}
+
+func BenchmarkPrivateShortestPathsGrid32(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.Grid(32)
+	w := graph.UniformRandomWeights(g, 0, 10, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pp, err := PrivateShortestPaths(g, w, Options{Epsilon: 1, Rand: rng})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := pp.Path(0, g.N()-1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

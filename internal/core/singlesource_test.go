@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestSingleSourceCompositionExactAtHugeEps(t *testing.T) {
+	rng := rand.New(rand.NewSource(116))
+	g := graph.ConnectedErdosRenyi(50, 0.15, rng)
+	w := graph.UniformRandomWeights(g, 0, 5, rng)
+	// Pure DP here: basic composition's noise scale (V-1)/eps vanishes at
+	// huge eps, whereas advanced composition's calibrated per-query eps
+	// saturates (the e^eps term) and keeps noise non-negligible.
+	rel, err := SingleSourceComposition(g, w, 3, Options{Epsilon: 1e9, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := graph.Dijkstra(g, w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 50; v++ {
+		if math.Abs(rel.Dist[v]-tree.Dist[v]) > 1e-3 {
+			t.Fatalf("vertex %d: %g vs %g", v, rel.Dist[v], tree.Dist[v])
+		}
+	}
+	if rel.Dist[3] != 0 {
+		t.Error("source distance nonzero")
+	}
+}
+
+func TestSingleSourceCompositionNoiseScales(t *testing.T) {
+	rng := rand.New(rand.NewSource(117))
+	g := graph.Grid(16) // V = 256
+	w := graph.UniformWeights(g, 1)
+	pure, err := SingleSourceComposition(g, w, 0, Options{Epsilon: 1, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pure.NoiseScale != 255 {
+		t.Errorf("pure noise scale = %g, want V-1 = 255", pure.NoiseScale)
+	}
+	approx, err := SingleSourceComposition(g, w, 0, Options{Epsilon: 1, Delta: 1e-6, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Advanced composition: ~sqrt(V) dependence, far below V.
+	if approx.NoiseScale >= pure.NoiseScale/2 {
+		t.Errorf("advanced noise scale %g not well below basic %g", approx.NoiseScale, pure.NoiseScale)
+	}
+}
+
+func TestSingleSourceCompositionErrorWithinBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(118))
+	g := graph.Grid(12)
+	w := graph.UniformRandomWeights(g, 0, 3, rng)
+	rel, err := SingleSourceComposition(g, w, 5, Options{Epsilon: 1, Delta: 1e-6, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := graph.Dijkstra(g, w, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := rel.ErrorBound(0.01)
+	for v := 0; v < g.N(); v++ {
+		if v == 5 {
+			continue
+		}
+		if e := math.Abs(rel.Dist[v] - tree.Dist[v]); e > bound {
+			t.Fatalf("vertex %d error %g > bound %g", v, e, bound)
+		}
+	}
+}
+
+func TestSingleSourceCompositionUnreachable(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	rel, err := SingleSourceComposition(g, []float64{1}, 0, Options{Epsilon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(rel.Dist[2], 1) {
+		t.Error("unreachable vertex not Inf")
+	}
+}
+
+func TestSingleSourceCompositionValidation(t *testing.T) {
+	g := graph.Path(3)
+	if _, err := SingleSourceComposition(g, []float64{1, 1}, 9, Options{Epsilon: 1}); err == nil {
+		t.Error("bad source accepted")
+	}
+	if _, err := SingleSourceComposition(g, []float64{1, 1}, 0, Options{}); err == nil {
+		t.Error("bad options accepted")
+	}
+}
+
+func TestPrivateMSTCostNearExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(119))
+	g := graph.Grid(8)
+	w := graph.UniformRandomWeights(g, 0, 10, rng)
+	_, exact, err := graph.MST(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := PrivateMSTCost(g, w, Options{Epsilon: 1e9, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-exact) > 1e-3 {
+		t.Errorf("huge-eps cost %g vs %g", got, exact)
+	}
+	// At eps=1, error should be small and V-independent — a handful of
+	// units regardless of graph size (fixed seed).
+	got, err = PrivateMSTCost(g, w, Options{Epsilon: 1, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-exact) > 15 {
+		t.Errorf("eps=1 cost error %g implausibly large", math.Abs(got-exact))
+	}
+}
+
+func TestPrivateMSTCostSensitivityIsScale(t *testing.T) {
+	// Perturbing weights by l1 distance t moves the exact MST cost by at
+	// most t — the sensitivity-1 claim behind the mechanism.
+	rng := rand.New(rand.NewSource(120))
+	for trial := 0; trial < 30; trial++ {
+		g := graph.ConnectedErdosRenyi(20, 0.3, rng)
+		w := graph.UniformRandomWeights(g, 0, 5, rng)
+		w2 := append([]float64(nil), w...)
+		// Spread an l1 budget of 1 across random edges.
+		budget := 1.0
+		for budget > 1e-9 {
+			i := rng.Intn(len(w2))
+			d := math.Min(budget, rng.Float64()*0.3)
+			if rng.Intn(2) == 0 {
+				w2[i] += d
+			} else {
+				w2[i] = math.Max(0, w2[i]-d)
+			}
+			budget -= d
+		}
+		_, c1, err := graph.MST(g, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, c2, err := graph.MST(g, w2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(c1-c2) > 1+1e-9 {
+			t.Fatalf("MST cost moved %g under l1-1 perturbation", math.Abs(c1-c2))
+		}
+	}
+}
+
+func TestPrivateMSTCostValidation(t *testing.T) {
+	disc := graph.New(3)
+	disc.AddEdge(0, 1)
+	if _, err := PrivateMSTCost(disc, []float64{1}, Options{Epsilon: 1}); err == nil {
+		t.Error("disconnected accepted")
+	}
+	if _, err := PrivateMSTCost(graph.Path(2), []float64{1}, Options{}); err == nil {
+		t.Error("bad options accepted")
+	}
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"repro/internal/dp"
+	"repro/internal/graph"
+)
+
+// TreeSSSP is the output of Algorithm 1: eps-DP estimates of the distance
+// from the root of a tree to every other vertex.
+type TreeSSSP struct {
+	Root int
+	// Dist[v] is the released estimate of d_w(Root, v).
+	Dist []float64
+	// NoiseScale is the Laplace scale of each released value,
+	// Scale * L / eps with L the recursion depth bound.
+	NoiseScale float64
+	// Levels is L = ceil(log2 V), the bound on recursion depth and hence
+	// on the total sensitivity of the released query vector.
+	Levels int
+	// Released counts the noisy values drawn (at most 2V).
+	Released int
+	// Params is the privacy guarantee (pure eps-DP).
+	Params dp.PrivacyParams
+}
+
+// ErrorBound returns the per-vertex additive error that holds with
+// probability 1-gamma: each estimate is a sum of at most 2L independent
+// Lap(L/eps) variables, so Lemma 3.1 gives O(log^1.5 V * log(1/gamma))/eps.
+func (t *TreeSSSP) ErrorBound(gamma float64) float64 {
+	return dp.SumTailBound(t.NoiseScale, 2*t.Levels, gamma)
+}
+
+// treeMech carries the recursion state of Algorithm 1.
+type treeMech struct {
+	lap dp.Laplace
+	rng *rand.Rand
+	out []float64 // released distances indexed by original vertex ID
+	rel int
+}
+
+// TreeSingleSource runs Algorithm 1 (Theorem 4.1) on the tree graph g
+// rooted at root: it recursively splits the tree at the splitter vertex
+// v* into subtrees of at most half the size, releasing a noisy distance
+// from the root to v* and a noisy weight for each edge from v* to its
+// children, then recursing into each part.
+//
+// Privacy: the recursion has at most L = ceil(log2 V) value-releasing
+// levels. Within one level the released values are functions of pairwise
+// edge-disjoint edge sets across vertex-disjoint subtrees, so the level's
+// query vector has l1 sensitivity Scale; the full query vector therefore
+// has sensitivity Scale * L, and adding Lap(Scale * L / eps) noise to
+// every coordinate is the Laplace mechanism at privacy eps (Lemma 3.2).
+//
+// Accuracy: every output distance is a sum of at most 2L released values
+// along a path in the query graph, so by Lemma 3.1 each estimate errs by
+// O(log^1.5 V * log(1/gamma) * Scale)/eps with probability 1-gamma.
+func TreeSingleSource(g *graph.Graph, w []float64, root int, opts Options) (*TreeSSSP, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	t, err := graph.NewTree(g, root)
+	if err != nil {
+		return nil, err
+	}
+	if len(w) != g.M() {
+		return nil, errors.New("core: TreeSingleSource weight vector length mismatch")
+	}
+	n := g.N()
+	levels := 1
+	if n > 1 {
+		levels = int(math.Ceil(math.Log2(float64(n))))
+	}
+	scale := o.Scale * float64(levels) / o.Epsilon
+	if err := o.charge("TreeSingleSource"); err != nil {
+		return nil, err
+	}
+	m := &treeMech{
+		lap: dp.NewLaplace(scale),
+		rng: o.Rand,
+		out: make([]float64, n),
+	}
+	m.solve(t, w, identity(n), 0)
+	return &TreeSSSP{
+		Root:       root,
+		Dist:       m.out,
+		NoiseScale: scale,
+		Levels:     levels,
+		Released:   m.rel,
+		Params:     dp.PrivacyParams{Epsilon: o.Epsilon},
+	}, nil
+}
+
+func identity(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// solve implements one node of the Algorithm 1 recursion on a materialized
+// subtree t with local weights w; vertOrig maps local vertex IDs to
+// original ones and base is the released distance estimate d(root(t), T)
+// in the original tree.
+func (m *treeMech) solve(t *graph.Tree, w []float64, vertOrig []int, base float64) {
+	m.out[vertOrig[t.Root]] = base
+	if t.N() == 1 {
+		return
+	}
+	vstar := t.Splitter()
+
+	// Step 4: release d(v*) = d(root, v*) + noise. (When v* is the root
+	// the exact distance is zero; the release still happens, matching the
+	// algorithm as stated, and costs nothing extra in sensitivity.)
+	dstar := base + t.TreeDistance(w, t.Root, vstar) + m.lap.Sample(m.rng)
+	m.rel++
+
+	// Step 6: for each child of v*, release d(child) = d(v*) + w(edge) + noise.
+	kids := t.Children(vstar)
+	childBase := make([]float64, len(kids))
+	inChildSubtree := make([]bool, t.N())
+	for i, h := range kids {
+		childBase[i] = dstar + w[h.Edge] + m.lap.Sample(m.rng)
+		m.rel++
+		for _, v := range t.SubtreeVertices(h.To) {
+			inChildSubtree[v] = true
+		}
+	}
+
+	// Step 7: recurse on T1..Tt (the child subtrees)...
+	for i, h := range kids {
+		keep := t.SubtreeVertices(h.To)
+		sub, subRoot, localOrig, edgeOrig := graph.ExtractSubtree(t, h.To, keep)
+		subTree, err := graph.NewTree(sub, subRoot)
+		if err != nil {
+			panic("core: internal error: child subtree is not a tree: " + err.Error())
+		}
+		subW := make([]float64, len(edgeOrig))
+		for j, eid := range edgeOrig {
+			subW[j] = w[eid]
+		}
+		orig := make([]int, len(localOrig))
+		for j, lv := range localOrig {
+			orig[j] = vertOrig[lv]
+		}
+		m.solve(subTree, subW, orig, childBase[i])
+	}
+
+	// ...and on T0 (everything outside the child subtrees, rooted at the
+	// current root; it contains v*, whose final estimate comes from this
+	// recursion, matching step 8 of the algorithm).
+	var keep0 []int
+	for v := 0; v < t.N(); v++ {
+		if !inChildSubtree[v] {
+			keep0 = append(keep0, v)
+		}
+	}
+	if len(keep0) > 1 {
+		sub, subRoot, localOrig, edgeOrig := graph.ExtractSubtree(t, t.Root, keep0)
+		subTree, err := graph.NewTree(sub, subRoot)
+		if err != nil {
+			panic("core: internal error: T0 is not a tree: " + err.Error())
+		}
+		subW := make([]float64, len(edgeOrig))
+		for j, eid := range edgeOrig {
+			subW[j] = w[eid]
+		}
+		orig := make([]int, len(localOrig))
+		for j, lv := range localOrig {
+			orig[j] = vertOrig[lv]
+		}
+		m.solve(subTree, subW, orig, base)
+	}
+}
+
+// TreeAPSD is the output of Theorem 4.2: eps-DP all-pairs distance
+// estimates on a tree, answered from a single-source release plus the
+// public LCA structure.
+type TreeAPSD struct {
+	SSSP *TreeSSSP
+	tree *graph.Tree
+	lca  *graph.LCA
+}
+
+// TreeAllPairs releases all-pairs tree distances (Theorem 4.2): run
+// Algorithm 1 from an arbitrary root, then answer d(x, y) as
+// d(r, x) + d(r, y) - 2 d(r, lca(x, y)), which is pure post-processing of
+// the single-source release. Per-pair error is four times the
+// single-source bound; a union bound over the V(V-1)/2 pairs gives
+// O(log^2.5 V * log(1/gamma) * Scale)/eps for the maximum error.
+func TreeAllPairs(g *graph.Graph, w []float64, opts Options) (*TreeAPSD, error) {
+	sssp, err := TreeSingleSource(g, w, 0, opts)
+	if err != nil {
+		return nil, err
+	}
+	t, err := graph.NewTree(g, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &TreeAPSD{SSSP: sssp, tree: t, lca: graph.NewLCA(t)}, nil
+}
+
+// Query returns the released estimate of the x-y tree distance.
+func (a *TreeAPSD) Query(x, y int) float64 {
+	if x == y {
+		return 0
+	}
+	z := a.lca.Find(x, y)
+	return a.SSSP.Dist[x] + a.SSSP.Dist[y] - 2*a.SSSP.Dist[z]
+}
+
+// Matrix materializes the full all-pairs estimate matrix.
+func (a *TreeAPSD) Matrix() [][]float64 {
+	n := len(a.SSSP.Dist)
+	d := make([][]float64, n)
+	for x := 0; x < n; x++ {
+		d[x] = make([]float64, n)
+		for y := 0; y < n; y++ {
+			if x != y {
+				d[x][y] = a.Query(x, y)
+			}
+		}
+	}
+	return d
+}
+
+// PerPairErrorBound returns the additive error bound holding for one
+// fixed pair with probability 1-gamma (four single-source estimates).
+func (a *TreeAPSD) PerPairErrorBound(gamma float64) float64 {
+	return 4 * a.SSSP.ErrorBound(gamma/3)
+}
+
+// AllPairsErrorBound returns the additive error bound holding for every
+// pair simultaneously with probability 1-gamma (union bound over pairs).
+func (a *TreeAPSD) AllPairsErrorBound(gamma float64) float64 {
+	n := len(a.SSSP.Dist)
+	pairs := n * (n - 1) / 2
+	if pairs == 0 {
+		pairs = 1
+	}
+	return a.PerPairErrorBound(gamma / float64(pairs))
+}

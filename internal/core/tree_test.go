@@ -1,0 +1,316 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func coreTestTrees(rng *rand.Rand) map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"P2":          graph.Path(2),
+		"P64":         graph.Path(64),
+		"star":        graph.Star(33),
+		"balanced":    graph.BalancedBinaryTree(127),
+		"caterpillar": graph.Caterpillar(9, 40),
+		"random":      graph.RandomTree(90, rng),
+		"prufer":      graph.RandomPruferTree(70, rng),
+	}
+}
+
+func TestTreeSingleSourceExactAtHugeEps(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for name, g := range coreTestTrees(rng) {
+		w := graph.UniformRandomWeights(g, 0.5, 4, rng)
+		sssp, err := TreeSingleSource(g, w, 0, Options{Epsilon: 1e9, Rand: rng})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		tr, err := graph.NewTree(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := tr.RootDistances(w)
+		for v := 0; v < g.N(); v++ {
+			if math.Abs(sssp.Dist[v]-exact[v]) > 1e-3 {
+				t.Fatalf("%s: vertex %d: %g vs %g", name, v, sssp.Dist[v], exact[v])
+			}
+		}
+	}
+}
+
+func TestTreeSingleSourceNonRootSource(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	g := graph.BalancedBinaryTree(63)
+	w := graph.UniformRandomWeights(g, 1, 2, rng)
+	root := 17
+	sssp, err := TreeSingleSource(g, w, root, Options{Epsilon: 1e9, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := graph.NewTree(g, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := tr.RootDistances(w)
+	for v := 0; v < 63; v++ {
+		if math.Abs(sssp.Dist[v]-exact[v]) > 1e-3 {
+			t.Fatalf("vertex %d: %g vs %g", v, sssp.Dist[v], exact[v])
+		}
+	}
+	if sssp.Root != root {
+		t.Error("root not recorded")
+	}
+}
+
+func TestTreeSingleSourceReleasedCount(t *testing.T) {
+	// The algorithm samples at most 2V Laplace values (paper's analysis).
+	rng := rand.New(rand.NewSource(74))
+	for name, g := range coreTestTrees(rng) {
+		w := graph.UniformRandomWeights(g, 1, 2, rng)
+		sssp, err := TreeSingleSource(g, w, 0, Options{Epsilon: 1, Rand: rng})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sssp.Released > 2*g.N() {
+			t.Errorf("%s: released %d > 2V = %d", name, sssp.Released, 2*g.N())
+		}
+	}
+}
+
+func TestTreeSingleSourceLevels(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	g := graph.Path(1024)
+	w := graph.UniformWeights(g, 1)
+	sssp, err := TreeSingleSource(g, w, 0, Options{Epsilon: 2, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sssp.Levels != 10 {
+		t.Errorf("levels = %d, want 10", sssp.Levels)
+	}
+	if math.Abs(sssp.NoiseScale-10.0/2) > 1e-12 {
+		t.Errorf("noise scale = %g, want 5", sssp.NoiseScale)
+	}
+}
+
+func TestTreeSingleSourceErrorWithinBound(t *testing.T) {
+	// Statistical: with fixed seeds, the max error over vertices stays
+	// within the union-bound version of the Theorem 4.1 bound.
+	rng := rand.New(rand.NewSource(76))
+	g := graph.BalancedBinaryTree(1023)
+	w := graph.UniformRandomWeights(g, 0, 10, rng)
+	for trial := 0; trial < 5; trial++ {
+		sssp, err := TreeSingleSource(g, w, 0, Options{Epsilon: 1, Rand: rng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := graph.NewTree(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := tr.RootDistances(w)
+		bound := sssp.ErrorBound(0.05 / float64(g.N()))
+		for v := 0; v < g.N(); v++ {
+			if math.Abs(sssp.Dist[v]-exact[v]) > bound {
+				t.Fatalf("trial %d vertex %d: error %g > bound %g",
+					trial, v, math.Abs(sssp.Dist[v]-exact[v]), bound)
+			}
+		}
+	}
+}
+
+func TestTreeSingleSourceSameSeedSensitivity(t *testing.T) {
+	// Same-seed audit: neighboring weight vectors produce outputs whose
+	// per-vertex difference is at most Scale * Levels (the query-vector
+	// l1 sensitivity bound), since the noise cancels exactly.
+	g := graph.RandomTree(200, rand.New(rand.NewSource(77)))
+	w := graph.UniformWeights(g, 3)
+	w2 := append([]float64(nil), w...)
+	w2[10] += 0.5
+	w2[50] -= 0.5
+	s1, err := TreeSingleSource(g, w, 0, Options{Epsilon: 1, Rand: rand.New(rand.NewSource(5))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := TreeSingleSource(g, w2, 0, Options{Epsilon: 1, Rand: rand.New(rand.NewSource(5))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDiff := 0.0
+	for v := range s1.Dist {
+		if d := math.Abs(s1.Dist[v] - s2.Dist[v]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > float64(s1.Levels)+1e-9 {
+		t.Errorf("same-seed output diff %g exceeds Levels %d", maxDiff, s1.Levels)
+	}
+}
+
+func TestTreeSingleSourceScaleLinearity(t *testing.T) {
+	// Same seed, two scales: the error must shrink exactly linearly.
+	g := graph.BalancedBinaryTree(255)
+	w := graph.UniformWeights(g, 2)
+	tr, _ := graph.NewTree(g, 0)
+	exact := tr.RootDistances(w)
+	s1, err := TreeSingleSource(g, w, 0, Options{Epsilon: 1, Scale: 1, Rand: rand.New(rand.NewSource(6))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := TreeSingleSource(g, w, 0, Options{Epsilon: 1, Scale: 0.01, Rand: rand.New(rand.NewSource(6))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range exact {
+		e1 := s1.Dist[v] - exact[v]
+		e2 := s2.Dist[v] - exact[v]
+		if math.Abs(e2-0.01*e1) > 1e-9*(1+math.Abs(e1)) {
+			t.Fatalf("vertex %d: scale linearity broken: %g vs %g", v, e1, e2)
+		}
+	}
+}
+
+func TestTreeSingleSourceRejectsNonTree(t *testing.T) {
+	if _, err := TreeSingleSource(graph.Cycle(5), graph.UniformWeights(graph.Cycle(5), 1), 0, Options{Epsilon: 1}); err == nil {
+		t.Error("cycle accepted")
+	}
+	if _, err := TreeSingleSource(graph.Path(3), []float64{1}, 0, Options{Epsilon: 1}); err == nil {
+		t.Error("short weights accepted")
+	}
+	if _, err := TreeSingleSource(graph.Path(3), []float64{1, 1}, 0, Options{}); err == nil {
+		t.Error("bad options accepted")
+	}
+}
+
+func TestTreeSingleSourceSingleton(t *testing.T) {
+	g := graph.Path(1)
+	sssp, err := TreeSingleSource(g, nil, 0, Options{Epsilon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sssp.Dist) != 1 || sssp.Dist[0] != 0 || sssp.Released != 0 {
+		t.Errorf("singleton: %+v", sssp)
+	}
+}
+
+func TestTreeAllPairsExactAtHugeEps(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	g := graph.RandomPruferTree(80, rng)
+	w := graph.UniformRandomWeights(g, 0.2, 5, rng)
+	apsd, err := TreeAllPairs(g, w, Options{Epsilon: 1e9, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := graph.NewTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		x, y := rng.Intn(80), rng.Intn(80)
+		exact := tr.TreeDistance(w, x, y)
+		if math.Abs(apsd.Query(x, y)-exact) > 1e-3 {
+			t.Fatalf("pair (%d,%d): %g vs %g", x, y, apsd.Query(x, y), exact)
+		}
+	}
+}
+
+func TestTreeAllPairsSelfDistanceZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	g := graph.BalancedBinaryTree(31)
+	apsd, err := TreeAllPairs(g, graph.UniformWeights(g, 1), Options{Epsilon: 1, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 31; v++ {
+		if apsd.Query(v, v) != 0 {
+			t.Fatal("self distance nonzero")
+		}
+	}
+}
+
+func TestTreeAllPairsSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	g := graph.RandomTree(50, rng)
+	apsd, err := TreeAllPairs(g, graph.UniformRandomWeights(g, 1, 2, rng), Options{Epsilon: 1, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 100; trial++ {
+		x, y := rng.Intn(50), rng.Intn(50)
+		if apsd.Query(x, y) != apsd.Query(y, x) {
+			t.Fatal("asymmetric")
+		}
+	}
+}
+
+func TestTreeAllPairsMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	g := graph.Path(20)
+	apsd, err := TreeAllPairs(g, graph.UniformWeights(g, 1), Options{Epsilon: 1, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := apsd.Matrix()
+	if len(m) != 20 {
+		t.Fatal("matrix dims")
+	}
+	for x := 0; x < 20; x++ {
+		for y := 0; y < 20; y++ {
+			if m[x][y] != apsd.Query(x, y) {
+				t.Fatal("matrix disagrees with Query")
+			}
+		}
+	}
+}
+
+func TestTreeAllPairsErrorWithinBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	g := graph.BalancedBinaryTree(511)
+	w := graph.UniformRandomWeights(g, 0, 10, rng)
+	apsd, err := TreeAllPairs(g, w, Options{Epsilon: 1, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := graph.NewTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := apsd.AllPairsErrorBound(0.05)
+	worst := 0.0
+	for x := 0; x < 511; x += 7 {
+		for y := 0; y < 511; y += 5 {
+			exact := tr.TreeDistance(w, x, y)
+			if e := math.Abs(apsd.Query(x, y) - exact); e > worst {
+				worst = e
+			}
+		}
+	}
+	if worst > bound {
+		t.Errorf("max error %g > all-pairs bound %g", worst, bound)
+	}
+	if apsd.PerPairErrorBound(0.05) >= bound {
+		t.Error("per-pair bound should be below all-pairs bound")
+	}
+}
+
+func TestTreeAllPairsBadInputs(t *testing.T) {
+	if _, err := TreeAllPairs(graph.Cycle(4), graph.UniformWeights(graph.Cycle(4), 1), Options{Epsilon: 1}); err == nil {
+		t.Error("cycle accepted")
+	}
+}
+
+func BenchmarkTreeSingleSource4095(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.BalancedBinaryTree(4095)
+	w := graph.UniformRandomWeights(g, 0, 10, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TreeSingleSource(g, w, 0, Options{Epsilon: 1, Rand: rng}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package dp
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Accountant tracks privacy budget spent by a sequence of mechanism
+// invocations under basic composition (Lemma 3.3). Mechanisms in this
+// repository record one Spend per Laplace-mechanism invocation, so the
+// accountant's total is a valid upper bound on the privacy loss of
+// everything released. It is safe for concurrent use.
+type Accountant struct {
+	mu     sync.Mutex
+	budget PrivacyParams
+	spent  PrivacyParams
+	log    []SpendRecord
+}
+
+// SpendRecord is one audited budget expenditure.
+type SpendRecord struct {
+	Label  string
+	Params PrivacyParams
+}
+
+// NewAccountant returns an accountant enforcing the given total budget.
+func NewAccountant(budget PrivacyParams) *Accountant {
+	return &Accountant{budget: budget}
+}
+
+// Spend records an (eps, delta) expenditure. It returns an error, and
+// records nothing, if the expenditure would exceed the budget.
+func (a *Accountant) Spend(label string, p PrivacyParams) error {
+	if p.Epsilon < 0 || p.Delta < 0 {
+		return fmt.Errorf("dp: negative privacy parameters %v", p)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	newEps := a.spent.Epsilon + p.Epsilon
+	newDelta := a.spent.Delta + p.Delta
+	if newEps > a.budget.Epsilon || newDelta > a.budget.Delta {
+		return fmt.Errorf("dp: budget exceeded: spending %v for %q on top of %v exceeds budget %v",
+			p, label, a.spent, a.budget)
+	}
+	a.spent = PrivacyParams{Epsilon: newEps, Delta: newDelta}
+	a.log = append(a.log, SpendRecord{Label: label, Params: p})
+	return nil
+}
+
+// Spent returns the total recorded expenditure.
+func (a *Accountant) Spent() PrivacyParams {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.spent
+}
+
+// Remaining returns the unspent budget.
+func (a *Accountant) Remaining() PrivacyParams {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return PrivacyParams{
+		Epsilon: a.budget.Epsilon - a.spent.Epsilon,
+		Delta:   a.budget.Delta - a.spent.Delta,
+	}
+}
+
+// Log returns a copy of the expenditure log.
+func (a *Accountant) Log() []SpendRecord {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]SpendRecord(nil), a.log...)
+}

@@ -1,0 +1,92 @@
+package dp
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAccountantSpendAndRemaining(t *testing.T) {
+	a := NewAccountant(PrivacyParams{Epsilon: 2, Delta: 1e-5})
+	if err := a.Spend("q1", PrivacyParams{Epsilon: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend("q2", PrivacyParams{Epsilon: 0.5, Delta: 5e-6}); err != nil {
+		t.Fatal(err)
+	}
+	spent := a.Spent()
+	if spent.Epsilon != 1.5 || spent.Delta != 5e-6 {
+		t.Errorf("spent = %v", spent)
+	}
+	rem := a.Remaining()
+	if rem.Epsilon != 0.5 || rem.Delta != 5e-6 {
+		t.Errorf("remaining = %v", rem)
+	}
+}
+
+func TestAccountantRejectsOverspend(t *testing.T) {
+	a := NewAccountant(PrivacyParams{Epsilon: 1})
+	if err := a.Spend("big", PrivacyParams{Epsilon: 1.5}); err == nil {
+		t.Fatal("overspend accepted")
+	}
+	// A failed spend must not be recorded.
+	if a.Spent().Epsilon != 0 {
+		t.Error("failed spend recorded")
+	}
+	if err := a.Spend("fits", PrivacyParams{Epsilon: 1}); err != nil {
+		t.Errorf("exact-budget spend rejected: %v", err)
+	}
+	if err := a.Spend("more", PrivacyParams{Epsilon: 0.01}); err == nil {
+		t.Error("spend past exhausted budget accepted")
+	}
+}
+
+func TestAccountantRejectsNegative(t *testing.T) {
+	a := NewAccountant(PrivacyParams{Epsilon: 1})
+	if err := a.Spend("neg", PrivacyParams{Epsilon: -1}); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+}
+
+func TestAccountantDeltaBudget(t *testing.T) {
+	a := NewAccountant(PrivacyParams{Epsilon: 10, Delta: 1e-6})
+	if err := a.Spend("d", PrivacyParams{Epsilon: 1, Delta: 1e-5}); err == nil {
+		t.Error("delta overspend accepted")
+	}
+}
+
+func TestAccountantLog(t *testing.T) {
+	a := NewAccountant(PrivacyParams{Epsilon: 5})
+	a.Spend("first", PrivacyParams{Epsilon: 1})
+	a.Spend("second", PrivacyParams{Epsilon: 2})
+	log := a.Log()
+	if len(log) != 2 || log[0].Label != "first" || log[1].Params.Epsilon != 2 {
+		t.Errorf("log = %v", log)
+	}
+	// The returned log is a copy.
+	log[0].Label = "mutated"
+	if a.Log()[0].Label != "first" {
+		t.Error("log not copied")
+	}
+}
+
+func TestAccountantConcurrent(t *testing.T) {
+	a := NewAccountant(PrivacyParams{Epsilon: 100})
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				a.Spend("c", PrivacyParams{Epsilon: 0.1})
+			}
+		}()
+	}
+	wg.Wait()
+	// 500 spends of 0.1 = 50 <= 100: all should have succeeded.
+	if got := a.Spent().Epsilon; got < 49.99 || got > 50.01 {
+		t.Errorf("concurrent spent = %g, want 50", got)
+	}
+	if len(a.Log()) != 500 {
+		t.Errorf("log entries = %d", len(a.Log()))
+	}
+}

@@ -1,0 +1,171 @@
+package dp
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPrivacyParamsValidAndString(t *testing.T) {
+	if !(PrivacyParams{Epsilon: 1}).Valid() {
+		t.Error("pure DP params invalid")
+	}
+	if (PrivacyParams{Epsilon: 0}).Valid() {
+		t.Error("eps=0 valid")
+	}
+	if (PrivacyParams{Epsilon: 1, Delta: 1}).Valid() {
+		t.Error("delta=1 valid")
+	}
+	if s := (PrivacyParams{Epsilon: 0.5}).String(); !strings.Contains(s, "0.5") || strings.Contains(s, ",") {
+		t.Errorf("pure string = %q", s)
+	}
+	if s := (PrivacyParams{Epsilon: 0.5, Delta: 1e-6}).String(); !strings.Contains(s, "1e-06") {
+		t.Errorf("approx string = %q", s)
+	}
+}
+
+func TestBasicComposition(t *testing.T) {
+	p := BasicComposition(PrivacyParams{Epsilon: 0.5, Delta: 1e-7}, 4)
+	if p.Epsilon != 2 || p.Delta != 4e-7 {
+		t.Errorf("basic composition = %v", p)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("k=0 accepted")
+		}
+	}()
+	BasicComposition(PrivacyParams{Epsilon: 1}, 0)
+}
+
+func TestAdvancedCompositionFormula(t *testing.T) {
+	// Check against the Lemma 3.4 formula directly.
+	eps, k, dp := 0.01, 100, 1e-6
+	got := AdvancedComposition(PrivacyParams{Epsilon: eps}, k, dp)
+	want := math.Sqrt(2*float64(k)*math.Log(1/dp))*eps + float64(k)*eps*(math.Exp(eps)-1)
+	if math.Abs(got.Epsilon-want) > 1e-12 {
+		t.Errorf("eps' = %g, want %g", got.Epsilon, want)
+	}
+	if got.Delta != dp {
+		t.Errorf("delta' = %g", got.Delta)
+	}
+}
+
+func TestAdvancedCompositionBeatsBasicForManyQueries(t *testing.T) {
+	p := PrivacyParams{Epsilon: 0.001}
+	k := 10000
+	adv := AdvancedComposition(p, k, 1e-6)
+	basic := BasicComposition(p, k)
+	if adv.Epsilon >= basic.Epsilon {
+		t.Errorf("advanced %g not better than basic %g", adv.Epsilon, basic.Epsilon)
+	}
+}
+
+func TestAdvancedCompositionMonotoneInK(t *testing.T) {
+	p := PrivacyParams{Epsilon: 0.01}
+	prev := 0.0
+	for _, k := range []int{1, 2, 10, 100, 1000} {
+		e := AdvancedComposition(p, k, 1e-6).Epsilon
+		if e <= prev {
+			t.Fatalf("not monotone at k=%d", k)
+		}
+		prev = e
+	}
+}
+
+func TestAdvancedCompositionValidation(t *testing.T) {
+	func() {
+		defer func() { _ = recover() }()
+		AdvancedComposition(PrivacyParams{Epsilon: 1}, 0, 0.1)
+		t.Error("k=0 accepted")
+	}()
+	func() {
+		defer func() { _ = recover() }()
+		AdvancedComposition(PrivacyParams{Epsilon: 1}, 1, 0)
+		t.Error("deltaPrime=0 accepted")
+	}()
+}
+
+func TestCalibrateAdvancedInverse(t *testing.T) {
+	// The calibrated per-query epsilon must compose back to within the
+	// target (and not be wastefully small: within 1% of tight).
+	target := PrivacyParams{Epsilon: 1, Delta: 1e-6}
+	for _, k := range []int{1, 2, 10, 1000, 100000} {
+		eps0 := CalibrateAdvanced(target, k)
+		if eps0 <= 0 {
+			t.Fatalf("k=%d: eps0 = %g", k, eps0)
+		}
+		if k == 1 {
+			if eps0 != target.Epsilon {
+				t.Errorf("k=1 should return target epsilon, got %g", eps0)
+			}
+			continue
+		}
+		total := AdvancedComposition(PrivacyParams{Epsilon: eps0}, k, target.Delta)
+		if total.Epsilon > target.Epsilon+1e-9 {
+			t.Errorf("k=%d: composition %g exceeds target %g", k, total.Epsilon, target.Epsilon)
+		}
+		slack := AdvancedComposition(PrivacyParams{Epsilon: eps0 * 1.01}, k, target.Delta)
+		if slack.Epsilon <= target.Epsilon {
+			t.Errorf("k=%d: calibration not tight", k)
+		}
+	}
+}
+
+func TestCalibrateAdvancedScaling(t *testing.T) {
+	// eps0 should scale like eps / sqrt(k ln 1/delta).
+	target := PrivacyParams{Epsilon: 1, Delta: 1e-6}
+	e100 := CalibrateAdvanced(target, 100)
+	e400 := CalibrateAdvanced(target, 400)
+	ratio := e100 / e400
+	if ratio < 1.8 || ratio > 2.3 {
+		t.Errorf("quadrupling k changed eps0 by factor %g, want ~2", ratio)
+	}
+}
+
+func TestBoostingErrorBound(t *testing.T) {
+	p := PrivacyParams{Epsilon: 1, Delta: 1e-6}
+	// Quadrupling the total weight doubles the bound (sqrt dependence).
+	b1 := BoostingErrorBound(100, 1000, p)
+	b4 := BoostingErrorBound(400, 1000, p)
+	if math.Abs(b4/b1-2) > 1e-9 {
+		t.Errorf("quadrupled w1 changed bound by %g, want 2", b4/b1)
+	}
+	// Doubling V changes it only logarithmically.
+	bV := BoostingErrorBound(100, 2000, p)
+	if bV/b1 > 1.2 {
+		t.Errorf("doubling V changed bound by %g, want log-ish", bV/b1)
+	}
+	// Invalid inputs yield NaN.
+	for _, bad := range []float64{
+		BoostingErrorBound(-1, 1000, p),
+		BoostingErrorBound(100, 1, p),
+		BoostingErrorBound(100, 1000, PrivacyParams{Epsilon: 1}),
+	} {
+		if !math.IsNaN(bad) {
+			t.Errorf("invalid input returned %g, want NaN", bad)
+		}
+	}
+}
+
+func TestNoiseScaleForKQueries(t *testing.T) {
+	pure := NoiseScaleForKQueries(PrivacyParams{Epsilon: 2}, 10)
+	if pure != 5 {
+		t.Errorf("pure scale = %g, want 5", pure)
+	}
+	approx := NoiseScaleForKQueries(PrivacyParams{Epsilon: 2, Delta: 1e-6}, 10000)
+	if approx >= pure*1000 || approx <= 0 {
+		t.Errorf("approx scale = %g out of plausible range", approx)
+	}
+	// Advanced composition should give much smaller noise than basic for
+	// large k: scale ~ sqrt(k) vs k.
+	basic := float64(10000) / 2
+	if approx >= basic {
+		t.Errorf("approx %g not better than basic %g", approx, basic)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("k=0 accepted")
+		}
+	}()
+	NoiseScaleForKQueries(PrivacyParams{Epsilon: 1}, 0)
+}

@@ -1,0 +1,215 @@
+package dp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestContinualCounterExactAtHugeEps(t *testing.T) {
+	rng := rand.New(rand.NewSource(110))
+	c, err := NewContinualCounter(100, 1e9, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := []float64{0}
+	for i := 0; i < 100; i++ {
+		x := rng.Float64() * 3
+		if err := c.Append(x); err != nil {
+			t.Fatal(err)
+		}
+		prefix = append(prefix, prefix[len(prefix)-1]+x)
+	}
+	for tt := 1; tt <= 100; tt++ {
+		got, err := c.Count(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-prefix[tt]) > 1e-3 {
+			t.Fatalf("Count(%d) = %g, want %g", tt, got, prefix[tt])
+		}
+	}
+}
+
+func TestContinualCounterOnline(t *testing.T) {
+	// Queries interleaved with appends must see consistent prefixes.
+	rng := rand.New(rand.NewSource(111))
+	c, err := NewContinualCounter(64, 1e9, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for i := 1; i <= 64; i++ {
+		if err := c.Append(1); err != nil {
+			t.Fatal(err)
+		}
+		sum++
+		got, err := c.Count(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-sum) > 1e-3 {
+			t.Fatalf("step %d: %g vs %g", i, got, sum)
+		}
+	}
+}
+
+func TestContinualCounterRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(112))
+	c, err := NewContinualCounter(32, 1e9, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]float64, 32)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		if err := c.Append(xs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for from := 0; from <= 32; from += 3 {
+		for to := from; to <= 32; to += 5 {
+			want := 0.0
+			for i := from; i < to; i++ {
+				want += xs[i]
+			}
+			got, err := c.Range(from, to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-3 {
+				t.Fatalf("Range(%d,%d) = %g, want %g", from, to, got, want)
+			}
+		}
+	}
+}
+
+func TestContinualCounterErrorWithinBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	horizon := 1024
+	c, err := NewContinualCounter(horizon, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := 0.0
+	prefix := make([]float64, horizon+1)
+	for i := 0; i < horizon; i++ {
+		x := rng.Float64()
+		if err := c.Append(x); err != nil {
+			t.Fatal(err)
+		}
+		exact += x
+		prefix[i+1] = exact
+	}
+	bound := c.ErrorBound(0.05 / float64(horizon))
+	for tt := 1; tt <= horizon; tt++ {
+		got, err := c.Count(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-prefix[tt]) > bound {
+			t.Fatalf("Count(%d) error %g > bound %g", tt, math.Abs(got-prefix[tt]), bound)
+		}
+	}
+}
+
+func TestContinualCounterHorizonAndValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(114))
+	if _, err := NewContinualCounter(0, 1, rng); err == nil {
+		t.Error("horizon 0 accepted")
+	}
+	if _, err := NewContinualCounter(4, 0, rng); err == nil {
+		t.Error("eps 0 accepted")
+	}
+	c, err := NewContinualCounter(2, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Count(1); err == nil {
+		t.Error("count before append accepted")
+	}
+	c.Append(1)
+	c.Append(1)
+	if err := c.Append(1); err == nil {
+		t.Error("append past horizon accepted")
+	}
+	if _, err := c.Count(3); err == nil {
+		t.Error("count past n accepted")
+	}
+	if _, err := c.Range(2, 1); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if got, err := c.Range(1, 1); err != nil || got != 0 {
+		t.Error("empty range not zero")
+	}
+}
+
+func TestContinualCounterLevels(t *testing.T) {
+	rng := rand.New(rand.NewSource(115))
+	c, err := NewContinualCounter(1024, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Levels() != 11 { // 1024 leaves -> 11 levels including root
+		t.Errorf("levels = %d, want 11", c.Levels())
+	}
+	c2, err := NewContinualCounter(1000, 2, rng) // rounds up to 1024
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Levels() != c.Levels() {
+		t.Error("horizon rounding changed levels")
+	}
+}
+
+func TestContinualCounterSameSeedSensitivity(t *testing.T) {
+	// Same-seed audit: two neighboring increment streams (one element
+	// differs by 1) give counts differing by at most 1 at each time, and
+	// the full released node vector differs by at most Levels in l1.
+	build := func(seed int64, bump float64) *ContinualCounter {
+		c, err := NewContinualCounter(64, 1, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 64; i++ {
+			x := 1.0
+			if i == 20 {
+				x += bump
+			}
+			if err := c.Append(x); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c
+	}
+	c1 := build(9, 0)
+	c2 := build(9, 1)
+	for tt := 1; tt <= 64; tt++ {
+		a, _ := c1.Count(tt)
+		b, _ := c2.Count(tt)
+		if math.Abs(a-b) > 1+1e-9 {
+			t.Fatalf("Count(%d) drifted by %g > 1", tt, math.Abs(a-b))
+		}
+	}
+}
+
+func TestContinualCounterStatisticalAccuracy(t *testing.T) {
+	// At eps=1, T=256, the final count of an all-ones stream should be
+	// near 256 (within the bound) across several seeds.
+	for seed := int64(0); seed < 5; seed++ {
+		c, err := NewContinualCounter(256, 1, rand.New(rand.NewSource(200+seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 256; i++ {
+			c.Append(1)
+		}
+		got, err := c.Count(256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-256) > c.ErrorBound(0.01) {
+			t.Errorf("seed %d: Count(256) = %g, error beyond bound %g", seed, got, c.ErrorBound(0.01))
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package dp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewLaplaceValidation(t *testing.T) {
+	for _, bad := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("scale %g accepted", bad)
+				}
+			}()
+			NewLaplace(bad)
+		}()
+	}
+	if l := NewLaplace(2); l.Scale != 2 {
+		t.Error("scale not stored")
+	}
+}
+
+func TestLaplaceSampleMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	l := NewLaplace(3)
+	n := 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := l.Sample(rng)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("sample mean %g, want ~0", mean)
+	}
+	if math.Abs(variance-l.Variance()) > 0.5 {
+		t.Errorf("sample variance %g, want ~%g", variance, l.Variance())
+	}
+}
+
+func TestLaplaceTailEmpirical(t *testing.T) {
+	// Pr[|Y| > t*b] = e^{-t}: check t = 1 and t = 2 empirically.
+	rng := rand.New(rand.NewSource(37))
+	l := NewLaplace(1.5)
+	n := 100000
+	over1, over2 := 0, 0
+	for i := 0; i < n; i++ {
+		x := math.Abs(l.Sample(rng))
+		if x > 1*l.Scale {
+			over1++
+		}
+		if x > 2*l.Scale {
+			over2++
+		}
+	}
+	p1 := float64(over1) / float64(n)
+	p2 := float64(over2) / float64(n)
+	if math.Abs(p1-math.Exp(-1)) > 0.01 {
+		t.Errorf("Pr[|Y|>b] = %g, want %g", p1, math.Exp(-1))
+	}
+	if math.Abs(p2-math.Exp(-2)) > 0.01 {
+		t.Errorf("Pr[|Y|>2b] = %g, want %g", p2, math.Exp(-2))
+	}
+}
+
+func TestLaplaceCDFQuantileInverse(t *testing.T) {
+	l := NewLaplace(2.5)
+	f := func(raw float64) bool {
+		p := math.Mod(math.Abs(raw), 1)
+		if p == 0 {
+			p = 0.3
+		}
+		x := l.Quantile(p)
+		return math.Abs(l.CDF(x)-p) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if l.CDF(0) != 0.5 {
+		t.Error("CDF(0) != 1/2")
+	}
+	if math.Abs(l.Quantile(0.5)) > 1e-12 {
+		t.Error("median != 0")
+	}
+}
+
+func TestLaplaceCDFMonotone(t *testing.T) {
+	l := NewLaplace(1)
+	prev := -1.0
+	for x := -10.0; x <= 10; x += 0.25 {
+		c := l.CDF(x)
+		if c < prev {
+			t.Fatalf("CDF not monotone at %g", x)
+		}
+		prev = c
+	}
+}
+
+func TestLaplacePDFIntegratesToOne(t *testing.T) {
+	l := NewLaplace(1.7)
+	sum := 0.0
+	dx := 0.001
+	for x := -40.0; x <= 40; x += dx {
+		sum += l.PDF(x) * dx
+	}
+	if math.Abs(sum-1) > 0.01 {
+		t.Errorf("PDF integral = %g", sum)
+	}
+}
+
+func TestQuantileValidation(t *testing.T) {
+	l := NewLaplace(1)
+	for _, bad := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Quantile(%g) accepted", bad)
+				}
+			}()
+			l.Quantile(bad)
+		}()
+	}
+}
+
+func TestTailBound(t *testing.T) {
+	l := NewLaplace(2)
+	if got := l.TailBound(math.Exp(-3)); math.Abs(got-6) > 1e-9 {
+		t.Errorf("TailBound = %g, want 6", got)
+	}
+	// Empirically: at most ~gamma of draws exceed the bound.
+	rng := rand.New(rand.NewSource(38))
+	gamma := 0.05
+	bound := l.TailBound(gamma)
+	n := 50000
+	over := 0
+	for i := 0; i < n; i++ {
+		if math.Abs(l.Sample(rng)) > bound {
+			over++
+		}
+	}
+	if rate := float64(over) / float64(n); rate > gamma*1.2 {
+		t.Errorf("tail rate %g exceeds gamma %g", rate, gamma)
+	}
+}
+
+func TestSampleN(t *testing.T) {
+	rng := rand.New(rand.NewSource(39))
+	xs := NewLaplace(1).SampleN(rng, 10)
+	if len(xs) != 10 {
+		t.Fatal("wrong length")
+	}
+}
+
+func TestSumTailBoundEmpirical(t *testing.T) {
+	// Lemma 3.1: sum of t Lap(b) draws is below 4b sqrt(t ln(2/gamma))
+	// with probability >= 1-gamma.
+	rng := rand.New(rand.NewSource(40))
+	b, tcount, gamma := 2.0, 30, 0.05
+	bound := SumTailBound(b, tcount, gamma)
+	l := NewLaplace(b)
+	trials := 20000
+	over := 0
+	for i := 0; i < trials; i++ {
+		sum := 0.0
+		for j := 0; j < tcount; j++ {
+			sum += l.Sample(rng)
+		}
+		if math.Abs(sum) > bound {
+			over++
+		}
+	}
+	if rate := float64(over) / float64(trials); rate > gamma {
+		t.Errorf("sum tail rate %g exceeds gamma %g", rate, gamma)
+	}
+}
+
+func TestSumTailBoundValidation(t *testing.T) {
+	if got := SumTailBound(1, 0, 0.5); got != 0 {
+		t.Errorf("t=0 bound = %g", got)
+	}
+	func() {
+		defer func() { recover() }()
+		SumTailBound(1, -1, 0.5)
+		t.Error("negative t accepted")
+	}()
+	func() {
+		defer func() { recover() }()
+		SumTailBound(1, 1, 0)
+		t.Error("gamma=0 accepted")
+	}()
+}
+
+func TestUnionTailBoundEmpirical(t *testing.T) {
+	// With probability 1-gamma, all m draws are below the bound.
+	rng := rand.New(rand.NewSource(41))
+	b, m, gamma := 1.0, 50, 0.1
+	bound := UnionTailBound(b, m, gamma)
+	l := NewLaplace(b)
+	trials := 5000
+	bad := 0
+	for i := 0; i < trials; i++ {
+		for j := 0; j < m; j++ {
+			if math.Abs(l.Sample(rng)) > bound {
+				bad++
+				break
+			}
+		}
+	}
+	if rate := float64(bad) / float64(trials); rate > gamma {
+		t.Errorf("union tail rate %g exceeds gamma %g", rate, gamma)
+	}
+}
+
+func TestUnionTailBoundValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("m=0 accepted")
+		}
+	}()
+	UnionTailBound(1, 0, 0.5)
+}
+
+func BenchmarkLaplaceSample(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLaplace(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Sample(rng)
+	}
+}

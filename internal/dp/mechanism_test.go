@@ -1,0 +1,165 @@
+package dp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func sumQuery() Query {
+	return Query{
+		Name:        "sum",
+		Sensitivity: 1,
+		Eval: func(w []float64) []float64 {
+			total := 0.0
+			for _, x := range w {
+				total += x
+			}
+			return []float64{total}
+		},
+	}
+}
+
+func TestLaplaceMechanismAddsCalibratedNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	q := sumQuery()
+	w := []float64{1, 2, 3}
+	eps := 0.5
+	n := 50000
+	var errSum, errSqSum float64
+	for i := 0; i < n; i++ {
+		out := LaplaceMechanism(q, eps, w, rng)
+		if len(out) != 1 {
+			t.Fatal("wrong output length")
+		}
+		e := out[0] - 6
+		errSum += e
+		errSqSum += e * e
+	}
+	mean := errSum / float64(n)
+	variance := errSqSum/float64(n) - mean*mean
+	wantVar := 2 * (q.Sensitivity / eps) * (q.Sensitivity / eps)
+	if math.Abs(mean) > 0.1 {
+		t.Errorf("noise mean %g", mean)
+	}
+	if math.Abs(variance-wantVar)/wantVar > 0.1 {
+		t.Errorf("noise variance %g, want ~%g", variance, wantVar)
+	}
+}
+
+func TestLaplaceMechanismValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	func() {
+		defer func() { _ = recover() }()
+		LaplaceMechanism(sumQuery(), 0, nil, rng)
+		t.Error("eps=0 accepted")
+	}()
+	func() {
+		defer func() { _ = recover() }()
+		q := sumQuery()
+		q.Sensitivity = 0
+		LaplaceMechanism(q, 1, nil, rng)
+		t.Error("sensitivity=0 accepted")
+	}()
+}
+
+func TestAddLaplaceShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	v := []float64{5, 5, 5, 5}
+	out := AddLaplace(v, 0.001, rng)
+	if len(out) != 4 {
+		t.Fatal("length changed")
+	}
+	for i, x := range out {
+		if math.Abs(x-5) > 0.1 {
+			t.Errorf("entry %d drifted to %g with tiny noise", i, x)
+		}
+		if x == 5 {
+			t.Errorf("entry %d got exactly zero noise", i)
+		}
+	}
+	if v[0] != 5 {
+		t.Error("input mutated")
+	}
+}
+
+func TestMeasuredSensitivityAuditsSumQuery(t *testing.T) {
+	// The sum query has sensitivity exactly 1 under l1-neighboring inputs.
+	rng := rand.New(rand.NewSource(45))
+	q := sumQuery()
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(10)
+		w := make([]float64, n)
+		w2 := make([]float64, n)
+		for i := range w {
+			w[i] = rng.Float64() * 10
+			w2[i] = w[i]
+		}
+		// Perturb with total l1 change exactly 1.
+		budget := 1.0
+		for budget > 1e-9 {
+			i := rng.Intn(n)
+			d := math.Min(budget, rng.Float64()*0.5)
+			if rng.Intn(2) == 0 {
+				w2[i] += d
+			} else {
+				w2[i] -= d
+			}
+			budget -= d
+		}
+		if got := MeasuredSensitivity(q, w, w2); got > q.Sensitivity+1e-9 {
+			t.Fatalf("measured sensitivity %g exceeds claimed %g", got, q.Sensitivity)
+		}
+	}
+}
+
+func TestMeasuredSensitivityLengthMismatchPanics(t *testing.T) {
+	q := Query{
+		Name:        "bad",
+		Sensitivity: 1,
+		Eval: func(w []float64) []float64 {
+			return make([]float64, len(w))
+		},
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch accepted")
+		}
+	}()
+	MeasuredSensitivity(q, []float64{1}, []float64{1, 2})
+}
+
+// Statistical DP check: for the Laplace mechanism on a sensitivity-1
+// query, the output density ratio between neighboring inputs is bounded
+// by e^eps. We verify on a discretized histogram.
+func TestLaplaceMechanismDPRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	q := sumQuery()
+	eps := 1.0
+	w1 := []float64{0}
+	w2 := []float64{1} // neighboring: l1 distance 1
+	n := 400000
+	bins := make(map[int][2]int)
+	for i := 0; i < n; i++ {
+		a := LaplaceMechanism(q, eps, w1, rng)[0]
+		b := LaplaceMechanism(q, eps, w2, rng)[0]
+		ka := int(math.Floor(a * 2)) // bins of width 0.5
+		kb := int(math.Floor(b * 2))
+		pa := bins[ka]
+		pa[0]++
+		bins[ka] = pa
+		pb := bins[kb]
+		pb[1]++
+		bins[kb] = pb
+	}
+	for bin, counts := range bins {
+		if counts[0] < 500 || counts[1] < 500 {
+			continue // skip noisy tails
+		}
+		ratio := float64(counts[0]) / float64(counts[1])
+		// Allow sampling slack: the true ratio is within e^eps.
+		if ratio > math.Exp(eps)*1.25 || ratio < math.Exp(-eps)/1.25 {
+			t.Errorf("bin %d: likelihood ratio %g violates e^eps = %g", bin, ratio, math.Exp(eps))
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package dp
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	mrand "math/rand"
+)
+
+// cryptoSource is a math/rand.Source64 backed by crypto/rand, so the
+// mechanisms' *rand.Rand plumbing (chosen for reproducible experiments)
+// can be driven by operating-system entropy in deployments. Reads are
+// buffered to amortize syscalls.
+type cryptoSource struct {
+	buf [512]byte
+	pos int
+}
+
+// NewCryptoRand returns a *math/rand.Rand whose underlying source draws
+// from crypto/rand. Seed and reproducibility are unavailable by design;
+// Seed panics. Not safe for concurrent use (same contract as rand.New).
+func NewCryptoRand() *mrand.Rand {
+	return mrand.New(&cryptoSource{pos: len(cryptoSource{}.buf)})
+}
+
+func (s *cryptoSource) refill() {
+	if _, err := rand.Read(s.buf[:]); err != nil {
+		panic(fmt.Sprintf("dp: crypto/rand read failed: %v", err))
+	}
+	s.pos = 0
+}
+
+func (s *cryptoSource) Uint64() uint64 {
+	if s.pos+8 > len(s.buf) {
+		s.refill()
+	}
+	v := binary.LittleEndian.Uint64(s.buf[s.pos:])
+	s.pos += 8
+	return v
+}
+
+func (s *cryptoSource) Int63() int64 {
+	return int64(s.Uint64() >> 1)
+}
+
+func (s *cryptoSource) Seed(int64) {
+	panic("dp: crypto-backed source cannot be seeded")
+}

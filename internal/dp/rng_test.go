@@ -1,0 +1,57 @@
+package dp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCryptoRandProducesValidSamples(t *testing.T) {
+	rng := NewCryptoRand()
+	l := NewLaplace(1)
+	n := 20000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		x := l.Sample(rng)
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Fatal("invalid sample")
+		}
+		sum += x
+	}
+	if mean := sum / float64(n); math.Abs(mean) > 0.1 {
+		t.Errorf("crypto-backed Laplace mean %g", mean)
+	}
+}
+
+func TestCryptoRandUniformity(t *testing.T) {
+	rng := NewCryptoRand()
+	buckets := make([]int, 10)
+	n := 100000
+	for i := 0; i < n; i++ {
+		buckets[int(rng.Float64()*10)]++
+	}
+	for b, count := range buckets {
+		expect := n / 10
+		if count < expect*8/10 || count > expect*12/10 {
+			t.Errorf("bucket %d has %d of %d", b, count, n)
+		}
+	}
+}
+
+func TestCryptoRandSeedPanics(t *testing.T) {
+	s := &cryptoSource{pos: len(cryptoSource{}.buf)}
+	defer func() {
+		if recover() == nil {
+			t.Error("Seed did not panic")
+		}
+	}()
+	s.Seed(42)
+}
+
+func TestCryptoSourceInt63NonNegative(t *testing.T) {
+	s := &cryptoSource{pos: len(cryptoSource{}.buf)}
+	for i := 0; i < 1000; i++ {
+		if s.Int63() < 0 {
+			t.Fatal("Int63 returned negative")
+		}
+	}
+}

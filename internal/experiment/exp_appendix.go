@@ -1,0 +1,143 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E10",
+		Title: "Private almost-minimum spanning tree: error vs V",
+		Ref:   "Theorem B.3",
+		Run:   runE10,
+	})
+	register(Experiment{
+		ID:    "E12",
+		Title: "Private low-weight perfect matching: error vs V",
+		Ref:   "Theorem B.6",
+		Run:   runE12,
+	})
+}
+
+// runE10 measures the excess true weight of the released spanning tree
+// over the optimum on ER graphs and grids, against the Theorem B.3 bound
+// 2(V-1)/eps * log(E/gamma).
+func runE10(cfg Config) (*Table, error) {
+	sizes := []int{256, 1024, 4096}
+	trials := 6
+	if cfg.Quick {
+		sizes = []int{256}
+		trials = 2
+	}
+	const eps, gamma = 1.0, 0.05
+	t := &Table{
+		ID:      "E10",
+		Title:   "Private almost-minimum spanning tree",
+		Ref:     "Theorem B.3",
+		Columns: []string{"graph", "V", "excess(mean)", "excess(max)", "bound", "optWeight(mean)"},
+	}
+	rng := rngFor(cfg, 10)
+	for _, wl := range boundedWorkloads {
+		var vs, errs []float64
+		for _, n := range sizes {
+			g := wl.gen(n, rng)
+			nn := g.N()
+			excess := &stats.Summary{}
+			opt := &stats.Summary{}
+			var bound float64
+			for trial := 0; trial < trials; trial++ {
+				w := graph.UniformRandomWeights(g, 0, 10, rng)
+				rel, err := core.PrivateMST(g, w, core.Options{Epsilon: eps, Gamma: gamma, Rand: rng})
+				if err != nil {
+					return nil, fmt.Errorf("E10 %s V=%d: %w", wl.name, nn, err)
+				}
+				_, optW, err := graph.MST(g, w)
+				if err != nil {
+					return nil, err
+				}
+				excess.Add(rel.TrueWeight(w) - optW)
+				opt.Add(optW)
+				bound = rel.ErrorBound(g, gamma)
+			}
+			t.AddRow(wl.name, inum(nn), fnum(excess.Mean()), fnum(excess.Max()), fnum(bound), fnum(opt.Mean()))
+			vs = append(vs, float64(nn))
+			errs = append(errs, excess.Mean())
+		}
+		if len(vs) >= 3 {
+			t.AddNote("%s: log-log slope of excess vs V = %.3f (bound slope 1.0)", wl.name, stats.LogLogSlope(vs, errs))
+		}
+	}
+	return t, nil
+}
+
+// matchingWorkloads are the graph families for E12: hourglass gadget
+// unions (the paper's hard instance shape, non-bipartite components of
+// size 4) and complete bipartite graphs.
+var matchingWorkloads = []struct {
+	name string
+	gen  func(n int, rng *rand.Rand) (*graph.Graph, []float64)
+}{
+	{"hourglass x n/4", func(n int, rng *rand.Rand) (*graph.Graph, []float64) {
+		hg := graph.NewHourglassGadget(n / 4)
+		return hg.G, graph.UniformRandomWeights(hg.G, 0, 10, rng)
+	}},
+	{"K_{n/2,n/2}", func(n int, rng *rand.Rand) (*graph.Graph, []float64) {
+		g := graph.CompleteBipartite(n/2, n/2)
+		return g, graph.UniformRandomWeights(g, 0, 10, rng)
+	}},
+}
+
+// runE12 measures the excess true weight of the released perfect matching
+// over the optimum, against the Theorem B.6 bound (V/eps) log(E/gamma).
+func runE12(cfg Config) (*Table, error) {
+	sizes := []int{64, 128, 256, 512}
+	trials := 6
+	if cfg.Quick {
+		sizes = []int{64}
+		trials = 2
+	}
+	const eps, gamma = 1.0, 0.05
+	t := &Table{
+		ID:      "E12",
+		Title:   "Private low-weight perfect matching",
+		Ref:     "Theorem B.6",
+		Columns: []string{"graph", "V", "excess(mean)", "excess(max)", "bound", "optWeight(mean)"},
+	}
+	rng := rngFor(cfg, 12)
+	for _, wl := range matchingWorkloads {
+		var vs, errs []float64
+		for _, n := range sizes {
+			excess := &stats.Summary{}
+			opt := &stats.Summary{}
+			var bound float64
+			var nn int
+			for trial := 0; trial < trials; trial++ {
+				g, w := wl.gen(n, rng)
+				nn = g.N()
+				rel, err := core.PrivateMatching(g, w, core.Options{Epsilon: eps, Gamma: gamma, Rand: rng})
+				if err != nil {
+					return nil, fmt.Errorf("E12 %s V=%d: %w", wl.name, nn, err)
+				}
+				_, optW, err := graph.MinWeightPerfectMatching(g, w)
+				if err != nil {
+					return nil, err
+				}
+				excess.Add(rel.TrueWeight(w) - optW)
+				opt.Add(optW)
+				bound = rel.ErrorBound(g, gamma)
+			}
+			t.AddRow(wl.name, inum(nn), fnum(excess.Mean()), fnum(excess.Max()), fnum(bound), fnum(opt.Mean()))
+			vs = append(vs, float64(nn))
+			errs = append(errs, excess.Mean())
+		}
+		if len(vs) >= 3 {
+			t.AddNote("%s: log-log slope of excess vs V = %.3f (bound slope 1.0)", wl.name, stats.LogLogSlope(vs, errs))
+		}
+	}
+	return t, nil
+}

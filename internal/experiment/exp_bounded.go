@@ -1,0 +1,278 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dp"
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E4",
+		Title: "Bounded-weight graphs, (eps,delta)-DP: error vs V and M",
+		Ref:   "Theorems 4.5 + 4.3 / Algorithm 2",
+		Run:   runE4,
+	})
+	register(Experiment{
+		ID:    "E5",
+		Title: "Bounded-weight graphs, pure eps-DP: error vs V and M",
+		Ref:   "Theorems 4.6 + 4.3",
+		Run:   runE5,
+	})
+	register(Experiment{
+		ID:    "E6",
+		Title: "Grid covering vs general covering",
+		Ref:   "Theorem 4.7",
+		Run:   runE6,
+	})
+}
+
+// boundedWorkloads are the graph families for E4/E5.
+var boundedWorkloads = []struct {
+	name string
+	gen  func(n int, rng *rand.Rand) *graph.Graph
+}{
+	{"er(avg deg 8)", func(n int, rng *rand.Rand) *graph.Graph {
+		return graph.ConnectedErdosRenyi(n, 8/float64(n), rng)
+	}},
+	{"grid", func(n int, _ *rand.Rand) *graph.Graph {
+		side := int(math.Round(math.Sqrt(float64(n))))
+		return graph.Grid(side)
+	}},
+}
+
+// runE4 measures Algorithm 2 under (eps, delta)-DP against the advanced-
+// composition baseline (noise ~ V/eps per query) and the sqrt(V*M/eps)
+// shape of Theorem 4.3.
+func runE4(cfg Config) (*Table, error) {
+	sizes := []int{256, 1024, 4096}
+	ms := []float64{1, 4, 16}
+	trials := 4
+	pairCount := 1000
+	if cfg.Quick {
+		sizes = []int{256}
+		ms = []float64{4}
+		trials = 2
+		pairCount = 200
+	}
+	const eps, delta, gamma = 1.0, 1e-6, 0.05
+	t := &Table{
+		ID:      "E4",
+		Title:   "Bounded-weight all-pairs distances, approximate DP",
+		Ref:     "Theorem 4.5 + 4.3",
+		Columns: []string{"graph", "V", "M", "k", "|Z|", "maxErr(mean)", "meanErr", "bound", "baselineNoise", "theory sqrt(VM/eps)", "[DRV10] bound"},
+	}
+	rng := rngFor(cfg, 4)
+	for _, wl := range boundedWorkloads {
+		for _, m := range ms {
+			var vs, errs []float64
+			for _, n := range sizes {
+				g := wl.gen(n, rng)
+				nn := g.N() // grid may round
+				maxErrs := &stats.Summary{}
+				meanErrs := &stats.Summary{}
+				var k, zsize int
+				var bound, totalWeight float64
+				for trial := 0; trial < trials; trial++ {
+					w := graph.UniformRandomWeights(g, 0, m, rng)
+					totalWeight = graph.TotalWeight(w)
+					rel, err := core.BoundedWeightAPSD(g, w, m, core.Options{Epsilon: eps, Delta: delta, Gamma: gamma, Rand: rng})
+					if err != nil {
+						return nil, fmt.Errorf("E4 %s V=%d M=%g: %w", wl.name, nn, m, err)
+					}
+					k, zsize = rel.K, len(rel.Z)
+					bound = rel.ErrorBound(gamma)
+					worst, sum := 0.0, 0.0
+					pairs := samplePairs(nn, pairCount, rng)
+					// Exact distances for sampled pairs, grouped by source.
+					bySource := map[int][]int{}
+					for _, p := range pairs {
+						bySource[p[0]] = append(bySource[p[0]], p[1])
+					}
+					count := 0
+					for s, ts := range bySource {
+						tree, err := graph.Dijkstra(g, w, s)
+						if err != nil {
+							return nil, err
+						}
+						for _, tt := range ts {
+							e := math.Abs(rel.Query(s, tt) - tree.Dist[tt])
+							if e > worst {
+								worst = e
+							}
+							sum += e
+							count++
+						}
+					}
+					maxErrs.Add(worst)
+					meanErrs.Add(sum / float64(count))
+				}
+				// Baseline: per-query noise under advanced composition over
+				// all V(V-1)/2 sensitivity-1 queries.
+				q := nn * (nn - 1) / 2
+				baseNoise := dp.NoiseScaleForKQueries(dp.PrivacyParams{Epsilon: eps, Delta: delta}, q)
+				theory := math.Sqrt(float64(nn) * m / eps)
+				drv10 := dp.BoostingErrorBound(totalWeight, nn, dp.PrivacyParams{Epsilon: eps, Delta: delta})
+				t.AddRow(wl.name, inum(nn), fnum(m), inum(k), inum(zsize),
+					fnum(maxErrs.Mean()), fnum(meanErrs.Mean()), fnum(bound), fnum(baseNoise), fnum(theory), fnum(drv10))
+				vs = append(vs, float64(nn))
+				errs = append(errs, maxErrs.Mean())
+			}
+			if len(vs) >= 3 {
+				t.AddNote("%s M=%g: log-log slope of maxErr vs V = %.3f (theory 0.5; baseline 1.0)",
+					wl.name, m, stats.LogLogSlope(vs, errs))
+			}
+		}
+	}
+	t.AddNote("baselineNoise is the per-query Laplace scale of the advanced-composition baseline (Section 4); its high-probability error exceeds it by a log factor")
+	t.AddNote("[DRV10] bound is the analytic error formula of the exponential-time boosting comparator (paper Section 1.3), which depends on the total weight ||w||_1 where all other columns do not")
+	return t, nil
+}
+
+// runE5 is the pure-DP analogue: error shape (V*M)^{2/3} / eps^{1/3}.
+func runE5(cfg Config) (*Table, error) {
+	sizes := []int{256, 1024, 4096}
+	ms := []float64{1, 4}
+	trials := 4
+	pairCount := 800
+	if cfg.Quick {
+		sizes = []int{256}
+		ms = []float64{1}
+		trials = 2
+		pairCount = 200
+	}
+	const eps, gamma = 1.0, 0.05
+	t := &Table{
+		ID:      "E5",
+		Title:   "Bounded-weight all-pairs distances, pure DP",
+		Ref:     "Theorem 4.6 + 4.3",
+		Columns: []string{"graph", "V", "M", "k", "|Z|", "maxErr(mean)", "bound", "theory (VM)^{2/3}/eps^{1/3}"},
+	}
+	rng := rngFor(cfg, 5)
+	for _, wl := range boundedWorkloads {
+		for _, m := range ms {
+			var vs, errs []float64
+			for _, n := range sizes {
+				g := wl.gen(n, rng)
+				nn := g.N()
+				maxErrs := &stats.Summary{}
+				var k, zsize int
+				var bound float64
+				for trial := 0; trial < trials; trial++ {
+					w := graph.UniformRandomWeights(g, 0, m, rng)
+					rel, err := core.BoundedWeightAPSD(g, w, m, core.Options{Epsilon: eps, Gamma: gamma, Rand: rng})
+					if err != nil {
+						return nil, fmt.Errorf("E5 %s V=%d M=%g: %w", wl.name, nn, m, err)
+					}
+					k, zsize = rel.K, len(rel.Z)
+					bound = rel.ErrorBound(gamma)
+					worst := 0.0
+					pairs := samplePairs(nn, pairCount, rng)
+					bySource := map[int][]int{}
+					for _, p := range pairs {
+						bySource[p[0]] = append(bySource[p[0]], p[1])
+					}
+					for s, ts := range bySource {
+						tree, err := graph.Dijkstra(g, w, s)
+						if err != nil {
+							return nil, err
+						}
+						for _, tt := range ts {
+							if e := math.Abs(rel.Query(s, tt) - tree.Dist[tt]); e > worst {
+								worst = e
+							}
+						}
+					}
+					maxErrs.Add(worst)
+				}
+				theory := math.Pow(float64(nn)*m, 2.0/3.0) / math.Cbrt(eps)
+				t.AddRow(wl.name, inum(nn), fnum(m), inum(k), inum(zsize), fnum(maxErrs.Mean()), fnum(bound), fnum(theory))
+				vs = append(vs, float64(nn))
+				errs = append(errs, maxErrs.Mean())
+			}
+			if len(vs) >= 3 {
+				t.AddNote("%s M=%g: log-log slope of maxErr vs V = %.3f (theory 2/3)", wl.name, m, stats.LogLogSlope(vs, errs))
+			}
+		}
+	}
+	return t, nil
+}
+
+// runE6 compares the Theorem 4.7 grid covering (|Z| ~ V^{1/3}) against
+// the general Lemma 4.4 covering at the same radius on square grids.
+func runE6(cfg Config) (*Table, error) {
+	sides := []int{16, 32, 64}
+	trials := 3
+	pairCount := 600
+	if cfg.Quick {
+		sides = []int{16}
+		trials = 2
+		pairCount = 150
+	}
+	const eps, delta, gamma, m = 1.0, 1e-6, 0.05, 1.0
+	t := &Table{
+		ID:      "E6",
+		Title:   "Grid covering (Thm 4.7) vs general covering (Lemma 4.4)",
+		Ref:     "Theorem 4.7",
+		Columns: []string{"V", "k", "|Z| grid", "|Z| general", "maxErr grid", "maxErr general", "theory V^{1/3}M"},
+	}
+	rng := rngFor(cfg, 6)
+	for _, side := range sides {
+		g := graph.Grid(side)
+		n := g.N()
+		s := int(math.Ceil(math.Cbrt(float64(n))))
+		zGrid := graph.GridCovering(side, s)
+		k := 2 * (s - 1)
+		if k < 1 {
+			k = 1
+		}
+		zGen, err := graph.Covering(g, k)
+		if err != nil {
+			return nil, err
+		}
+		gridMax := &stats.Summary{}
+		genMax := &stats.Summary{}
+		for trial := 0; trial < trials; trial++ {
+			w := graph.UniformRandomWeights(g, 0, m, rng)
+			relGrid, err := core.CoveringAPSD(g, w, zGrid, k, m, core.Options{Epsilon: eps, Delta: delta, Gamma: gamma, Rand: rng})
+			if err != nil {
+				return nil, fmt.Errorf("E6 side=%d grid covering: %w", side, err)
+			}
+			relGen, err := core.CoveringAPSD(g, w, zGen, k, m, core.Options{Epsilon: eps, Delta: delta, Gamma: gamma, Rand: rng})
+			if err != nil {
+				return nil, fmt.Errorf("E6 side=%d general covering: %w", side, err)
+			}
+			wg, wn := 0.0, 0.0
+			pairs := samplePairs(n, pairCount, rng)
+			bySource := map[int][]int{}
+			for _, p := range pairs {
+				bySource[p[0]] = append(bySource[p[0]], p[1])
+			}
+			for src, ts := range bySource {
+				tree, err := graph.Dijkstra(g, w, src)
+				if err != nil {
+					return nil, err
+				}
+				for _, tt := range ts {
+					if e := math.Abs(relGrid.Query(src, tt) - tree.Dist[tt]); e > wg {
+						wg = e
+					}
+					if e := math.Abs(relGen.Query(src, tt) - tree.Dist[tt]); e > wn {
+						wn = e
+					}
+				}
+			}
+			gridMax.Add(wg)
+			genMax.Add(wn)
+		}
+		theory := math.Cbrt(float64(n)) * m
+		t.AddRow(inum(n), inum(k), inum(len(zGrid)), inum(len(zGen)), fnum(gridMax.Mean()), fnum(genMax.Mean()), fnum(theory))
+	}
+	t.AddNote("the structured grid covering keeps |Z| near V^{1/3}, so its noise term stays near the Theorem 4.7 bound while the general covering pays |Z| ~ V/(k+1)")
+	return t, nil
+}

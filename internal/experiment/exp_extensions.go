@@ -1,0 +1,265 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dp"
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E16",
+		Title: "Covering ablation: Lemma 4.4 construction vs greedy",
+		Ref:   "Lemma 4.4 / Theorem 4.5 (design-choice ablation)",
+		Run:   runE16,
+	})
+	register(Experiment{
+		ID:    "E17",
+		Title: "Single-source distances: composition remark vs tree mechanism",
+		Ref:   "remark after Theorem 4.6 / Theorem 4.1",
+		Run:   runE17,
+	})
+	register(Experiment{
+		ID:    "E18",
+		Title: "Continual counter equals path-graph distances",
+		Ref:   "Appendix A / [DNPR10]",
+		Run:   runE18,
+	})
+}
+
+// runE16 ablates the covering construction inside Algorithm 2: the
+// Lemma 4.4 spanning-tree residue classes versus a greedy set-cover
+// heuristic, comparing covering sizes and resulting end-to-end error on
+// the same graphs. Smaller |Z| means less composition noise, so covering
+// quality translates directly into accuracy.
+func runE16(cfg Config) (*Table, error) {
+	sizes := []int{256, 1024}
+	ks := []int{4, 8, 16}
+	trials := 3
+	pairCount := 400
+	if cfg.Quick {
+		sizes = []int{256}
+		ks = []int{8}
+		trials = 2
+		pairCount = 100
+	}
+	const eps, delta, gamma, m = 1.0, 1e-6, 0.05, 1.0
+	t := &Table{
+		ID:      "E16",
+		Title:   "Covering construction ablation",
+		Ref:     "Lemma 4.4",
+		Columns: []string{"graph", "V", "k", "|Z| lemma", "|Z| greedy", "bound V/(k+1)", "maxErr lemma", "maxErr greedy"},
+	}
+	rng := rngFor(cfg, 16)
+	for _, wl := range boundedWorkloads {
+		for _, n := range sizes {
+			g := wl.gen(n, rng)
+			nn := g.N()
+			for _, k := range ks {
+				zLemma, err := graph.Covering(g, k)
+				if err != nil {
+					return nil, fmt.Errorf("E16 %s V=%d k=%d: %w", wl.name, nn, k, err)
+				}
+				zGreedy, err := graph.GreedyCovering(g, k)
+				if err != nil {
+					return nil, err
+				}
+				lemmaMax := &stats.Summary{}
+				greedyMax := &stats.Summary{}
+				for trial := 0; trial < trials; trial++ {
+					w := graph.UniformRandomWeights(g, 0, m, rng)
+					relL, err := core.CoveringAPSD(g, w, zLemma, k, m, core.Options{Epsilon: eps, Delta: delta, Gamma: gamma, Rand: rng})
+					if err != nil {
+						return nil, err
+					}
+					relG, err := core.CoveringAPSD(g, w, zGreedy, k, m, core.Options{Epsilon: eps, Delta: delta, Gamma: gamma, Rand: rng})
+					if err != nil {
+						return nil, err
+					}
+					wl2, wg := 0.0, 0.0
+					pairs := samplePairs(nn, pairCount, rng)
+					bySource := map[int][]int{}
+					for _, p := range pairs {
+						bySource[p[0]] = append(bySource[p[0]], p[1])
+					}
+					for s, ts := range bySource {
+						tree, err := graph.Dijkstra(g, w, s)
+						if err != nil {
+							return nil, err
+						}
+						for _, tt := range ts {
+							if e := math.Abs(relL.Query(s, tt) - tree.Dist[tt]); e > wl2 {
+								wl2 = e
+							}
+							if e := math.Abs(relG.Query(s, tt) - tree.Dist[tt]); e > wg {
+								wg = e
+							}
+						}
+					}
+					lemmaMax.Add(wl2)
+					greedyMax.Add(wg)
+				}
+				t.AddRow(wl.name, inum(nn), inum(k), inum(len(zLemma)), inum(len(zGreedy)),
+					inum(nn/(k+1)), fnum(lemmaMax.Mean()), fnum(greedyMax.Mean()))
+			}
+		}
+	}
+	t.AddNote("greedy coverings are often smaller than the Lemma 4.4 guarantee, cutting the Z^2-composition noise; the lemma's construction is what admits the worst-case bound")
+	return t, nil
+}
+
+// runE17 validates the remark after Theorem 4.6: releasing V-1
+// single-source distances directly under advanced composition has noise
+// ~sqrt(V)/eps, the same V-dependence as the all-pairs covering bound —
+// and on trees Algorithm 1 beats both exponentially.
+func runE17(cfg Config) (*Table, error) {
+	sizes := []int{256, 1024, 4096}
+	trials := 4
+	if cfg.Quick {
+		sizes = []int{256}
+		trials = 2
+	}
+	const eps, delta, gamma = 1.0, 1e-6, 0.05
+	t := &Table{
+		ID:      "E17",
+		Title:   "Single-source release strategies",
+		Ref:     "remark after Theorem 4.6",
+		Columns: []string{"V", "composition maxErr", "comp noise scale", "tree maxErr (on tree)", "theory sqrt(2V ln 1/d)/eps"},
+	}
+	rng := rngFor(cfg, 17)
+	var vs, errs []float64
+	for _, n := range sizes {
+		g := graph.ConnectedErdosRenyi(n, 8/float64(n), rng)
+		tree := graph.BalancedBinaryTree(n)
+		compMax := &stats.Summary{}
+		treeMax := &stats.Summary{}
+		var noiseScale float64
+		for trial := 0; trial < trials; trial++ {
+			w := graph.UniformRandomWeights(g, 0, 10, rng)
+			rel, err := core.SingleSourceComposition(g, w, 0, core.Options{Epsilon: eps, Delta: delta, Gamma: gamma, Rand: rng})
+			if err != nil {
+				return nil, fmt.Errorf("E17 V=%d: %w", n, err)
+			}
+			noiseScale = rel.NoiseScale
+			exact, err := graph.Dijkstra(g, w, 0)
+			if err != nil {
+				return nil, err
+			}
+			worst := 0.0
+			for v := 1; v < n; v++ {
+				if e := math.Abs(rel.Dist[v] - exact.Dist[v]); e > worst {
+					worst = e
+				}
+			}
+			compMax.Add(worst)
+
+			tw := graph.UniformRandomWeights(tree, 0, 10, rng)
+			sssp, err := core.TreeSingleSource(tree, tw, 0, core.Options{Epsilon: eps, Gamma: gamma, Rand: rng})
+			if err != nil {
+				return nil, err
+			}
+			tr, err := graph.NewTree(tree, 0)
+			if err != nil {
+				return nil, err
+			}
+			texact := tr.RootDistances(tw)
+			worst = 0
+			for v := 0; v < n; v++ {
+				if e := math.Abs(sssp.Dist[v] - texact[v]); e > worst {
+					worst = e
+				}
+			}
+			treeMax.Add(worst)
+		}
+		theory := math.Sqrt(2*float64(n)*math.Log(1/delta)) / eps
+		t.AddRow(inum(n), fnum(compMax.Mean()), fnum(noiseScale), fnum(treeMax.Mean()), fnum(theory))
+		vs = append(vs, float64(n))
+		errs = append(errs, compMax.Mean())
+	}
+	if len(vs) >= 3 {
+		t.AddNote("log-log slope of composition maxErr vs V = %.3f (theory 0.5); the tree mechanism's polylog column grows far slower but applies only to trees",
+			stats.LogLogSlope(vs, errs))
+	}
+	return t, nil
+}
+
+// runE18 demonstrates the Appendix A equivalence: the [DNPR10] continual
+// counter fed the path graph's edge weights answers distance queries with
+// the same guarantee as PathHierarchy, and the two mechanisms' measured
+// errors track each other.
+func runE18(cfg Config) (*Table, error) {
+	sizes := []int{128, 512, 2048, 8192}
+	trials := 6
+	pairCount := 800
+	if cfg.Quick {
+		sizes = []int{128}
+		trials = 2
+		pairCount = 150
+	}
+	const eps, gamma = 1.0, 0.05
+	t := &Table{
+		ID:      "E18",
+		Title:   "Continual counter vs path hierarchy",
+		Ref:     "Appendix A / [DNPR10]",
+		Columns: []string{"V", "counter maxErr", "hubs maxErr", "counter bound", "hub bound"},
+	}
+	rng := rngFor(cfg, 18)
+	for _, v := range sizes {
+		counterMax := &stats.Summary{}
+		hubMax := &stats.Summary{}
+		var cBound, hBound float64
+		for trial := 0; trial < trials; trial++ {
+			w := make([]float64, v-1)
+			for i := range w {
+				w[i] = rng.Float64() * 10
+			}
+			prefix := make([]float64, v)
+			for i, x := range w {
+				prefix[i+1] = prefix[i] + x
+			}
+			counter, err := dp.NewContinualCounter(v-1, eps, rng)
+			if err != nil {
+				return nil, err
+			}
+			for _, x := range w {
+				if err := counter.Append(x); err != nil {
+					return nil, err
+				}
+			}
+			hubs, err := core.PathHierarchy(w, 2, core.Options{Epsilon: eps, Gamma: gamma, Rand: rng})
+			if err != nil {
+				return nil, err
+			}
+			wc, wh := 0.0, 0.0
+			pairs := samplePairs(v, pairCount, rng)
+			for _, p := range pairs {
+				x, y := p[0], p[1]
+				if x > y {
+					x, y = y, x
+				}
+				exact := prefix[y] - prefix[x]
+				got, err := counter.Range(x, y)
+				if err != nil {
+					return nil, err
+				}
+				if e := math.Abs(got - exact); e > wc {
+					wc = e
+				}
+				if e := math.Abs(hubs.Query(x, y) - exact); e > wh {
+					wh = e
+				}
+			}
+			counterMax.Add(wc)
+			hubMax.Add(wh)
+			cBound = 2 * counter.ErrorBound(gamma/float64(pairCount)) // Range = difference of two counts
+			hBound = hubs.ErrorBound(gamma / float64(pairCount))
+		}
+		t.AddRow(inum(v), fnum(counterMax.Mean()), fnum(hubMax.Mean()), fnum(cBound), fnum(hBound))
+	}
+	t.AddNote("the two mechanisms are the same algorithm in different clothes (Appendix A); measured errors agree to small constants")
+	return t, nil
+}

@@ -1,0 +1,172 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "F1",
+		Title: "Figure 1: Algorithm 1 tree partition invariants",
+		Ref:   "Figure 1 / proof of Theorem 4.1",
+		Run:   runF1,
+	})
+	register(Experiment{
+		ID:    "F2",
+		Title: "Figure 2: shortest-path lower-bound gadget",
+		Ref:   "Figure 2 / Lemma 5.2",
+		Run:   runF2,
+	})
+	register(Experiment{
+		ID:    "F3",
+		Title: "Figure 3: MST and matching lower-bound gadgets",
+		Ref:   "Figure 3 / Lemmas B.2, B.5",
+		Run:   runF3,
+	})
+}
+
+// runF1 regenerates the Figure 1 construction on each tree shape: the
+// splitter vertex v*, the parts T0..Tt, and the two invariants the proof
+// needs — every part has at most ceil(V/2) vertices, and the parts
+// partition the vertex set.
+func runF1(cfg Config) (*Table, error) {
+	sizes := []int{15, 64, 255, 1024, 4095}
+	if cfg.Quick {
+		sizes = []int{15, 64}
+	}
+	t := &Table{
+		ID:      "F1",
+		Title:   "Algorithm 1 tree partition",
+		Ref:     "Figure 1",
+		Columns: []string{"shape", "V", "v*", "parts", "maxPart", "V/2 bound", "partition ok"},
+	}
+	rng := rngFor(cfg, 101)
+	for _, shape := range treeShapes {
+		for _, n := range sizes {
+			g := shape.gen(n, rng)
+			tr, err := graph.NewTree(g, 0)
+			if err != nil {
+				return nil, fmt.Errorf("F1 %s V=%d: %w", shape.name, n, err)
+			}
+			vstar := tr.Splitter()
+			kids := tr.Children(vstar)
+			covered := make([]bool, n)
+			maxPart := 0
+			parts := 1 + len(kids)
+			childCount := 0
+			for _, h := range kids {
+				sz := 0
+				for _, v := range tr.SubtreeVertices(h.To) {
+					covered[v] = true
+					sz++
+				}
+				childCount += sz
+				if sz > maxPart {
+					maxPart = sz
+				}
+			}
+			t0 := n - childCount
+			if t0 > maxPart {
+				maxPart = t0
+			}
+			// Partition check: T0 is everything uncovered; together with the
+			// child subtrees it must cover all n vertices exactly once.
+			uncovered := 0
+			for _, c := range covered {
+				if !c {
+					uncovered++
+				}
+			}
+			ok := uncovered == t0 && maxPart <= (n+1)/2
+			t.AddRow(shape.name, inum(n), inum(vstar), inum(parts), inum(maxPart), inum((n+1)/2), fmt.Sprintf("%v", ok))
+		}
+	}
+	return t, nil
+}
+
+// runF2 regenerates the Figure 2 gadget and verifies the reduction's
+// noise-free round trip: under w_x the shortest s-t path has weight 0 and
+// decoding it recovers x exactly.
+func runF2(cfg Config) (*Table, error) {
+	sizes := []int{8, 64, 256, 1024}
+	if cfg.Quick {
+		sizes = []int{8, 64}
+	}
+	t := &Table{
+		ID:      "F2",
+		Title:   "Shortest-path gadget round trip",
+		Ref:     "Figure 2",
+		Columns: []string{"n", "V", "E", "optWeight", "decode==x"},
+	}
+	rng := rngFor(cfg, 102)
+	for _, n := range sizes {
+		gadget := graph.NewPathGadget(n)
+		x := randomBits(n, rng)
+		w := gadget.Weights(x)
+		path, wt, ok, err := graph.ShortestPath(gadget.G, w, gadget.S, gadget.T)
+		if err != nil || !ok {
+			return nil, fmt.Errorf("F2 n=%d: shortest path failed: %v", n, err)
+		}
+		y := gadget.Decode(path)
+		t.AddRow(inum(n), inum(gadget.G.N()), inum(gadget.G.M()), fnum(wt), fmt.Sprintf("%v", bitsEqual(x, y)))
+	}
+	return t, nil
+}
+
+// runF3 regenerates both Figure 3 gadgets and verifies their noise-free
+// round trips: MST weight 0 with exact decode, and min matching weight 0
+// with exact decode.
+func runF3(cfg Config) (*Table, error) {
+	sizes := []int{8, 64, 256, 1024}
+	if cfg.Quick {
+		sizes = []int{8, 64}
+	}
+	t := &Table{
+		ID:      "F3",
+		Title:   "MST and matching gadget round trips",
+		Ref:     "Figure 3",
+		Columns: []string{"n", "mst optW", "mst decode==x", "match optW", "match decode==x"},
+	}
+	rng := rngFor(cfg, 103)
+	for _, n := range sizes {
+		mg := graph.NewMSTGadget(n)
+		x := randomBits(n, rng)
+		tree, tw, err := graph.MST(mg.G, mg.Weights(x))
+		if err != nil {
+			return nil, fmt.Errorf("F3 n=%d MST: %w", n, err)
+		}
+		mstOK := bitsEqual(x, mg.Decode(tree))
+
+		hg := graph.NewHourglassGadget(n)
+		x2 := randomBits(n, rng)
+		m, mw, err := graph.MinWeightPerfectMatching(hg.G, hg.Weights(x2))
+		if err != nil {
+			return nil, fmt.Errorf("F3 n=%d matching: %w", n, err)
+		}
+		matchOK := bitsEqual(x2, hg.Decode(m))
+		t.AddRow(inum(n), fnum(tw), fmt.Sprintf("%v", mstOK), fnum(mw), fmt.Sprintf("%v", matchOK))
+	}
+	return t, nil
+}
+
+func randomBits(n int, rng interface{ Intn(int) int }) []bool {
+	x := make([]bool, n)
+	for i := range x {
+		x[i] = rng.Intn(2) == 1
+	}
+	return x
+}
+
+func bitsEqual(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,264 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// runQuick runs one experiment in Quick mode and returns its table.
+func runQuick(t *testing.T, id string) *Table {
+	t.Helper()
+	e, ok := Get(id)
+	if !ok {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	tab, err := e.Run(Config{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatalf("%s produced no rows", id)
+	}
+	for i, row := range tab.Rows {
+		if len(row) != len(tab.Columns) {
+			t.Fatalf("%s row %d has %d cells for %d columns", id, i, len(row), len(tab.Columns))
+		}
+	}
+	return tab
+}
+
+// cell parses a numeric cell.
+func cell(t *testing.T, tab *Table, row int, col string) float64 {
+	t.Helper()
+	for ci, c := range tab.Columns {
+		if c == col {
+			v, err := strconv.ParseFloat(tab.Rows[row][ci], 64)
+			if err != nil {
+				t.Fatalf("%s[%d][%s] = %q not numeric", tab.ID, row, col, tab.Rows[row][ci])
+			}
+			return v
+		}
+	}
+	t.Fatalf("%s has no column %q", tab.ID, col)
+	return 0
+}
+
+func TestE1QuickWithinBound(t *testing.T) {
+	tab := runQuick(t, "E1")
+	for r := range tab.Rows {
+		if got, bound := cell(t, tab, r, "maxErr(mean)"), cell(t, tab, r, "bound(gamma=.05)"); got > bound {
+			t.Errorf("row %d: maxErr %g > bound %g", r, got, bound)
+		}
+	}
+}
+
+func TestE2QuickWithinBound(t *testing.T) {
+	tab := runQuick(t, "E2")
+	for r := range tab.Rows {
+		if got, bound := cell(t, tab, r, "maxErr(mean)"), cell(t, tab, r, "allPairsBound"); got > bound {
+			t.Errorf("row %d: maxErr %g > all-pairs bound %g", r, got, bound)
+		}
+	}
+}
+
+func TestE3QuickHubsBeatBoundAndTrackTree(t *testing.T) {
+	tab := runQuick(t, "E3")
+	for r := range tab.Rows {
+		if got, bound := cell(t, tab, r, "hubs maxErr"), cell(t, tab, r, "hub bound"); got > bound {
+			t.Errorf("row %d: hub err %g > bound %g", r, got, bound)
+		}
+	}
+}
+
+func TestE4QuickWithinBound(t *testing.T) {
+	tab := runQuick(t, "E4")
+	for r := range tab.Rows {
+		if got, bound := cell(t, tab, r, "maxErr(mean)"), cell(t, tab, r, "bound"); got > bound {
+			t.Errorf("row %d: err %g > bound %g", r, got, bound)
+		}
+	}
+}
+
+func TestE5QuickWithinBound(t *testing.T) {
+	tab := runQuick(t, "E5")
+	for r := range tab.Rows {
+		if got, bound := cell(t, tab, r, "maxErr(mean)"), cell(t, tab, r, "bound"); got > bound {
+			t.Errorf("row %d: err %g > bound %g", r, got, bound)
+		}
+	}
+}
+
+func TestE6QuickGridCoveringSmaller(t *testing.T) {
+	tab := runQuick(t, "E6")
+	for r := range tab.Rows {
+		zGrid := cell(t, tab, r, "|Z| grid")
+		zGen := cell(t, tab, r, "|Z| general")
+		if zGrid > zGen {
+			t.Errorf("row %d: structured covering %g larger than general %g", r, zGrid, zGen)
+		}
+	}
+}
+
+func TestE7QuickWithinBound(t *testing.T) {
+	tab := runQuick(t, "E7")
+	for r := range tab.Rows {
+		if got, bound := cell(t, tab, r, "excess(mean)"), cell(t, tab, r, "bound 2k log(E/g)/eps"); got > bound {
+			t.Errorf("row %d: excess %g > bound %g", r, got, bound)
+		}
+	}
+}
+
+func TestE8QuickWithinBound(t *testing.T) {
+	tab := runQuick(t, "E8")
+	for r := range tab.Rows {
+		if got, bound := cell(t, tab, r, "maxExcess(mean)"), cell(t, tab, r, "bound (2V/eps)log(E/g)"); got > bound {
+			t.Errorf("row %d: excess %g > bound %g", r, got, bound)
+		}
+	}
+}
+
+func TestE9QuickLemmaHolds(t *testing.T) {
+	tab := runQuick(t, "E9")
+	for ci, c := range tab.Columns {
+		if c == "hamming<=pathErr" {
+			for r, row := range tab.Rows {
+				if row[ci] != "true" {
+					t.Errorf("row %d: Lemma 5.2 inequality violated", r)
+				}
+			}
+		}
+	}
+}
+
+func TestE10QuickWithinBound(t *testing.T) {
+	tab := runQuick(t, "E10")
+	for r := range tab.Rows {
+		if got, bound := cell(t, tab, r, "excess(max)"), cell(t, tab, r, "bound"); got > bound {
+			t.Errorf("row %d: excess %g > bound %g", r, got, bound)
+		}
+	}
+}
+
+func TestE11QuickLemmaHolds(t *testing.T) {
+	tab := runQuick(t, "E11")
+	for ci, c := range tab.Columns {
+		if c == "hamming<=treeErr" {
+			for r, row := range tab.Rows {
+				if row[ci] != "true" {
+					t.Errorf("row %d: Lemma B.2 inequality violated", r)
+				}
+			}
+		}
+	}
+}
+
+func TestE12QuickWithinBound(t *testing.T) {
+	tab := runQuick(t, "E12")
+	for r := range tab.Rows {
+		if got, bound := cell(t, tab, r, "excess(max)"), cell(t, tab, r, "bound"); got > bound {
+			t.Errorf("row %d: excess %g > bound %g", r, got, bound)
+		}
+	}
+}
+
+func TestE13QuickLemmaHolds(t *testing.T) {
+	tab := runQuick(t, "E13")
+	for ci, c := range tab.Columns {
+		if c == "hamming<=matchErr" {
+			for r, row := range tab.Rows {
+				if row[ci] != "true" {
+					t.Errorf("row %d: Lemma B.5 inequality violated", r)
+				}
+			}
+		}
+	}
+}
+
+func TestE14QuickStretchReasonable(t *testing.T) {
+	tab := runQuick(t, "E14")
+	for r := range tab.Rows {
+		med := cell(t, tab, r, "stretch(median)")
+		if med < 1-1e-9 {
+			t.Errorf("row %d: median stretch %g below 1 (released route beats optimum?)", r, med)
+		}
+		eps := cell(t, tab, r, "eps")
+		if eps >= 8 && med > 1.5 {
+			t.Errorf("row %d: weak privacy should give near-optimal routes, stretch %g", r, med)
+		}
+	}
+}
+
+func TestE15QuickScalingLinear(t *testing.T) {
+	tab := runQuick(t, "E15")
+	// err/s should be roughly constant across rows (within a factor 4;
+	// noise makes exact equality impossible).
+	var ratios []float64
+	for r := range tab.Rows {
+		ratios = append(ratios, cell(t, tab, r, "maxErr/s"))
+	}
+	for _, x := range ratios {
+		if x < ratios[0]/4 || x > ratios[0]*4 {
+			t.Errorf("err/s ratios not stable: %v", ratios)
+			break
+		}
+	}
+}
+
+func TestE16QuickGreedyNoWorseThanBound(t *testing.T) {
+	tab := runQuick(t, "E16")
+	for r := range tab.Rows {
+		zl := cell(t, tab, r, "|Z| lemma")
+		bound := cell(t, tab, r, "bound V/(k+1)")
+		if zl > bound {
+			t.Errorf("row %d: Lemma 4.4 covering size %g exceeds its guarantee %g", r, zl, bound)
+		}
+	}
+}
+
+func TestE17QuickTreeBeatsComposition(t *testing.T) {
+	tab := runQuick(t, "E17")
+	for r := range tab.Rows {
+		comp := cell(t, tab, r, "composition maxErr")
+		tree := cell(t, tab, r, "tree maxErr (on tree)")
+		if tree >= comp {
+			t.Errorf("row %d: tree mechanism error %g not below composition %g", r, tree, comp)
+		}
+	}
+}
+
+func TestE18QuickMechanismsAgree(t *testing.T) {
+	tab := runQuick(t, "E18")
+	for r := range tab.Rows {
+		counter := cell(t, tab, r, "counter maxErr")
+		hubs := cell(t, tab, r, "hubs maxErr")
+		if counter > 5*hubs || hubs > 5*counter {
+			t.Errorf("row %d: equivalent mechanisms diverge: %g vs %g", r, counter, hubs)
+		}
+	}
+}
+
+func TestF1QuickInvariantsHold(t *testing.T) {
+	tab := runQuick(t, "F1")
+	for ci, c := range tab.Columns {
+		if c == "partition ok" {
+			for r, row := range tab.Rows {
+				if row[ci] != "true" {
+					t.Errorf("row %d: partition invariant fails", r)
+				}
+			}
+		}
+	}
+}
+
+func TestF2F3QuickRoundTrips(t *testing.T) {
+	for _, id := range []string{"F2", "F3"} {
+		tab := runQuick(t, id)
+		for r, row := range tab.Rows {
+			joined := strings.Join(row, " ")
+			if strings.Contains(joined, "false") {
+				t.Errorf("%s row %d: round trip failed: %v", id, r, row)
+			}
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAddRowValidation(t *testing.T) {
+	tab := &Table{ID: "T", Columns: []string{"a", "b"}}
+	tab.AddRow("1", "2")
+	defer func() {
+		if recover() == nil {
+			t.Error("short row accepted")
+		}
+	}()
+	tab.AddRow("1")
+}
+
+func TestTableRenderFormats(t *testing.T) {
+	tab := &Table{
+		ID:      "T1",
+		Title:   "demo",
+		Ref:     "Theorem 0",
+		Columns: []string{"x", "value"},
+	}
+	tab.AddRow("1", "10")
+	tab.AddRow("2", "20")
+	tab.AddNote("a note with %d", 42)
+
+	var text, md, csv strings.Builder
+	if err := tab.Render(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "T1") || !strings.Contains(text.String(), "note: a note with 42") {
+		t.Errorf("text render:\n%s", text.String())
+	}
+	if err := tab.RenderMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "| x | value |") || !strings.Contains(md.String(), "> a note with 42") {
+		t.Errorf("markdown render:\n%s", md.String())
+	}
+	if err := tab.RenderCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "x,value\n1,10\n") {
+		t.Errorf("csv render:\n%s", csv.String())
+	}
+}
+
+func TestRegistryContainsAllExperiments(t *testing.T) {
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "F1", "F2", "F3"}
+	for _, id := range want {
+		if _, ok := Get(id); !ok {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	// Sorted: E1 before E2 before E10, and E* before F*.
+	index := map[string]int{}
+	for i, e := range all {
+		index[e.ID] = i
+	}
+	if !(index["E1"] < index["E2"] && index["E2"] < index["E10"] && index["E15"] < index["F1"]) {
+		t.Errorf("ordering wrong: %v", index)
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, ok := Get("E999"); ok {
+		t.Error("unknown ID found")
+	}
+}
+
+func TestFnum(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		1234:   "1234",
+		12.345: "12.3",
+		0.5:    "0.500",
+	}
+	for in, want := range cases {
+		if got := fnum(in); got != want {
+			t.Errorf("fnum(%g) = %q, want %q", in, got, want)
+		}
+	}
+	if inum(42) != "42" {
+		t.Error("inum")
+	}
+}
+
+func TestSamplePairsDistinct(t *testing.T) {
+	rng := rngFor(Config{Seed: 1}, 0)
+	pairs := samplePairs(10, 50, rng)
+	if len(pairs) != 50 {
+		t.Fatal("wrong count")
+	}
+	for _, p := range pairs {
+		if p[0] == p[1] || p[0] < 0 || p[0] >= 10 || p[1] < 0 || p[1] >= 10 {
+			t.Fatalf("bad pair %v", p)
+		}
+	}
+	if samplePairs(1, 5, rng) != nil {
+		t.Error("n=1 should return nil")
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	// Same seed, same table.
+	e, _ := Get("F2")
+	t1, err := e.Run(Config{Seed: 7, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := e.Run(Config{Seed: 7, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1.Rows) != len(t2.Rows) {
+		t.Fatal("row counts differ")
+	}
+	for i := range t1.Rows {
+		for j := range t1.Rows[i] {
+			if t1.Rows[i][j] != t2.Rows[i][j] {
+				t.Fatalf("row %d col %d differs: %q vs %q", i, j, t1.Rows[i][j], t2.Rows[i][j])
+			}
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package graph
+
+// HopDistances returns the unweighted (hop) distance from source to every
+// vertex via breadth-first search, with -1 marking unreachable vertices.
+func HopDistances(g *Graph, source int) []int {
+	n := g.N()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[source] = 0
+	queue := make([]int, 0, n)
+	queue = append(queue, source)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, h := range g.Adj(v) {
+			if dist[h.To] == -1 {
+				dist[h.To] = dist[v] + 1
+				queue = append(queue, h.To)
+			}
+		}
+	}
+	return dist
+}
+
+// HopDistance returns the hop distance between s and t, or -1 if t is
+// unreachable from s.
+func HopDistance(g *Graph, s, t int) int {
+	return HopDistances(g, s)[t]
+}
+
+// BFSTree computes a breadth-first spanning tree from source. It returns
+// hop distances, the BFS parent of each vertex (-1 for the source and
+// unreachable vertices), and the edge ID used to reach each vertex.
+func BFSTree(g *Graph, source int) (dist, parent, viaEdge []int) {
+	n := g.N()
+	dist = make([]int, n)
+	parent = make([]int, n)
+	viaEdge = make([]int, n)
+	for i := 0; i < n; i++ {
+		dist[i] = -1
+		parent[i] = -1
+		viaEdge[i] = -1
+	}
+	dist[source] = 0
+	queue := []int{source}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, h := range g.Adj(v) {
+			if dist[h.To] == -1 {
+				dist[h.To] = dist[v] + 1
+				parent[h.To] = v
+				viaEdge[h.To] = h.Edge
+				queue = append(queue, h.To)
+			}
+		}
+	}
+	return dist, parent, viaEdge
+}
+
+// Eccentricity returns the maximum finite hop distance from v and the
+// vertex realizing it. For a disconnected graph, unreachable vertices are
+// ignored.
+func Eccentricity(g *Graph, v int) (ecc, farthest int) {
+	dist := HopDistances(g, v)
+	ecc, farthest = 0, v
+	for u, d := range dist {
+		if d > ecc {
+			ecc, farthest = d, u
+		}
+	}
+	return ecc, farthest
+}
+
+// HopDiameterEndpoint returns a vertex that is an endpoint of a longest
+// shortest hop path of the connected graph g, found by the standard
+// double-BFS sweep. On trees this is exact (an endpoint of a longest path,
+// as required by the k-covering construction of Lemma 4.4); on general
+// graphs it is the usual 2-approximation heuristic, which suffices since
+// the covering construction operates on a spanning tree.
+func HopDiameterEndpoint(g *Graph) int {
+	if g.N() == 0 {
+		return -1
+	}
+	_, far := Eccentricity(g, 0)
+	_, far2 := Eccentricity(g, far)
+	_ = far2
+	return far
+}

@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHopDistancesPath(t *testing.T) {
+	g := Path(5)
+	d := HopDistances(g, 2)
+	want := []int{2, 1, 0, 1, 2}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("HopDistances = %v", d)
+		}
+	}
+}
+
+func TestHopDistancesUnreachable(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	d := HopDistances(g, 0)
+	if d[2] != -1 {
+		t.Errorf("unreachable hop = %d", d[2])
+	}
+	if HopDistance(g, 0, 2) != -1 {
+		t.Error("HopDistance != -1")
+	}
+}
+
+func TestHopDistanceIgnoresWeights(t *testing.T) {
+	// Hop distance is topology-only; parallel edges don't matter.
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if HopDistance(g, 0, 2) != 2 {
+		t.Error("hop distance wrong on multigraph")
+	}
+}
+
+func TestBFSTree(t *testing.T) {
+	g := Grid(3)
+	dist, parent, via := BFSTree(g, 0)
+	if dist[8] != 4 {
+		t.Errorf("corner-to-corner hops = %d", dist[8])
+	}
+	// Follow parents from 8 back to 0, counting steps.
+	steps := 0
+	for v := 8; v != 0; v = parent[v] {
+		e := g.Edge(via[v])
+		if e.From != v && e.To != v {
+			t.Fatal("via edge not incident")
+		}
+		steps++
+		if steps > 10 {
+			t.Fatal("parent chain does not reach source")
+		}
+	}
+	if steps != 4 {
+		t.Errorf("parent chain length %d", steps)
+	}
+}
+
+func TestEccentricity(t *testing.T) {
+	g := Path(7)
+	ecc, far := Eccentricity(g, 0)
+	if ecc != 6 || far != 6 {
+		t.Errorf("ecc=%d far=%d", ecc, far)
+	}
+	ecc, _ = Eccentricity(g, 3)
+	if ecc != 3 {
+		t.Errorf("center ecc=%d", ecc)
+	}
+}
+
+func TestHopDiameterEndpointOnTrees(t *testing.T) {
+	// On a tree, the returned vertex must be an endpoint of a longest
+	// path: its eccentricity equals the diameter.
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(60)
+		g := RandomPruferTree(n, rng)
+		x := HopDiameterEndpoint(g)
+		eccX, _ := Eccentricity(g, x)
+		// Diameter: max over all vertices of eccentricity.
+		diam := 0
+		for v := 0; v < n; v++ {
+			if e, _ := Eccentricity(g, v); e > diam {
+				diam = e
+			}
+		}
+		if eccX != diam {
+			t.Fatalf("n=%d: endpoint ecc %d != diameter %d", n, eccX, diam)
+		}
+	}
+}
+
+func TestHopDiameterEndpointEmpty(t *testing.T) {
+	if HopDiameterEndpoint(New(0)) != -1 {
+		t.Error("empty graph should return -1")
+	}
+	if HopDiameterEndpoint(New(1)) != 0 {
+		t.Error("singleton should return 0")
+	}
+}

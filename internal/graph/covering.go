@@ -1,0 +1,263 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// A k-covering (Definition 4.1, after Meir and Moon [MM75]) is a subset Z
+// of the vertices such that every vertex is within hop distance k of some
+// vertex of Z. Lemma 4.4 guarantees a k-covering of size at most
+// floor(V/(k+1)) whenever V >= k+1; Algorithm 2 (bounded-weight all-pairs
+// distances) releases noisy distances only between covering vertices.
+
+// VerifyCovering reports whether Z is a k-covering of g: every vertex of g
+// is within hop distance k of some vertex in Z. It runs one multi-source
+// BFS, O(V + E).
+func VerifyCovering(g *Graph, Z []int, k int) bool {
+	if g.N() == 0 {
+		return true
+	}
+	if len(Z) == 0 {
+		return false
+	}
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]int, 0, g.N())
+	for _, z := range Z {
+		if z < 0 || z >= g.N() {
+			return false
+		}
+		if dist[z] == -1 {
+			dist[z] = 0
+			queue = append(queue, z)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if dist[v] >= k {
+			continue
+		}
+		for _, h := range g.Adj(v) {
+			if dist[h.To] == -1 {
+				dist[h.To] = dist[v] + 1
+				queue = append(queue, h.To)
+			}
+		}
+	}
+	for _, d := range dist {
+		if d == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// NearestCoveringVertex assigns to every vertex v a vertex z(v) in Z
+// minimizing hop distance, via multi-source BFS. It returns the assignment
+// and the hop distance to it. Unreachable vertices get assignment -1.
+func NearestCoveringVertex(g *Graph, Z []int) (assign, hop []int) {
+	n := g.N()
+	assign = make([]int, n)
+	hop = make([]int, n)
+	for i := 0; i < n; i++ {
+		assign[i] = -1
+		hop[i] = -1
+	}
+	queue := make([]int, 0, n)
+	for _, z := range Z {
+		if assign[z] == -1 {
+			assign[z] = z
+			hop[z] = 0
+			queue = append(queue, z)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, h := range g.Adj(v) {
+			if assign[h.To] == -1 {
+				assign[h.To] = assign[v]
+				hop[h.To] = hop[v] + 1
+				queue = append(queue, h.To)
+			}
+		}
+	}
+	return assign, hop
+}
+
+// Covering constructs a k-covering of the connected graph g of size at
+// most floor(V/(k+1)), following the proof of Lemma 4.4 [MM75]:
+//
+//  1. take any spanning tree T of g;
+//  2. let x be an endpoint of a longest path of T (found by BFS: in a
+//     tree, a vertex farthest from any start vertex is such an endpoint);
+//  3. partition vertices into classes Z_i by depth-from-x modulo k+1;
+//  4. each class is a k-covering of T (hence of g); return the smallest.
+//
+// When the tree's hop eccentricity from x is at most k, the singleton {x}
+// is already a k-covering and is returned instead (some residue classes
+// would be empty in that regime). Requires V >= k+1 so that the size bound
+// floor(V/(k+1)) >= 1 is satisfiable; otherwise an error is returned.
+func Covering(g *Graph, k int) ([]int, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("graph: Covering requires k >= 1, got %d", k)
+	}
+	n := g.N()
+	if n == 0 {
+		return nil, errors.New("graph: Covering of empty graph")
+	}
+	if n < k+1 {
+		return nil, fmt.Errorf("graph: Covering requires V >= k+1 (V=%d, k=%d)", n, k)
+	}
+	treeEdges, err := SpanningTree(g)
+	if err != nil {
+		return nil, err
+	}
+	tree, _ := Subgraph(g, treeEdges)
+
+	// x: endpoint of a longest path of the tree (farthest vertex from 0).
+	_, x := Eccentricity(tree, 0)
+	depth := HopDistances(tree, x)
+	ecc := 0
+	for _, d := range depth {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	if ecc <= k {
+		return []int{x}, nil
+	}
+	classes := make([][]int, k+1)
+	for v := 0; v < n; v++ {
+		r := depth[v] % (k + 1)
+		classes[r] = append(classes[r], v)
+	}
+	// Every residue class is nonempty here because depths 0..ecc with
+	// ecc > k realize all residues. Return the smallest class that
+	// verifies as a covering of the tree (all do, by [MM75]; the check
+	// guards the implementation).
+	order := make([]int, k+1)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return len(classes[order[a]]) < len(classes[order[b]]) })
+	for _, i := range order {
+		if len(classes[i]) == 0 {
+			continue
+		}
+		if VerifyCovering(tree, classes[i], k) {
+			z := append([]int(nil), classes[i]...)
+			sort.Ints(z)
+			return z, nil
+		}
+	}
+	return nil, errors.New("graph: Covering: no residue class verified (unreachable if [MM75] holds)")
+}
+
+// GreedyCovering constructs a k-covering by repeatedly choosing the vertex
+// covering the most uncovered vertices within hop distance k. It often
+// produces smaller coverings than Covering on specific topologies and is
+// used in ablation experiments; it carries no size guarantee and costs
+// O(V (V + E)) in the worst case.
+func GreedyCovering(g *Graph, k int) ([]int, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, errors.New("graph: GreedyCovering of empty graph")
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("graph: GreedyCovering requires k >= 0, got %d", k)
+	}
+	// balls[v] = vertices within hop k of v.
+	covered := make([]bool, n)
+	numCovered := 0
+	var z []int
+	ball := func(v int) []int {
+		dist := make([]int, n)
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[v] = 0
+		queue := []int{v}
+		out := []int{v}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			if dist[u] >= k {
+				continue
+			}
+			for _, h := range g.Adj(u) {
+				if dist[h.To] == -1 {
+					dist[h.To] = dist[u] + 1
+					queue = append(queue, h.To)
+					out = append(out, h.To)
+				}
+			}
+		}
+		return out
+	}
+	for numCovered < n {
+		bestV, bestGain := -1, -1
+		for v := 0; v < n; v++ {
+			gain := 0
+			for _, u := range ball(v) {
+				if !covered[u] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				bestV, bestGain = v, gain
+			}
+		}
+		if bestGain <= 0 {
+			return nil, errors.New("graph: GreedyCovering: graph has an unreachable vertex")
+		}
+		z = append(z, bestV)
+		for _, u := range ball(bestV) {
+			if !covered[u] {
+				covered[u] = true
+				numCovered++
+			}
+		}
+	}
+	sort.Ints(z)
+	return z, nil
+}
+
+// GridCovering returns the covering of Theorem 4.7 for the side x side
+// grid graph produced by Grid(side): the vertices (i, j) whose row and
+// column indices are both congruent to s-1 modulo s, with boundary anchors
+// added so that every index is within s-1 of a chosen index. The result is
+// a 2(s-1)-covering of the grid of size about (side/s)^2; Theorem 4.7 uses
+// s = ceil(V^{1/3}) so that |Z| <= ~V^{1/3} and k = 2 V^{1/3}.
+func GridCovering(side, s int) []int {
+	if side <= 0 || s <= 0 {
+		return nil
+	}
+	anchors := gridAnchors(side, s)
+	var z []int
+	for _, i := range anchors {
+		for _, j := range anchors {
+			z = append(z, i*side+j)
+		}
+	}
+	sort.Ints(z)
+	return z
+}
+
+// gridAnchors returns indices s-1, 2s-1, ... clipped to side-1, ensuring
+// every index in [0, side) is within s-1 of an anchor.
+func gridAnchors(side, s int) []int {
+	var anchors []int
+	for a := s - 1; a < side; a += s {
+		anchors = append(anchors, a)
+	}
+	if len(anchors) == 0 || side-1-anchors[len(anchors)-1] > s-1 {
+		anchors = append(anchors, side-1)
+	}
+	return anchors
+}

@@ -1,0 +1,213 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestVerifyCoveringBasics(t *testing.T) {
+	g := Path(5)
+	if !VerifyCovering(g, []int{2}, 2) {
+		t.Error("center of P5 is a 2-covering")
+	}
+	if VerifyCovering(g, []int{0}, 2) {
+		t.Error("endpoint of P5 is not a 2-covering")
+	}
+	if !VerifyCovering(g, []int{0, 4}, 2) {
+		t.Error("both endpoints form a 2-covering")
+	}
+	if VerifyCovering(g, nil, 3) {
+		t.Error("empty set covers nothing")
+	}
+	if VerifyCovering(g, []int{9}, 3) {
+		t.Error("out-of-range vertex accepted")
+	}
+	if !VerifyCovering(New(0), nil, 1) {
+		t.Error("empty graph trivially covered")
+	}
+}
+
+func TestVerifyCoveringDisconnected(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	if VerifyCovering(g, []int{0}, 10) {
+		t.Error("covering cannot reach the other component")
+	}
+	if !VerifyCovering(g, []int{0, 2}, 1) {
+		t.Error("one vertex per component at k=1 covers")
+	}
+}
+
+func TestNearestCoveringVertex(t *testing.T) {
+	g := Path(7)
+	assign, hop := NearestCoveringVertex(g, []int{0, 6})
+	if assign[1] != 0 || assign[5] != 6 {
+		t.Errorf("assign = %v", assign)
+	}
+	if hop[3] != 3 {
+		t.Errorf("hop[3] = %d", hop[3])
+	}
+	if hop[0] != 0 || hop[6] != 0 {
+		t.Error("covering vertices not at hop 0")
+	}
+}
+
+func TestCoveringSizeBoundProperty(t *testing.T) {
+	// Lemma 4.4: for connected g with V >= k+1, the covering has size at
+	// most floor(V/(k+1)) and verifies as a k-covering.
+	rng := rand.New(rand.NewSource(13))
+	graphs := []*Graph{
+		Path(50),
+		Cycle(41),
+		Grid(8),
+		Star(30),
+		BalancedBinaryTree(63),
+		Caterpillar(12, 25),
+		ConnectedErdosRenyi(60, 0.08, rng),
+		RandomTree(80, rng),
+	}
+	for _, g := range graphs {
+		for _, k := range []int{1, 2, 3, 5, 9, 20} {
+			if g.N() < k+1 {
+				continue
+			}
+			z, err := Covering(g, k)
+			if err != nil {
+				t.Fatalf("V=%d k=%d: %v", g.N(), k, err)
+			}
+			if len(z) > g.N()/(k+1) {
+				t.Errorf("V=%d k=%d: |Z| = %d > %d", g.N(), k, len(z), g.N()/(k+1))
+			}
+			if !VerifyCovering(g, z, k) {
+				t.Errorf("V=%d k=%d: returned set is not a k-covering", g.N(), k)
+			}
+		}
+	}
+}
+
+func TestCoveringRandomizedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 40; trial++ {
+		n := 5 + rng.Intn(80)
+		g := ConnectedErdosRenyi(n, 3/float64(n), rng)
+		k := 1 + rng.Intn(n-1)
+		if n < k+1 {
+			continue
+		}
+		z, err := Covering(g, k)
+		if err != nil {
+			t.Fatalf("n=%d k=%d: %v", n, k, err)
+		}
+		if len(z) > n/(k+1) || !VerifyCovering(g, z, k) {
+			t.Fatalf("n=%d k=%d: |Z|=%d bound=%d", n, k, len(z), n/(k+1))
+		}
+	}
+}
+
+func TestCoveringErrors(t *testing.T) {
+	if _, err := Covering(Path(3), 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Covering(New(0), 1); err == nil {
+		t.Error("empty graph accepted")
+	}
+	if _, err := Covering(Path(2), 3); err == nil {
+		t.Error("V < k+1 accepted")
+	}
+	g := New(4)
+	g.AddEdge(0, 1)
+	if _, err := Covering(g, 1); err == nil {
+		t.Error("disconnected graph accepted")
+	}
+}
+
+func TestCoveringSmallDiameterReturnsSingleton(t *testing.T) {
+	g := Star(30) // diameter 2
+	z, err := Covering(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(z) != 1 {
+		t.Errorf("|Z| = %d, want 1", len(z))
+	}
+	if !VerifyCovering(g, z, 5) {
+		t.Error("singleton not a covering")
+	}
+}
+
+func TestGreedyCovering(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(40)
+		g := ConnectedErdosRenyi(n, 0.1, rng)
+		k := 1 + rng.Intn(4)
+		z, err := GreedyCovering(g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !VerifyCovering(g, z, k) {
+			t.Fatalf("greedy set is not a %d-covering", k)
+		}
+	}
+	if _, err := GreedyCovering(New(0), 1); err == nil {
+		t.Error("empty graph accepted")
+	}
+	if _, err := GreedyCovering(Path(2), -1); err == nil {
+		t.Error("negative k accepted")
+	}
+}
+
+func TestGreedyCoveringDisconnected(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	z, err := GreedyCovering(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VerifyCovering(g, z, 1) {
+		t.Error("greedy covering fails on disconnected graph")
+	}
+}
+
+func TestGridCovering(t *testing.T) {
+	for _, tc := range []struct{ side, s int }{{4, 2}, {9, 3}, {16, 3}, {25, 5}, {10, 4}, {7, 3}} {
+		z := GridCovering(tc.side, tc.s)
+		if len(z) == 0 {
+			t.Fatalf("side=%d s=%d: empty covering", tc.side, tc.s)
+		}
+		g := Grid(tc.side)
+		k := 2 * (tc.s - 1)
+		if k < 1 {
+			k = 1
+		}
+		if !VerifyCovering(g, z, k) {
+			t.Errorf("side=%d s=%d: not a %d-covering", tc.side, tc.s, k)
+		}
+	}
+}
+
+func TestGridCoveringSizeShape(t *testing.T) {
+	// Theorem 4.7 size: about (side/s)^2 = V^{1/3} when s = V^{1/3}.
+	side := 16 // V = 256
+	s := 7     // ~ V^{1/3} = 6.35
+	z := GridCovering(side, s)
+	// anchors: 6, 13, plus 15 since 15-13 = 2 <= 6; 3 anchors -> 9 vertices.
+	if len(z) > 16 {
+		t.Errorf("|Z| = %d, want <= 16 (~V^{1/3} scale)", len(z))
+	}
+}
+
+func TestGridCoveringDegenerate(t *testing.T) {
+	if z := GridCovering(0, 2); z != nil {
+		t.Error("side=0 should be nil")
+	}
+	if z := GridCovering(3, 0); z != nil {
+		t.Error("s=0 should be nil")
+	}
+	z := GridCovering(1, 1)
+	if len(z) != 1 || z[0] != 0 {
+		t.Errorf("1x1 grid covering = %v", z)
+	}
+}

@@ -1,0 +1,437 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Path returns the path graph on n vertices: edges (i, i+1) with edge ID i.
+func Path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// Cycle returns the cycle graph on n vertices.
+func Cycle(n int) *Graph {
+	g := Path(n)
+	if n >= 3 {
+		g.AddEdge(n-1, 0)
+	}
+	return g
+}
+
+// Grid returns the side x side grid graph. Vertex (i, j) has ID i*side+j;
+// horizontal and vertical neighbors are adjacent.
+func Grid(side int) *Graph {
+	g := New(side * side)
+	for i := 0; i < side; i++ {
+		for j := 0; j < side; j++ {
+			v := i*side + j
+			if j+1 < side {
+				g.AddEdge(v, v+1)
+			}
+			if i+1 < side {
+				g.AddEdge(v, v+side)
+			}
+		}
+	}
+	return g
+}
+
+// Star returns the star graph: vertex 0 joined to vertices 1..n-1.
+func Star(n int) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, i)
+	}
+	return g
+}
+
+// Complete returns the complete graph on n vertices.
+func Complete(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+// CompleteBipartite returns K_{a,b}: left vertices 0..a-1, right a..a+b-1.
+func CompleteBipartite(a, b int) *Graph {
+	g := New(a + b)
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			g.AddEdge(i, a+j)
+		}
+	}
+	return g
+}
+
+// BalancedBinaryTree returns the complete-as-possible binary tree on n
+// vertices: vertex v has children 2v+1 and 2v+2 where in range.
+func BalancedBinaryTree(n int) *Graph {
+	g := New(n)
+	for v := 0; v < n; v++ {
+		if c := 2*v + 1; c < n {
+			g.AddEdge(v, c)
+		}
+		if c := 2*v + 2; c < n {
+			g.AddEdge(v, c)
+		}
+	}
+	return g
+}
+
+// Caterpillar returns a caterpillar tree: a spine path of length
+// spine with legs pendant legs attached round-robin to spine vertices.
+// Total vertices: spine + legs.
+func Caterpillar(spine, legs int) *Graph {
+	g := New(spine + legs)
+	for i := 0; i+1 < spine; i++ {
+		g.AddEdge(i, i+1)
+	}
+	for l := 0; l < legs; l++ {
+		g.AddEdge(l%spine, spine+l)
+	}
+	return g
+}
+
+// RandomTree returns a uniformly random recursive tree on n vertices:
+// vertex v > 0 attaches to a uniformly random earlier vertex. (Not the
+// uniform distribution over all labeled trees, but a standard random tree
+// model with logarithmic expected depth.)
+func RandomTree(n int, rng *rand.Rand) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(rng.Intn(v), v)
+	}
+	return g
+}
+
+// RandomPruferTree returns a uniformly random labeled tree on n vertices,
+// decoded from a uniformly random Prüfer sequence.
+func RandomPruferTree(n int, rng *rand.Rand) *Graph {
+	g := New(n)
+	if n <= 1 {
+		return g
+	}
+	if n == 2 {
+		g.AddEdge(0, 1)
+		return g
+	}
+	seq := make([]int, n-2)
+	for i := range seq {
+		seq[i] = rng.Intn(n)
+	}
+	degree := make([]int, n)
+	for i := range degree {
+		degree[i] = 1
+	}
+	for _, s := range seq {
+		degree[s]++
+	}
+	// Min-leaf decoding with a pointer scan.
+	ptr := 0
+	for degree[ptr] != 1 {
+		ptr++
+	}
+	leaf := ptr
+	for _, s := range seq {
+		g.AddEdge(leaf, s)
+		degree[s]--
+		if degree[s] == 1 && s < ptr {
+			leaf = s
+		} else {
+			ptr++
+			for degree[ptr] != 1 {
+				ptr++
+			}
+			leaf = ptr
+		}
+	}
+	g.AddEdge(leaf, n-1)
+	return g
+}
+
+// ErdosRenyi returns G(n, p) conditioned on nothing; the result may be
+// disconnected. Use ConnectedErdosRenyi for a connected variant.
+func ErdosRenyi(n int, p float64, rng *rand.Rand) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// ConnectedErdosRenyi returns G(n, p) with a random spanning tree
+// superimposed, guaranteeing connectivity while keeping ER-like density.
+func ConnectedErdosRenyi(n int, p float64, rng *rand.Rand) *Graph {
+	g := New(n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(perm[rng.Intn(i)], perm[i])
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p && !g.HasEdgeBetween(i, j) {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// UniformRandomWeights returns a weight vector drawn i.i.d. uniform [lo, hi].
+func UniformRandomWeights(g *Graph, lo, hi float64, rng *rand.Rand) []float64 {
+	w := make([]float64, g.M())
+	for i := range w {
+		w[i] = lo + (hi-lo)*rng.Float64()
+	}
+	return w
+}
+
+// ----- Hard instances for the lower bounds of Section 5 and Appendix B -----
+
+// PathGadget is the graph of Figure 2: vertices 0..n with two parallel
+// edges between each pair of consecutive vertices. Edge0[i] and Edge1[i]
+// are the IDs of the two parallel edges between vertices i and i+1.
+type PathGadget struct {
+	G     *Graph
+	N     int   // number of input bits; the graph has N+1 vertices
+	Edge0 []int // Edge0[i]: the "bit 0" edge between i and i+1
+	Edge1 []int // Edge1[i]: the "bit 1" edge between i and i+1
+	S, T  int   // the endpoints 0 and N
+}
+
+// NewPathGadget builds the Figure-2 lower-bound graph for n input bits.
+func NewPathGadget(n int) *PathGadget {
+	g := New(n + 1)
+	pg := &PathGadget{G: g, N: n, S: 0, T: n}
+	pg.Edge0 = make([]int, n)
+	pg.Edge1 = make([]int, n)
+	for i := 0; i < n; i++ {
+		pg.Edge0[i] = g.AddEdge(i, i+1)
+		pg.Edge1[i] = g.AddEdge(i, i+1)
+	}
+	return pg
+}
+
+// Weights encodes the database x into the weight function w_x of Lemma
+// 5.2: the edge e^{(x_i)}_i gets weight 0 and the other parallel edge gets
+// weight 1, so the shortest s-t path has weight 0 and follows the bits.
+func (pg *PathGadget) Weights(x []bool) []float64 {
+	if len(x) != pg.N {
+		panic(fmt.Sprintf("graph: PathGadget.Weights got %d bits, want %d", len(x), pg.N))
+	}
+	w := make([]float64, pg.G.M())
+	for i, xi := range x {
+		if xi {
+			w[pg.Edge0[i]] = 1
+			w[pg.Edge1[i]] = 0
+		} else {
+			w[pg.Edge0[i]] = 0
+			w[pg.Edge1[i]] = 1
+		}
+	}
+	return w
+}
+
+// Decode recovers a bit vector from a released s-t path per Lemma 5.2:
+// y_i = 0 iff edge e^{(0)}_i is on the path.
+func (pg *PathGadget) Decode(path []int) []bool {
+	onPath := make(map[int]bool, len(path))
+	for _, id := range path {
+		onPath[id] = true
+	}
+	y := make([]bool, pg.N)
+	for i := 0; i < pg.N; i++ {
+		y[i] = !onPath[pg.Edge0[i]]
+	}
+	return y
+}
+
+// MSTGadget is the left graph of Figure 3: a star multigraph with two
+// parallel edges from the hub (vertex 0) to each of the n outer vertices.
+type MSTGadget struct {
+	G     *Graph
+	N     int
+	Edge0 []int
+	Edge1 []int
+}
+
+// NewMSTGadget builds the Figure-3 (left) lower-bound graph for n bits.
+func NewMSTGadget(n int) *MSTGadget {
+	g := New(n + 1)
+	mg := &MSTGadget{G: g, N: n}
+	mg.Edge0 = make([]int, n)
+	mg.Edge1 = make([]int, n)
+	for i := 0; i < n; i++ {
+		mg.Edge0[i] = g.AddEdge(0, i+1)
+		mg.Edge1[i] = g.AddEdge(0, i+1)
+	}
+	return mg
+}
+
+// Weights encodes x into w_x per Lemma B.2: edge e^{(x_i)}_i has weight 0,
+// its twin weight 1, so the MST has weight 0.
+func (mg *MSTGadget) Weights(x []bool) []float64 {
+	if len(x) != mg.N {
+		panic(fmt.Sprintf("graph: MSTGadget.Weights got %d bits, want %d", len(x), mg.N))
+	}
+	w := make([]float64, mg.G.M())
+	for i, xi := range x {
+		if xi {
+			w[mg.Edge0[i]] = 1
+			w[mg.Edge1[i]] = 0
+		} else {
+			w[mg.Edge0[i]] = 0
+			w[mg.Edge1[i]] = 1
+		}
+	}
+	return w
+}
+
+// Decode recovers a bit vector from a released spanning tree per Lemma
+// B.2: y_i = 0 iff edge e^{(0)}_i is in the tree.
+func (mg *MSTGadget) Decode(tree []int) []bool {
+	inTree := make(map[int]bool, len(tree))
+	for _, id := range tree {
+		inTree[id] = true
+	}
+	y := make([]bool, mg.N)
+	for i := 0; i < mg.N; i++ {
+		y[i] = !inTree[mg.Edge0[i]]
+	}
+	return y
+}
+
+// HourglassGadget is the right graph of Figure 3: n disjoint 4-vertex
+// gadgets. Gadget i has left vertices (0,0,i), (0,1,i) and right vertices
+// (1,0,i), (1,1,i), with the four edges from each left to each right
+// vertex. Vertex (b1, b2, c) has ID c*4 + b1*2 + b2.
+type HourglassGadget struct {
+	G *Graph
+	N int
+	// EdgeIdx[c][b][b'] is the edge ID from (0,b,c) to (1,b',c).
+	EdgeIdx [][2][2]int
+}
+
+// NewHourglassGadget builds the Figure-3 (right) lower-bound graph for n
+// bits (4n vertices, 4n edges).
+func NewHourglassGadget(n int) *HourglassGadget {
+	g := New(4 * n)
+	hg := &HourglassGadget{G: g, N: n, EdgeIdx: make([][2][2]int, n)}
+	vid := func(b1, b2, c int) int { return c*4 + b1*2 + b2 }
+	for c := 0; c < n; c++ {
+		for b := 0; b < 2; b++ {
+			for b2 := 0; b2 < 2; b2++ {
+				hg.EdgeIdx[c][b][b2] = g.AddEdge(vid(0, b, c), vid(1, b2, c))
+			}
+		}
+	}
+	return hg
+}
+
+// Weights encodes x per Lemma B.5: the edge from (0,1,i) to (1, 1-x_i, i)
+// has weight 1; the other 3 edges of gadget i have weight 0. The min-cost
+// perfect matching then has weight 0: match (0,1,i)-(1,x_i,i) and
+// (0,0,i)-(1,1-x_i,i).
+func (hg *HourglassGadget) Weights(x []bool) []float64 {
+	if len(x) != hg.N {
+		panic(fmt.Sprintf("graph: HourglassGadget.Weights got %d bits, want %d", len(x), hg.N))
+	}
+	w := make([]float64, hg.G.M())
+	for i, xi := range x {
+		bad := 1
+		if xi {
+			bad = 0
+		}
+		w[hg.EdgeIdx[i][1][bad]] = 1
+	}
+	return w
+}
+
+// Decode recovers bits from a perfect matching per Lemma B.5: y_i = 0 iff
+// the edge (0,1,i)-(1,0,i) is matched.
+func (hg *HourglassGadget) Decode(matching []int) []bool {
+	inM := make(map[int]bool, len(matching))
+	for _, id := range matching {
+		inM[id] = true
+	}
+	y := make([]bool, hg.N)
+	for i := 0; i < hg.N; i++ {
+		y[i] = !inM[hg.EdgeIdx[i][1][0]]
+	}
+	return y
+}
+
+// PlantedPathGraph returns a graph containing a designated k-hop path
+// from s=0 to t=k with low weights (the planted shortest path), embedded
+// in a graph of n >= k+1 vertices. Each planted segment also carries a
+// parallel "decoy" edge slightly heavier than the true segment, so a
+// private mechanism's noise can be tricked into wrong per-segment choices
+// whose cost accumulates linearly with the hop count — the regime
+// Theorem 5.5 speaks to (experiment E7). Heavier random chords at weight
+// ~heavy make the instance non-degenerate. It returns the graph, a weight
+// vector, and the planted path's edge IDs.
+func PlantedPathGraph(n, k int, heavy float64, rng *rand.Rand) (*Graph, []float64, []int) {
+	if k+1 > n {
+		panic("graph: PlantedPathGraph needs n >= k+1")
+	}
+	g := New(n)
+	var w []float64
+	planted := make([]int, 0, k)
+	// The planted light path 0-1-...-k with per-segment decoys.
+	for i := 0; i < k; i++ {
+		id := g.AddEdge(i, i+1)
+		planted = append(planted, id)
+		seg := 1 + rng.Float64() // weight in [1, 2)
+		w = append(w, seg)
+		g.AddEdge(i, i+1) // decoy: parallel, a touch heavier
+		w = append(w, seg+3*rng.Float64())
+	}
+	// Direct heavy edge from s to t guarantees a 1-hop alternative.
+	if k > 1 {
+		g.AddEdge(0, k)
+		w = append(w, heavy*(1+rng.Float64()))
+	}
+	// Random heavier chords to make the instance non-degenerate.
+	extra := 3 * n
+	for i := 0; i < extra; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		g.AddEdge(u, v)
+		w = append(w, heavy*(0.5+rng.Float64()))
+	}
+	// Attach any floating vertices so the graph is connected.
+	seen := HopDistances(g, 0)
+	for v, d := range seen {
+		if d == -1 {
+			g.AddEdge(rng.Intn(v), v)
+			w = append(w, heavy*(0.5+rng.Float64()))
+		}
+	}
+	return g, w, planted
+}
+
+// GridSide returns the side length s with s*s = n, or an error if n is not
+// a perfect square.
+func GridSide(n int) (int, error) {
+	s := int(math.Round(math.Sqrt(float64(n))))
+	if s*s != n {
+		return 0, fmt.Errorf("graph: %d is not a perfect square", n)
+	}
+	return s, nil
+}

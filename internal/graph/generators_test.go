@@ -1,0 +1,289 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPathCycleCounts(t *testing.T) {
+	if g := Path(5); g.N() != 5 || g.M() != 4 {
+		t.Error("Path dims")
+	}
+	if g := Path(1); g.M() != 0 {
+		t.Error("P1 has edges")
+	}
+	if g := Cycle(5); g.M() != 5 {
+		t.Error("C5 dims")
+	}
+	if g := Cycle(2); g.M() != 1 {
+		t.Error("C2 should be a single edge (no closing duplicate)")
+	}
+}
+
+func TestGridStructure(t *testing.T) {
+	g := Grid(3)
+	if g.N() != 9 || g.M() != 12 {
+		t.Fatalf("grid dims %d %d", g.N(), g.M())
+	}
+	if !g.HasEdgeBetween(0, 1) || !g.HasEdgeBetween(0, 3) || g.HasEdgeBetween(0, 4) {
+		t.Error("grid adjacency wrong")
+	}
+	if !g.Connected() || !g.IsSimple() {
+		t.Error("grid should be connected and simple")
+	}
+}
+
+func TestStarComplete(t *testing.T) {
+	if g := Star(6); g.M() != 5 || g.Degree(0) != 5 {
+		t.Error("star dims")
+	}
+	if g := Complete(5); g.M() != 10 {
+		t.Error("K5 dims")
+	}
+	if g := CompleteBipartite(3, 4); g.M() != 12 || g.N() != 7 {
+		t.Error("K34 dims")
+	}
+}
+
+func TestTreesAreTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	gens := map[string]func() *Graph{
+		"balanced":    func() *Graph { return BalancedBinaryTree(2 + rng.Intn(100)) },
+		"caterpillar": func() *Graph { return Caterpillar(1+rng.Intn(10), rng.Intn(30)) },
+		"random":      func() *Graph { return RandomTree(1+rng.Intn(100), rng) },
+		"prufer":      func() *Graph { return RandomPruferTree(1+rng.Intn(100), rng) },
+	}
+	for name, gen := range gens {
+		for trial := 0; trial < 20; trial++ {
+			g := gen()
+			if g.M() != g.N()-1 {
+				t.Fatalf("%s: %d edges on %d vertices", name, g.M(), g.N())
+			}
+			if !g.Connected() {
+				t.Fatalf("%s: disconnected", name)
+			}
+		}
+	}
+}
+
+func TestPruferSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	if g := RandomPruferTree(1, rng); g.M() != 0 {
+		t.Error("n=1")
+	}
+	if g := RandomPruferTree(2, rng); g.M() != 1 {
+		t.Error("n=2")
+	}
+	if g := RandomPruferTree(3, rng); g.M() != 2 || !g.Connected() {
+		t.Error("n=3")
+	}
+}
+
+func TestErdosRenyiConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(60)
+		g := ConnectedErdosRenyi(n, 0.05, rng)
+		if !g.Connected() {
+			t.Fatalf("n=%d disconnected", n)
+		}
+		if !g.IsSimple() {
+			t.Fatalf("n=%d not simple", n)
+		}
+	}
+}
+
+func TestErdosRenyiDensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	n := 200
+	g := ErdosRenyi(n, 0.1, rng)
+	want := 0.1 * float64(n*(n-1)/2)
+	got := float64(g.M())
+	if got < want*0.8 || got > want*1.2 {
+		t.Errorf("edge count %g far from expectation %g", got, want)
+	}
+}
+
+func TestUniformRandomWeightsRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	g := Complete(20)
+	w := UniformRandomWeights(g, 2, 5, rng)
+	for _, x := range w {
+		if x < 2 || x >= 5 {
+			t.Fatalf("weight %g outside [2,5)", x)
+		}
+	}
+}
+
+func TestPathGadgetStructure(t *testing.T) {
+	pg := NewPathGadget(10)
+	if pg.G.N() != 11 || pg.G.M() != 20 {
+		t.Fatalf("gadget dims %d %d", pg.G.N(), pg.G.M())
+	}
+	for i := 0; i < 10; i++ {
+		e0, e1 := pg.G.Edge(pg.Edge0[i]), pg.G.Edge(pg.Edge1[i])
+		if e0.From != i || e0.To != i+1 || e1.From != i || e1.To != i+1 {
+			t.Fatalf("position %d edges wrong", i)
+		}
+	}
+}
+
+func TestPathGadgetEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(50)
+		pg := NewPathGadget(n)
+		x := make([]bool, n)
+		for i := range x {
+			x[i] = rng.Intn(2) == 1
+		}
+		w := pg.Weights(x)
+		// Shortest path has weight 0.
+		path, wt, ok, err := ShortestPath(pg.G, w, pg.S, pg.T)
+		if err != nil || !ok {
+			t.Fatal(err)
+		}
+		if wt != 0 {
+			t.Fatalf("optimal weight %g != 0", wt)
+		}
+		y := pg.Decode(path)
+		for i := range x {
+			if x[i] != y[i] {
+				t.Fatalf("decode mismatch at %d", i)
+			}
+		}
+	}
+}
+
+func TestPathGadgetWeightsNeighboring(t *testing.T) {
+	// Flipping one bit moves the weights by l1 distance exactly 2 — the
+	// constant in the Lemma 5.2 privacy argument.
+	pg := NewPathGadget(8)
+	x := make([]bool, 8)
+	w1 := pg.Weights(x)
+	x[3] = true
+	w2 := pg.Weights(x)
+	if d := L1Distance(w1, w2); d != 2 {
+		t.Fatalf("bit flip moved weights by %g, want 2", d)
+	}
+}
+
+func TestPathGadgetWeightsPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewPathGadget(3).Weights(make([]bool, 2))
+}
+
+func TestMSTGadgetRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(40)
+		mg := NewMSTGadget(n)
+		x := make([]bool, n)
+		for i := range x {
+			x[i] = rng.Intn(2) == 1
+		}
+		w := mg.Weights(x)
+		tree, wt, err := MST(mg.G, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wt != 0 {
+			t.Fatalf("MST weight %g != 0", wt)
+		}
+		y := mg.Decode(tree)
+		for i := range x {
+			if x[i] != y[i] {
+				t.Fatalf("decode mismatch at %d", i)
+			}
+		}
+	}
+}
+
+func TestMSTGadgetBitFlipDistance(t *testing.T) {
+	mg := NewMSTGadget(5)
+	x := make([]bool, 5)
+	w1 := mg.Weights(x)
+	x[0] = true
+	if d := L1Distance(w1, mg.Weights(x)); d != 2 {
+		t.Fatalf("l1 = %g, want 2", d)
+	}
+}
+
+func TestHourglassGadgetRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(30)
+		hg := NewHourglassGadget(n)
+		if hg.G.N() != 4*n || hg.G.M() != 4*n {
+			t.Fatalf("hourglass dims %d %d", hg.G.N(), hg.G.M())
+		}
+		x := make([]bool, n)
+		for i := range x {
+			x[i] = rng.Intn(2) == 1
+		}
+		w := hg.Weights(x)
+		m, wt, err := MinWeightPerfectMatching(hg.G, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wt != 0 {
+			t.Fatalf("matching weight %g != 0", wt)
+		}
+		y := hg.Decode(m)
+		for i := range x {
+			if x[i] != y[i] {
+				t.Fatalf("decode mismatch at %d", i)
+			}
+		}
+	}
+}
+
+func TestHourglassBitFlipDistance(t *testing.T) {
+	hg := NewHourglassGadget(4)
+	x := make([]bool, 4)
+	w1 := hg.Weights(x)
+	x[2] = true
+	if d := L1Distance(w1, hg.Weights(x)); d != 2 {
+		t.Fatalf("l1 = %g, want 2", d)
+	}
+}
+
+func TestPlantedPathGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 15; trial++ {
+		n := 20 + rng.Intn(100)
+		k := 2 + rng.Intn(15)
+		g, w, planted := PlantedPathGraph(n, k, 1000, rng)
+		if len(w) != g.M() {
+			t.Fatal("weight length mismatch")
+		}
+		if len(planted) != k {
+			t.Fatalf("planted length %d != k %d", len(planted), k)
+		}
+		if err := g.ValidatePath(0, k, planted); err != nil {
+			t.Fatalf("planted path invalid: %v", err)
+		}
+		if !g.Connected() {
+			t.Fatal("planted graph disconnected")
+		}
+		// The planted path is near-optimal: weight within [k, 2k] while
+		// alternatives cost hundreds.
+		pw := PathWeight(w, planted)
+		if pw < float64(k) || pw > 2*float64(k) {
+			t.Fatalf("planted weight %g outside [k, 2k]", pw)
+		}
+	}
+}
+
+func TestGridSide(t *testing.T) {
+	if s, err := GridSide(49); err != nil || s != 7 {
+		t.Error("GridSide(49)")
+	}
+	if _, err := GridSide(50); err == nil {
+		t.Error("GridSide(50) accepted")
+	}
+}

@@ -1,0 +1,148 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text format for a weighted graph is line oriented:
+//
+//	# comment
+//	graph <numVertices> [directed]
+//	edge <from> <to> <weight>
+//
+// Edges receive IDs in file order. The JSON format mirrors jsonGraph.
+
+// WriteText writes g and w in the text edge-list format.
+func WriteText(out io.Writer, g *Graph, w []float64) error {
+	if len(w) != g.M() {
+		return fmt.Errorf("graph: WriteText weight vector has length %d, want %d", len(w), g.M())
+	}
+	bw := bufio.NewWriter(out)
+	kind := ""
+	if g.Directed() {
+		kind = " directed"
+	}
+	fmt.Fprintf(bw, "graph %d%s\n", g.N(), kind)
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "edge %d %d %g\n", e.From, e.To, w[e.ID])
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the text edge-list format, returning the graph and its
+// weight vector.
+func ReadText(in io.Reader) (*Graph, []float64, error) {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var g *Graph
+	var w []float64
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "graph":
+			if g != nil {
+				return nil, nil, fmt.Errorf("graph: line %d: duplicate graph header", lineno)
+			}
+			if len(fields) < 2 || len(fields) > 3 {
+				return nil, nil, fmt.Errorf("graph: line %d: want 'graph <n> [directed]'", lineno)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, nil, fmt.Errorf("graph: line %d: bad vertex count %q", lineno, fields[1])
+			}
+			if len(fields) == 3 {
+				if fields[2] != "directed" {
+					return nil, nil, fmt.Errorf("graph: line %d: unknown flag %q", lineno, fields[2])
+				}
+				g = NewDirected(n)
+			} else {
+				g = New(n)
+			}
+		case "edge":
+			if g == nil {
+				return nil, nil, fmt.Errorf("graph: line %d: edge before graph header", lineno)
+			}
+			if len(fields) != 4 {
+				return nil, nil, fmt.Errorf("graph: line %d: want 'edge <from> <to> <weight>'", lineno)
+			}
+			from, err1 := strconv.Atoi(fields[1])
+			to, err2 := strconv.Atoi(fields[2])
+			wt, err3 := strconv.ParseFloat(fields[3], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, nil, fmt.Errorf("graph: line %d: malformed edge %q", lineno, line)
+			}
+			if from < 0 || from >= g.N() || to < 0 || to >= g.N() {
+				return nil, nil, fmt.Errorf("graph: line %d: endpoint out of range", lineno)
+			}
+			g.AddEdge(from, to)
+			w = append(w, wt)
+		default:
+			return nil, nil, fmt.Errorf("graph: line %d: unknown directive %q", lineno, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if g == nil {
+		return nil, nil, fmt.Errorf("graph: missing graph header")
+	}
+	return g, w, nil
+}
+
+// jsonGraph is the JSON wire form of a weighted graph.
+type jsonGraph struct {
+	Vertices int       `json:"vertices"`
+	Directed bool      `json:"directed,omitempty"`
+	Edges    [][2]int  `json:"edges"`
+	Weights  []float64 `json:"weights,omitempty"`
+}
+
+// MarshalJSONGraph encodes g and w (w may be nil for topology only).
+func MarshalJSONGraph(g *Graph, w []float64) ([]byte, error) {
+	if w != nil && len(w) != g.M() {
+		return nil, fmt.Errorf("graph: MarshalJSONGraph weight vector has length %d, want %d", len(w), g.M())
+	}
+	jg := jsonGraph{Vertices: g.N(), Directed: g.Directed(), Weights: w}
+	for _, e := range g.Edges() {
+		jg.Edges = append(jg.Edges, [2]int{e.From, e.To})
+	}
+	return json.MarshalIndent(jg, "", "  ")
+}
+
+// UnmarshalJSONGraph decodes a graph and optional weight vector.
+func UnmarshalJSONGraph(data []byte) (*Graph, []float64, error) {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return nil, nil, err
+	}
+	if jg.Vertices < 0 {
+		return nil, nil, fmt.Errorf("graph: negative vertex count %d", jg.Vertices)
+	}
+	var g *Graph
+	if jg.Directed {
+		g = NewDirected(jg.Vertices)
+	} else {
+		g = New(jg.Vertices)
+	}
+	for i, e := range jg.Edges {
+		if e[0] < 0 || e[0] >= jg.Vertices || e[1] < 0 || e[1] >= jg.Vertices {
+			return nil, nil, fmt.Errorf("graph: edge %d endpoint out of range", i)
+		}
+		g.AddEdge(e[0], e[1])
+	}
+	if jg.Weights != nil && len(jg.Weights) != g.M() {
+		return nil, nil, fmt.Errorf("graph: %d weights for %d edges", len(jg.Weights), g.M())
+	}
+	return g, jg.Weights, nil
+}

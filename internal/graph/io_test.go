@@ -1,0 +1,142 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	g := ConnectedErdosRenyi(20, 0.2, rng)
+	w := UniformRandomWeights(g, 0, 10, rng)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, g, w); err != nil {
+		t.Fatal(err)
+	}
+	g2, w2, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() || g2.Directed() != g.Directed() {
+		t.Fatal("shape mismatch")
+	}
+	for i, e := range g.Edges() {
+		e2 := g2.Edge(i)
+		if e.From != e2.From || e.To != e2.To {
+			t.Fatalf("edge %d mismatch", i)
+		}
+		if w[i] != w2[i] {
+			t.Fatalf("weight %d mismatch: %g vs %g", i, w[i], w2[i])
+		}
+	}
+}
+
+func TestTextDirectedRoundTrip(t *testing.T) {
+	g := NewDirected(3)
+	g.AddEdge(2, 0)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, g, []float64{1.5}); err != nil {
+		t.Fatal(err)
+	}
+	g2, w2, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g2.Directed() || g2.Edge(0).From != 2 || w2[0] != 1.5 {
+		t.Fatal("directed round trip failed")
+	}
+}
+
+func TestReadTextCommentsAndBlank(t *testing.T) {
+	in := "# header\n\ngraph 2\n# middle\nedge 0 1 3.25\n"
+	g, w, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 2 || w[0] != 3.25 {
+		t.Fatal("parse failed")
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []string{
+		"",                      // no header
+		"edge 0 1 2\n",          // edge before header
+		"graph 2\ngraph 2\n",    // duplicate header
+		"graph -1\n",            // bad count
+		"graph 2 nonsense\n",    // unknown flag
+		"graph 2\nedge 0 1\n",   // short edge
+		"graph 2\nedge 0 5 1\n", // out of range
+		"graph 2\nedge a b c\n", // malformed
+		"graph 2\nfrobnicate\n", // unknown directive
+		"graph\n",               // missing count
+	}
+	for _, in := range cases {
+		if _, _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestWriteTextLengthMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteText(&buf, Path(3), []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	g := ConnectedErdosRenyi(15, 0.3, rng)
+	w := UniformRandomWeights(g, 0, 1, rng)
+	data, err := MarshalJSONGraph(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, w2, err := UnmarshalJSONGraph(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatal("shape mismatch")
+	}
+	for i := range w {
+		if w[i] != w2[i] {
+			t.Fatal("weights mismatch")
+		}
+	}
+}
+
+func TestJSONTopologyOnly(t *testing.T) {
+	data, err := MarshalJSONGraph(Path(3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, w, err := UnmarshalJSONGraph(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != nil || g.M() != 2 {
+		t.Fatal("topology-only round trip failed")
+	}
+}
+
+func TestJSONErrors(t *testing.T) {
+	if _, _, err := UnmarshalJSONGraph([]byte("{")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, _, err := UnmarshalJSONGraph([]byte(`{"vertices":-1}`)); err == nil {
+		t.Error("negative vertices accepted")
+	}
+	if _, _, err := UnmarshalJSONGraph([]byte(`{"vertices":2,"edges":[[0,5]]}`)); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if _, _, err := UnmarshalJSONGraph([]byte(`{"vertices":2,"edges":[[0,1]],"weights":[1,2]}`)); err == nil {
+		t.Error("weight count mismatch accepted")
+	}
+	if _, err := MarshalJSONGraph(Path(3), []float64{1}); err == nil {
+		t.Error("marshal length mismatch accepted")
+	}
+}

@@ -1,0 +1,356 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrNoPerfectMatching is returned when the graph admits no perfect
+// matching.
+var ErrNoPerfectMatching = errors.New("graph: no perfect matching exists")
+
+// ErrMatchingTooLarge is returned for non-bipartite connected components
+// too large for the exact exponential matcher. The private matching
+// mechanism (Theorem B.6) only requires *some* exact matcher as
+// post-processing; see DESIGN.md §6 for the substitution note.
+var ErrMatchingTooLarge = errors.New("graph: non-bipartite component too large for exact matching")
+
+// maxGeneralComponent bounds the size of non-bipartite components handled
+// by the bitmask matcher (2^n masks).
+const maxGeneralComponent = 22
+
+// Bipartition 2-colors the underlying undirected graph. It returns the
+// color of every vertex (0 or 1) and whether the graph is bipartite.
+// Self-loops make a graph non-bipartite; isolated vertices get color 0.
+func Bipartition(g *Graph) ([]int, bool) {
+	n := g.N()
+	color := make([]int, n)
+	for i := range color {
+		color[i] = -1
+	}
+	queue := make([]int, 0, n)
+	for s := 0; s < n; s++ {
+		if color[s] != -1 {
+			continue
+		}
+		color[s] = 0
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, h := range g.Adj(v) {
+				if h.To == v {
+					return nil, false // self-loop
+				}
+				if color[h.To] == -1 {
+					color[h.To] = 1 - color[v]
+					queue = append(queue, h.To)
+				} else if color[h.To] == color[v] {
+					return nil, false
+				}
+			}
+		}
+	}
+	return color, true
+}
+
+// MinWeightPerfectMatching computes an exact minimum-weight perfect
+// matching of the undirected graph g under weight vector w (negative
+// weights permitted, as in Appendix B). The graph is decomposed into
+// connected components; bipartite components use the Hungarian algorithm
+// and small non-bipartite components use exact dynamic programming over
+// vertex subsets. It returns the matched edge IDs, sorted, and the total
+// weight.
+func MinWeightPerfectMatching(g *Graph, w []float64) ([]int, float64, error) {
+	if g.Directed() {
+		return nil, 0, errors.New("graph: matching requires an undirected graph")
+	}
+	if len(w) != g.M() {
+		return nil, 0, fmt.Errorf("graph: matching weight vector has length %d, want %d", len(w), g.M())
+	}
+	comps := g.Components()
+	var matched []int
+	total := 0.0
+	for c := 0; c < comps.Count; c++ {
+		verts := comps.Vertices(c)
+		if len(verts)%2 != 0 {
+			return nil, 0, fmt.Errorf("%w: component with %d vertices", ErrNoPerfectMatching, len(verts))
+		}
+		if len(verts) == 0 {
+			continue
+		}
+		ids, wt, err := matchComponent(g, w, verts)
+		if err != nil {
+			return nil, 0, err
+		}
+		matched = append(matched, ids...)
+		total += wt
+	}
+	sort.Ints(matched)
+	return matched, total, nil
+}
+
+// MaxWeightPerfectMatching computes a maximum-weight perfect matching by
+// negating the weights.
+func MaxWeightPerfectMatching(g *Graph, w []float64) ([]int, float64, error) {
+	neg := make([]float64, len(w))
+	for i, x := range w {
+		neg[i] = -x
+	}
+	ids, wt, err := MinWeightPerfectMatching(g, neg)
+	return ids, -wt, err
+}
+
+// matchComponent matches one connected component given by its vertex list.
+func matchComponent(g *Graph, w []float64, verts []int) ([]int, float64, error) {
+	index := make(map[int]int, len(verts))
+	for i, v := range verts {
+		index[v] = i
+	}
+	// Cheapest edge between each local pair, remembering the edge ID.
+	n := len(verts)
+	cost := make([][]float64, n)
+	via := make([][]int, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		via[i] = make([]int, n)
+		for j := range cost[i] {
+			cost[i][j] = math.Inf(1)
+			via[i][j] = -1
+		}
+	}
+	for _, v := range verts {
+		iv := index[v]
+		for _, h := range g.Adj(v) {
+			if h.To == v {
+				continue // self-loops never belong to a matching
+			}
+			iu, ok := index[h.To]
+			if !ok {
+				continue
+			}
+			if w[h.Edge] < cost[iv][iu] {
+				cost[iv][iu] = w[h.Edge]
+				via[iv][iu] = h.Edge
+				cost[iu][iv] = w[h.Edge]
+				via[iu][iv] = h.Edge
+			}
+		}
+	}
+	if color, ok := bipartitionLocal(g, verts, index); ok {
+		return hungarianMatch(cost, via, color)
+	}
+	if n > maxGeneralComponent {
+		return nil, 0, fmt.Errorf("%w: component size %d", ErrMatchingTooLarge, n)
+	}
+	return bitmaskMatch(cost, via)
+}
+
+// bipartitionLocal 2-colors the component induced by verts; returns local
+// colors indexed like verts.
+func bipartitionLocal(g *Graph, verts []int, index map[int]int) ([]int, bool) {
+	color := make([]int, len(verts))
+	for i := range color {
+		color[i] = -1
+	}
+	color[0] = 0
+	queue := []int{verts[0]}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, h := range g.Adj(v) {
+			if h.To == v {
+				return nil, false
+			}
+			j, ok := index[h.To]
+			if !ok {
+				continue
+			}
+			if color[j] == -1 {
+				color[j] = 1 - color[index[v]]
+				queue = append(queue, h.To)
+			} else if color[j] == color[index[v]] {
+				return nil, false
+			}
+		}
+	}
+	return color, true
+}
+
+// hungarianMatch solves min-cost perfect matching on a bipartite component
+// via the O(n^3) Hungarian algorithm with potentials (the classical
+// shortest-augmenting-path formulation). cost/via are local all-pairs
+// cheapest-edge tables; color gives the bipartition.
+func hungarianMatch(cost [][]float64, via [][]int, color []int) ([]int, float64, error) {
+	var left, right []int
+	for i, c := range color {
+		if c == 0 {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) != len(right) {
+		return nil, 0, fmt.Errorf("%w: unbalanced bipartition %d vs %d", ErrNoPerfectMatching, len(left), len(right))
+	}
+	n := len(left)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	const inf = math.MaxFloat64 / 4
+	a := make([][]float64, n+1) // 1-based cost matrix
+	for i := 1; i <= n; i++ {
+		a[i] = make([]float64, n+1)
+		for j := 1; j <= n; j++ {
+			c := cost[left[i-1]][right[j-1]]
+			if math.IsInf(c, 1) {
+				c = inf
+			}
+			a[i][j] = c
+		}
+	}
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1)   // p[j] = row matched to column j (0 = none)
+	way := make([]int, n+1) // augmenting path bookkeeping
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := math.Inf(1)
+			j1 := -1
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := a[i0][j] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	var ids []int
+	total := 0.0
+	for j := 1; j <= n; j++ {
+		i := p[j]
+		li, rj := left[i-1], right[j-1]
+		e := via[li][rj]
+		if e < 0 {
+			return nil, 0, ErrNoPerfectMatching
+		}
+		ids = append(ids, e)
+		total += cost[li][rj]
+	}
+	return ids, total, nil
+}
+
+// bitmaskMatch solves min-weight perfect matching exactly on a small
+// component by dynamic programming over vertex subsets: dp[mask] is the
+// cheapest perfect matching of the vertices in mask. O(2^n * n^2) worst
+// case but effectively O(2^n * n) since the lowest unmatched vertex is
+// always paired first.
+func bitmaskMatch(cost [][]float64, via [][]int) ([]int, float64, error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	size := 1 << n
+	dp := make([]float64, size)
+	choice := make([]int32, size) // packed (i, j) pair chosen at this mask
+	for m := 1; m < size; m++ {
+		dp[m] = math.Inf(1)
+		choice[m] = -1
+	}
+	for m := 0; m < size; m++ {
+		if math.IsInf(dp[m], 1) {
+			continue
+		}
+		// First vertex not yet matched.
+		i := 0
+		for ; i < n; i++ {
+			if m&(1<<i) == 0 {
+				break
+			}
+		}
+		if i == n {
+			continue
+		}
+		for j := i + 1; j < n; j++ {
+			if m&(1<<j) != 0 || via[i][j] < 0 {
+				continue
+			}
+			nm := m | 1<<i | 1<<j
+			if c := dp[m] + cost[i][j]; c < dp[nm] {
+				dp[nm] = c
+				choice[nm] = int32(i<<8 | j)
+			}
+		}
+	}
+	full := size - 1
+	if math.IsInf(dp[full], 1) {
+		return nil, 0, ErrNoPerfectMatching
+	}
+	var ids []int
+	for m := full; m != 0; {
+		c := choice[m]
+		i, j := int(c>>8), int(c&0xff)
+		ids = append(ids, via[i][j])
+		m &^= 1<<i | 1<<j
+	}
+	return ids, dp[full], nil
+}
+
+// IsPerfectMatching reports whether the edge IDs form a perfect matching
+// of g: every vertex is covered exactly once.
+func IsPerfectMatching(g *Graph, edgeIDs []int) bool {
+	covered := make([]bool, g.N())
+	for _, id := range edgeIDs {
+		if id < 0 || id >= g.M() {
+			return false
+		}
+		e := g.Edge(id)
+		if e.From == e.To || covered[e.From] || covered[e.To] {
+			return false
+		}
+		covered[e.From] = true
+		covered[e.To] = true
+	}
+	for _, c := range covered {
+		if !c {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,312 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bruteForceMatching finds the min-weight perfect matching by recursion;
+// exponential, for cross-checking on small graphs.
+func bruteForceMatching(g *Graph, w []float64) (float64, bool) {
+	n := g.N()
+	if n%2 != 0 {
+		return 0, false
+	}
+	used := make([]bool, n)
+	var best float64
+	found := false
+	var rec func(done int, acc float64)
+	rec = func(done int, acc float64) {
+		if done == n {
+			if !found || acc < best {
+				best, found = acc, true
+			}
+			return
+		}
+		i := 0
+		for used[i] {
+			i++
+		}
+		used[i] = true
+		for _, h := range g.Adj(i) {
+			if h.To == i || used[h.To] {
+				continue
+			}
+			used[h.To] = true
+			rec(done+2, acc+w[h.Edge])
+			used[h.To] = false
+		}
+		used[i] = false
+	}
+	rec(0, 0)
+	return best, found
+}
+
+func TestMatchingPathGraphs(t *testing.T) {
+	// P2: single edge. P4: must take outer edges.
+	g := Path(2)
+	ids, wt, err := MinWeightPerfectMatching(g, []float64{3})
+	if err != nil || wt != 3 || len(ids) != 1 {
+		t.Fatalf("P2: %v %g %v", ids, wt, err)
+	}
+	g4 := Path(4)
+	ids, wt, err = MinWeightPerfectMatching(g4, []float64{1, 100, 1})
+	if err != nil || wt != 2 || len(ids) != 2 {
+		t.Fatalf("P4: %v %g %v", ids, wt, err)
+	}
+	if !IsPerfectMatching(g4, ids) {
+		t.Error("P4 result not a perfect matching")
+	}
+}
+
+func TestMatchingOddComponent(t *testing.T) {
+	if _, _, err := MinWeightPerfectMatching(Path(3), []float64{1, 1}); !errors.Is(err, ErrNoPerfectMatching) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMatchingNoPerfectMatchingEvenComponent(t *testing.T) {
+	// Star K_{1,3}: 4 vertices, even, but no perfect matching.
+	g := Star(4)
+	if _, _, err := MinWeightPerfectMatching(g, UniformWeights(g, 1)); !errors.Is(err, ErrNoPerfectMatching) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMatchingDirectedRejected(t *testing.T) {
+	g := NewDirected(2)
+	g.AddEdge(0, 1)
+	if _, _, err := MinWeightPerfectMatching(g, []float64{1}); err == nil {
+		t.Error("directed graph accepted")
+	}
+}
+
+func TestMatchingLengthMismatch(t *testing.T) {
+	if _, _, err := MinWeightPerfectMatching(Path(2), nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestMatchingCompleteBipartiteAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	for trial := 0; trial < 40; trial++ {
+		a := 1 + rng.Intn(4)
+		g := CompleteBipartite(a, a)
+		w := UniformRandomWeights(g, -3, 5, rng)
+		ids, wt, err := MinWeightPerfectMatching(g, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsPerfectMatching(g, ids) {
+			t.Fatal("not a perfect matching")
+		}
+		if math.Abs(PathWeight(w, ids)-wt) > 1e-9 {
+			t.Fatal("reported weight disagrees with edges")
+		}
+		brute, ok := bruteForceMatching(g, w)
+		if !ok {
+			t.Fatal("brute force found none")
+		}
+		if math.Abs(wt-brute) > 1e-9 {
+			t.Fatalf("hungarian %g != brute %g", wt, brute)
+		}
+	}
+}
+
+func TestMatchingNonBipartiteAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 * (1 + rng.Intn(4)) // 2..8 vertices
+		g := Complete(n)           // odd cycles abound: non-bipartite for n >= 3
+		w := UniformRandomWeights(g, -2, 4, rng)
+		ids, wt, err := MinWeightPerfectMatching(g, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsPerfectMatching(g, ids) {
+			t.Fatal("not a perfect matching")
+		}
+		brute, ok := bruteForceMatching(g, w)
+		if !ok {
+			t.Fatal("brute force found none")
+		}
+		if math.Abs(wt-brute) > 1e-9 {
+			t.Fatalf("bitmask %g != brute %g", wt, brute)
+		}
+	}
+}
+
+func TestMatchingMixedComponents(t *testing.T) {
+	// One bipartite component (P2), one non-bipartite (triangle+pendant).
+	g := New(6)
+	e0 := g.AddEdge(0, 1) // P2 component
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 2) // triangle 2-3-4
+	e4 := g.AddEdge(4, 5)
+	w := []float64{2, 1, 5, 1, 3}
+	ids, wt, err := MinWeightPerfectMatching(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsPerfectMatching(g, ids) {
+		t.Fatal("not perfect")
+	}
+	// Must match 0-1 (2), 4-5 (3), 2-3 (1): total 6.
+	if wt != 6 {
+		t.Fatalf("weight = %g, want 6", wt)
+	}
+	hasE0, hasE4 := false, false
+	for _, id := range ids {
+		if id == e0 {
+			hasE0 = true
+		}
+		if id == e4 {
+			hasE4 = true
+		}
+	}
+	if !hasE0 || !hasE4 {
+		t.Errorf("matching = %v", ids)
+	}
+}
+
+func TestMatchingParallelEdgesPickCheapest(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	cheap := g.AddEdge(0, 1)
+	ids, wt, err := MinWeightPerfectMatching(g, []float64{7, 3})
+	if err != nil || wt != 3 {
+		t.Fatalf("%v %g %v", ids, wt, err)
+	}
+	if ids[0] != cheap {
+		t.Errorf("picked edge %d", ids[0])
+	}
+}
+
+func TestMatchingHourglassStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	hg := NewHourglassGadget(20)
+	for trial := 0; trial < 10; trial++ {
+		w := UniformRandomWeights(hg.G, 0, 4, rng)
+		ids, wt, err := MinWeightPerfectMatching(hg.G, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsPerfectMatching(hg.G, ids) {
+			t.Fatal("not perfect")
+		}
+		brute, _ := bruteForceMatching(hg.G, w)
+		if math.Abs(wt-brute) > 1e-9 {
+			t.Fatalf("hourglass %g != brute %g", wt, brute)
+		}
+	}
+}
+
+func TestMatchingTooLargeNonBipartite(t *testing.T) {
+	// A big odd-girth component: complete graph on 24 vertices.
+	g := Complete(24)
+	_, _, err := MinWeightPerfectMatching(g, UniformWeights(g, 1))
+	if !errors.Is(err, ErrMatchingTooLarge) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestLargeBipartiteMatchingOK(t *testing.T) {
+	// Bipartite components have no size limit.
+	rng := rand.New(rand.NewSource(19))
+	g := CompleteBipartite(40, 40)
+	w := UniformRandomWeights(g, 0, 1, rng)
+	ids, _, err := MinWeightPerfectMatching(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsPerfectMatching(g, ids) {
+		t.Fatal("not perfect")
+	}
+}
+
+func TestMaxWeightPerfectMatching(t *testing.T) {
+	g := CompleteBipartite(2, 2)
+	// edges: (0,2) (0,3) (1,2) (1,3)
+	w := []float64{1, 9, 8, 2}
+	ids, wt, err := MaxWeightPerfectMatching(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wt != 17 { // 9 + 8
+		t.Fatalf("max weight = %g, want 17", wt)
+	}
+	if !IsPerfectMatching(g, ids) {
+		t.Fatal("not perfect")
+	}
+}
+
+func TestBipartition(t *testing.T) {
+	color, ok := Bipartition(CompleteBipartite(3, 4))
+	if !ok {
+		t.Fatal("K_{3,4} not bipartite")
+	}
+	for i := 0; i < 3; i++ {
+		if color[i] != color[0] {
+			t.Error("left side multicolored")
+		}
+	}
+	if _, ok := Bipartition(Complete(3)); ok {
+		t.Error("triangle bipartite")
+	}
+	if _, ok := Bipartition(Cycle(5)); ok {
+		t.Error("C5 bipartite")
+	}
+	if _, ok := Bipartition(Cycle(6)); !ok {
+		t.Error("C6 not bipartite")
+	}
+	g := New(2)
+	g.AddEdge(0, 0)
+	if _, ok := Bipartition(g); ok {
+		t.Error("self-loop bipartite")
+	}
+}
+
+func TestIsPerfectMatching(t *testing.T) {
+	g := Path(4)
+	if !IsPerfectMatching(g, []int{0, 2}) {
+		t.Error("valid matching rejected")
+	}
+	if IsPerfectMatching(g, []int{0, 1}) {
+		t.Error("overlapping edges accepted")
+	}
+	if IsPerfectMatching(g, []int{0}) {
+		t.Error("partial matching accepted")
+	}
+	if IsPerfectMatching(g, []int{99}) {
+		t.Error("bad edge ID accepted")
+	}
+	loop := New(2)
+	loop.AddEdge(0, 0)
+	loop.AddEdge(0, 1)
+	if IsPerfectMatching(loop, []int{0, 1}) {
+		t.Error("self-loop accepted in matching")
+	}
+}
+
+func TestMatchingEmptyGraph(t *testing.T) {
+	ids, wt, err := MinWeightPerfectMatching(New(0), nil)
+	if err != nil || len(ids) != 0 || wt != 0 {
+		t.Fatalf("%v %g %v", ids, wt, err)
+	}
+}
+
+func BenchmarkHungarian40(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := CompleteBipartite(40, 40)
+	w := UniformRandomWeights(g, 0, 1, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := MinWeightPerfectMatching(g, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package graph
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrDisconnected is returned when a spanning tree is requested for a
+// disconnected graph.
+var ErrDisconnected = errors.New("graph: graph is not connected")
+
+// MST computes a minimum spanning tree of the connected undirected graph g
+// under the weight vector w using Kruskal's algorithm. Negative weights
+// are permitted (the paper's Appendix B allows them). It returns the edge
+// IDs of the tree, sorted, and the total tree weight.
+func MST(g *Graph, w []float64) ([]int, float64, error) {
+	if g.Directed() {
+		return nil, 0, errors.New("graph: MST requires an undirected graph")
+	}
+	if len(w) != g.M() {
+		return nil, 0, fmt.Errorf("graph: MST weight vector has length %d, want %d", len(w), g.M())
+	}
+	order := make([]int, g.M())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return w[order[i]] < w[order[j]] })
+	uf := NewUnionFind(g.N())
+	var tree []int
+	total := 0.0
+	for _, id := range order {
+		e := g.Edge(id)
+		if e.From == e.To {
+			continue
+		}
+		if uf.Union(e.From, e.To) {
+			tree = append(tree, id)
+			total += w[id]
+			if len(tree) == g.N()-1 {
+				break
+			}
+		}
+	}
+	if len(tree) != g.N()-1 && g.N() > 0 {
+		return nil, 0, ErrDisconnected
+	}
+	sort.Ints(tree)
+	return tree, total, nil
+}
+
+// primItem is a heap entry for Prim's algorithm.
+type primItem struct {
+	vertex int
+	edge   int
+	weight float64
+}
+
+type primHeap []primItem
+
+func (h primHeap) Len() int           { return len(h) }
+func (h primHeap) Less(i, j int) bool { return h[i].weight < h[j].weight }
+func (h primHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *primHeap) Push(x any)        { *h = append(*h, x.(primItem)) }
+func (h *primHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+func (h *primHeap) push(it primItem)  { heap.Push(h, it) }
+func (h *primHeap) pop() primItem     { return heap.Pop(h).(primItem) }
+
+// PrimMST computes a minimum spanning tree with Prim's algorithm (lazy
+// deletion heap). It is used in tests as an independent check of MST.
+func PrimMST(g *Graph, w []float64) ([]int, float64, error) {
+	if g.Directed() {
+		return nil, 0, errors.New("graph: PrimMST requires an undirected graph")
+	}
+	if len(w) != g.M() {
+		return nil, 0, fmt.Errorf("graph: PrimMST weight vector has length %d, want %d", len(w), g.M())
+	}
+	n := g.N()
+	if n == 0 {
+		return nil, 0, nil
+	}
+	inTree := make([]bool, n)
+	var h primHeap
+	var tree []int
+	total := 0.0
+	add := func(v int) {
+		inTree[v] = true
+		for _, half := range g.Adj(v) {
+			if !inTree[half.To] {
+				h.push(primItem{vertex: half.To, edge: half.Edge, weight: w[half.Edge]})
+			}
+		}
+	}
+	add(0)
+	for len(tree) < n-1 && h.Len() > 0 {
+		it := h.pop()
+		if inTree[it.vertex] {
+			continue
+		}
+		tree = append(tree, it.edge)
+		total += it.weight
+		add(it.vertex)
+	}
+	if len(tree) != n-1 {
+		return nil, 0, ErrDisconnected
+	}
+	sort.Ints(tree)
+	return tree, total, nil
+}
+
+// SpanningTree returns an arbitrary spanning tree of the connected graph
+// g (ignoring weights), as edge IDs sorted ascending. The covering
+// construction of Lemma 4.4 may use any spanning tree.
+func SpanningTree(g *Graph) ([]int, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, nil
+	}
+	seen := make([]bool, n)
+	seen[0] = true
+	var tree []int
+	stack := []int{0}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, half := range g.Adj(v) {
+			if !seen[half.To] {
+				seen[half.To] = true
+				tree = append(tree, half.Edge)
+				stack = append(stack, half.To)
+			}
+		}
+	}
+	if len(tree) != n-1 {
+		return nil, ErrDisconnected
+	}
+	sort.Ints(tree)
+	return tree, nil
+}
+
+// Subgraph returns the subgraph of g induced by the given edge IDs, on the
+// same vertex set, along with a map from new edge IDs (dense, in the order
+// given) back to the original IDs.
+func Subgraph(g *Graph, edgeIDs []int) (*Graph, []int) {
+	s := New(g.N())
+	s.directed = g.Directed()
+	orig := make([]int, 0, len(edgeIDs))
+	for _, id := range edgeIDs {
+		e := g.Edge(id)
+		s.AddEdge(e.From, e.To)
+		orig = append(orig, id)
+	}
+	return s, orig
+}
+
+// IsSpanningTree reports whether the edge IDs form a spanning tree of g:
+// exactly N-1 edges that connect all vertices acyclically.
+func IsSpanningTree(g *Graph, edgeIDs []int) bool {
+	if g.N() == 0 {
+		return len(edgeIDs) == 0
+	}
+	if len(edgeIDs) != g.N()-1 {
+		return false
+	}
+	uf := NewUnionFind(g.N())
+	for _, id := range edgeIDs {
+		if id < 0 || id >= g.M() {
+			return false
+		}
+		e := g.Edge(id)
+		if !uf.Union(e.From, e.To) {
+			return false // cycle
+		}
+	}
+	return uf.Count() == 1
+}

@@ -1,0 +1,217 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMSTTriangle(t *testing.T) {
+	g := Complete(3)
+	tree, wt, err := MST(g, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wt != 3 || len(tree) != 2 {
+		t.Fatalf("MST = %v weight %g", tree, wt)
+	}
+	if !IsSpanningTree(g, tree) {
+		t.Error("not a spanning tree")
+	}
+}
+
+func TestMSTNegativeWeights(t *testing.T) {
+	g := Complete(4)
+	w := []float64{-5, 1, 2, -3, 4, -1}
+	tree, wt, err := MST(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsSpanningTree(g, tree) {
+		t.Fatal("not spanning")
+	}
+	if wt != -5-3-1 {
+		t.Fatalf("weight %g, want -9", wt)
+	}
+}
+
+func TestMSTDisconnected(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	if _, _, err := MST(g, []float64{1}); !errors.Is(err, ErrDisconnected) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMSTDirectedRejected(t *testing.T) {
+	g := NewDirected(2)
+	g.AddEdge(0, 1)
+	if _, _, err := MST(g, []float64{1}); err == nil {
+		t.Error("directed accepted")
+	}
+}
+
+func TestMSTSkipsSelfLoops(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 0) // weight -100: would be picked first if not skipped
+	g.AddEdge(0, 1)
+	tree, wt, err := MST(g, []float64{-100, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree) != 1 || tree[0] != 1 || wt != 5 {
+		t.Fatalf("tree = %v wt = %g", tree, wt)
+	}
+}
+
+func TestMSTMatchesPrimProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(40)
+		g := ConnectedErdosRenyi(n, 0.2, rng)
+		w := UniformRandomWeights(g, -5, 10, rng)
+		_, kw, err := MST(g, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, pw, err := PrimMST(g, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(kw-pw) > 1e-9 {
+			t.Fatalf("trial %d: kruskal %g != prim %g", trial, kw, pw)
+		}
+	}
+}
+
+func TestMSTOnMultigraphPicksCheapParallel(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	cheap := g.AddEdge(0, 1)
+	tree, wt, err := MST(g, []float64{9, 2})
+	if err != nil || wt != 2 || tree[0] != cheap {
+		t.Fatalf("%v %g %v", tree, wt, err)
+	}
+}
+
+func TestSpanningTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(50)
+		g := ConnectedErdosRenyi(n, 0.15, rng)
+		tree, err := SpanningTree(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n > 0 && !IsSpanningTree(g, tree) {
+			t.Fatal("SpanningTree output invalid")
+		}
+	}
+	g := New(3)
+	g.AddEdge(0, 1)
+	if _, err := SpanningTree(g); !errors.Is(err, ErrDisconnected) {
+		t.Errorf("err = %v", err)
+	}
+	if tree, err := SpanningTree(New(0)); err != nil || len(tree) != 0 {
+		t.Error("empty graph spanning tree")
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := Complete(4)
+	sub, orig := Subgraph(g, []int{2, 5})
+	if sub.N() != 4 || sub.M() != 2 {
+		t.Fatalf("subgraph dims %d %d", sub.N(), sub.M())
+	}
+	if orig[0] != 2 || orig[1] != 5 {
+		t.Errorf("orig = %v", orig)
+	}
+	e := sub.Edge(0)
+	oe := g.Edge(2)
+	if e.From != oe.From || e.To != oe.To {
+		t.Error("edge endpoints not preserved")
+	}
+}
+
+func TestIsSpanningTree(t *testing.T) {
+	g := Complete(4) // edges: 0:(0,1) 1:(0,2) 2:(0,3) 3:(1,2) 4:(1,3) 5:(2,3)
+	if !IsSpanningTree(g, []int{0, 1, 2}) {
+		t.Error("star rejected")
+	}
+	if IsSpanningTree(g, []int{0, 1}) {
+		t.Error("two edges accepted")
+	}
+	if IsSpanningTree(g, []int{0, 1, 3}) {
+		t.Error("cycle accepted")
+	}
+	if IsSpanningTree(g, []int{0, 1, 99}) {
+		t.Error("bad ID accepted")
+	}
+	if !IsSpanningTree(New(0), nil) {
+		t.Error("empty graph empty tree rejected")
+	}
+	if !IsSpanningTree(New(1), nil) {
+		t.Error("singleton rejected")
+	}
+}
+
+// Cut property check: for random graphs with distinct weights, every MST
+// edge is the cheapest edge across some cut; equivalently, removing an
+// MST edge and reconnecting with the cheapest crossing edge returns the
+// same edge.
+func TestMSTCutProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + rng.Intn(15)
+		g := ConnectedErdosRenyi(n, 0.4, rng)
+		w := make([]float64, g.M())
+		for i := range w {
+			w[i] = rng.Float64() // distinct a.s.
+		}
+		tree, _, err := MST(g, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inTree := map[int]bool{}
+		for _, id := range tree {
+			inTree[id] = true
+		}
+		for _, cut := range tree {
+			// Components after removing this edge.
+			uf := NewUnionFind(n)
+			for _, id := range tree {
+				if id != cut {
+					e := g.Edge(id)
+					uf.Union(e.From, e.To)
+				}
+			}
+			// Cheapest edge crossing the cut must be the removed edge.
+			bestID := -1
+			for _, e := range g.Edges() {
+				if e.From == e.To || uf.Connected(e.From, e.To) {
+					continue
+				}
+				if bestID == -1 || w[e.ID] < w[bestID] {
+					bestID = e.ID
+				}
+			}
+			if bestID != cut {
+				t.Fatalf("cut property violated: edge %d vs cheapest crossing %d", cut, bestID)
+			}
+		}
+	}
+}
+
+func BenchmarkMSTGrid32(b *testing.B) {
+	g := Grid(32)
+	rng := rand.New(rand.NewSource(1))
+	w := UniformRandomWeights(g, 0, 10, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := MST(g, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

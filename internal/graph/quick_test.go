@@ -1,0 +1,291 @@
+package graph
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// quickCfg caps case counts so the randomized suite stays fast.
+var quickCfg = &quick.Config{MaxCount: 40}
+
+// TestQuickTreeDistanceSymmetric: on a random tree derived from the seed,
+// the unique-path distance is symmetric and satisfies the LCA identity.
+func TestQuickTreeDistanceSymmetric(t *testing.T) {
+	f := func(seed int64, a, b uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(a%60)
+		g := RandomPruferTree(n, rng)
+		tr, err := NewTree(g, int(b)%n)
+		if err != nil {
+			return false
+		}
+		w := UniformRandomWeights(g, 0, 5, rng)
+		x, y := rng.Intn(n), rng.Intn(n)
+		d1 := tr.TreeDistance(w, x, y)
+		d2 := tr.TreeDistance(w, y, x)
+		lca := NewLCA(tr).Find(x, y)
+		rd := tr.RootDistances(w)
+		identity := rd[x] + rd[y] - 2*rd[lca]
+		return math.Abs(d1-d2) < 1e-9 && math.Abs(d1-identity) < 1e-9
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTreePathIsReversible: TreePath(x,y) is the reverse of
+// TreePath(y,x) and both are valid walks.
+func TestQuickTreePathIsReversible(t *testing.T) {
+	f := func(seed int64, a uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(a%50)
+		g := RandomTree(n, rng)
+		tr, err := NewTree(g, 0)
+		if err != nil {
+			return false
+		}
+		x, y := rng.Intn(n), rng.Intn(n)
+		p1 := tr.TreePath(x, y)
+		p2 := tr.TreePath(y, x)
+		if len(p1) != len(p2) {
+			return false
+		}
+		for i := range p1 {
+			if p1[i] != p2[len(p2)-1-i] {
+				return false
+			}
+		}
+		return g.ValidatePath(x, y, p1) == nil && g.ValidatePath(y, x, p2) == nil
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSplitterInvariant: the splitter property holds on arbitrary
+// random trees and roots.
+func TestQuickSplitterInvariant(t *testing.T) {
+	f := func(seed int64, a, r uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(a%80)
+		g := RandomPruferTree(n, rng)
+		tr, err := NewTree(g, int(r)%n)
+		if err != nil {
+			return false
+		}
+		v := tr.Splitter()
+		if 2*tr.Size[v] <= n {
+			return false
+		}
+		for _, h := range tr.Children(v) {
+			if 2*tr.Size[h.To] > n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCoveringInvariant: Covering always verifies and meets the
+// Lemma 4.4 size bound.
+func TestQuickCoveringInvariant(t *testing.T) {
+	f := func(seed int64, a, kk uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(a%100)
+		k := 1 + int(kk)%(n-1)
+		if n < k+1 {
+			return true
+		}
+		g := ConnectedErdosRenyi(n, 2/float64(n), rng)
+		z, err := Covering(g, k)
+		if err != nil {
+			return false
+		}
+		return len(z) <= n/(k+1) && VerifyCovering(g, z, k)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickGadgetRoundTrips: encode/decode identity for all three
+// lower-bound gadgets under arbitrary bit vectors.
+func TestQuickGadgetRoundTrips(t *testing.T) {
+	f := func(bits []bool) bool {
+		if len(bits) == 0 || len(bits) > 200 {
+			return true
+		}
+		n := len(bits)
+		pg := NewPathGadget(n)
+		path, wt, ok, err := ShortestPath(pg.G, pg.Weights(bits), pg.S, pg.T)
+		if err != nil || !ok || wt != 0 {
+			return false
+		}
+		y := pg.Decode(path)
+		mg := NewMSTGadget(n)
+		tree, tw, err := MST(mg.G, mg.Weights(bits))
+		if err != nil || tw != 0 {
+			return false
+		}
+		y2 := mg.Decode(tree)
+		hg := NewHourglassGadget(n)
+		m, mw, err := MinWeightPerfectMatching(hg.G, hg.Weights(bits))
+		if err != nil || mw != 0 {
+			return false
+		}
+		y3 := hg.Decode(m)
+		for i := range bits {
+			if y[i] != bits[i] || y2[i] != bits[i] || y3[i] != bits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTextRoundTrip: serialization round-trips arbitrary random
+// weighted multigraphs.
+func TestQuickTextRoundTrip(t *testing.T) {
+	f := func(seed int64, a, b uint16, directed bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(a%40)
+		var g *Graph
+		if directed {
+			g = NewDirected(n)
+		} else {
+			g = New(n)
+		}
+		edges := int(b % 120)
+		for i := 0; i < edges; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n)) // self-loops and parallels allowed
+		}
+		w := UniformRandomWeights(g, -10, 10, rng)
+		var buf bytes.Buffer
+		if err := WriteText(&buf, g, w); err != nil {
+			return false
+		}
+		g2, w2, err := ReadText(&buf)
+		if err != nil || g2.N() != n || g2.M() != g.M() || g2.Directed() != directed {
+			return false
+		}
+		for i, e := range g.Edges() {
+			e2 := g2.Edge(i)
+			if e.From != e2.From || e.To != e2.To || w[i] != w2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDijkstraOptimality: Dijkstra distances are at most the weight
+// of a random walk between the endpoints (path optimality under arbitrary
+// nonnegative weights).
+func TestQuickDijkstraOptimality(t *testing.T) {
+	f := func(seed int64, a uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(a%50)
+		g := ConnectedErdosRenyi(n, 0.2, rng)
+		w := UniformRandomWeights(g, 0, 4, rng)
+		tree, err := Dijkstra(g, w, 0)
+		if err != nil {
+			return false
+		}
+		// Random walk from 0 of bounded length; distance to its endpoint
+		// must not exceed the walk's weight.
+		v := 0
+		walkWeight := 0.0
+		for step := 0; step < 12; step++ {
+			adj := g.Adj(v)
+			if len(adj) == 0 {
+				break
+			}
+			h := adj[rng.Intn(len(adj))]
+			walkWeight += w[h.Edge]
+			v = h.To
+			if tree.Dist[v] > walkWeight+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMSTOptimalAgainstRandomSpanningTrees: the MST weight never
+// exceeds the weight of a random spanning tree.
+func TestQuickMSTOptimalAgainstRandomSpanningTrees(t *testing.T) {
+	f := func(seed int64, a uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(a%40)
+		g := ConnectedErdosRenyi(n, 0.3, rng)
+		w := UniformRandomWeights(g, -3, 6, rng)
+		_, mstW, err := MST(g, w)
+		if err != nil {
+			return false
+		}
+		// A random spanning tree: Kruskal over randomly permuted edges.
+		uf := NewUnionFind(n)
+		randW := 0.0
+		for _, id := range rng.Perm(g.M()) {
+			e := g.Edge(id)
+			if e.From != e.To && uf.Union(e.From, e.To) {
+				randW += w[id]
+			}
+		}
+		return mstW <= randW+1e-9
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMatchingOptimalAgainstGreedy: the exact matcher never loses to
+// a greedy matching on complete bipartite graphs.
+func TestQuickMatchingOptimalAgainstGreedy(t *testing.T) {
+	f := func(seed int64, a uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		side := 1 + int(a%8)
+		g := CompleteBipartite(side, side)
+		w := UniformRandomWeights(g, -5, 5, rng)
+		_, optW, err := MinWeightPerfectMatching(g, w)
+		if err != nil {
+			return false
+		}
+		// Greedy: repeatedly take the cheapest edge between unmatched
+		// endpoints.
+		matched := make([]bool, g.N())
+		greedyW := 0.0
+		for picked := 0; picked < side; {
+			best, bestW := -1, math.Inf(1)
+			for _, e := range g.Edges() {
+				if !matched[e.From] && !matched[e.To] && w[e.ID] < bestW {
+					best, bestW = e.ID, w[e.ID]
+				}
+			}
+			e := g.Edge(best)
+			matched[e.From] = true
+			matched[e.To] = true
+			greedyW += bestW
+			picked++
+		}
+		return optW <= greedyW+1e-9
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,296 @@
+package graph
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Inf is the distance reported for unreachable vertices.
+var Inf = math.Inf(1)
+
+// ErrNegativeWeight is returned by Dijkstra when a negative edge weight is
+// encountered.
+var ErrNegativeWeight = errors.New("graph: negative edge weight")
+
+// ErrNegativeCycle is returned by BellmanFord when a negative cycle is
+// reachable from the source.
+var ErrNegativeCycle = errors.New("graph: negative cycle reachable from source")
+
+// ShortestPathTree is the result of a single-source shortest path
+// computation: distances and the in-edge of every vertex on some shortest
+// path tree rooted at Source.
+type ShortestPathTree struct {
+	Source  int
+	Dist    []float64 // Dist[v] = weighted distance from Source; Inf if unreachable
+	Parent  []int     // Parent[v] = preceding vertex on a shortest path; -1 for source/unreachable
+	ViaEdge []int     // ViaEdge[v] = edge ID into v on that path; -1 for source/unreachable
+}
+
+// Reachable reports whether v is reachable from the source.
+func (t *ShortestPathTree) Reachable(v int) bool {
+	return !math.IsInf(t.Dist[v], 1)
+}
+
+// PathTo returns the edge-ID path from the source to v, or nil and false
+// when v is unreachable. The returned path is empty (non-nil) for v equal
+// to the source.
+func (t *ShortestPathTree) PathTo(v int) ([]int, bool) {
+	if !t.Reachable(v) {
+		return nil, false
+	}
+	path := []int{}
+	for v != t.Source {
+		path = append(path, t.ViaEdge[v])
+		v = t.Parent[v]
+	}
+	// Reverse into source-to-target order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, true
+}
+
+// Hops returns the hop length of the tree path from the source to v, or -1
+// if unreachable.
+func (t *ShortestPathTree) Hops(v int) int {
+	if !t.Reachable(v) {
+		return -1
+	}
+	h := 0
+	for v != t.Source {
+		v = t.Parent[v]
+		h++
+	}
+	return h
+}
+
+// distHeap is a binary heap of (vertex, distance) pairs for Dijkstra.
+type distHeap struct {
+	verts []int
+	dist  []float64 // keyed by vertex; shared with caller
+	index []int     // index[v] = position of v in verts, or -1
+}
+
+func (h *distHeap) Len() int { return len(h.verts) }
+func (h *distHeap) Less(i, j int) bool {
+	return h.dist[h.verts[i]] < h.dist[h.verts[j]]
+}
+func (h *distHeap) Swap(i, j int) {
+	h.verts[i], h.verts[j] = h.verts[j], h.verts[i]
+	h.index[h.verts[i]] = i
+	h.index[h.verts[j]] = j
+}
+func (h *distHeap) Push(x any) {
+	v := x.(int)
+	h.index[v] = len(h.verts)
+	h.verts = append(h.verts, v)
+}
+func (h *distHeap) Pop() any {
+	v := h.verts[len(h.verts)-1]
+	h.verts = h.verts[:len(h.verts)-1]
+	h.index[v] = -1
+	return v
+}
+
+// Dijkstra computes single-source shortest paths from source under the
+// weight vector w. All weights must be nonnegative; a negative weight
+// yields ErrNegativeWeight. Runs in O((V + E) log V) with an indexed
+// binary heap.
+func Dijkstra(g *Graph, w []float64, source int) (*ShortestPathTree, error) {
+	if len(w) != g.M() {
+		return nil, fmt.Errorf("graph: Dijkstra weight vector has length %d, want %d", len(w), g.M())
+	}
+	if source < 0 || source >= g.N() {
+		return nil, fmt.Errorf("graph: Dijkstra source %d out of range [0, %d)", source, g.N())
+	}
+	for id, x := range w {
+		if x < 0 {
+			return nil, fmt.Errorf("%w: edge %d has weight %g", ErrNegativeWeight, id, x)
+		}
+	}
+	n := g.N()
+	t := &ShortestPathTree{
+		Source:  source,
+		Dist:    make([]float64, n),
+		Parent:  make([]int, n),
+		ViaEdge: make([]int, n),
+	}
+	for v := 0; v < n; v++ {
+		t.Dist[v] = Inf
+		t.Parent[v] = -1
+		t.ViaEdge[v] = -1
+	}
+	t.Dist[source] = 0
+
+	h := &distHeap{dist: t.Dist, index: make([]int, n)}
+	for v := range h.index {
+		h.index[v] = -1
+	}
+	heap.Push(h, source)
+	done := make([]bool, n)
+	for h.Len() > 0 {
+		v := heap.Pop(h).(int)
+		if done[v] {
+			continue
+		}
+		done[v] = true
+		for _, half := range g.Adj(v) {
+			u := half.To
+			if done[u] {
+				continue
+			}
+			nd := t.Dist[v] + w[half.Edge]
+			if nd < t.Dist[u] {
+				t.Dist[u] = nd
+				t.Parent[u] = v
+				t.ViaEdge[u] = half.Edge
+				if h.index[u] >= 0 {
+					heap.Fix(h, h.index[u])
+				} else {
+					heap.Push(h, u)
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// BellmanFord computes single-source shortest paths allowing negative edge
+// weights. For undirected graphs any negative edge is itself a negative
+// cycle, so BellmanFord on an undirected graph with a negative weight
+// reachable from the source returns ErrNegativeCycle.
+func BellmanFord(g *Graph, w []float64, source int) (*ShortestPathTree, error) {
+	if len(w) != g.M() {
+		return nil, fmt.Errorf("graph: BellmanFord weight vector has length %d, want %d", len(w), g.M())
+	}
+	if source < 0 || source >= g.N() {
+		return nil, fmt.Errorf("graph: BellmanFord source %d out of range [0, %d)", source, g.N())
+	}
+	n := g.N()
+	t := &ShortestPathTree{
+		Source:  source,
+		Dist:    make([]float64, n),
+		Parent:  make([]int, n),
+		ViaEdge: make([]int, n),
+	}
+	for v := 0; v < n; v++ {
+		t.Dist[v] = Inf
+		t.Parent[v] = -1
+		t.ViaEdge[v] = -1
+	}
+	t.Dist[source] = 0
+	relax := func() bool {
+		changed := false
+		for v := 0; v < n; v++ {
+			if math.IsInf(t.Dist[v], 1) {
+				continue
+			}
+			for _, half := range g.Adj(v) {
+				if nd := t.Dist[v] + w[half.Edge]; nd < t.Dist[half.To] {
+					t.Dist[half.To] = nd
+					t.Parent[half.To] = v
+					t.ViaEdge[half.To] = half.Edge
+					changed = true
+				}
+			}
+		}
+		return changed
+	}
+	for i := 0; i < n-1; i++ {
+		if !relax() {
+			return t, nil
+		}
+	}
+	if relax() {
+		return nil, ErrNegativeCycle
+	}
+	return t, nil
+}
+
+// Distance returns the weighted distance between s and t under w, or Inf
+// if t is unreachable from s.
+func Distance(g *Graph, w []float64, s, t int) (float64, error) {
+	tree, err := Dijkstra(g, w, s)
+	if err != nil {
+		return 0, err
+	}
+	return tree.Dist[t], nil
+}
+
+// ShortestPath returns a minimum-weight path between s and t as an
+// edge-ID sequence, together with its weight. The boolean result reports
+// reachability.
+func ShortestPath(g *Graph, w []float64, s, t int) ([]int, float64, bool, error) {
+	tree, err := Dijkstra(g, w, s)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	path, ok := tree.PathTo(t)
+	if !ok {
+		return nil, Inf, false, nil
+	}
+	return path, tree.Dist[t], true, nil
+}
+
+// AllPairsDistances runs Dijkstra from every vertex and returns the full
+// distance matrix, D[s][t]. Unreachable pairs get Inf.
+func AllPairsDistances(g *Graph, w []float64) ([][]float64, error) {
+	n := g.N()
+	d := make([][]float64, n)
+	for s := 0; s < n; s++ {
+		tree, err := Dijkstra(g, w, s)
+		if err != nil {
+			return nil, err
+		}
+		d[s] = tree.Dist
+	}
+	return d, nil
+}
+
+// FloydWarshall computes all-pairs distances in O(V^3), tolerating
+// negative weights (but not negative cycles, which it reports via
+// ErrNegativeCycle). Useful as an independent oracle in tests.
+func FloydWarshall(g *Graph, w []float64) ([][]float64, error) {
+	if len(w) != g.M() {
+		return nil, fmt.Errorf("graph: FloydWarshall weight vector has length %d, want %d", len(w), g.M())
+	}
+	n := g.N()
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			if i != j {
+				d[i][j] = Inf
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		if w[e.ID] < d[e.From][e.To] {
+			d[e.From][e.To] = w[e.ID]
+		}
+		if !g.Directed() && w[e.ID] < d[e.To][e.From] {
+			d[e.To][e.From] = w[e.ID]
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			dik := d[i][k]
+			if math.IsInf(dik, 1) {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if nd := dik + d[k][j]; nd < d[i][j] {
+					d[i][j] = nd
+				}
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if d[v][v] < 0 {
+			return nil, ErrNegativeCycle
+		}
+	}
+	return d, nil
+}

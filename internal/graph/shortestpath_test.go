@@ -1,0 +1,316 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDijkstraPathGraph(t *testing.T) {
+	g := Path(5)
+	w := []float64{1, 2, 3, 4}
+	tree, err := Dijkstra(g, w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 1, 3, 6, 10}
+	for v, d := range want {
+		if tree.Dist[v] != d {
+			t.Errorf("Dist[%d] = %g, want %g", v, tree.Dist[v], d)
+		}
+	}
+	path, ok := tree.PathTo(4)
+	if !ok || len(path) != 4 {
+		t.Fatalf("PathTo(4) = %v, %v", path, ok)
+	}
+	if err := g.ValidatePath(0, 4, path); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDijkstraPicksCheaperParallelEdge(t *testing.T) {
+	g := New(2)
+	a := g.AddEdge(0, 1)
+	b := g.AddEdge(0, 1)
+	tree, err := Dijkstra(g, []float64{5, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Dist[1] != 2 {
+		t.Fatalf("Dist[1] = %g", tree.Dist[1])
+	}
+	if tree.ViaEdge[1] != b {
+		t.Fatalf("ViaEdge[1] = %d, want %d (not %d)", tree.ViaEdge[1], b, a)
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	tree, err := Dijkstra(g, []float64{1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Reachable(2) {
+		t.Error("vertex 2 reported reachable")
+	}
+	if _, ok := tree.PathTo(2); ok {
+		t.Error("PathTo(2) succeeded")
+	}
+	if tree.Hops(2) != -1 {
+		t.Error("Hops(2) != -1")
+	}
+}
+
+func TestDijkstraErrors(t *testing.T) {
+	g := Path(3)
+	if _, err := Dijkstra(g, []float64{1}, 0); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Dijkstra(g, []float64{1, -1}, 0); !errors.Is(err, ErrNegativeWeight) {
+		t.Errorf("negative weight error = %v", err)
+	}
+	if _, err := Dijkstra(g, []float64{1, 1}, 9); err == nil {
+		t.Error("bad source accepted")
+	}
+}
+
+func TestDijkstraDirected(t *testing.T) {
+	g := NewDirected(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	tree, err := Dijkstra(g, []float64{1, 1, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Dist[2] != 2 {
+		t.Errorf("directed Dist[2] = %g", tree.Dist[2])
+	}
+	back, err := Dijkstra(g, []float64{1, 1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Dist[1] != 2 { // 2 -> 0 -> 1
+		t.Errorf("directed Dist 2->1 = %g", back.Dist[1])
+	}
+}
+
+func TestDijkstraZeroWeights(t *testing.T) {
+	g := Cycle(4)
+	tree, err := Dijkstra(g, []float64{0, 0, 0, 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 4; v++ {
+		if tree.Dist[v] != 0 {
+			t.Errorf("Dist[%d] = %g", v, tree.Dist[v])
+		}
+	}
+}
+
+func TestBellmanFordMatchesDijkstraNonnegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(30)
+		g := ConnectedErdosRenyi(n, 0.2, rng)
+		w := UniformRandomWeights(g, 0, 5, rng)
+		d1, err := Dijkstra(g, w, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := BellmanFord(g, w, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < n; v++ {
+			if math.Abs(d1.Dist[v]-d2.Dist[v]) > 1e-9 {
+				t.Fatalf("trial %d: Dijkstra %g vs BellmanFord %g at %d", trial, d1.Dist[v], d2.Dist[v], v)
+			}
+		}
+	}
+}
+
+func TestBellmanFordNegativeEdgeDirected(t *testing.T) {
+	g := NewDirected(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	tree, err := BellmanFord(g, []float64{4, -3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Dist[2] != 1 {
+		t.Errorf("Dist[2] = %g, want 1", tree.Dist[2])
+	}
+}
+
+func TestBellmanFordNegativeCycle(t *testing.T) {
+	g := NewDirected(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	if _, err := BellmanFord(g, []float64{1, -2}, 0); !errors.Is(err, ErrNegativeCycle) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBellmanFordUndirectedNegativeEdgeIsCycle(t *testing.T) {
+	g := Path(3)
+	if _, err := BellmanFord(g, []float64{1, -1}, 0); !errors.Is(err, ErrNegativeCycle) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDijkstraMatchesFloydWarshall(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(20)
+		g := ErdosRenyi(n, 0.3, rng)
+		w := UniformRandomWeights(g, 0, 3, rng)
+		apsp, err := AllPairsDistances(g, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fw, err := FloydWarshall(g, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a, b := apsp[i][j], fw[i][j]
+				if math.IsInf(a, 1) != math.IsInf(b, 1) {
+					t.Fatalf("reachability disagrees at %d,%d", i, j)
+				}
+				if !math.IsInf(a, 1) && math.Abs(a-b) > 1e-9 {
+					t.Fatalf("distance disagrees at %d,%d: %g vs %g", i, j, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestTriangleInequalityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 15; trial++ {
+		n := 3 + rng.Intn(25)
+		g := ConnectedErdosRenyi(n, 0.2, rng)
+		w := UniformRandomWeights(g, 0, 10, rng)
+		d, err := AllPairsDistances(g, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trip := 0; trip < 50; trip++ {
+			a, b, c := rng.Intn(n), rng.Intn(n), rng.Intn(n)
+			if d[a][c] > d[a][b]+d[b][c]+1e-9 {
+				t.Fatalf("triangle violated: d(%d,%d)=%g > %g+%g", a, c, d[a][c], d[a][b], d[b][c])
+			}
+		}
+	}
+}
+
+func TestShortestPathTreeIsConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(30)
+		g := ConnectedErdosRenyi(n, 0.25, rng)
+		w := UniformRandomWeights(g, 0.1, 4, rng)
+		tree, err := Dijkstra(g, w, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 1; v < n; v++ {
+			path, ok := tree.PathTo(v)
+			if !ok {
+				t.Fatalf("unreachable vertex %d in connected graph", v)
+			}
+			if err := g.ValidatePath(0, v, path); err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(PathWeight(w, path)-tree.Dist[v]) > 1e-9 {
+				t.Fatalf("path weight %g != Dist %g", PathWeight(w, path), tree.Dist[v])
+			}
+			if tree.Hops(v) != len(path) {
+				t.Fatalf("Hops %d != len(path) %d", tree.Hops(v), len(path))
+			}
+		}
+	}
+}
+
+func TestDistanceAndShortestPathHelpers(t *testing.T) {
+	g := Path(4)
+	w := []float64{1, 1, 1}
+	d, err := Distance(g, w, 0, 3)
+	if err != nil || d != 3 {
+		t.Fatalf("Distance = %g, %v", d, err)
+	}
+	path, wt, ok, err := ShortestPath(g, w, 3, 0)
+	if err != nil || !ok || wt != 3 || len(path) != 3 {
+		t.Fatalf("ShortestPath = %v %g %v %v", path, wt, ok, err)
+	}
+	g2 := New(2)
+	_, _, ok, err = ShortestPath(g2, nil, 0, 1)
+	if err != nil || ok {
+		t.Fatal("unreachable pair reported reachable")
+	}
+}
+
+func TestFloydWarshallNegativeWeights(t *testing.T) {
+	g := NewDirected(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	fw, err := FloydWarshall(g, []float64{2, -1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fw[0][2] != 1 {
+		t.Fatalf("fw[0][2] = %g, want 1 (through the negative edge)", fw[0][2])
+	}
+}
+
+func TestFloydWarshallNegativeCycle(t *testing.T) {
+	g := NewDirected(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	if _, err := FloydWarshall(g, []float64{-1, -1}); !errors.Is(err, ErrNegativeCycle) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPathToSourceIsEmpty(t *testing.T) {
+	g := Path(3)
+	tree, err := Dijkstra(g, []float64{1, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, ok := tree.PathTo(1)
+	if !ok || path == nil || len(path) != 0 {
+		t.Fatalf("PathTo(source) = %v, %v", path, ok)
+	}
+}
+
+func BenchmarkDijkstraGrid64(b *testing.B) {
+	g := Grid(64)
+	rng := rand.New(rand.NewSource(1))
+	w := UniformRandomWeights(g, 0, 10, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Dijkstra(g, w, i%g.N()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFloydWarshall128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := ConnectedErdosRenyi(128, 0.1, rng)
+	w := UniformRandomWeights(g, 0, 10, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FloydWarshall(g, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// Tree is a rooted view of a graph whose underlying undirected topology is
+// a tree. It precomputes the parent, depth, preorder and subtree sizes
+// used by Algorithm 1 (rooted tree distances) and the LCA structure used
+// by the all-pairs reduction of Theorem 4.2.
+type Tree struct {
+	G    *Graph
+	Root int
+
+	Parent     []int // Parent[v]; -1 at the root
+	ParentEdge []int // edge ID from Parent[v] to v; -1 at the root
+	Depth      []int // hop depth from the root
+	Order      []int // preorder traversal of all vertices
+	Size       []int // Size[v] = number of vertices in v's subtree
+
+	children [][]Half // children adjacency (edge ID + child vertex)
+}
+
+// NewTree roots the tree graph g at root. The graph must be undirected,
+// connected, and have exactly N-1 edges.
+func NewTree(g *Graph, root int) (*Tree, error) {
+	if g.Directed() {
+		return nil, errors.New("graph: NewTree requires an undirected graph")
+	}
+	n := g.N()
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("graph: NewTree root %d out of range [0, %d)", root, n)
+	}
+	if g.M() != n-1 {
+		return nil, fmt.Errorf("graph: NewTree: %d edges on %d vertices is not a tree", g.M(), n)
+	}
+	t := &Tree{
+		G:          g,
+		Root:       root,
+		Parent:     make([]int, n),
+		ParentEdge: make([]int, n),
+		Depth:      make([]int, n),
+		Size:       make([]int, n),
+		children:   make([][]Half, n),
+	}
+	for i := 0; i < n; i++ {
+		t.Parent[i] = -1
+		t.ParentEdge[i] = -1
+	}
+	// Iterative DFS to assign parents and preorder.
+	visited := make([]bool, n)
+	visited[root] = true
+	stack := []int{root}
+	t.Order = make([]int, 0, n)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		t.Order = append(t.Order, v)
+		for _, h := range g.Adj(v) {
+			if visited[h.To] {
+				continue
+			}
+			visited[h.To] = true
+			t.Parent[h.To] = v
+			t.ParentEdge[h.To] = h.Edge
+			t.Depth[h.To] = t.Depth[v] + 1
+			t.children[v] = append(t.children[v], h)
+			stack = append(stack, h.To)
+		}
+	}
+	if len(t.Order) != n {
+		return nil, ErrDisconnected
+	}
+	// Subtree sizes in reverse preorder.
+	for i := range t.Size {
+		t.Size[i] = 1
+	}
+	for i := n - 1; i >= 1; i-- {
+		v := t.Order[i]
+		t.Size[t.Parent[v]] += t.Size[v]
+	}
+	return t, nil
+}
+
+// Children returns the child half-edges of v (edge ID plus child vertex).
+// The caller must not modify the returned slice.
+func (t *Tree) Children(v int) []Half { return t.children[v] }
+
+// N returns the number of vertices.
+func (t *Tree) N() int { return t.G.N() }
+
+// Splitter returns the vertex v* of Algorithm 1: the unique vertex whose
+// subtree contains more than N/2 vertices while the subtree of each of its
+// children contains at most N/2 vertices. (Existence: descend from the
+// root, always moving to a child with subtree size > N/2; uniqueness: such
+// heavy children are unique since two disjoint subtrees cannot both exceed
+// half the vertices.)
+func (t *Tree) Splitter() int {
+	half := t.N() // threshold: size*2 > N
+	v := t.Root
+	for {
+		next := -1
+		for _, h := range t.children[v] {
+			if 2*t.Size[h.To] > half {
+				next = h.To
+				break
+			}
+		}
+		if next == -1 {
+			return v
+		}
+		v = next
+	}
+}
+
+// SubtreeVertices returns the vertices of v's subtree in preorder.
+func (t *Tree) SubtreeVertices(v int) []int {
+	out := make([]int, 0, t.Size[v])
+	stack := []int{v}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, u)
+		for _, h := range t.children[u] {
+			stack = append(stack, h.To)
+		}
+	}
+	return out
+}
+
+// PathFromRoot returns the edge-ID path from the root down to v.
+func (t *Tree) PathFromRoot(v int) []int {
+	var rev []int
+	for v != t.Root {
+		rev = append(rev, t.ParentEdge[v])
+		v = t.Parent[v]
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// RootDistances returns the weighted distance from the root to every
+// vertex, computed in one preorder pass (exact, non-private).
+func (t *Tree) RootDistances(w []float64) []float64 {
+	if len(w) != t.G.M() {
+		panic("graph: RootDistances weight vector has wrong length")
+	}
+	d := make([]float64, t.N())
+	for _, v := range t.Order {
+		if v == t.Root {
+			continue
+		}
+		d[v] = d[t.Parent[v]] + w[t.ParentEdge[v]]
+	}
+	return d
+}
+
+// TreePath returns the unique tree path between x and y as edge IDs,
+// ordered from x to y.
+func (t *Tree) TreePath(x, y int) []int {
+	// Climb both to equal depth, then together.
+	var up, down []int
+	a, b := x, y
+	for t.Depth[a] > t.Depth[b] {
+		up = append(up, t.ParentEdge[a])
+		a = t.Parent[a]
+	}
+	for t.Depth[b] > t.Depth[a] {
+		down = append(down, t.ParentEdge[b])
+		b = t.Parent[b]
+	}
+	for a != b {
+		up = append(up, t.ParentEdge[a])
+		down = append(down, t.ParentEdge[b])
+		a = t.Parent[a]
+		b = t.Parent[b]
+	}
+	for i, j := 0, len(down)-1; i < j; i, j = i+1, j-1 {
+		down[i], down[j] = down[j], down[i]
+	}
+	return append(up, down...)
+}
+
+// TreeDistance returns the weighted distance between x and y along the
+// unique tree path.
+func (t *Tree) TreeDistance(w []float64, x, y int) float64 {
+	return PathWeight(w, t.TreePath(x, y))
+}
+
+// LCA is a lowest-common-ancestor oracle built by binary lifting:
+// O(N log N) preprocessing, O(log N) per query.
+type LCA struct {
+	tree *Tree
+	up   [][]int // up[k][v] = 2^k-th ancestor of v, or root
+}
+
+// NewLCA builds the binary-lifting ancestor table for t.
+func NewLCA(t *Tree) *LCA {
+	n := t.N()
+	levels := 1
+	if n > 1 {
+		levels = bits.Len(uint(n-1)) + 1
+	}
+	up := make([][]int, levels)
+	up[0] = make([]int, n)
+	for v := 0; v < n; v++ {
+		if t.Parent[v] >= 0 {
+			up[0][v] = t.Parent[v]
+		} else {
+			up[0][v] = v
+		}
+	}
+	for k := 1; k < levels; k++ {
+		up[k] = make([]int, n)
+		for v := 0; v < n; v++ {
+			up[k][v] = up[k-1][up[k-1][v]]
+		}
+	}
+	return &LCA{tree: t, up: up}
+}
+
+// Ancestor returns the d-th ancestor of v (clamped at the root).
+func (l *LCA) Ancestor(v, d int) int {
+	if d > l.tree.Depth[v] {
+		d = l.tree.Depth[v]
+	}
+	for k := 0; d > 0 && k < len(l.up); k++ {
+		if d&1 == 1 {
+			v = l.up[k][v]
+		}
+		d >>= 1
+	}
+	return v
+}
+
+// Find returns the lowest common ancestor of x and y.
+func (l *LCA) Find(x, y int) int {
+	t := l.tree
+	if t.Depth[x] < t.Depth[y] {
+		x, y = y, x
+	}
+	x = l.Ancestor(x, t.Depth[x]-t.Depth[y])
+	if x == y {
+		return x
+	}
+	for k := len(l.up) - 1; k >= 0; k-- {
+		if l.up[k][x] != l.up[k][y] {
+			x = l.up[k][x]
+			y = l.up[k][y]
+		}
+	}
+	return t.Parent[x]
+}
+
+// ExtractSubtree materializes the subtree of t rooted at r (over original
+// vertex IDs given by keep, which must be exactly the vertex set of a
+// connected subtree containing r) as a standalone tree graph with dense
+// vertex IDs. It returns the new graph, the new root index, a map from new
+// vertex index to original vertex ID, and a map from new edge ID to
+// original edge ID.
+func ExtractSubtree(t *Tree, r int, keep []int) (sub *Graph, subRoot int, vertOrig []int, edgeOrig []int) {
+	index := make(map[int]int, len(keep))
+	vertOrig = make([]int, len(keep))
+	for i, v := range keep {
+		index[v] = i
+		vertOrig[i] = v
+	}
+	sub = New(len(keep))
+	for _, v := range keep {
+		if v == r {
+			continue
+		}
+		p := t.Parent[v]
+		pi, ok := index[p]
+		if !ok {
+			// v's parent is outside the kept set; v must be the root.
+			panic(fmt.Sprintf("graph: ExtractSubtree: vertex %d has parent %d outside subtree and is not root %d", v, p, r))
+		}
+		sub.AddEdge(pi, index[v])
+		edgeOrig = append(edgeOrig, t.ParentEdge[v])
+	}
+	return sub, index[r], vertOrig, edgeOrig
+}

@@ -1,0 +1,373 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func testTrees(rng *rand.Rand) []*Graph {
+	return []*Graph{
+		Path(1),
+		Path(2),
+		Path(17),
+		Star(9),
+		BalancedBinaryTree(31),
+		BalancedBinaryTree(100),
+		Caterpillar(10, 23),
+		RandomTree(64, rng),
+		RandomPruferTree(50, rng),
+	}
+}
+
+func TestNewTreeRejectsNonTrees(t *testing.T) {
+	if _, err := NewTree(Cycle(4), 0); err == nil {
+		t.Error("cycle accepted as tree")
+	}
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	g.AddEdge(2, 3) // 3 edges on 4 vertices but disconnected
+	if _, err := NewTree(g, 0); err == nil {
+		t.Error("disconnected multigraph accepted as tree")
+	}
+	if _, err := NewTree(NewDirected(1), 0); err == nil {
+		t.Error("directed graph accepted")
+	}
+	if _, err := NewTree(Path(3), 7); err == nil {
+		t.Error("out-of-range root accepted")
+	}
+}
+
+func TestTreeStructureInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, g := range testTrees(rng) {
+		n := g.N()
+		root := rng.Intn(n)
+		tr, err := NewTree(g, root)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if tr.Parent[root] != -1 || tr.ParentEdge[root] != -1 || tr.Depth[root] != 0 {
+			t.Error("root fields wrong")
+		}
+		if len(tr.Order) != n || tr.Order[0] != root {
+			t.Error("preorder wrong")
+		}
+		if tr.Size[root] != n {
+			t.Errorf("root subtree size %d != %d", tr.Size[root], n)
+		}
+		sizeSum := 0
+		for v := 0; v < n; v++ {
+			if v != root {
+				if tr.Depth[v] != tr.Depth[tr.Parent[v]]+1 {
+					t.Error("depth not parent depth + 1")
+				}
+				e := g.Edge(tr.ParentEdge[v])
+				if !((e.From == v && e.To == tr.Parent[v]) || (e.To == v && e.From == tr.Parent[v])) {
+					t.Error("ParentEdge does not join v and Parent[v]")
+				}
+			}
+			// Size[v] = 1 + sum of child sizes.
+			s := 1
+			for _, h := range tr.Children(v) {
+				s += tr.Size[h.To]
+			}
+			if s != tr.Size[v] {
+				t.Errorf("Size[%d] = %d, want %d", v, tr.Size[v], s)
+			}
+			sizeSum += len(tr.Children(v))
+		}
+		if sizeSum != n-1 {
+			t.Errorf("total children %d != n-1", sizeSum)
+		}
+	}
+}
+
+func TestSplitterProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, g := range testTrees(rng) {
+		n := g.N()
+		tr, err := NewTree(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := tr.Splitter()
+		if 2*tr.Size[v] <= n {
+			t.Errorf("n=%d: splitter subtree size %d not > n/2", n, tr.Size[v])
+		}
+		for _, h := range tr.Children(v) {
+			if 2*tr.Size[h.To] > n {
+				t.Errorf("n=%d: splitter child subtree size %d > n/2", n, tr.Size[h.To])
+			}
+		}
+	}
+}
+
+func TestSplitterPartsAtMostHalf(t *testing.T) {
+	// The Algorithm 1 recursion property: each child part has at most
+	// floor(n/2) vertices and T0 at most ceil(n/2). Ceil-halving still
+	// reaches size 1 within ceil(log2 n) levels, which is the Levels bound
+	// TreeSingleSource uses for sensitivity.
+	rng := rand.New(rand.NewSource(8))
+	for _, g := range testTrees(rng) {
+		n := g.N()
+		if n < 2 {
+			continue
+		}
+		tr, err := NewTree(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := tr.Splitter()
+		childTotal := 0
+		for _, h := range tr.Children(v) {
+			sz := tr.Size[h.To]
+			childTotal += sz
+			if 2*sz > n {
+				t.Errorf("child part %d > n/2 (n=%d)", sz, n)
+			}
+		}
+		t0 := n - childTotal
+		if t0 > (n+1)/2 {
+			t.Errorf("T0 part %d > ceil(n/2) (n=%d)", t0, n)
+		}
+	}
+}
+
+func TestCeilHalvingDepth(t *testing.T) {
+	// The recursion-depth identity behind the Levels bound: iterating
+	// n -> ceil(n/2) reaches 1 in exactly ceil(log2 n) steps.
+	for n := 2; n <= 1<<14; n++ {
+		steps := 0
+		for m := n; m > 1; m = (m + 1) / 2 {
+			steps++
+		}
+		want := 0
+		for (1 << want) < n {
+			want++
+		}
+		if steps != want {
+			t.Fatalf("n=%d: ceil-halving depth %d != ceil(log2 n) %d", n, steps, want)
+		}
+	}
+}
+
+func TestSubtreeVertices(t *testing.T) {
+	g := BalancedBinaryTree(7)
+	tr, err := NewTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := tr.SubtreeVertices(1) // subtree {1, 3, 4}
+	if len(vs) != 3 {
+		t.Fatalf("subtree size %d", len(vs))
+	}
+	seen := map[int]bool{}
+	for _, v := range vs {
+		seen[v] = true
+	}
+	if !seen[1] || !seen[3] || !seen[4] {
+		t.Errorf("subtree vertices %v", vs)
+	}
+}
+
+func TestTreePathAndDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, g := range testTrees(rng) {
+		n := g.N()
+		if n < 2 {
+			continue
+		}
+		tr, err := NewTree(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := UniformRandomWeights(g, 0.1, 5, rng)
+		for trial := 0; trial < 20; trial++ {
+			x, y := rng.Intn(n), rng.Intn(n)
+			path := tr.TreePath(x, y)
+			if err := g.ValidatePath(x, y, path); err != nil {
+				t.Fatalf("TreePath invalid: %v", err)
+			}
+			exact, err := Distance(g, w, x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(tr.TreeDistance(w, x, y)-exact) > 1e-9 {
+				t.Fatalf("TreeDistance %g != Dijkstra %g", tr.TreeDistance(w, x, y), exact)
+			}
+		}
+	}
+}
+
+func TestPathFromRoot(t *testing.T) {
+	g := Path(5)
+	tr, err := NewTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tr.PathFromRoot(4)
+	if len(p) != 4 {
+		t.Fatalf("path length %d", len(p))
+	}
+	if err := g.ValidatePath(0, 4, p); err != nil {
+		t.Error(err)
+	}
+	if len(tr.PathFromRoot(0)) != 0 {
+		t.Error("root path not empty")
+	}
+}
+
+func TestRootDistances(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	g := RandomTree(40, rng)
+	w := UniformRandomWeights(g, 0, 8, rng)
+	tr, err := NewTree(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := tr.RootDistances(w)
+	tree, err := Dijkstra(g, w, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 40; v++ {
+		if math.Abs(d[v]-tree.Dist[v]) > 1e-9 {
+			t.Fatalf("RootDistances[%d] = %g, Dijkstra %g", v, d[v], tree.Dist[v])
+		}
+	}
+}
+
+func TestLCAMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, g := range testTrees(rng) {
+		n := g.N()
+		tr, err := NewTree(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lca := NewLCA(tr)
+		naive := func(x, y int) int {
+			seen := map[int]bool{}
+			for v := x; ; v = tr.Parent[v] {
+				seen[v] = true
+				if v == tr.Root {
+					break
+				}
+			}
+			for v := y; ; v = tr.Parent[v] {
+				if seen[v] {
+					return v
+				}
+			}
+		}
+		for trial := 0; trial < 30; trial++ {
+			x, y := rng.Intn(n), rng.Intn(n)
+			if got, want := lca.Find(x, y), naive(x, y); got != want {
+				t.Fatalf("n=%d: LCA(%d,%d) = %d, want %d", n, x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestLCAAncestor(t *testing.T) {
+	g := Path(8)
+	tr, err := NewTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lca := NewLCA(tr)
+	if got := lca.Ancestor(7, 3); got != 4 {
+		t.Errorf("Ancestor(7,3) = %d", got)
+	}
+	if got := lca.Ancestor(7, 100); got != 0 {
+		t.Errorf("Ancestor clamp = %d", got)
+	}
+	if got := lca.Ancestor(3, 0); got != 3 {
+		t.Errorf("Ancestor(3,0) = %d", got)
+	}
+}
+
+func TestLCAIdentities(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := RandomPruferTree(60, rng)
+	tr, err := NewTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lca := NewLCA(tr)
+	w := UniformRandomWeights(g, 0.5, 2, rng)
+	rootDist := tr.RootDistances(w)
+	for trial := 0; trial < 60; trial++ {
+		x, y := rng.Intn(60), rng.Intn(60)
+		z := lca.Find(x, y)
+		// d(x,y) = d(r,x) + d(r,y) - 2 d(r,z): the Theorem 4.2 identity.
+		want := tr.TreeDistance(w, x, y)
+		got := rootDist[x] + rootDist[y] - 2*rootDist[z]
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("LCA identity: %g != %g", got, want)
+		}
+		if lca.Find(x, x) != x {
+			t.Fatal("LCA(x,x) != x")
+		}
+		if lca.Find(tr.Root, x) != tr.Root {
+			t.Fatal("LCA(root,x) != root")
+		}
+	}
+}
+
+func TestExtractSubtree(t *testing.T) {
+	g := BalancedBinaryTree(15)
+	tr, err := NewTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := tr.SubtreeVertices(1)
+	sub, subRoot, vertOrig, edgeOrig := ExtractSubtree(tr, 1, keep)
+	if sub.N() != len(keep) || sub.M() != len(keep)-1 {
+		t.Fatalf("subtree dims %d/%d", sub.N(), sub.M())
+	}
+	if vertOrig[subRoot] != 1 {
+		t.Errorf("subRoot maps to %d", vertOrig[subRoot])
+	}
+	if _, err := NewTree(sub, subRoot); err != nil {
+		t.Errorf("extracted subtree is not a tree: %v", err)
+	}
+	// Every extracted edge exists in the original between mapped endpoints.
+	for newID, origID := range edgeOrig {
+		ne := sub.Edge(newID)
+		oe := g.Edge(origID)
+		a, b := vertOrig[ne.From], vertOrig[ne.To]
+		if !((oe.From == a && oe.To == b) || (oe.From == b && oe.To == a)) {
+			t.Errorf("edge mapping broken: new %v -> orig %v", ne, oe)
+		}
+	}
+}
+
+func TestExtractSubtreeT0Shape(t *testing.T) {
+	// Extract "everything except subtree(1)" rooted at the original root,
+	// the T0 shape of Algorithm 1.
+	g := BalancedBinaryTree(15)
+	tr, err := NewTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inSub := map[int]bool{}
+	for _, v := range tr.SubtreeVertices(1) {
+		inSub[v] = true
+	}
+	var keep []int
+	for v := 0; v < 15; v++ {
+		if !inSub[v] {
+			keep = append(keep, v)
+		}
+	}
+	sub, subRoot, vertOrig, _ := ExtractSubtree(tr, 0, keep)
+	if vertOrig[subRoot] != 0 {
+		t.Error("wrong root")
+	}
+	if _, err := NewTree(sub, subRoot); err != nil {
+		t.Errorf("T0 not a tree: %v", err)
+	}
+}

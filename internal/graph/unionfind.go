@@ -1,0 +1,57 @@
+package graph
+
+// UnionFind is a disjoint-set forest with union by rank and path
+// compression, used by Kruskal's algorithm and the k-covering verifier.
+type UnionFind struct {
+	parent []int
+	rank   []int
+	count  int
+}
+
+// NewUnionFind returns a disjoint-set structure over n singleton elements.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{
+		parent: make([]int, n),
+		rank:   make([]int, n),
+		count:  n,
+	}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+// Find returns the canonical representative of x's set.
+func (uf *UnionFind) Find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]] // path halving
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets containing x and y and reports whether a merge
+// occurred (false if they were already in the same set).
+func (uf *UnionFind) Union(x, y int) bool {
+	rx, ry := uf.Find(x), uf.Find(y)
+	if rx == ry {
+		return false
+	}
+	if uf.rank[rx] < uf.rank[ry] {
+		rx, ry = ry, rx
+	}
+	uf.parent[ry] = rx
+	if uf.rank[rx] == uf.rank[ry] {
+		uf.rank[rx]++
+	}
+	uf.count--
+	return true
+}
+
+// Connected reports whether x and y are in the same set.
+func (uf *UnionFind) Connected(x, y int) bool {
+	return uf.Find(x) == uf.Find(y)
+}
+
+// Count returns the current number of disjoint sets.
+func (uf *UnionFind) Count() int { return uf.count }

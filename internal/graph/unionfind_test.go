@@ -1,0 +1,78 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestUnionFindBasics(t *testing.T) {
+	uf := NewUnionFind(5)
+	if uf.Count() != 5 {
+		t.Fatal("initial count")
+	}
+	if !uf.Union(0, 1) {
+		t.Error("first union returned false")
+	}
+	if uf.Union(1, 0) {
+		t.Error("repeat union returned true")
+	}
+	if !uf.Connected(0, 1) || uf.Connected(0, 2) {
+		t.Error("connectivity wrong")
+	}
+	if uf.Count() != 4 {
+		t.Errorf("count = %d", uf.Count())
+	}
+}
+
+func TestUnionFindTransitivity(t *testing.T) {
+	uf := NewUnionFind(6)
+	uf.Union(0, 1)
+	uf.Union(2, 3)
+	uf.Union(1, 2)
+	if !uf.Connected(0, 3) {
+		t.Error("transitivity broken")
+	}
+	if uf.Connected(0, 4) {
+		t.Error("phantom connection")
+	}
+}
+
+// Property: union-find agrees with a brute-force partition under a random
+// operation sequence.
+func TestUnionFindAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(40)
+		uf := NewUnionFind(n)
+		label := make([]int, n)
+		for i := range label {
+			label[i] = i
+		}
+		relabel := func(from, to int) {
+			for i := range label {
+				if label[i] == from {
+					label[i] = to
+				}
+			}
+		}
+		for op := 0; op < 80; op++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if rng.Intn(2) == 0 {
+				merged := uf.Union(a, b)
+				if merged != (label[a] != label[b]) {
+					t.Fatal("Union return value wrong")
+				}
+				relabel(label[a], label[b])
+			} else if uf.Connected(a, b) != (label[a] == label[b]) {
+				t.Fatal("Connected disagrees with brute force")
+			}
+		}
+		distinct := map[int]bool{}
+		for _, l := range label {
+			distinct[l] = true
+		}
+		if uf.Count() != len(distinct) {
+			t.Fatalf("Count %d != %d", uf.Count(), len(distinct))
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package stats provides the summary statistics used by the experiment
+// harness: streaming moments, quantiles, and least-squares slope fits on
+// log-log data for measuring empirical growth exponents.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates a stream of observations.
+type Summary struct {
+	n    int
+	mean float64
+	m2   float64 // sum of squared deviations (Welford)
+	min  float64
+	max  float64
+	vals []float64 // retained for quantiles
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+	s.vals = append(s.vals, x)
+}
+
+// AddAll records a batch of observations.
+func (s *Summary) AddAll(xs []float64) {
+	for _, x := range xs {
+		s.Add(x)
+	}
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the sample mean (0 for an empty summary).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Var returns the unbiased sample variance.
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Summary) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation.
+func (s *Summary) Max() float64 { return s.max }
+
+// Quantile returns the p-th empirical quantile (linear interpolation
+// between order statistics). p must be in [0, 1].
+func (s *Summary) Quantile(p float64) float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	if !(p >= 0 && p <= 1) {
+		panic(fmt.Sprintf("stats: quantile p=%g out of [0,1]", p))
+	}
+	sorted := append([]float64(nil), s.vals...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the empirical median.
+func (s *Summary) Median() float64 { return s.Quantile(0.5) }
+
+// StdErr returns the standard error of the mean.
+func (s *Summary) StdErr() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.Std() / math.Sqrt(float64(s.n))
+}
+
+// LinearFit returns the least-squares slope and intercept of y against x.
+// It panics on length mismatch and returns NaNs for fewer than 2 points.
+func LinearFit(x, y []float64) (slope, intercept float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("stats: LinearFit lengths %d and %d", len(x), len(y)))
+	}
+	n := float64(len(x))
+	if len(x) < 2 {
+		return math.NaN(), math.NaN()
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return math.NaN(), math.NaN()
+	}
+	slope = (n*sxy - sx*sy) / denom
+	intercept = (sy - slope*sx) / n
+	return slope, intercept
+}
+
+// LogLogSlope fits y ~ C * x^alpha by least squares on (ln x, ln y) and
+// returns alpha. Points with non-positive coordinates are skipped. This is
+// how experiments measure the empirical growth exponent of error curves:
+// polylogarithmic growth shows up as alpha near 0, sqrt growth as 0.5,
+// linear growth as 1.
+func LogLogSlope(x, y []float64) float64 {
+	var lx, ly []float64
+	for i := range x {
+		if x[i] > 0 && y[i] > 0 {
+			lx = append(lx, math.Log(x[i]))
+			ly = append(ly, math.Log(y[i]))
+		}
+	}
+	slope, _ := LinearFit(lx, ly)
+	return slope
+}
+
+// SemiLogSlope fits y ~ a + b*ln(x) and returns b, for distinguishing
+// logarithmic from polynomial growth.
+func SemiLogSlope(x, y []float64) float64 {
+	var lx []float64
+	var yy []float64
+	for i := range x {
+		if x[i] > 0 {
+			lx = append(lx, math.Log(x[i]))
+			yy = append(yy, y[i])
+		}
+	}
+	slope, _ := LinearFit(lx, yy)
+	return slope
+}
+
+// MeanOf returns the mean of a slice (NaN when empty).
+func MeanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total / float64(len(xs))
+}
+
+// MaxOf returns the maximum of a slice (NaN when empty).
+func MaxOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,195 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	s := &Summary{}
+	s.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N() != 8 {
+		t.Fatal("N")
+	}
+	if s.Mean() != 5 {
+		t.Errorf("mean = %g", s.Mean())
+	}
+	if math.Abs(s.Var()-32.0/7) > 1e-12 {
+		t.Errorf("var = %g", s.Var())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %g/%g", s.Min(), s.Max())
+	}
+	if math.Abs(s.Std()-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("std = %g", s.Std())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	s := &Summary{}
+	if s.Mean() != 0 || s.Var() != 0 {
+		t.Error("empty summary nonzero")
+	}
+	if !math.IsNaN(s.Quantile(0.5)) {
+		t.Error("empty quantile not NaN")
+	}
+	if !math.IsNaN(s.StdErr()) {
+		t.Error("empty stderr not NaN")
+	}
+}
+
+func TestSummarySingle(t *testing.T) {
+	s := &Summary{}
+	s.Add(3)
+	if s.Mean() != 3 || s.Var() != 0 || s.Min() != 3 || s.Max() != 3 {
+		t.Error("single observation stats wrong")
+	}
+	if s.Quantile(0.9) != 3 {
+		t.Error("single quantile")
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	s := &Summary{}
+	s.AddAll([]float64{0, 10})
+	if got := s.Quantile(0.5); got != 5 {
+		t.Errorf("median = %g", got)
+	}
+	if s.Quantile(0) != 0 || s.Quantile(1) != 10 {
+		t.Error("extreme quantiles")
+	}
+	if s.Median() != 5 {
+		t.Error("Median helper")
+	}
+}
+
+func TestQuantileValidation(t *testing.T) {
+	s := &Summary{}
+	s.Add(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("p=2 accepted")
+		}
+	}()
+	s.Quantile(2)
+}
+
+func TestSummaryMatchesWelfordProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var clean []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) < 2 {
+			return true
+		}
+		s := &Summary{}
+		s.AddAll(clean)
+		mean := 0.0
+		for _, x := range clean {
+			mean += x
+		}
+		mean /= float64(len(clean))
+		varSum := 0.0
+		for _, x := range clean {
+			varSum += (x - mean) * (x - mean)
+		}
+		wantVar := varSum / float64(len(clean)-1)
+		return math.Abs(s.Mean()-mean) < 1e-6*(1+math.Abs(mean)) &&
+			math.Abs(s.Var()-wantVar) < 1e-6*(1+wantVar)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{5, 7, 9, 11} // y = 2x + 3
+	slope, intercept := LinearFit(x, y)
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-3) > 1e-12 {
+		t.Errorf("fit = %g, %g", slope, intercept)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if s, _ := LinearFit([]float64{1}, []float64{1}); !math.IsNaN(s) {
+		t.Error("single point fit not NaN")
+	}
+	if s, _ := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); !math.IsNaN(s) {
+		t.Error("vertical fit not NaN")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch accepted")
+		}
+	}()
+	LinearFit([]float64{1}, []float64{1, 2})
+}
+
+func TestLogLogSlopeRecognizesPowerLaws(t *testing.T) {
+	var x, sqrtY, linY, logY []float64
+	for n := 4.0; n <= 4096; n *= 2 {
+		x = append(x, n)
+		sqrtY = append(sqrtY, 3*math.Sqrt(n))
+		linY = append(linY, 0.5*n)
+		logY = append(logY, math.Pow(math.Log(n), 1.5))
+	}
+	if s := LogLogSlope(x, sqrtY); math.Abs(s-0.5) > 1e-9 {
+		t.Errorf("sqrt slope = %g", s)
+	}
+	if s := LogLogSlope(x, linY); math.Abs(s-1) > 1e-9 {
+		t.Errorf("linear slope = %g", s)
+	}
+	if s := LogLogSlope(x, logY); s > 0.45 {
+		t.Errorf("polylog slope = %g, should be well below 0.5", s)
+	}
+}
+
+func TestLogLogSlopeSkipsNonPositive(t *testing.T) {
+	s := LogLogSlope([]float64{1, 2, 0, 4, 8}, []float64{1, 2, 99, 4, 8})
+	if math.Abs(s-1) > 1e-9 {
+		t.Errorf("slope = %g (zero-x point should be skipped)", s)
+	}
+}
+
+func TestSemiLogSlope(t *testing.T) {
+	var x, y []float64
+	for n := 2.0; n <= 1024; n *= 2 {
+		x = append(x, n)
+		y = append(y, 3*math.Log(n)+1)
+	}
+	if s := SemiLogSlope(x, y); math.Abs(s-3) > 1e-9 {
+		t.Errorf("semilog slope = %g", s)
+	}
+}
+
+func TestMeanOfMaxOf(t *testing.T) {
+	if MeanOf([]float64{1, 2, 3}) != 2 {
+		t.Error("MeanOf")
+	}
+	if MaxOf([]float64{1, 5, 3}) != 5 {
+		t.Error("MaxOf")
+	}
+	if !math.IsNaN(MeanOf(nil)) || !math.IsNaN(MaxOf(nil)) {
+		t.Error("empty not NaN")
+	}
+}
+
+func TestStdErrShrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	small, large := &Summary{}, &Summary{}
+	for i := 0; i < 100; i++ {
+		small.Add(rng.NormFloat64())
+	}
+	for i := 0; i < 10000; i++ {
+		large.Add(rng.NormFloat64())
+	}
+	if large.StdErr() >= small.StdErr() {
+		t.Error("stderr did not shrink with more samples")
+	}
+}

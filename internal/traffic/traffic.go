@@ -1,0 +1,250 @@
+// Package traffic synthesizes road networks and congestion data for the
+// paper's motivating application (Section 1.1): a navigation service
+// whose road map is public but whose observed travel times are private.
+// We have no production traces, so this substrate generates the closest
+// synthetic equivalent (see DESIGN.md §6): a city street grid with
+// removed blocks and fast arterial avenues, plus a time-of-day congestion
+// model perturbing free-flow travel times. The resulting weight vectors
+// exercise exactly the code paths the paper's mechanisms care about:
+// sparse near-planar topology, low-hop shortest paths, bounded weights.
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// City is a synthetic road network: a grid street plan with some blocks
+// removed and designated arterial rows/columns, together with free-flow
+// travel times per road segment.
+type City struct {
+	// G is the public road topology.
+	G *graph.Graph
+	// Side is the grid side length; intersections are (row, col).
+	Side int
+	// FreeFlow is the travel time of each segment with no congestion.
+	FreeFlow []float64
+	// Arterial marks segments on arterial avenues (faster free-flow,
+	// heavier rush-hour load).
+	Arterial []bool
+	// MaxTime is an upper bound on any segment travel time under any
+	// congestion level; the weight cap M for the bounded-weight
+	// mechanisms.
+	MaxTime float64
+}
+
+// Config controls city generation.
+type Config struct {
+	// Side is the grid side length (Side*Side intersections). Must be >= 2.
+	Side int
+	// BlockRemovalProb removes street segments to model parks, rivers and
+	// dead ends, while keeping the network connected. Default 0.1.
+	BlockRemovalProb float64
+	// ArterialEvery makes every n-th row and column an arterial avenue.
+	// Default 4; 0 disables arterials.
+	ArterialEvery int
+	// LocalTime is the free-flow travel time of a local street segment.
+	// Default 4 (minutes).
+	LocalTime float64
+	// ArterialTime is the free-flow time of an arterial segment. Default 2.
+	ArterialTime float64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Side < 2 {
+		return c, fmt.Errorf("traffic: Side must be >= 2, got %d", c.Side)
+	}
+	if c.BlockRemovalProb == 0 {
+		c.BlockRemovalProb = 0.1
+	}
+	if c.BlockRemovalProb < 0 || c.BlockRemovalProb >= 1 {
+		return c, fmt.Errorf("traffic: BlockRemovalProb must be in [0, 1), got %g", c.BlockRemovalProb)
+	}
+	if c.ArterialEvery == 0 {
+		c.ArterialEvery = 4
+	}
+	if c.LocalTime == 0 {
+		c.LocalTime = 4
+	}
+	if c.ArterialTime == 0 {
+		c.ArterialTime = 2
+	}
+	if c.LocalTime <= 0 || c.ArterialTime <= 0 {
+		return c, fmt.Errorf("traffic: travel times must be positive")
+	}
+	return c, nil
+}
+
+// NewCity generates a city from the config. The returned network is
+// guaranteed connected: candidate removals that would disconnect it are
+// skipped.
+func NewCity(cfg Config, rng *rand.Rand) (*City, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	side := c.Side
+	full := graph.Grid(side)
+
+	isArterialVertex := func(v int) (row, col bool) {
+		i, j := v/side, v%side
+		if c.ArterialEvery > 0 {
+			row = i%c.ArterialEvery == c.ArterialEvery/2
+			col = j%c.ArterialEvery == c.ArterialEvery/2
+		}
+		return row, col
+	}
+	segArterial := func(e graph.Edge) bool {
+		ri, ci := isArterialVertex(e.From)
+		rj, cj := isArterialVertex(e.To)
+		horizontal := e.To-e.From == 1
+		if horizontal {
+			return ri && rj // both endpoints on the same arterial row
+		}
+		return ci && cj
+	}
+
+	// Decide which segments survive. Arterials are never removed; local
+	// segments are removed with the configured probability as long as the
+	// network stays connected.
+	keep := make([]bool, full.M())
+	for i := range keep {
+		keep[i] = true
+	}
+	for _, e := range full.Edges() {
+		if segArterial(e) {
+			continue
+		}
+		if rng.Float64() >= c.BlockRemovalProb {
+			continue
+		}
+		keep[e.ID] = false
+		if !connectedUnder(full, keep) {
+			keep[e.ID] = true // removal would disconnect; skip
+		}
+	}
+
+	g := graph.New(side * side)
+	var freeFlow []float64
+	var arterial []bool
+	for _, e := range full.Edges() {
+		if !keep[e.ID] {
+			continue
+		}
+		g.AddEdge(e.From, e.To)
+		if segArterial(e) {
+			freeFlow = append(freeFlow, c.ArterialTime)
+			arterial = append(arterial, true)
+		} else {
+			freeFlow = append(freeFlow, c.LocalTime)
+			arterial = append(arterial, false)
+		}
+	}
+	maxTime := c.LocalTime
+	if c.ArterialTime > maxTime {
+		maxTime = c.ArterialTime
+	}
+	return &City{
+		G:        g,
+		Side:     side,
+		FreeFlow: freeFlow,
+		Arterial: arterial,
+		MaxTime:  maxTime * maxCongestionFactor,
+	}, nil
+}
+
+// maxCongestionFactor bounds how much congestion can inflate a segment's
+// free-flow time; it caps the weight range for the bounded-weight
+// mechanisms.
+const maxCongestionFactor = 4.0
+
+// connectedUnder reports whether the subgraph of g restricted to kept
+// edges is connected.
+func connectedUnder(g *graph.Graph, keep []bool) bool {
+	n := g.N()
+	if n == 0 {
+		return true
+	}
+	seen := make([]bool, n)
+	seen[0] = true
+	stack := []int{0}
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, h := range g.Adj(v) {
+			if keep[h.Edge] && !seen[h.To] {
+				seen[h.To] = true
+				count++
+				stack = append(stack, h.To)
+			}
+		}
+	}
+	return count == n
+}
+
+// CongestionModel produces a private travel-time vector from the public
+// free-flow times: the individual GPS traces a navigation service
+// aggregates are exactly what the privacy model protects.
+type CongestionModel struct {
+	// Hour is the time of day in [0, 24).
+	Hour float64
+	// Intensity scales the congestion amplitude; 1 is a normal day.
+	Intensity float64
+	// NoiseFrac adds per-segment idiosyncratic load (fraction of
+	// free-flow time). Default 0.25.
+	NoiseFrac float64
+}
+
+// rushFactor peaks at the 8am and 6pm rush hours.
+func rushFactor(hour float64) float64 {
+	peak := func(center float64) float64 {
+		d := hour - center
+		if d > 12 {
+			d -= 24
+		}
+		if d < -12 {
+			d += 24
+		}
+		return math.Exp(-d * d / 4.5)
+	}
+	return peak(8) + peak(18)
+}
+
+// TravelTimes draws one private travel-time vector: per-segment time is
+// free-flow inflated by time-of-day congestion (arterials congest twice
+// as hard) plus idiosyncratic load, clamped to [freeflow, MaxTime].
+func (c *City) TravelTimes(m CongestionModel, rng *rand.Rand) []float64 {
+	if m.Intensity == 0 {
+		m.Intensity = 1
+	}
+	if m.NoiseFrac == 0 {
+		m.NoiseFrac = 0.25
+	}
+	rush := rushFactor(m.Hour) * m.Intensity
+	w := make([]float64, len(c.FreeFlow))
+	for i, ff := range c.FreeFlow {
+		load := rush
+		if c.Arterial[i] {
+			load *= 2
+		}
+		t := ff * (1 + load + m.NoiseFrac*rng.Float64())
+		if t > c.MaxTime {
+			t = c.MaxTime
+		}
+		if t < ff {
+			t = ff
+		}
+		w[i] = t
+	}
+	return w
+}
+
+// VertexAt returns the vertex ID of intersection (row, col).
+func (c *City) VertexAt(row, col int) int { return row*c.Side + col }
+
+// Intersection returns the (row, col) of a vertex ID.
+func (c *City) Intersection(v int) (row, col int) { return v / c.Side, v % c.Side }

@@ -1,0 +1,169 @@
+package traffic
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestNewCityConnectedAndSimple(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	for trial := 0; trial < 5; trial++ {
+		city, err := NewCity(Config{Side: 10}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !city.G.Connected() {
+			t.Fatal("city disconnected")
+		}
+		if !city.G.IsSimple() {
+			t.Fatal("city has parallel edges")
+		}
+		if city.G.N() != 100 {
+			t.Fatalf("N = %d", city.G.N())
+		}
+		if len(city.FreeFlow) != city.G.M() || len(city.Arterial) != city.G.M() {
+			t.Fatal("per-edge slices wrong length")
+		}
+	}
+}
+
+func TestNewCityRemovesSomeBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(49))
+	city, err := NewCity(Config{Side: 16, BlockRemovalProb: 0.3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := graph.Grid(16)
+	if city.G.M() >= full.M() {
+		t.Errorf("no blocks removed: %d vs %d", city.G.M(), full.M())
+	}
+}
+
+func TestNewCityHasArterials(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	city, err := NewCity(Config{Side: 12}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arterials, locals := 0, 0
+	for i, a := range city.Arterial {
+		if a {
+			arterials++
+			if city.FreeFlow[i] >= 4 {
+				t.Error("arterial not faster than local")
+			}
+		} else {
+			locals++
+		}
+	}
+	if arterials == 0 || locals == 0 {
+		t.Fatalf("arterials=%d locals=%d", arterials, locals)
+	}
+}
+
+func TestNewCityValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	if _, err := NewCity(Config{Side: 1}, rng); err == nil {
+		t.Error("side=1 accepted")
+	}
+	if _, err := NewCity(Config{Side: 4, BlockRemovalProb: 1.5}, rng); err == nil {
+		t.Error("prob=1.5 accepted")
+	}
+	if _, err := NewCity(Config{Side: 4, LocalTime: -1}, rng); err == nil {
+		t.Error("negative time accepted")
+	}
+}
+
+func TestTravelTimesBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	city, err := NewCity(Config{Side: 10}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for hour := 0.0; hour < 24; hour += 3 {
+		w := city.TravelTimes(CongestionModel{Hour: hour}, rng)
+		if len(w) != city.G.M() {
+			t.Fatal("length mismatch")
+		}
+		for i, x := range w {
+			if x < city.FreeFlow[i] {
+				t.Fatalf("hour %g: segment %d below free flow", hour, i)
+			}
+			if x > city.MaxTime {
+				t.Fatalf("hour %g: segment %d above MaxTime", hour, i)
+			}
+		}
+	}
+}
+
+func TestRushHourSlowerThanNight(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	city, err := NewCity(Config{Side: 10}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(w []float64) float64 {
+		total := 0.0
+		for _, x := range w {
+			total += x
+		}
+		return total
+	}
+	rush := sum(city.TravelTimes(CongestionModel{Hour: 8}, rng))
+	night := sum(city.TravelTimes(CongestionModel{Hour: 3}, rng))
+	if rush <= night {
+		t.Errorf("rush %g not slower than night %g", rush, night)
+	}
+}
+
+func TestVertexAtIntersectionRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	city, err := NewCity(Config{Side: 7}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for row := 0; row < 7; row++ {
+		for col := 0; col < 7; col++ {
+			v := city.VertexAt(row, col)
+			r, c := city.Intersection(v)
+			if r != row || c != col {
+				t.Fatalf("(%d,%d) -> %d -> (%d,%d)", row, col, v, r, c)
+			}
+		}
+	}
+}
+
+func TestCityDeterministicWithSeed(t *testing.T) {
+	c1, err := NewCity(Config{Side: 8}, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewCity(Config{Side: 8}, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.G.M() != c2.G.M() {
+		t.Fatal("same seed, different topology")
+	}
+	for i := range c1.FreeFlow {
+		if c1.FreeFlow[i] != c2.FreeFlow[i] {
+			t.Fatal("same seed, different free-flow")
+		}
+	}
+}
+
+func TestTravelTimesUsableByMechanisms(t *testing.T) {
+	// Travel times must fit the bounded-weight regime: strictly within
+	// (0, MaxTime], usable as Dijkstra weights.
+	rng := rand.New(rand.NewSource(55))
+	city, err := NewCity(Config{Side: 8}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := city.TravelTimes(CongestionModel{Hour: 18, Intensity: 2}, rng)
+	if _, err := graph.Dijkstra(city.G, w, 0); err != nil {
+		t.Fatal(err)
+	}
+}
