@@ -14,7 +14,7 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/graph"
+	"repro/dpgraph"
 	"repro/internal/traffic"
 )
 
@@ -50,7 +50,7 @@ func run(side int, hour, intensity, removal float64, arterial int, seed int64, j
 	}
 	w := city.TravelTimes(traffic.CongestionModel{Hour: hour, Intensity: intensity}, rng)
 	if jsonOut {
-		data, err := graph.MarshalJSONGraph(city.G, w)
+		data, err := dpgraph.MarshalGraphJSON(city.G, w)
 		if err != nil {
 			return err
 		}
@@ -59,5 +59,5 @@ func run(side int, hour, intensity, removal float64, arterial int, seed int64, j
 	}
 	fmt.Printf("# synthetic city: side=%d hour=%g intensity=%g seed=%d\n", side, hour, intensity, seed)
 	fmt.Printf("# weights are private travel times in minutes; cap M=%g\n", city.MaxTime)
-	return graph.WriteText(os.Stdout, city.G, w)
+	return dpgraph.WriteGraphText(os.Stdout, city.G, w)
 }

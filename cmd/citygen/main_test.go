@@ -4,7 +4,7 @@ import (
 	"os"
 	"testing"
 
-	"repro/internal/graph"
+	"repro/dpgraph"
 )
 
 // TestRunProducesLoadableGraph drives run() with stdout redirected to a
@@ -27,15 +27,7 @@ func TestRunProducesLoadableGraph(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var g *graph.Graph
-		var w []float64
-		if jsonOut {
-			g, w, err = graph.UnmarshalJSONGraph(data)
-		} else {
-			rf, _ := os.Open(f.Name())
-			g, w, err = graph.ReadText(rf)
-			rf.Close()
-		}
+		g, w, err := dpgraph.ParseGraph(data)
 		if err != nil {
 			t.Fatalf("jsonOut=%v: %v", jsonOut, err)
 		}

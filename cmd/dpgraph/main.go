@@ -1,195 +1,177 @@
 // Command dpgraph answers differentially private queries over a weighted
 // graph read from a file (text edge-list or JSON; see internal/graph/io.go
 // for the formats). The topology is treated as public and the weights as
-// private; each invocation spends the stated privacy budget once.
+// private; each invocation opens one dpgraph.PrivateGraph session and
+// spends the stated privacy budget once.
 //
-// Usage:
+// Subcommands are the dpgraph mechanism registry; run with no arguments
+// to list them. Examples:
 //
 //	dpgraph -graph city.txt -eps 1 distance 3 17
-//	dpgraph -graph city.txt -eps 1 path 3 17
-//	dpgraph -graph city.txt -eps 1 [-delta 1e-6 -maxweight 16] apsd 3 17
+//	dpgraph -graph city.txt -eps 1 -json path 3 17
+//	dpgraph -graph city.txt -eps 1 -delta 1e-6 -maxweight 16 apsd 3 17
 //	dpgraph -graph tree.txt -eps 1 treedist 3 17
 //	dpgraph -graph city.txt -eps 1 mst
-//	dpgraph -graph city.txt -eps 1 matching
-//	dpgraph -graph city.txt -eps 1 release
+//
+// Noise is crypto-grade unless -seed is given.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"strconv"
 	"strings"
-	"time"
 
-	"repro/internal/core"
-	"repro/internal/graph"
+	"repro/dpgraph"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "dpgraph:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// jsonOutput is the machine-readable envelope emitted by -json. The
+// result itself carries the mechanism name, privacy cost, and receipt
+// (via its embedded release metadata); the envelope only adds the
+// error bound evaluated at -gamma.
+type jsonOutput struct {
+	// Bound is the high-probability additive error bound at -gamma.
+	Bound  float64 `json:"bound"`
+	Gamma  float64 `json:"gamma"`
+	Result any     `json:"result"`
+}
+
+func run(out *os.File, args []string) error {
+	fs := flag.NewFlagSet("dpgraph", flag.ContinueOnError)
 	var (
-		graphPath = flag.String("graph", "", "path to graph file (text edge-list or JSON)")
-		eps       = flag.Float64("eps", 1, "privacy parameter epsilon")
-		delta     = flag.Float64("delta", 0, "privacy parameter delta (apsd only)")
-		gamma     = flag.Float64("gamma", 0.05, "failure probability for error bounds")
-		scale     = flag.Float64("scale", 1, "l1 influence of one individual on the weights")
-		maxWeight = flag.Float64("maxweight", 0, "weight cap M for bounded-weight apsd")
-		seed      = flag.Int64("seed", 0, "noise seed (0: time-based)")
+		graphPath = fs.String("graph", "", "path to graph file (text edge-list or JSON)")
+		eps       = fs.Float64("eps", 1, "privacy parameter epsilon")
+		delta     = fs.Float64("delta", 0, "privacy parameter delta (composition mechanisms)")
+		gamma     = fs.Float64("gamma", 0.05, "failure probability for error bounds")
+		scale     = fs.Float64("scale", 1, "l1 influence of one individual on the weights")
+		maxWeight = fs.Float64("maxweight", 0, "weight cap M for bounded-weight mechanisms")
+		seed      = fs.Int64("seed", 0, "deterministic noise seed (0: crypto-grade noise)")
+		jsonOut   = fs.Bool("json", false, "emit machine-readable JSON (value, error bound, receipt)")
 	)
-	flag.Parse()
-	if *graphPath == "" || flag.NArg() < 1 {
-		flag.Usage()
-		return fmt.Errorf("need -graph and a subcommand (distance|path|apsd|treedist|mst|matching|release)")
+	fs.Usage = func() { usage(fs) }
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	g, w, err := loadGraph(*graphPath)
+	if *graphPath == "" || fs.NArg() < 1 {
+		usage(fs)
+		return fmt.Errorf("need -graph and a subcommand")
+	}
+	cmd := fs.Arg(0)
+	desc, ok := dpgraph.Mechanism(cmd)
+	if !ok || desc.Run == nil {
+		usage(fs)
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+	if desc.NeedsMaxWeight && !(*maxWeight > 0) {
+		return fmt.Errorf("%s requires -maxweight", cmd)
+	}
+
+	g, w, err := dpgraph.ReadGraphFile(*graphPath)
 	if err != nil {
 		return err
 	}
 	if w == nil {
 		return fmt.Errorf("graph file %s carries no weights", *graphPath)
 	}
-	s := *seed
-	if s == 0 {
-		s = time.Now().UnixNano()
+
+	opts := []dpgraph.Option{
+		dpgraph.WithEpsilon(*eps),
+		dpgraph.WithDelta(*delta),
+		dpgraph.WithGamma(*gamma),
+		dpgraph.WithScale(*scale),
 	}
-	opts := core.Options{
-		Epsilon: *eps,
-		Delta:   *delta,
-		Gamma:   *gamma,
-		Scale:   *scale,
-		Rand:    rand.New(rand.NewSource(s)),
+	if *seed != 0 {
+		opts = append(opts, dpgraph.WithDeterministicSeed(*seed))
+	}
+	pg, err := dpgraph.New(g, dpgraph.PrivateWeights(w), opts...)
+	if err != nil {
+		return err
 	}
 
-	cmd := flag.Arg(0)
-	argPair := func() (int, int, error) {
-		if flag.NArg() != 3 {
-			return 0, 0, fmt.Errorf("%s needs two vertex arguments", cmd)
-		}
-		a, err1 := strconv.Atoi(flag.Arg(1))
-		b, err2 := strconv.Atoi(flag.Arg(2))
-		if err1 != nil || err2 != nil {
-			return 0, 0, fmt.Errorf("bad vertex arguments %q %q", flag.Arg(1), flag.Arg(2))
-		}
-		return a, b, nil
+	q, err := parseArgs(desc, fs.Args()[1:])
+	if err != nil {
+		return err
 	}
+	q.MaxWeight = *maxWeight
 
-	switch cmd {
-	case "distance":
-		a, b, err := argPair()
-		if err != nil {
-			return err
-		}
-		d, err := core.PrivateDistance(g, w, a, b, opts)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("private distance %d -> %d: %.4f  (noise scale %.4f, %s)\n", a, b, d, *scale / *eps, opts.Params())
-	case "path":
-		a, b, err := argPair()
-		if err != nil {
-			return err
-		}
-		pp, err := core.PrivateShortestPaths(g, w, opts)
-		if err != nil {
-			return err
-		}
-		path, err := pp.Path(a, b)
-		if err != nil {
-			return err
-		}
-		verts := g.PathVertices(a, path)
-		fmt.Printf("private path %d -> %d (%d hops): %s\n", a, b, len(path), joinInts(verts))
-		fmt.Printf("released-weight length: %.4f; error bound for k-hop optimum: %.4f per hop pair\n",
-			graph.PathWeight(pp.Weights, path), pp.ErrorBound(1))
-	case "apsd":
-		a, b, err := argPair()
-		if err != nil {
-			return err
-		}
-		if *maxWeight > 0 {
-			rel, err := core.BoundedWeightAPSD(g, w, *maxWeight, opts)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("bounded-weight apsd %d -> %d: %.4f  (k=%d |Z|=%d, bound %.4f, %s)\n",
-				a, b, rel.Query(a, b), rel.K, len(rel.Z), rel.ErrorBound(*gamma), rel.Params)
-		} else {
-			rel, err := core.APSDComposition(g, w, opts)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("composition apsd %d -> %d: %.4f  (noise scale %.4f, bound %.4f, %s)\n",
-				a, b, rel.Query(a, b), rel.NoiseScale, rel.ErrorBound, rel.Params)
-		}
-	case "treedist":
-		a, b, err := argPair()
-		if err != nil {
-			return err
-		}
-		apsd, err := core.TreeAllPairs(g, w, opts)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("tree apsd %d -> %d: %.4f  (per-pair bound %.4f, %s)\n",
-			a, b, apsd.Query(a, b), apsd.PerPairErrorBound(*gamma), apsd.SSSP.Params)
-	case "mst":
-		rel, err := core.PrivateMST(g, w, opts)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("private spanning tree (%d edges, released weight %.4f, bound %.4f, %s):\n%s\n",
-			len(rel.Tree), rel.ReleasedWeight, rel.ErrorBound(g, *gamma), rel.Params, joinInts(rel.Tree))
-	case "matching":
-		rel, err := core.PrivateMatching(g, w, opts)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("private perfect matching (%d edges, released weight %.4f, bound %.4f, %s):\n%s\n",
-			len(rel.Matching), rel.ReleasedWeight, rel.ErrorBound(g, *gamma), rel.Params, joinInts(rel.Matching))
-	case "release":
-		rel, err := core.ReleaseGraph(g, w, opts)
-		if err != nil {
-			return err
-		}
-		out, err := graph.MarshalJSONGraph(g, rel.Weights)
-		if err != nil {
-			return err
-		}
-		fmt.Println(string(out))
-	default:
-		return fmt.Errorf("unknown subcommand %q", cmd)
+	res, err := desc.Run(pg, q)
+	if err != nil {
+		return err
 	}
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(jsonOutput{
+			Bound:  res.Bound(*gamma),
+			Gamma:  *gamma,
+			Result: res,
+		})
+	}
+	rec := res.Info().Receipt
+	fmt.Fprintln(out, res.Summary())
+	if d, ok := res.(dpgraph.Detailer); ok {
+		fmt.Fprintln(out, d.Detail())
+	}
+	fmt.Fprintf(out, "error bound at gamma=%g: %.4f\n", *gamma, res.Bound(*gamma))
+	fmt.Fprintf(out, "privacy receipt: %s\n", rec)
 	return nil
 }
 
-func loadGraph(path string) (*graph.Graph, []float64, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, nil, err
+// parseArgs maps positional arguments onto the descriptor's declared
+// parameter names.
+func parseArgs(desc dpgraph.Descriptor, args []string) (dpgraph.Args, error) {
+	var q dpgraph.Args
+	if len(args) != len(desc.Args) {
+		return q, fmt.Errorf("%s needs %d argument(s): %s", desc.Name, len(desc.Args), strings.Join(desc.Args, " "))
 	}
-	trimmed := strings.TrimSpace(string(data))
-	if strings.HasPrefix(trimmed, "{") {
-		var probe json.RawMessage
-		if json.Unmarshal(data, &probe) == nil {
-			return graph.UnmarshalJSONGraph(data)
+	for i, name := range desc.Args {
+		v, err := strconv.Atoi(args[i])
+		if err != nil {
+			return q, fmt.Errorf("bad %s argument %q", name, args[i])
+		}
+		switch name {
+		case "s":
+			q.S = v
+		case "t":
+			q.T = v
+		case "root":
+			q.Root = v
+		default:
+			return q, fmt.Errorf("descriptor %s declares unknown argument %q", desc.Name, name)
 		}
 	}
-	return graph.ReadText(strings.NewReader(string(data)))
+	return q, nil
 }
 
-func joinInts(xs []int) string {
-	parts := make([]string, len(xs))
-	for i, x := range xs {
-		parts[i] = strconv.Itoa(x)
+// usage renders the flag help plus the mechanism registry, so the
+// subcommand list can never drift from the library.
+func usage(fs *flag.FlagSet) {
+	fmt.Fprintln(os.Stderr, "usage: dpgraph -graph FILE [flags] SUBCOMMAND [args]")
+	fmt.Fprintln(os.Stderr, "\nflags:")
+	fs.PrintDefaults()
+	fmt.Fprintln(os.Stderr, "\nsubcommands (from the dpgraph mechanism registry):")
+	for _, d := range dpgraph.Mechanisms() {
+		if d.Run == nil {
+			continue
+		}
+		argHint := ""
+		if len(d.Args) > 0 {
+			argHint = " " + strings.Join(d.Args, " ")
+		}
+		extra := ""
+		if d.NeedsMaxWeight {
+			extra = " (requires -maxweight)"
+		}
+		fmt.Fprintf(os.Stderr, "  %-12s%-8s %s%s\n", d.Name, argHint, d.Summary, extra)
+		fmt.Fprintf(os.Stderr, "  %12s         %s; sensitivity: %s; guarantee: %s\n", "", d.Ref, d.Sensitivity, d.Guarantee)
 	}
-	return strings.Join(parts, " ")
 }

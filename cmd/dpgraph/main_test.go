@@ -1,9 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"repro/dpgraph"
 )
 
 func writeFile(t *testing.T, name, content string) string {
@@ -15,50 +19,133 @@ func writeFile(t *testing.T, name, content string) string {
 	return path
 }
 
-func TestLoadGraphText(t *testing.T) {
-	path := writeFile(t, "g.txt", "graph 3\nedge 0 1 2.5\nedge 1 2 1\n")
-	g, w, err := loadGraph(path)
+const pathGraph = "graph 4\nedge 0 1 2.5\nedge 1 2 1\nedge 2 3 1\n"
+
+// capture runs the CLI with stdout redirected to a pipe file.
+func capture(t *testing.T, args []string) (string, error) {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	runErr := run(f, args)
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestRunDistanceText(t *testing.T) {
+	path := writeFile(t, "g.txt", pathGraph)
+	out, err := capture(t, []string{"-graph", path, "-eps", "1", "-seed", "7", "distance", "0", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"private distance 0 -> 3", "error bound", "privacy receipt"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	path := writeFile(t, "g.txt", pathGraph)
+	out, err := capture(t, []string{"-graph", path, "-eps", "2", "-seed", "7", "-json", "distance", "0", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Bound  float64 `json:"bound"`
+		Result struct {
+			Mechanism string          `json:"mechanism"`
+			Receipt   dpgraph.Receipt `json:"receipt"`
+			Value     float64         `json:"value"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal([]byte(out), &got); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if got.Result.Mechanism != "distance" || got.Result.Receipt.Epsilon != 2 || got.Bound <= 0 {
+		t.Errorf("json = %+v", got)
+	}
+}
+
+func TestRunJSONPath(t *testing.T) {
+	path := writeFile(t, "g.txt", pathGraph)
+	out, err := capture(t, []string{"-graph", path, "-seed", "7", "-json", "path", "0", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Result struct {
+			Vertices []int `json:"vertices"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal([]byte(out), &got); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if len(got.Result.Vertices) != 4 || got.Result.Vertices[0] != 0 || got.Result.Vertices[3] != 3 {
+		t.Errorf("vertices = %v", got.Result.Vertices)
+	}
+}
+
+func TestRunSubcommandsFromRegistry(t *testing.T) {
+	path := writeFile(t, "g.txt", pathGraph)
+	for _, args := range [][]string{
+		{"-graph", path, "-seed", "3", "treedist", "0", "3"},
+		{"-graph", path, "-seed", "3", "treesssp", "0"},
+		{"-graph", path, "-seed", "3", "hierarchy", "0", "3"},
+		{"-graph", path, "-seed", "3", "sssp", "0"},
+		{"-graph", path, "-seed", "3", "mst"},
+		{"-graph", path, "-seed", "3", "mstcost"},
+		{"-graph", path, "-seed", "3", "release"},
+		{"-graph", path, "-seed", "3", "-maxweight", "4", "apsd", "0", "3"},
+		{"-graph", path, "-seed", "3", "apsd", "0", "3"},
+	} {
+		if _, err := capture(t, args); err != nil {
+			t.Errorf("%v: %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeFile(t, "g.txt", pathGraph)
+	cases := [][]string{
+		{"-graph", path, "nope"},                                // unknown subcommand
+		{"-graph", path, "distance", "0"},                       // missing arg
+		{"-graph", path, "distance", "0", "x"},                  // bad arg
+		{"-graph", path, "bounded", "0", "3"},                   // missing -maxweight
+		{"distance", "0", "3"},                                  // missing -graph
+		{"-graph", filepath.Join(t.TempDir(), "no.txt"), "mst"}, // missing file
+	}
+	for _, args := range cases {
+		if _, err := capture(t, args); err == nil {
+			t.Errorf("%v accepted", args)
+		}
+	}
+}
+
+func TestLoadGraphFormats(t *testing.T) {
+	g, w, err := dpgraph.ReadGraphFile(writeFile(t, "g.txt", "graph 3\nedge 0 1 2.5\nedge 1 2 1\n"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if g.N() != 3 || g.M() != 2 || w[0] != 2.5 {
 		t.Fatalf("N=%d M=%d w=%v", g.N(), g.M(), w)
 	}
-}
-
-func TestLoadGraphJSON(t *testing.T) {
-	path := writeFile(t, "g.json", `{"vertices":2,"edges":[[0,1]],"weights":[3]}`)
-	g, w, err := loadGraph(path)
+	g, w, err = dpgraph.ReadGraphFile(writeFile(t, "g.json", `{"vertices":2,"edges":[[0,1]],"weights":[3]}`))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if g.N() != 2 || w[0] != 3 {
 		t.Fatal("JSON load failed")
 	}
-}
-
-func TestLoadGraphMissingFile(t *testing.T) {
-	if _, _, err := loadGraph(filepath.Join(t.TempDir(), "missing.txt")); err == nil {
-		t.Error("missing file accepted")
-	}
-}
-
-func TestLoadGraphMalformed(t *testing.T) {
-	path := writeFile(t, "bad.txt", "not a graph\n")
-	if _, _, err := loadGraph(path); err == nil {
+	if _, _, err := dpgraph.ReadGraphFile(writeFile(t, "bad.txt", "not a graph\n")); err == nil {
 		t.Error("malformed file accepted")
 	}
-	path = writeFile(t, "bad.json", `{"vertices":2,"edges":[[0,9]]}`)
-	if _, _, err := loadGraph(path); err == nil {
+	if _, _, err := dpgraph.ReadGraphFile(writeFile(t, "bad.json", `{"vertices":2,"edges":[[0,9]]}`)); err == nil {
 		t.Error("malformed JSON accepted")
-	}
-}
-
-func TestJoinInts(t *testing.T) {
-	if got := joinInts([]int{3, 1, 4}); got != "3 1 4" {
-		t.Errorf("joinInts = %q", got)
-	}
-	if got := joinInts(nil); got != "" {
-		t.Errorf("empty joinInts = %q", got)
 	}
 }

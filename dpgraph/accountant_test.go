@@ -1,0 +1,236 @@
+package dpgraph
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestEveryMechanismChargesOnce runs each method under a budget exactly
+// equal to one release and verifies (a) the first call succeeds, (b) a
+// second call is refused with ErrBudgetExhausted, (c) exactly one
+// receipt was recorded with the cost actually charged.
+func TestEveryMechanismChargesOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	grid := Grid(4)
+	gw := UniformRandomWeights(grid, 0.1, 1, rng)
+	tree := BalancedBinaryTree(15)
+	tw := UniformRandomWeights(tree, 0.1, 1, rng)
+	path := PathGraph(9)
+	pw := UniformRandomWeights(path, 0.1, 1, rng)
+	bip := CompleteBipartite(4, 4)
+	bw := UniformRandomWeights(bip, 0.1, 1, rng)
+
+	const eps, delta = 1, 1e-6
+	cases := []struct {
+		name string
+		g    *Graph
+		w    []float64
+		pure bool // pure mechanisms must not charge delta
+		run  func(pg *PrivateGraph) error
+	}{
+		{"distance", grid, gw, true, func(pg *PrivateGraph) error { _, err := pg.Distance(0, 15); return err }},
+		{"apsd", grid, gw, false, func(pg *PrivateGraph) error { _, err := pg.AllPairsDistances(); return err }},
+		{"bounded", grid, gw, false, func(pg *PrivateGraph) error { _, err := pg.BoundedAllPairs(1); return err }},
+		{"covering", grid, gw, false, func(pg *PrivateGraph) error {
+			_, err := pg.CoveringAllPairs([]int{0, 5, 10, 15}, 3, 1)
+			return err
+		}},
+		{"release", grid, gw, true, func(pg *PrivateGraph) error { _, err := pg.Release(); return err }},
+		{"path", grid, gw, true, func(pg *PrivateGraph) error { _, err := pg.ShortestPaths(); return err }},
+		{"sssp", grid, gw, false, func(pg *PrivateGraph) error { _, err := pg.SingleSource(0); return err }},
+		{"mst", grid, gw, true, func(pg *PrivateGraph) error { _, err := pg.MST(); return err }},
+		{"mstcost", grid, gw, true, func(pg *PrivateGraph) error { _, err := pg.MSTCost(); return err }},
+		{"treesssp", tree, tw, true, func(pg *PrivateGraph) error { _, err := pg.TreeSingleSource(0); return err }},
+		{"treedist", tree, tw, true, func(pg *PrivateGraph) error { _, err := pg.TreeAllPairs(); return err }},
+		{"hierarchy", path, pw, true, func(pg *PrivateGraph) error { _, err := pg.PathHierarchy(2); return err }},
+		{"matching", bip, bw, true, func(pg *PrivateGraph) error { _, err := pg.Matching(); return err }},
+		{"maxmatching", bip, bw, true, func(pg *PrivateGraph) error { _, err := pg.MaxMatching(); return err }},
+	}
+	for _, c := range cases {
+		pg, err := New(c.g, PrivateWeights(c.w),
+			WithEpsilon(eps), WithDelta(delta), WithBudget(eps, delta), WithDeterministicSeed(1))
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if err := c.run(pg); err != nil {
+			t.Errorf("%s: first call refused: %v", c.name, err)
+			continue
+		}
+		if err := c.run(pg); !errors.Is(err, ErrBudgetExhausted) {
+			t.Errorf("%s: second call err = %v, want ErrBudgetExhausted (mechanism not charging exactly once?)", c.name, err)
+		}
+		recs := pg.Receipts()
+		if len(recs) != 1 {
+			t.Errorf("%s: %d receipts after one successful call", c.name, len(recs))
+			continue
+		}
+		wantDelta := delta
+		if c.pure {
+			wantDelta = 0
+		}
+		if recs[0].Mechanism != c.name || recs[0].Epsilon != eps || recs[0].Delta != wantDelta {
+			t.Errorf("%s: receipt = %+v, want (eps=%d, delta=%g)", c.name, recs[0], eps, wantDelta)
+		}
+	}
+}
+
+// TestReceiptsLedgerSumsToSpent interleaves mechanisms and checks the
+// ledger total equals the accountant's spend.
+func TestReceiptsLedgerSumsToSpent(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	g := Grid(4)
+	w := UniformRandomWeights(g, 0.1, 1, rng)
+	pg, err := New(g, PrivateWeights(w),
+		WithEpsilon(0.5), WithDelta(1e-7), WithBudget(10, 1e-5), WithDeterministicSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pg.Distance(0, 15); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pg.AllPairsDistances(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pg.ShortestPaths(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pg.MST(); err != nil {
+		t.Fatal(err)
+	}
+	var sumEps, sumDelta float64
+	for _, r := range pg.Receipts() {
+		sumEps += r.Epsilon
+		sumDelta += r.Delta
+	}
+	spentEps, spentDelta := pg.Spent()
+	if math.Abs(sumEps-spentEps) > 1e-12 || math.Abs(sumDelta-spentDelta) > 1e-18 {
+		t.Errorf("ledger sums to (%g, %g), accountant spent (%g, %g)", sumEps, sumDelta, spentEps, spentDelta)
+	}
+	if spentEps != 2 {
+		t.Errorf("spent epsilon %g, want 2", spentEps)
+	}
+	// Only apsd consumes delta; the three pure mechanisms charge none.
+	if spentDelta != 1e-7 {
+		t.Errorf("spent delta %g, want 1e-7", spentDelta)
+	}
+	remEps, remDelta := pg.Remaining()
+	if math.Abs(remEps-8) > 1e-12 || remDelta <= 0 {
+		t.Errorf("remaining (%g, %g)", remEps, remDelta)
+	}
+}
+
+// TestExhaustedBudgetReleasesNothing verifies a refused call returns a
+// nil result, not a partially filled one.
+func TestExhaustedBudgetReleasesNothing(t *testing.T) {
+	pg, _, _ := testSession(t, WithEpsilon(1), WithBudget(1, 0))
+	if _, err := pg.MST(); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := pg.Release()
+	if err == nil || rel != nil {
+		t.Fatalf("over-budget Release returned (%v, %v)", rel, err)
+	}
+	reg, ok := Mechanism("distance")
+	if !ok {
+		t.Fatal("distance not registered")
+	}
+	res, err := reg.Run(pg, Args{S: 0, T: 24})
+	if err == nil || res != nil {
+		t.Fatalf("over-budget registry run returned (%v, %v)", res, err)
+	}
+}
+
+// TestFailedReleaseBurnsNoBudget drives mechanisms into their
+// post-validation failure modes (disconnected topology, no perfect
+// matching) and checks that a failed release spends nothing and
+// records no receipt — the ledger invariant survives failures.
+func TestFailedReleaseBurnsNoBudget(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	pg, err := New(g, PrivateWeights([]float64{0.5, 0.5}),
+		WithEpsilon(1), WithDelta(1e-6), WithDeterministicSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pg.CoveringAllPairs([]int{0, 2}, 9, 1); err == nil {
+		t.Error("disconnected covering accepted")
+	}
+	if _, err := pg.MST(); err == nil {
+		t.Error("MST on disconnected graph accepted")
+	}
+	if _, err := pg.AllPairsDistances(); err != nil {
+		// Disconnected pairs are released as +Inf, not an error.
+		t.Errorf("AllPairsDistances on disconnected graph: %v", err)
+	}
+	triangle := Cycle(3) // odd vertex count: no perfect matching
+	mpg, err := New(triangle, PrivateWeights([]float64{1, 1, 1}), WithDeterministicSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mpg.Matching(); err == nil {
+		t.Error("matching without a perfect matching accepted")
+	}
+	if eps, delta := mpg.Spent(); eps != 0 || delta != 0 {
+		t.Errorf("failed matching spent (%g, %g)", eps, delta)
+	}
+	// Only the successful AllPairsDistances charged: (1, 1e-6).
+	eps, delta := pg.Spent()
+	if eps != 1 || delta != 1e-6 {
+		t.Errorf("spent (%g, %g), want (1, 1e-6)", eps, delta)
+	}
+	var sumEps, sumDelta float64
+	for _, r := range pg.Receipts() {
+		sumEps += r.Epsilon
+		sumDelta += r.Delta
+	}
+	if sumEps != eps || sumDelta != delta {
+		t.Errorf("receipts sum (%g, %g) != spent (%g, %g) after failures", sumEps, sumDelta, eps, delta)
+	}
+}
+
+// TestDirectedAPSDBoundUsesOrderedPairs checks the composition bound
+// accounts for n(n-1) queries on directed graphs, matching the noise
+// the release actually drew.
+func TestDirectedAPSDBoundUsesOrderedPairs(t *testing.T) {
+	n := 4
+	g := NewDirectedGraph(n)
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(i, i+1)
+	}
+	g.AddEdge(n-1, 0)
+	pg, err := New(g, PrivateWeights([]float64{1, 1, 1, 1}), WithDeterministicSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := pg.AllPairsDistances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Undirected counterpart with the same noise scale would bound over
+	// half the queries; the directed bound must be strictly larger than
+	// a bound computed with n(n-1)/2 draws.
+	half := rel.NoiseScale * math.Log(float64(n*(n-1)/2)/0.05)
+	if got := rel.Bound(0.05); got <= half {
+		t.Errorf("directed bound %g not above unordered-pair bound %g", got, half)
+	}
+}
+
+// TestUnlimitedBudgetStillLedgers confirms sessions without WithBudget
+// never refuse but still account.
+func TestUnlimitedBudgetStillLedgers(t *testing.T) {
+	pg, _, _ := testSession(t, WithEpsilon(3))
+	for i := 0; i < 5; i++ {
+		if _, err := pg.Distance(0, 24); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if eps, _ := pg.Spent(); eps != 15 {
+		t.Errorf("spent %g, want 15", eps)
+	}
+	if len(pg.Receipts()) != 5 {
+		t.Errorf("%d receipts, want 5", len(pg.Receipts()))
+	}
+}

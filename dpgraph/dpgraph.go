@@ -1,0 +1,219 @@
+// Package dpgraph is the public API for answering graph queries with
+// differential privacy in the private edge-weight model of Sealfon,
+// "Shortest Paths and Distances with Differential Privacy" (PODS 2016):
+// the graph topology is public, the edge-weight vector is private, and
+// weight vectors at l1 distance at most one are neighboring.
+//
+// The private data is bound once into a PrivateGraph session:
+//
+//	pg, err := dpgraph.New(topology, dpgraph.PrivateWeights(w),
+//	    dpgraph.WithEpsilon(1), dpgraph.WithBudget(5, 1e-6))
+//	res, err := pg.Distance(s, t)
+//	fmt.Println(res.Value, res.Bound(0.05), res.Receipt)
+//
+// Every mechanism of the paper is a method on PrivateGraph returning a
+// typed result that carries the released value(s), a Bound(gamma)
+// high-probability error bound, and a Receipt recording the privacy cost
+// the built-in accountant charged. Once the budget set by WithBudget is
+// exhausted, methods refuse to release anything further.
+//
+// Noise is crypto-grade by default; deterministic runs (tests,
+// experiments) must opt in via WithDeterministicSeed or WithNoiseSource.
+// A PrivateGraph is safe for concurrent use by multiple goroutines.
+//
+// The available mechanisms, with sensitivity and guarantee metadata, are
+// enumerated by Mechanisms().
+package dpgraph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dp"
+	"repro/internal/graph"
+)
+
+// ErrBudgetExhausted is reported (wrapped) by any mechanism call that
+// would exceed the session budget; match it with errors.Is.
+var ErrBudgetExhausted = dp.ErrBudgetExceeded
+
+// Weights wraps a private edge-weight vector. The only way to hand
+// private data to this package is through PrivateWeights, which makes
+// the trust boundary explicit at the call site.
+type Weights struct {
+	w []float64
+}
+
+// PrivateWeights declares w (indexed by edge ID) to be the private
+// input. The slice is copied; later mutation of w does not affect the
+// session.
+func PrivateWeights(w []float64) Weights {
+	return Weights{w: append([]float64(nil), w...)}
+}
+
+// PrivateGraph is a session binding a public topology to a private
+// weight vector. All mechanism methods draw noise from the session's
+// noise source, charge the session's accountant, and append to the
+// session's receipt ledger. Safe for concurrent use.
+type PrivateGraph struct {
+	g   *graph.Graph
+	w   []float64
+	cfg config
+
+	acct *dp.Accountant
+
+	noiseMu sync.Mutex // guards det / shared noise streams
+	det     *rand.Rand // deterministic root stream (nil in crypto mode)
+	shared  *rand.Rand // caller-supplied stream (nil unless WithNoiseSource)
+
+	recMu    sync.Mutex
+	receipts []Receipt
+}
+
+// New creates a session for answering private queries about the weights
+// on the given public topology. The weight vector length must equal the
+// number of edges. Options default to epsilon 1, delta 0, gamma 0.05,
+// scale 1, an unlimited budget, and crypto-grade noise.
+func New(topology *Graph, private Weights, opts ...Option) (*PrivateGraph, error) {
+	if topology == nil {
+		return nil, errors.New("dpgraph: nil topology")
+	}
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if len(private.w) != topology.M() {
+		return nil, fmt.Errorf("dpgraph: weight vector has %d entries for %d edges", len(private.w), topology.M())
+	}
+	// Fail fast on bad parameters rather than at the first query.
+	if err := (core.Options{Epsilon: cfg.epsilon, Delta: cfg.delta, Gamma: cfg.gamma, Scale: cfg.scale}).Validate(); err != nil {
+		return nil, err
+	}
+	pg := &PrivateGraph{
+		g:    topology,
+		w:    private.w,
+		cfg:  cfg,
+		acct: dp.NewAccountant(cfg.budget),
+	}
+	switch {
+	case cfg.sharedRand != nil:
+		pg.shared = cfg.sharedRand
+	case cfg.seeded:
+		pg.det = rand.New(rand.NewSource(cfg.seed))
+	}
+	return pg, nil
+}
+
+// Topology returns the session's public graph.
+func (pg *PrivateGraph) Topology() *Graph { return pg.g }
+
+// Epsilon returns the per-release privacy parameter.
+func (pg *PrivateGraph) Epsilon() float64 { return pg.cfg.epsilon }
+
+// Delta returns the per-release approximate-DP parameter.
+func (pg *PrivateGraph) Delta() float64 { return pg.cfg.delta }
+
+// Gamma returns the failure probability used for default error bounds.
+func (pg *PrivateGraph) Gamma() float64 { return pg.cfg.gamma }
+
+// Spent returns the total privacy budget charged so far.
+func (pg *PrivateGraph) Spent() (epsilon, delta float64) {
+	p := pg.acct.Spent()
+	return p.Epsilon, p.Delta
+}
+
+// Remaining returns the unspent budget; both are +Inf when no budget was
+// set.
+func (pg *PrivateGraph) Remaining() (epsilon, delta float64) {
+	p := pg.acct.Remaining()
+	return p.Epsilon, p.Delta
+}
+
+// Receipts returns a copy of the ledger of successful releases, in
+// order. The sum of the receipts' Epsilon/Delta equals Spent().
+func (pg *PrivateGraph) Receipts() []Receipt {
+	pg.recMu.Lock()
+	defer pg.recMu.Unlock()
+	return append([]Receipt(nil), pg.receipts...)
+}
+
+// options assembles the core options for one mechanism call, together
+// with an unlock function that must be called once sampling is done.
+//
+// Noise streams per mode:
+//   - crypto (default): a fresh OS-entropy stream per call, no locking;
+//   - deterministic: a per-call child stream seeded from the root stream
+//     under the lock, so serial runs reproduce exactly;
+//   - shared (WithNoiseSource): the caller's stream, held under the lock
+//     for the whole call since *rand.Rand is not concurrency-safe.
+func (pg *PrivateGraph) options() (core.Options, func()) {
+	o := core.Options{
+		Epsilon:    pg.cfg.epsilon,
+		Delta:      pg.cfg.delta,
+		Gamma:      pg.cfg.gamma,
+		Scale:      pg.cfg.scale,
+		Accountant: pg.acct,
+	}
+	unlock := func() {}
+	switch {
+	case pg.shared != nil:
+		pg.noiseMu.Lock()
+		o.Rand = pg.shared
+		unlock = pg.noiseMu.Unlock
+	case pg.det != nil:
+		pg.noiseMu.Lock()
+		o.Rand = rand.New(rand.NewSource(pg.det.Int63()))
+		pg.noiseMu.Unlock()
+	default:
+		o.Rand = dp.NewCryptoRand()
+	}
+	return o, unlock
+}
+
+// exec runs one mechanism body with session options and, on success,
+// records a receipt for the charged cost. Pure mechanisms charge no
+// delta regardless of the session delta.
+func (pg *PrivateGraph) exec(mechanism string, pure bool, run func(o core.Options) error) (Receipt, error) {
+	o, unlock := pg.options()
+	err := run(o)
+	unlock()
+	if err != nil {
+		return Receipt{}, err
+	}
+	rec := Receipt{
+		Mechanism: mechanism,
+		Epsilon:   pg.cfg.epsilon,
+		Delta:     pg.cfg.delta,
+		Time:      time.Now(),
+	}
+	if pure {
+		rec.Delta = 0
+	}
+	pg.recMu.Lock()
+	pg.receipts = append(pg.receipts, rec)
+	pg.recMu.Unlock()
+	return rec, nil
+}
+
+// info builds the common release metadata for a result.
+func (pg *PrivateGraph) info(rec Receipt, noiseScale float64) ReleaseInfo {
+	return ReleaseInfo{
+		Mechanism:  rec.Mechanism,
+		Epsilon:    rec.Epsilon,
+		Delta:      rec.Delta,
+		NoiseScale: noiseScale,
+		Receipt:    rec,
+	}
+}
+
+// unlimited is the budget used when WithBudget is not given.
+func unlimited() dp.PrivacyParams {
+	return dp.PrivacyParams{Epsilon: math.Inf(1), Delta: math.Inf(1)}
+}

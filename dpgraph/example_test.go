@@ -1,0 +1,58 @@
+package dpgraph_test
+
+import (
+	"fmt"
+
+	"repro/dpgraph"
+)
+
+// A downstream consumer answers a private distance query in a few lines
+// without touching any internal package. (The example seeds the noise
+// only so its output is stable; production sessions omit
+// WithDeterministicSeed and get crypto-grade noise.)
+func Example() {
+	g := dpgraph.Grid(5)        // public topology: 5x5 street grid
+	w := make([]float64, g.M()) // private travel times
+	for i := range w {
+		w[i] = 2
+	}
+	pg, err := dpgraph.New(g, dpgraph.PrivateWeights(w),
+		dpgraph.WithEpsilon(1),
+		dpgraph.WithBudget(2, 0),
+		dpgraph.WithDeterministicSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	res, err := pg.Distance(0, 24)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("released distance within ±%.1f of the truth (with prob 0.95)\n", res.Bound(0.05))
+	fmt.Printf("receipts: %d release(s), mechanism %q\n", len(pg.Receipts()), pg.Receipts()[0].Mechanism)
+	eps, _ := pg.Spent()
+	fmt.Printf("spent ε=%g of budget\n", eps)
+	// Output:
+	// released distance within ±3.0 of the truth (with prob 0.95)
+	// receipts: 1 release(s), mechanism "distance"
+	// spent ε=1 of budget
+}
+
+// ExampleMechanisms enumerates the registry.
+func ExampleMechanisms() {
+	for _, d := range dpgraph.Mechanisms() {
+		if d.Guarantee == dpgraph.Pure {
+			fmt.Println(d.Name)
+		}
+	}
+	// Output:
+	// distance
+	// hierarchy
+	// matching
+	// maxmatching
+	// mst
+	// mstcost
+	// path
+	// release
+	// treedist
+	// treesssp
+}

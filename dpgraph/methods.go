@@ -1,0 +1,315 @@
+package dpgraph
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// checkVertices validates vertex arguments before any budget is spent.
+func (pg *PrivateGraph) checkVertices(vs ...int) error {
+	for _, v := range vs {
+		if v < 0 || v >= pg.g.N() {
+			return fmt.Errorf("dpgraph: vertex %d out of range [0, %d)", v, pg.g.N())
+		}
+	}
+	return nil
+}
+
+// Distance releases the s-t distance via the Laplace mechanism
+// (Section 4 warm-up; sensitivity Scale). Cost: (epsilon, 0).
+func (pg *PrivateGraph) Distance(s, t int) (*DistanceResult, error) {
+	if err := pg.checkVertices(s, t); err != nil {
+		return nil, err
+	}
+	var value float64
+	rec, err := pg.exec("distance", true, func(o core.Options) error {
+		var err error
+		value, err = core.PrivateDistance(pg.g, pg.w, s, t, o)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &DistanceResult{Source: s, Target: t, Value: value}
+	res.ReleaseInfo = pg.info(rec, pg.cfg.scale/pg.cfg.epsilon)
+	return res, nil
+}
+
+// AllPairsDistances releases all V^2 pairwise distances by per-query
+// composition (Section 4 baselines): basic composition when Delta is
+// zero, advanced composition otherwise. Cost: (epsilon, delta).
+func (pg *PrivateGraph) AllPairsDistances() (*APSDResult, error) {
+	var rel *core.APSD
+	rec, err := pg.exec("apsd", false, func(o core.Options) error {
+		var err error
+		rel, err = core.APSDComposition(pg.g, pg.w, o)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Query count mirrors core.APSDComposition: ordered pairs on
+	// directed graphs, unordered otherwise.
+	n := pg.g.N()
+	queries := n * (n - 1) / 2
+	if pg.g.Directed() {
+		queries = n * (n - 1)
+	}
+	if queries < 1 {
+		queries = 1
+	}
+	res := &APSDResult{n: n, queries: queries, apsd: rel}
+	res.ReleaseInfo = pg.info(rec, rel.NoiseScale)
+	return res, nil
+}
+
+// CoveringAllPairs runs Algorithm 2 on an explicit k-covering Z with
+// weight cap maxWeight: it releases the pairwise distances between
+// covering vertices and answers every pair from its nearest covering
+// vertices. Uses Theorem 4.5 (advanced composition) when Delta is
+// positive, Theorem 4.6 (basic composition) otherwise.
+// Cost: (epsilon, delta).
+func (pg *PrivateGraph) CoveringAllPairs(Z []int, k int, maxWeight float64) (*APSDResult, error) {
+	var rel *core.CoveringRelease
+	rec, err := pg.exec("covering", false, func(o core.Options) error {
+		var err error
+		if o.Delta > 0 {
+			rel, err = core.CoveringAPSD(pg.g, pg.w, Z, k, maxWeight, o)
+		} else {
+			rel, err = core.CoveringAPSDPure(pg.g, pg.w, Z, k, maxWeight, o)
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &APSDResult{n: pg.g.N(), cov: rel, K: rel.K, CoveringSize: len(rel.Z)}
+	res.ReleaseInfo = pg.info(rec, rel.NoiseScale)
+	return res, nil
+}
+
+// BoundedAllPairs releases all-pairs distances for weights bounded by
+// maxWeight (Theorem 4.3): it picks the covering radius from V, the
+// cap, and epsilon, builds the covering, and runs Algorithm 2.
+// Cost: (epsilon, delta).
+func (pg *PrivateGraph) BoundedAllPairs(maxWeight float64) (*APSDResult, error) {
+	var rel *core.CoveringRelease
+	rec, err := pg.exec("bounded", false, func(o core.Options) error {
+		var err error
+		rel, err = core.BoundedWeightAPSD(pg.g, pg.w, maxWeight, o)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &APSDResult{n: pg.g.N(), cov: rel, K: rel.K, CoveringSize: len(rel.Z)}
+	res.ReleaseInfo = pg.info(rec, rel.NoiseScale)
+	return res, nil
+}
+
+// Release publishes an eps-DP synthetic weight vector (Section 4);
+// every post-processing of it is private for free. Cost: (epsilon, 0).
+func (pg *PrivateGraph) Release() (*SyntheticGraph, error) {
+	var rel *core.ReleasedGraph
+	rec, err := pg.exec("release", true, func(o core.Options) error {
+		var err error
+		rel, err = core.ReleaseGraph(pg.g, pg.w, o)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &SyntheticGraph{Weights: rel.Weights, g: pg.g}
+	res.ReleaseInfo = pg.info(rec, rel.NoiseScale)
+	return res, nil
+}
+
+// ShortestPaths runs Algorithm 3 (Theorem 5.5): one release answers a
+// short path for every pair, with excess weight proportional to the hop
+// count of the best path. Cost: (epsilon, 0).
+func (pg *PrivateGraph) ShortestPaths() (*PathsResult, error) {
+	var rel *core.PrivatePaths
+	rec, err := pg.exec("path", true, func(o core.Options) error {
+		var err error
+		rel, err = core.PrivateShortestPaths(pg.g, pg.w, o)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &PathsResult{Shift: rel.Shift, pp: rel}
+	res.ReleaseInfo = pg.info(rec, rel.NoiseScale)
+	return res, nil
+}
+
+// TreeSingleSource runs Algorithm 1 (Theorem 4.1) on a tree topology:
+// distances from root to every vertex with polylog(V) error.
+// Cost: (epsilon, 0).
+func (pg *PrivateGraph) TreeSingleSource(root int) (*TreeSSSPResult, error) {
+	if err := pg.checkVertices(root); err != nil {
+		return nil, err
+	}
+	var rel *core.TreeSSSP
+	rec, err := pg.exec("treesssp", true, func(o core.Options) error {
+		var err error
+		rel, err = core.TreeSingleSource(pg.g, pg.w, root, o)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pg.treeSSSPResult(rec, rel), nil
+}
+
+func (pg *PrivateGraph) treeSSSPResult(rec Receipt, rel *core.TreeSSSP) *TreeSSSPResult {
+	res := &TreeSSSPResult{
+		Root:     rel.Root,
+		Dist:     rel.Dist,
+		Levels:   rel.Levels,
+		Released: rel.Released,
+	}
+	res.ReleaseInfo = pg.info(rec, rel.NoiseScale)
+	return res
+}
+
+// TreeAllPairs releases all-pairs distances on a tree topology
+// (Theorem 4.2): one Algorithm 1 release plus the public LCA structure
+// answers every pair. Cost: (epsilon, 0).
+func (pg *PrivateGraph) TreeAllPairs() (*TreeAPSDResult, error) {
+	var rel *core.TreeAPSD
+	rec, err := pg.exec("treedist", true, func(o core.Options) error {
+		var err error
+		rel, err = core.TreeAllPairs(pg.g, pg.w, o)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &TreeAPSDResult{SSSP: pg.treeSSSPResult(rec, rel.SSSP), apsd: rel}
+	res.ReleaseInfo = pg.info(rec, rel.SSSP.NoiseScale)
+	return res, nil
+}
+
+// PathHierarchy releases the Appendix A hub hierarchy; the topology
+// must be the path graph (edge i joining vertices i and i+1). Use base
+// 2 for the paper's setting. Cost: (epsilon, 0).
+func (pg *PrivateGraph) PathHierarchy(base int) (*HierarchyResult, error) {
+	if err := pg.requirePathTopology(); err != nil {
+		return nil, err
+	}
+	var rel *core.PathHubs
+	rec, err := pg.exec("hierarchy", true, func(o core.Options) error {
+		var err error
+		rel, err = core.PathHierarchy(pg.w, base, o)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &HierarchyResult{Base: rel.Base, Levels: rel.Levels, hubs: rel}
+	res.ReleaseInfo = pg.info(rec, rel.NoiseScale)
+	return res, nil
+}
+
+// requirePathTopology checks that edge i joins vertices i and i+1, the
+// layout PathHierarchy's weight indexing assumes.
+func (pg *PrivateGraph) requirePathTopology() error {
+	if pg.g.M() != pg.g.N()-1 {
+		return fmt.Errorf("dpgraph: PathHierarchy needs the path graph, got %d edges on %d vertices", pg.g.M(), pg.g.N())
+	}
+	for i := 0; i < pg.g.M(); i++ {
+		e := pg.g.Edge(i)
+		u, v := e.From, e.To
+		if u > v {
+			u, v = v, u
+		}
+		if u != i || v != i+1 {
+			return fmt.Errorf("dpgraph: PathHierarchy needs the path graph (edge %d joins %d and %d)", i, e.From, e.To)
+		}
+	}
+	return nil
+}
+
+// SingleSource releases the V-1 distances from one source on a general
+// graph by composition (remark after Theorem 4.6).
+// Cost: (epsilon, delta).
+func (pg *PrivateGraph) SingleSource(source int) (*SSSPResult, error) {
+	if err := pg.checkVertices(source); err != nil {
+		return nil, err
+	}
+	var rel *core.SSSPRelease
+	rec, err := pg.exec("sssp", false, func(o core.Options) error {
+		var err error
+		rel, err = core.SingleSourceComposition(pg.g, pg.w, source, o)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &SSSPResult{Source: rel.Source, Dist: rel.Dist}
+	res.ReleaseInfo = pg.info(rec, rel.NoiseScale)
+	return res, nil
+}
+
+// MST releases an almost-minimum spanning tree (Theorem B.3).
+// Cost: (epsilon, 0).
+func (pg *PrivateGraph) MST() (*MSTResult, error) {
+	var rel *core.MSTRelease
+	rec, err := pg.exec("mst", true, func(o core.Options) error {
+		var err error
+		rel, err = core.PrivateMST(pg.g, pg.w, o)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &MSTResult{Edges: rel.Tree, ReleasedWeight: rel.ReleasedWeight, n: pg.g.N(), m: pg.g.M()}
+	res.ReleaseInfo = pg.info(rec, rel.NoiseScale)
+	return res, nil
+}
+
+// MSTCost releases the minimum spanning tree's cost — a sensitivity-
+// Scale scalar, so plain Laplace noise with no dependence on V.
+// Cost: (epsilon, 0).
+func (pg *PrivateGraph) MSTCost() (*CostResult, error) {
+	var value float64
+	rec, err := pg.exec("mstcost", true, func(o core.Options) error {
+		var err error
+		value, err = core.PrivateMSTCost(pg.g, pg.w, o)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &CostResult{Value: value}
+	res.ReleaseInfo = pg.info(rec, pg.cfg.scale/pg.cfg.epsilon)
+	return res, nil
+}
+
+// Matching releases an almost-minimum-weight perfect matching
+// (Theorem B.6). Cost: (epsilon, 0).
+func (pg *PrivateGraph) Matching() (*MatchingResult, error) {
+	return pg.matching("matching", core.PrivateMatching)
+}
+
+// MaxMatching releases an almost-maximum-weight perfect matching
+// (Appendix B.2). Cost: (epsilon, 0).
+func (pg *PrivateGraph) MaxMatching() (*MatchingResult, error) {
+	return pg.matching("maxmatching", core.PrivateMaxMatching)
+}
+
+func (pg *PrivateGraph) matching(name string, mech func(*Graph, []float64, core.Options) (*core.MatchingRelease, error)) (*MatchingResult, error) {
+	var rel *core.MatchingRelease
+	rec, err := pg.exec(name, true, func(o core.Options) error {
+		var err error
+		rel, err = mech(pg.g, pg.w, o)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &MatchingResult{Edges: rel.Matching, ReleasedWeight: rel.ReleasedWeight, n: pg.g.N(), m: pg.g.M()}
+	res.ReleaseInfo = pg.info(rec, rel.NoiseScale)
+	return res, nil
+}

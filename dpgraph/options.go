@@ -1,0 +1,130 @@
+package dpgraph
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dp"
+)
+
+// config carries the session settings accumulated by Options.
+type config struct {
+	epsilon float64
+	delta   float64
+	gamma   float64
+	scale   float64
+	budget  dp.PrivacyParams
+
+	seeded     bool
+	seed       int64
+	sharedRand *rand.Rand
+}
+
+func defaultConfig() config {
+	return config{
+		epsilon: 1,
+		delta:   0,
+		gamma:   0.05,
+		scale:   1,
+		budget:  unlimited(),
+	}
+}
+
+// Option configures a PrivateGraph at construction.
+type Option func(*config) error
+
+// WithEpsilon sets the privacy parameter epsilon charged by each
+// release. Must be positive. Default 1.
+func WithEpsilon(epsilon float64) Option {
+	return func(c *config) error {
+		if !(epsilon > 0) {
+			return fmt.Errorf("dpgraph: epsilon must be positive, got %g", epsilon)
+		}
+		c.epsilon = epsilon
+		return nil
+	}
+}
+
+// WithDelta sets the approximate-DP parameter delta. Zero (the default)
+// means pure DP; mechanisms documented as (eps, delta)-DP use it to
+// calibrate noise by advanced composition.
+func WithDelta(delta float64) Option {
+	return func(c *config) error {
+		if delta < 0 || delta >= 1 {
+			return fmt.Errorf("dpgraph: delta must be in [0, 1), got %g", delta)
+		}
+		c.delta = delta
+		return nil
+	}
+}
+
+// WithGamma sets the failure probability used to size high-probability
+// error bounds and Algorithm 3's shift. Default 0.05.
+func WithGamma(gamma float64) Option {
+	return func(c *config) error {
+		if !(gamma > 0 && gamma < 1) {
+			return fmt.Errorf("dpgraph: gamma must be in (0, 1), got %g", gamma)
+		}
+		c.gamma = gamma
+		return nil
+	}
+}
+
+// WithScale sets the l1 influence of a single individual on the weight
+// vector (the paper's Section 1.2 scaling remark). Default 1.
+func WithScale(scale float64) Option {
+	return func(c *config) error {
+		if !(scale > 0) {
+			return fmt.Errorf("dpgraph: scale must be positive, got %g", scale)
+		}
+		c.scale = scale
+		return nil
+	}
+}
+
+// WithBudget caps the total (epsilon, delta) the session may spend
+// across all releases under basic composition. Once a release would
+// exceed it, mechanism calls fail with ErrBudgetExhausted and release
+// nothing. Without this option the budget is unlimited (every release
+// still appears in the receipts ledger).
+func WithBudget(epsilon, delta float64) Option {
+	return func(c *config) error {
+		if epsilon < 0 || delta < 0 {
+			return fmt.Errorf("dpgraph: budget must be nonnegative, got (%g, %g)", epsilon, delta)
+		}
+		c.budget = dp.PrivacyParams{Epsilon: epsilon, Delta: delta}
+		return nil
+	}
+}
+
+// WithNoiseSource supplies an explicit noise stream, e.g. an
+// experiment's shared seeded *rand.Rand. The session serializes all
+// sampling from it, so concurrent queries remain safe but no longer run
+// in parallel. Prefer WithDeterministicSeed unless the stream must be
+// shared with other consumers.
+func WithNoiseSource(rng *rand.Rand) Option {
+	return func(c *config) error {
+		if rng == nil {
+			return fmt.Errorf("dpgraph: nil noise source")
+		}
+		c.sharedRand = rng
+		c.seeded = false
+		return nil
+	}
+}
+
+// WithDeterministicSeed makes noise reproducible: each mechanism call
+// draws from a child stream seeded from a root stream seeded with seed.
+// A sequence of calls on one goroutine reproduces exactly across runs.
+//
+// Deterministic noise is predictable by anyone who knows the seed and
+// therefore offers NO privacy; it exists for tests, benchmarks, and
+// experiments. Production sessions should keep the crypto-grade default.
+func WithDeterministicSeed(seed int64) Option {
+	return func(c *config) error {
+		c.seeded = true
+		c.seed = seed
+		c.sharedRand = nil
+		return nil
+	}
+}

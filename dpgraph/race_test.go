@@ -1,0 +1,152 @@
+package dpgraph
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentMixedQueries hammers one session from many goroutines
+// with a mix of mechanisms (run under -race in CI). Every release must
+// either succeed or fail with a budget error; afterwards the ledger must
+// exactly reflect the successes.
+func TestConcurrentMixedQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := Grid(5)
+	w := UniformRandomWeights(g, 1, 5, rng)
+	pg, err := New(g, PrivateWeights(w), WithEpsilon(1), WithBudget(1000, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	const perG = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*perG)
+	for i := 0; i < goroutines; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				var err error
+				switch (i + j) % 4 {
+				case 0:
+					var res *DistanceResult
+					res, err = pg.Distance(i%g.N(), g.N()-1-j%g.N())
+					if err == nil {
+						res.Bound(0.05)
+					}
+				case 1:
+					var res *PathsResult
+					res, err = pg.ShortestPaths()
+					if err == nil {
+						_, err = res.Path(0, g.N()-1)
+					}
+				case 2:
+					var res *SyntheticGraph
+					res, err = pg.Release()
+					if err == nil {
+						_, err = res.Distance(0, g.N()-1)
+					}
+				case 3:
+					var res *MSTResult
+					res, err = pg.MST()
+					if err == nil {
+						res.Bound(0.05)
+					}
+				}
+				if err != nil {
+					errs <- err
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent query failed: %v", err)
+	}
+	recs := pg.Receipts()
+	if len(recs) != goroutines*perG {
+		t.Errorf("%d receipts for %d successful releases", len(recs), goroutines*perG)
+	}
+	eps, _ := pg.Spent()
+	if eps != float64(goroutines*perG) {
+		t.Errorf("spent %g, want %d", eps, goroutines*perG)
+	}
+}
+
+// TestConcurrentBudgetNeverOverspends races 16 goroutines at a budget
+// with room for only 10 releases and checks the accountant admits
+// exactly 10.
+func TestConcurrentBudgetNeverOverspends(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	g := Grid(4)
+	w := UniformRandomWeights(g, 1, 5, rng)
+	pg, err := New(g, PrivateWeights(w), WithEpsilon(1), WithBudget(10, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	succeeded := 0
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := pg.Distance(0, 15); err == nil {
+				mu.Lock()
+				succeeded++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if succeeded != 10 {
+		t.Errorf("%d releases admitted under a 10-release budget", succeeded)
+	}
+	if eps, _ := pg.Spent(); eps != 10 {
+		t.Errorf("spent %g", eps)
+	}
+	if len(pg.Receipts()) != 10 {
+		t.Errorf("%d receipts", len(pg.Receipts()))
+	}
+}
+
+// TestConcurrentSharedResultQueries checks post-processing queries on
+// one released result are race-free (the PathsResult tree cache is the
+// only lazily built structure).
+func TestConcurrentSharedResultQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := Grid(5)
+	w := UniformRandomWeights(g, 1, 5, rng)
+	pg, err := New(g, PrivateWeights(w), WithEpsilon(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := pg.ShortestPaths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	apsd, err := pg.AllPairsDistances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := 0; s < g.N(); s += 3 {
+				if _, err := paths.Path(s, (s+7+i)%g.N()); err != nil {
+					t.Errorf("path: %v", err)
+					return
+				}
+				apsd.Distance(s, (s+3+i)%g.N())
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,119 @@
+package dpgraph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestMechanismsSortedUniqueAndComplete(t *testing.T) {
+	ms := Mechanisms()
+	if len(ms) < 10 {
+		t.Fatalf("registry has %d mechanisms, want >= 10", len(ms))
+	}
+	if !sort.SliceIsSorted(ms, func(i, j int) bool { return ms[i].Name < ms[j].Name }) {
+		t.Error("Mechanisms() not sorted by name")
+	}
+	seen := map[string]bool{}
+	for _, d := range ms {
+		if seen[d.Name] {
+			t.Errorf("duplicate mechanism %q", d.Name)
+		}
+		seen[d.Name] = true
+		if d.Summary == "" || d.Ref == "" || d.Sensitivity == "" || d.Guarantee == "" || d.Method == "" {
+			t.Errorf("%s: incomplete metadata: %+v", d.Name, d)
+		}
+	}
+	for _, want := range []string{"distance", "apsd", "release", "treedist", "treesssp", "hierarchy", "path", "mst", "matching", "bounded", "covering", "sssp"} {
+		if !seen[want] {
+			t.Errorf("mechanism %q missing from registry", want)
+		}
+	}
+}
+
+func TestMechanismLookup(t *testing.T) {
+	d, ok := Mechanism("distance")
+	if !ok || d.Name != "distance" {
+		t.Fatalf("lookup distance = (%+v, %v)", d, ok)
+	}
+	if _, ok := Mechanism("nope"); ok {
+		t.Error("unknown mechanism found")
+	}
+}
+
+// TestRegistryRunnersExecute drives every runnable descriptor against a
+// suitable topology and checks it yields a Result with a receipt whose
+// mechanism matches the descriptor.
+func TestRegistryRunnersExecute(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	grid := Grid(4)
+	gw := UniformRandomWeights(grid, 0.1, 1, rng)
+	tree := BalancedBinaryTree(15)
+	tw := UniformRandomWeights(tree, 0.1, 1, rng)
+	path := PathGraph(9)
+	pw := UniformRandomWeights(path, 0.1, 1, rng)
+	bip := CompleteBipartite(4, 4)
+	bw := UniformRandomWeights(bip, 0.1, 1, rng)
+
+	for _, d := range Mechanisms() {
+		if d.Run == nil {
+			continue
+		}
+		g, w := grid, gw
+		switch {
+		case d.NeedsTree:
+			g, w = tree, tw
+		case d.NeedsPath:
+			g, w = path, pw
+		case d.Name == "matching" || d.Name == "maxmatching":
+			g, w = bip, bw
+		}
+		pg, err := New(g, PrivateWeights(w), WithEpsilon(1), WithDelta(1e-6), WithDeterministicSeed(int64(len(d.Name))))
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		q := Args{S: 0, T: g.N() - 1, Root: 0}
+		if d.NeedsMaxWeight {
+			q.MaxWeight = 1
+		}
+		res, err := d.Run(pg, q)
+		if err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+			continue
+		}
+		info := res.Info()
+		if info.Receipt.Mechanism == "" {
+			t.Errorf("%s: result has no receipt", d.Name)
+		}
+		if res.Bound(0.05) <= 0 {
+			t.Errorf("%s: nonpositive bound", d.Name)
+		}
+		if len(pg.Receipts()) != 1 {
+			t.Errorf("%s: %d receipts after one run", d.Name, len(pg.Receipts()))
+		}
+	}
+}
+
+// TestRegistryRunnersRejectBadPairs ensures pair validation happens
+// before budget is spent.
+func TestRegistryRunnersRejectBadPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	g := Grid(4)
+	w := UniformRandomWeights(g, 0.1, 1, rng)
+	for _, name := range []string{"apsd", "treedist", "hierarchy"} {
+		d, ok := Mechanism(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		pg, err := New(g, PrivateWeights(w), WithDeterministicSeed(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Run(pg, Args{S: -1, T: 99}); err == nil {
+			t.Errorf("%s: bad pair accepted", name)
+		}
+		if eps, _ := pg.Spent(); eps != 0 {
+			t.Errorf("%s: bad pair spent %g of budget", name, eps)
+		}
+	}
+}

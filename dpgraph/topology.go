@@ -1,0 +1,92 @@
+package dpgraph
+
+import (
+	"encoding/json"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Graph is the public topology type. Downstream consumers construct and
+// manipulate it entirely through this package (NewGraph, AddEdge, the
+// generators, and the file loaders); the alias keeps the internal
+// algorithmic kernels and the public facade on one representation.
+type Graph = graph.Graph
+
+// NewGraph returns an empty undirected multigraph on n vertices; add
+// edges with AddEdge, which returns the new edge's ID (the index into
+// the weight vector).
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// NewDirectedGraph returns an empty directed multigraph on n vertices.
+func NewDirectedGraph(n int) *Graph { return graph.NewDirected(n) }
+
+// Generators for common public topologies.
+
+// PathGraph returns the path on n vertices (edge i joins i and i+1).
+func PathGraph(n int) *Graph { return graph.Path(n) }
+
+// Grid returns the side x side grid graph.
+func Grid(side int) *Graph { return graph.Grid(side) }
+
+// Cycle returns the cycle on n vertices.
+func Cycle(n int) *Graph { return graph.Cycle(n) }
+
+// Star returns the star with n leaves.
+func Star(n int) *Graph { return graph.Star(n) }
+
+// Complete returns the complete graph on n vertices.
+func Complete(n int) *Graph { return graph.Complete(n) }
+
+// CompleteBipartite returns the complete bipartite graph K_{a,b}.
+func CompleteBipartite(a, b int) *Graph { return graph.CompleteBipartite(a, b) }
+
+// BalancedBinaryTree returns the balanced binary tree on n vertices.
+func BalancedBinaryTree(n int) *Graph { return graph.BalancedBinaryTree(n) }
+
+// Caterpillar returns a caterpillar tree: a spine path with legs leaves
+// attached round-robin.
+func Caterpillar(spine, legs int) *Graph { return graph.Caterpillar(spine, legs) }
+
+// UniformRandomWeights draws an i.i.d. uniform [lo, hi) weight per edge;
+// a convenience for demos and synthetic private inputs.
+func UniformRandomWeights(g *Graph, lo, hi float64, rng *rand.Rand) []float64 {
+	return graph.UniformRandomWeights(g, lo, hi, rng)
+}
+
+// ReadGraphFile loads a graph (and its weight vector, if present) from a
+// file in either the text edge-list format or the JSON format; the
+// format is sniffed from the content.
+func ReadGraphFile(path string) (*Graph, []float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ParseGraph(data)
+}
+
+// ParseGraph decodes a graph from text edge-list or JSON bytes.
+func ParseGraph(data []byte) (*Graph, []float64, error) {
+	trimmed := strings.TrimSpace(string(data))
+	if strings.HasPrefix(trimmed, "{") {
+		var probe json.RawMessage
+		if json.Unmarshal(data, &probe) == nil {
+			return graph.UnmarshalJSONGraph(data)
+		}
+	}
+	return graph.ReadText(strings.NewReader(string(data)))
+}
+
+// MarshalGraphJSON encodes a graph and weight vector as JSON.
+func MarshalGraphJSON(g *Graph, w []float64) ([]byte, error) {
+	return graph.MarshalJSONGraph(g, w)
+}
+
+// WriteGraphText writes a graph and weight vector in the text edge-list
+// format that ReadGraphFile accepts.
+func WriteGraphText(out io.Writer, g *Graph, w []float64) error {
+	return graph.WriteText(out, g, w)
+}

@@ -23,8 +23,8 @@ import (
 	"log"
 	"math/rand"
 
+	"repro/dpgraph"
 	"repro/internal/attack"
-	"repro/internal/core"
 	"repro/internal/graph"
 )
 
@@ -43,7 +43,12 @@ func main() {
 		for trial := 0; trial < trials; trial++ {
 			x := attack.RandomBits(n, rng)
 			mech := func(g *graph.Graph, w []float64, s, t int) ([]int, error) {
-				pp, err := core.PrivateShortestPaths(g, w, core.Options{Epsilon: eps, Rand: rng})
+				pg, err := dpgraph.New(g, dpgraph.PrivateWeights(w),
+					dpgraph.WithEpsilon(eps), dpgraph.WithNoiseSource(rng))
+				if err != nil {
+					return nil, err
+				}
+				pp, err := pg.ShortestPaths()
 				if err != nil {
 					return nil, err
 				}
@@ -71,7 +76,12 @@ func main() {
 	x := attack.RandomBits(16, rng)
 	small := graph.NewPathGadget(16)
 	mech := func(g *graph.Graph, w []float64, s, t int) ([]int, error) {
-		pp, err := core.PrivateShortestPaths(g, w, core.Options{Epsilon: 20, Rand: rng})
+		pg, err := dpgraph.New(g, dpgraph.PrivateWeights(w),
+			dpgraph.WithEpsilon(20), dpgraph.WithNoiseSource(rng))
+		if err != nil {
+			return nil, err
+		}
+		pp, err := pg.ShortestPaths()
 		if err != nil {
 			return nil, err
 		}

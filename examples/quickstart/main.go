@@ -1,10 +1,13 @@
-// Quickstart: the private edge-weight model in one small program.
+// Quickstart: the private edge-weight model in one small program, via
+// the public dpgraph API.
 //
 // A ride network's topology (which roads exist) is public; its observed
-// travel times are private. We release a private distance, a private
-// route, private all-pairs tree distances, and a private spanning tree —
-// each with an explicit (eps, delta) guarantee — and compare against the
-// non-private truth.
+// travel times are private. We bind the private weights into one
+// dpgraph.PrivateGraph session with a total privacy budget, release a
+// private distance, a private route, private all-pairs tree distances,
+// and a private spanning tree — each returning a typed result with an
+// explicit error bound — and finish by printing the session's privacy
+// receipts ledger.
 //
 // Run: go run ./examples/quickstart
 package main
@@ -14,54 +17,77 @@ import (
 	"log"
 	"math/rand"
 
-	"repro/internal/core"
+	"repro/dpgraph"
 	"repro/internal/graph"
 )
 
 func main() {
 	// Public topology: a 5x5 street grid.
-	g := graph.Grid(5)
+	g := dpgraph.Grid(5)
 	rng := rand.New(rand.NewSource(42))
 
-	// Private data: observed travel minutes per segment.
-	w := graph.UniformRandomWeights(g, 2, 10, rng)
+	// Private data: observed travel minutes per segment. (The rng here
+	// only simulates the private input; the session's noise is seeded
+	// separately so the demo is reproducible.)
+	w := dpgraph.UniformRandomWeights(g, 2, 10, rng)
 
-	opts := core.Options{Epsilon: 1.0, Gamma: 0.05, Rand: rng}
+	pg, err := dpgraph.New(g, dpgraph.PrivateWeights(w),
+		dpgraph.WithEpsilon(1),
+		dpgraph.WithGamma(0.05),
+		dpgraph.WithBudget(4, 0), // at most four eps-1 releases, enforced
+		dpgraph.WithDeterministicSeed(42))
+	check(err)
 	s, t := 0, g.N()-1 // opposite corners
 
 	// 1. One private distance query (sensitivity 1, Laplace mechanism).
-	exact, err := graph.Distance(g, w, s, t)
+	exact, err := graph.Distance(g, w, s, t) // data-owner-side truth
 	check(err)
-	private, err := core.PrivateDistance(g, w, s, t, opts)
+	dist, err := pg.Distance(s, t)
 	check(err)
-	fmt.Printf("distance %d->%d: exact %.2f, private %.2f (eps=1)\n", s, t, exact, private)
+	fmt.Printf("distance %d->%d: exact %.2f, private %.2f (±%.2f at gamma=0.05)\n",
+		s, t, exact, dist.Value, dist.Bound(0.05))
 
 	// 2. A private route (Algorithm 3): one release answers every pair.
-	pp, err := core.PrivateShortestPaths(g, w, opts)
+	paths, err := pg.ShortestPaths()
 	check(err)
-	route, err := pp.Path(s, t)
+	route, err := paths.Path(s, t)
 	check(err)
-	fmt.Printf("private route %d->%d: %v\n", s, t, g.PathVertices(s, route))
+	verts, err := paths.PathVertices(s, t)
+	check(err)
+	fmt.Printf("private route %d->%d: %v\n", s, t, verts)
 	fmt.Printf("  true time of released route %.2f vs optimum %.2f (bound for %d-hop optima: +%.2f)\n",
-		graph.PathWeight(w, route), exact, 8, pp.ErrorBound(8))
+		graph.PathWeight(w, route), exact, 8, paths.BoundKHops(8, 0.05))
 
-	// 3. All-pairs distances on a tree (Algorithm 1 + LCA): polylog error.
-	tree := graph.BalancedBinaryTree(31)
-	tw := graph.UniformRandomWeights(tree, 1, 5, rng)
-	apsd, err := core.TreeAllPairs(tree, tw, opts)
+	// 3. All-pairs distances on a tree (Algorithm 1 + LCA): polylog
+	// error. Trees get their own session since they are a different
+	// private database.
+	tree := dpgraph.BalancedBinaryTree(31)
+	tw := dpgraph.UniformRandomWeights(tree, 1, 5, rng)
+	tpg, err := dpgraph.New(tree, dpgraph.PrivateWeights(tw),
+		dpgraph.WithEpsilon(1), dpgraph.WithDeterministicSeed(43))
+	check(err)
+	apsd, err := tpg.TreeAllPairs()
 	check(err)
 	tr, err := graph.NewTree(tree, 0)
 	check(err)
 	fmt.Printf("tree distance 7->28: exact %.2f, private %.2f (per-pair bound %.2f)\n",
-		tr.TreeDistance(tw, 7, 28), apsd.Query(7, 28), apsd.PerPairErrorBound(0.05))
+		tr.TreeDistance(tw, 7, 28), apsd.Distance(7, 28), apsd.PerPairBound(0.05))
 
 	// 4. A private near-minimum spanning tree (Appendix B).
-	mst, err := core.PrivateMST(g, w, opts)
+	mst, err := pg.MST()
 	check(err)
 	_, optW, err := graph.MST(g, w)
 	check(err)
 	fmt.Printf("private spanning tree: true weight %.2f vs optimum %.2f (bound +%.2f)\n",
-		mst.TrueWeight(w), optW, mst.ErrorBound(g, 0.05))
+		mst.TrueWeight(w), optW, mst.Bound(0.05))
+
+	// The session accounted for every release; print the ledger.
+	eps, _ := pg.Spent()
+	remaining, _ := pg.Remaining()
+	fmt.Printf("\nprivacy receipts (spent ε=%g, remaining ε=%g):\n", eps, remaining)
+	for _, r := range pg.Receipts() {
+		fmt.Printf("  %-10s ε=%g\n", r.Mechanism, r.Epsilon)
+	}
 }
 
 func check(err error) {

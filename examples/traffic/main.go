@@ -6,9 +6,11 @@
 // which could expose, say, where a protest or a celebrity convoy is.
 //
 // We simulate a business day: every two hours the service refreshes its
-// private release from current travel times and serves routes. The demo
-// prints, per refresh, the median/95th-percentile stretch of private
-// routes versus true fastest routes, plus a commuter's 8am route.
+// private release from current travel times — opening a fresh
+// dpgraph.PrivateGraph session per refresh, since each refresh binds a
+// new private database — and serves routes. The demo prints, per refresh,
+// the median/95th-percentile stretch of private routes versus true
+// fastest routes, plus a commuter's 8am route.
 //
 // Run: go run ./examples/traffic
 package main
@@ -19,7 +21,7 @@ import (
 	"math/rand"
 	"sort"
 
-	"repro/internal/core"
+	"repro/dpgraph"
 	"repro/internal/graph"
 	"repro/internal/traffic"
 )
@@ -40,7 +42,12 @@ func main() {
 	fmt.Println("hour  medStretch  p95Stretch  medAbsErr(min)  commute(min true/opt)")
 	for hour := 6.0; hour <= 20; hour += 2 {
 		w := city.TravelTimes(traffic.CongestionModel{Hour: hour}, rng)
-		pp, err := core.PrivateShortestPaths(city.G, w, core.Options{Epsilon: eps, Rand: rng})
+		pg, err := dpgraph.New(city.G, dpgraph.PrivateWeights(w),
+			dpgraph.WithEpsilon(eps), dpgraph.WithNoiseSource(rng))
+		if err != nil {
+			log.Fatal(err)
+		}
+		pp, err := pg.ShortestPaths()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -82,8 +89,12 @@ func main() {
 	// travel-time estimates via the bounded-weight mechanism: travel
 	// times are bounded by city.MaxTime, so Algorithm 2 applies.
 	w := city.TravelTimes(traffic.CongestionModel{Hour: 8}, rng)
-	rel, err := core.BoundedWeightAPSD(city.G, w, city.MaxTime,
-		core.Options{Epsilon: eps, Delta: 1e-6, Rand: rng})
+	pg, err := dpgraph.New(city.G, dpgraph.PrivateWeights(w),
+		dpgraph.WithEpsilon(eps), dpgraph.WithDelta(1e-6), dpgraph.WithNoiseSource(rng))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rel, err := pg.BoundedAllPairs(city.MaxTime)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -92,7 +103,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\n8am dashboard estimate home->office: %.1f min (true %.1f; covering k=%d |Z|=%d; bound ±%.1f)\n",
-		rel.Query(home, office), exact, rel.K, len(rel.Z), rel.ErrorBound(0.05))
+		rel.Distance(home, office), exact, rel.K, rel.CoveringSize, rel.Bound(0.05))
 }
 
 func quantile(xs []float64, p float64) float64 {

@@ -17,7 +17,7 @@ import (
 	"math"
 	"math/rand"
 
-	"repro/internal/core"
+	"repro/dpgraph"
 	"repro/internal/graph"
 )
 
@@ -30,11 +30,15 @@ func main() {
 	// the naive noisy-graph release does fine; depth is where the tree
 	// mechanism's polylog guarantee earns its keep.)
 	n := 4095
-	g := graph.Caterpillar(2048, n-2048)
-	w := graph.UniformRandomWeights(g, 0.5, 3.0, rng) // per-line impedance
+	g := dpgraph.Caterpillar(2048, n-2048)
+	w := dpgraph.UniformRandomWeights(g, 0.5, 3.0, rng) // per-line impedance
 
-	opts := core.Options{Epsilon: 1.0, Gamma: 0.05, Rand: rng}
-	apsd, err := core.TreeAllPairs(g, w, opts)
+	pg, err := dpgraph.New(g, dpgraph.PrivateWeights(w),
+		dpgraph.WithEpsilon(1), dpgraph.WithGamma(0.05), dpgraph.WithNoiseSource(rng))
+	if err != nil {
+		log.Fatal(err)
+	}
+	apsd, err := pg.TreeAllPairs()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,13 +51,13 @@ func main() {
 	fmt.Println("pair            exact   private   |err|")
 	for _, pair := range [][2]int{{12, 3077}, {500, 501}, {1, 4094}, {2048, 1024}} {
 		exact := tr.TreeDistance(w, pair[0], pair[1])
-		got := apsd.Query(pair[0], pair[1])
+		got := apsd.Distance(pair[0], pair[1])
 		fmt.Printf("%5d %5d  %8.2f  %8.2f  %6.2f\n", pair[0], pair[1], exact, got, math.Abs(got-exact))
 	}
 
 	// Survey error over many random pairs and compare mechanisms.
 	worstTree, worstNaive := 0.0, 0.0
-	naive, err := core.ReleaseGraph(g, w, opts)
+	naive, err := pg.Release()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,7 +69,7 @@ func main() {
 			continue
 		}
 		exact := tr.TreeDistance(w, x, y)
-		if e := math.Abs(apsd.Query(x, y) - exact); e > worstTree {
+		if e := math.Abs(apsd.Distance(x, y) - exact); e > worstTree {
 			worstTree = e
 		}
 		z := lca.Find(x, y)
@@ -75,9 +79,11 @@ func main() {
 		}
 	}
 	fmt.Printf("\nmax |err| over 4000 pairs, V=%d, eps=1:\n", n)
-	fmt.Printf("  tree mechanism (Thm 4.2):   %7.2f   grows ~log^2.5 V  (bound %.2f)\n", worstTree, apsd.AllPairsErrorBound(0.05))
+	fmt.Printf("  tree mechanism (Thm 4.2):   %7.2f   grows ~log^2.5 V  (bound %.2f)\n", worstTree, apsd.Bound(0.05))
 	fmt.Printf("  naive noisy-graph release:  %7.2f   grows ~sqrt(V) on deep trees\n", worstNaive)
 	fmt.Printf("  generic composition noise per query would be ~%.0f (grows ~V)\n", float64(n))
+	eps, _ := pg.Spent()
+	fmt.Printf("\ntotal privacy spent by this session: ε=%g (%d releases)\n", eps, len(pg.Receipts()))
 	fmt.Println("\nat this V the naive release's sqrt(V) constant is still smaller; the")
 	fmt.Println("tree mechanism's polylog curve overtakes it as networks grow (run")
 	fmt.Println("'go run ./cmd/experiments -run E3' to see the fitted growth exponents:")

@@ -5,7 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/core"
+	"repro/dpgraph"
 	"repro/internal/graph"
 )
 
@@ -86,7 +86,12 @@ func TestPathReconstructionLemmaInequality(t *testing.T) {
 		for trial := 0; trial < 5; trial++ {
 			x := RandomBits(128, rng)
 			mech := func(g *graph.Graph, w []float64, s, tt int) ([]int, error) {
-				pp, err := core.PrivateShortestPaths(g, w, core.Options{Epsilon: eps, Rand: rng})
+				pg, err := dpgraph.New(g, dpgraph.PrivateWeights(w),
+					dpgraph.WithEpsilon(eps), dpgraph.WithNoiseSource(rng))
+				if err != nil {
+					return nil, err
+				}
+				pp, err := pg.ShortestPaths()
 				if err != nil {
 					return nil, err
 				}
@@ -115,7 +120,12 @@ func TestPathReconstructionPrivateMechanismRespectsFloor(t *testing.T) {
 	for trial := 0; trial < trials; trial++ {
 		x := RandomBits(n, rng)
 		mech := func(g *graph.Graph, w []float64, s, tt int) ([]int, error) {
-			pp, err := core.PrivateShortestPaths(g, w, core.Options{Epsilon: eps, Rand: rng})
+			pg, err := dpgraph.New(g, dpgraph.PrivateWeights(w),
+				dpgraph.WithEpsilon(eps), dpgraph.WithNoiseSource(rng))
+			if err != nil {
+				return nil, err
+			}
+			pp, err := pg.ShortestPaths()
 			if err != nil {
 				return nil, err
 			}
@@ -172,11 +182,16 @@ func TestMSTReconstructionLemmaInequality(t *testing.T) {
 	for trial := 0; trial < 8; trial++ {
 		x := RandomBits(128, rng)
 		mech := func(g *graph.Graph, w []float64) ([]int, error) {
-			rel, err := core.PrivateMST(g, w, core.Options{Epsilon: 1, Rand: rng})
+			pg, err := dpgraph.New(g, dpgraph.PrivateWeights(w),
+				dpgraph.WithEpsilon(1), dpgraph.WithNoiseSource(rng))
 			if err != nil {
 				return nil, err
 			}
-			return rel.Tree, nil
+			rel, err := pg.MST()
+			if err != nil {
+				return nil, err
+			}
+			return rel.Edges, nil
 		}
 		res, err := MSTReconstruction(x, mech, gadget)
 		if err != nil {
@@ -222,11 +237,16 @@ func TestMatchingReconstructionLemmaInequality(t *testing.T) {
 	for trial := 0; trial < 8; trial++ {
 		x := RandomBits(64, rng)
 		mech := func(g *graph.Graph, w []float64) ([]int, error) {
-			rel, err := core.PrivateMatching(g, w, core.Options{Epsilon: 1, Rand: rng})
+			pg, err := dpgraph.New(g, dpgraph.PrivateWeights(w),
+				dpgraph.WithEpsilon(1), dpgraph.WithNoiseSource(rng))
 			if err != nil {
 				return nil, err
 			}
-			return rel.Matching, nil
+			rel, err := pg.Matching()
+			if err != nil {
+				return nil, err
+			}
+			return rel.Edges, nil
 		}
 		res, err := MatchingReconstruction(x, mech, gadget)
 		if err != nil {

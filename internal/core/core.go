@@ -48,9 +48,9 @@ type Options struct {
 	// Scale is the l1 influence of a single individual on the weight
 	// vector (the paper's scaling remark). Defaults to 1.
 	Scale float64
-	// Rand is the noise source. Defaults to a fixed-seed source; pass an
-	// explicit source for crypto-grade (dp.NewCryptoRand) or
-	// experiment-controlled noise.
+	// Rand is the noise source. Defaults to crypto-grade noise
+	// (dp.NewCryptoRand); pass an explicit seeded source only for
+	// reproducible experiments and tests.
 	Rand *rand.Rand
 	// Accountant, when non-nil, is charged (Epsilon, Delta) before each
 	// mechanism releases anything; if the budget would be exceeded the
@@ -58,13 +58,15 @@ type Options struct {
 	Accountant *dp.Accountant
 }
 
-// charge debits the options' privacy cost from the accountant, if any.
-// Mechanisms call it after validation and before sampling any noise.
-func (o Options) charge(label string) error {
+// charge debits the given privacy cost from the accountant, if any.
+// Mechanisms call it after validation and before sampling any noise,
+// passing the guarantee they actually provide: pure mechanisms charge
+// pureParams() (delta zero) even when the caller set a nonzero Delta.
+func (o Options) charge(label string, p dp.PrivacyParams) error {
 	if o.Accountant == nil {
 		return nil
 	}
-	return o.Accountant.Spend(label, o.Params())
+	return o.Accountant.Spend(label, p)
 }
 
 // withDefaults normalizes an Options value and validates it.
@@ -88,12 +90,29 @@ func (o Options) withDefaults() (Options, error) {
 		return o, fmt.Errorf("core: scale must be positive, got %g", o.Scale)
 	}
 	if o.Rand == nil {
-		o.Rand = rand.New(rand.NewSource(1))
+		o.Rand = dp.NewCryptoRand()
 	}
 	return o, nil
+}
+
+// Validate checks the parameter values without running a mechanism;
+// zero values that withDefaults would fill in are accepted.
+func (o Options) Validate() error {
+	if o.Rand == nil {
+		// Avoid allocating a crypto stream just to validate numbers.
+		o.Rand = rand.New(rand.NewSource(0))
+	}
+	_, err := o.withDefaults()
+	return err
 }
 
 // Params returns the privacy guarantee the options request.
 func (o Options) Params() dp.PrivacyParams {
 	return dp.PrivacyParams{Epsilon: o.Epsilon, Delta: o.Delta}
+}
+
+// pureParams returns the guarantee of a pure eps-DP mechanism run under
+// these options: Delta is not consumed, so it is not charged.
+func (o Options) pureParams() dp.PrivacyParams {
+	return dp.PrivacyParams{Epsilon: o.Epsilon}
 }

@@ -79,11 +79,9 @@ func coveringRelease(g *graph.Graph, w []float64, Z []int, k int, maxWeight floa
 		queries = 1
 	}
 	noiseScale := o.Scale * dp.NoiseScaleForKQueries(dp.PrivacyParams{Epsilon: o.Epsilon, Delta: o.Delta}, queries)
-	if err := o.charge("CoveringAPSD"); err != nil {
-		return nil, err
-	}
-	lap := dp.NewLaplace(noiseScale)
 
+	// Compute the exact answers (and every failure mode) before charging
+	// the accountant, so a failed release never burns budget.
 	zIndex := make(map[int]int, z)
 	for i, zv := range Z {
 		zIndex[zv] = i
@@ -102,15 +100,24 @@ func coveringRelease(g *graph.Graph, w []float64, Z []int, k int, maxWeight floa
 			if math.IsInf(d, 1) {
 				return nil, fmt.Errorf("core: covering vertices %d and %d are disconnected", zv, Z[j])
 			}
-			noisy := d + lap.Sample(o.Rand)
-			zdist[i][j] = noisy
-			zdist[j][i] = noisy
+			zdist[i][j] = d
 		}
 	}
 	assign, _ := graph.NearestCoveringVertex(g, Z)
 	for v, a := range assign {
 		if a == -1 {
 			return nil, fmt.Errorf("core: vertex %d not covered", v)
+		}
+	}
+	if err := o.charge("CoveringAPSD", o.Params()); err != nil {
+		return nil, err
+	}
+	lap := dp.NewLaplace(noiseScale)
+	for i := 0; i < z; i++ {
+		for j := i + 1; j < z; j++ {
+			noisy := zdist[i][j] + lap.Sample(o.Rand)
+			zdist[i][j] = noisy
+			zdist[j][i] = noisy
 		}
 	}
 	params := dp.PrivacyParams{Epsilon: o.Epsilon, Delta: o.Delta}

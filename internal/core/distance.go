@@ -25,7 +25,7 @@ func PrivateDistance(g *graph.Graph, w []float64, s, t int, opts Options) (float
 	if math.IsInf(d, 1) {
 		return 0, fmt.Errorf("core: vertex %d unreachable from %d (topology is public, so reporting this leaks nothing)", t, s)
 	}
-	if err := o.charge("PrivateDistance"); err != nil {
+	if err := o.charge("PrivateDistance", o.pureParams()); err != nil {
 		return 0, err
 	}
 	return d + dp.NewLaplace(o.Scale/o.Epsilon).Sample(o.Rand), nil
@@ -72,11 +72,13 @@ func APSDComposition(g *graph.Graph, w []float64, opts Options) (*APSD, error) {
 		k = 1
 	}
 	noiseScale := o.Scale * dp.NoiseScaleForKQueries(o.Params(), k)
-	if err := o.charge("APSDComposition"); err != nil {
-		return nil, err
-	}
+	// Exact answers (and any failure) come before the charge, so a
+	// failed release never burns budget.
 	exact, err := graph.AllPairsDistances(g, w)
 	if err != nil {
+		return nil, err
+	}
+	if err := o.charge("APSDComposition", o.Params()); err != nil {
 		return nil, err
 	}
 	l := dp.NewLaplace(noiseScale)

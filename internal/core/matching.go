@@ -35,8 +35,14 @@ func PrivateMatching(g *graph.Graph, w []float64, opts Options) (*MatchingReleas
 	if len(w) != g.M() {
 		return nil, errors.New("core: PrivateMatching weight vector length mismatch")
 	}
+	// Perfect-matching existence depends only on the public topology;
+	// check it (with zero weights) before charging so an infeasible
+	// release never burns budget.
+	if _, _, err := graph.MinWeightPerfectMatching(g, make([]float64, g.M())); err != nil {
+		return nil, err
+	}
 	noiseScale := o.Scale / o.Epsilon
-	if err := o.charge("PrivateMatching"); err != nil {
+	if err := o.charge("PrivateMatching", o.pureParams()); err != nil {
 		return nil, err
 	}
 	noisy := dp.AddLaplace(w, noiseScale, o.Rand)

@@ -35,8 +35,16 @@ func PrivateMST(g *graph.Graph, w []float64, opts Options) (*MSTRelease, error) 
 	if len(w) != g.M() {
 		return nil, errors.New("core: PrivateMST weight vector length mismatch")
 	}
+	// MST can only fail for topological (public) reasons; rule them out
+	// before charging so a failed release never burns budget.
+	if g.Directed() {
+		return nil, errors.New("core: PrivateMST requires an undirected graph")
+	}
+	if !g.Connected() {
+		return nil, errors.New("core: PrivateMST requires a connected graph")
+	}
 	noiseScale := o.Scale / o.Epsilon
-	if err := o.charge("PrivateMST"); err != nil {
+	if err := o.charge("PrivateMST", o.pureParams()); err != nil {
 		return nil, err
 	}
 	noisy := dp.AddLaplace(w, noiseScale, o.Rand)

@@ -52,7 +52,7 @@ func PathHierarchy(w []float64, base int, opts Options) (*PathHubs, error) {
 		levels++
 	}
 	scale := o.Scale * float64(levels) / o.Epsilon
-	if err := o.charge("PathHierarchy"); err != nil {
+	if err := o.charge("PathHierarchy", o.pureParams()); err != nil {
 		return nil, err
 	}
 	lap := dp.NewLaplace(scale)

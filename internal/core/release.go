@@ -35,7 +35,7 @@ func ReleaseGraph(g *graph.Graph, w []float64, opts Options) (*ReleasedGraph, er
 		return nil, err
 	}
 	scale := o.Scale / o.Epsilon
-	if err := o.charge("ReleaseGraph"); err != nil {
+	if err := o.charge("ReleaseGraph", o.pureParams()); err != nil {
 		return nil, err
 	}
 	return &ReleasedGraph{

@@ -52,7 +52,7 @@ func PrivateShortestPaths(g *graph.Graph, w []float64, opts Options) (*PrivatePa
 	}
 	noiseScale := o.Scale / o.Epsilon
 	shift := noiseScale * math.Log(float64(m)/o.Gamma)
-	if err := o.charge("PrivateShortestPaths"); err != nil {
+	if err := o.charge("PrivateShortestPaths", o.pureParams()); err != nil {
 		return nil, err
 	}
 	lap := dp.NewLaplace(noiseScale)

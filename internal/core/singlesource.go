@@ -44,7 +44,7 @@ func SingleSourceComposition(g *graph.Graph, w []float64, source int, opts Optio
 		k = 1
 	}
 	noiseScale := o.Scale * dp.NoiseScaleForKQueries(o.Params(), k)
-	if err := o.charge("SingleSourceComposition"); err != nil {
+	if err := o.charge("SingleSourceComposition", o.Params()); err != nil {
 		return nil, err
 	}
 	lap := dp.NewLaplace(noiseScale)
@@ -95,7 +95,7 @@ func PrivateMSTCost(g *graph.Graph, w []float64, opts Options) (float64, error) 
 	if err != nil {
 		return 0, err
 	}
-	if err := o.charge("PrivateMSTCost"); err != nil {
+	if err := o.charge("PrivateMSTCost", o.pureParams()); err != nil {
 		return 0, err
 	}
 	return cost + dp.NewLaplace(o.Scale/o.Epsilon).Sample(o.Rand), nil

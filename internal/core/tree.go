@@ -76,7 +76,7 @@ func TreeSingleSource(g *graph.Graph, w []float64, root int, opts Options) (*Tre
 		levels = int(math.Ceil(math.Log2(float64(n))))
 	}
 	scale := o.Scale * float64(levels) / o.Epsilon
-	if err := o.charge("TreeSingleSource"); err != nil {
+	if err := o.charge("TreeSingleSource", o.pureParams()); err != nil {
 		return nil, err
 	}
 	m := &treeMech{

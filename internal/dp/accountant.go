@@ -1,9 +1,14 @@
 package dp
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 )
+
+// ErrBudgetExceeded is wrapped by the error Spend returns when an
+// expenditure would exceed the budget, so callers can errors.Is on it.
+var ErrBudgetExceeded = errors.New("privacy budget exceeded")
 
 // Accountant tracks privacy budget spent by a sequence of mechanism
 // invocations under basic composition (Lemma 3.3). Mechanisms in this
@@ -39,8 +44,8 @@ func (a *Accountant) Spend(label string, p PrivacyParams) error {
 	newEps := a.spent.Epsilon + p.Epsilon
 	newDelta := a.spent.Delta + p.Delta
 	if newEps > a.budget.Epsilon || newDelta > a.budget.Delta {
-		return fmt.Errorf("dp: budget exceeded: spending %v for %q on top of %v exceeds budget %v",
-			p, label, a.spent, a.budget)
+		return fmt.Errorf("dp: %w: spending %v for %q on top of %v exceeds budget %v",
+			ErrBudgetExceeded, p, label, a.spent, a.budget)
 	}
 	a.spent = PrivacyParams{Epsilon: newEps, Delta: newDelta}
 	a.log = append(a.log, SpendRecord{Label: label, Params: p})

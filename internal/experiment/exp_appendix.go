@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/core"
+	"repro/dpgraph"
 	"repro/internal/graph"
 	"repro/internal/stats"
 )
@@ -52,7 +52,11 @@ func runE10(cfg Config) (*Table, error) {
 			var bound float64
 			for trial := 0; trial < trials; trial++ {
 				w := graph.UniformRandomWeights(g, 0, 10, rng)
-				rel, err := core.PrivateMST(g, w, core.Options{Epsilon: eps, Gamma: gamma, Rand: rng})
+				pg, err := session(g, w, rng, dpgraph.WithEpsilon(eps), dpgraph.WithGamma(gamma))
+				if err != nil {
+					return nil, err
+				}
+				rel, err := pg.MST()
 				if err != nil {
 					return nil, fmt.Errorf("E10 %s V=%d: %w", wl.name, nn, err)
 				}
@@ -62,7 +66,7 @@ func runE10(cfg Config) (*Table, error) {
 				}
 				excess.Add(rel.TrueWeight(w) - optW)
 				opt.Add(optW)
-				bound = rel.ErrorBound(g, gamma)
+				bound = rel.Bound(gamma)
 			}
 			t.AddRow(wl.name, inum(nn), fnum(excess.Mean()), fnum(excess.Max()), fnum(bound), fnum(opt.Mean()))
 			vs = append(vs, float64(nn))
@@ -119,7 +123,11 @@ func runE12(cfg Config) (*Table, error) {
 			for trial := 0; trial < trials; trial++ {
 				g, w := wl.gen(n, rng)
 				nn = g.N()
-				rel, err := core.PrivateMatching(g, w, core.Options{Epsilon: eps, Gamma: gamma, Rand: rng})
+				pg, err := session(g, w, rng, dpgraph.WithEpsilon(eps), dpgraph.WithGamma(gamma))
+				if err != nil {
+					return nil, err
+				}
+				rel, err := pg.Matching()
 				if err != nil {
 					return nil, fmt.Errorf("E12 %s V=%d: %w", wl.name, nn, err)
 				}
@@ -129,7 +137,7 @@ func runE12(cfg Config) (*Table, error) {
 				}
 				excess.Add(rel.TrueWeight(w) - optW)
 				opt.Add(optW)
-				bound = rel.ErrorBound(g, gamma)
+				bound = rel.Bound(gamma)
 			}
 			t.AddRow(wl.name, inum(nn), fnum(excess.Mean()), fnum(excess.Max()), fnum(bound), fnum(opt.Mean()))
 			vs = append(vs, float64(nn))

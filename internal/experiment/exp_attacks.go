@@ -3,8 +3,8 @@ package experiment
 import (
 	"fmt"
 
+	"repro/dpgraph"
 	"repro/internal/attack"
-	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/stats"
 )
@@ -64,7 +64,11 @@ func runE9(cfg Config) (*Table, error) {
 		for trial := 0; trial < trials; trial++ {
 			x := attack.RandomBits(n, rng)
 			mech := func(g *graph.Graph, w []float64, s, tt int) ([]int, error) {
-				pp, err := core.PrivateShortestPaths(g, w, core.Options{Epsilon: eps, Rand: rng})
+				pg, err := session(g, w, rng, dpgraph.WithEpsilon(eps))
+				if err != nil {
+					return nil, err
+				}
+				pp, err := pg.ShortestPaths()
 				if err != nil {
 					return nil, err
 				}
@@ -110,11 +114,15 @@ func runE11(cfg Config) (*Table, error) {
 		for trial := 0; trial < trials; trial++ {
 			x := attack.RandomBits(n, rng)
 			mech := func(g *graph.Graph, w []float64) ([]int, error) {
-				rel, err := core.PrivateMST(g, w, core.Options{Epsilon: eps, Rand: rng})
+				pg, err := session(g, w, rng, dpgraph.WithEpsilon(eps))
 				if err != nil {
 					return nil, err
 				}
-				return rel.Tree, nil
+				rel, err := pg.MST()
+				if err != nil {
+					return nil, err
+				}
+				return rel.Edges, nil
 			}
 			res, err := attack.MSTReconstruction(x, mech, gadget)
 			if err != nil {
@@ -155,11 +163,15 @@ func runE13(cfg Config) (*Table, error) {
 		for trial := 0; trial < trials; trial++ {
 			x := attack.RandomBits(n, rng)
 			mech := func(g *graph.Graph, w []float64) ([]int, error) {
-				rel, err := core.PrivateMatching(g, w, core.Options{Epsilon: eps, Rand: rng})
+				pg, err := session(g, w, rng, dpgraph.WithEpsilon(eps))
 				if err != nil {
 					return nil, err
 				}
-				return rel.Matching, nil
+				rel, err := pg.Matching()
+				if err != nil {
+					return nil, err
+				}
+				return rel.Edges, nil
 			}
 			res, err := attack.MatchingReconstruction(x, mech, gadget)
 			if err != nil {

@@ -5,7 +5,7 @@ import (
 	"math"
 	"math/rand"
 
-	"repro/internal/core"
+	"repro/dpgraph"
 	"repro/internal/dp"
 	"repro/internal/graph"
 	"repro/internal/stats"
@@ -81,12 +81,16 @@ func runE4(cfg Config) (*Table, error) {
 				for trial := 0; trial < trials; trial++ {
 					w := graph.UniformRandomWeights(g, 0, m, rng)
 					totalWeight = graph.TotalWeight(w)
-					rel, err := core.BoundedWeightAPSD(g, w, m, core.Options{Epsilon: eps, Delta: delta, Gamma: gamma, Rand: rng})
+					pg, err := session(g, w, rng, dpgraph.WithEpsilon(eps), dpgraph.WithDelta(delta), dpgraph.WithGamma(gamma))
+					if err != nil {
+						return nil, err
+					}
+					rel, err := pg.BoundedAllPairs(m)
 					if err != nil {
 						return nil, fmt.Errorf("E4 %s V=%d M=%g: %w", wl.name, nn, m, err)
 					}
-					k, zsize = rel.K, len(rel.Z)
-					bound = rel.ErrorBound(gamma)
+					k, zsize = rel.K, rel.CoveringSize
+					bound = rel.Bound(gamma)
 					worst, sum := 0.0, 0.0
 					pairs := samplePairs(nn, pairCount, rng)
 					// Exact distances for sampled pairs, grouped by source.
@@ -101,7 +105,7 @@ func runE4(cfg Config) (*Table, error) {
 							return nil, err
 						}
 						for _, tt := range ts {
-							e := math.Abs(rel.Query(s, tt) - tree.Dist[tt])
+							e := math.Abs(rel.Distance(s, tt) - tree.Dist[tt])
 							if e > worst {
 								worst = e
 							}
@@ -165,12 +169,16 @@ func runE5(cfg Config) (*Table, error) {
 				var bound float64
 				for trial := 0; trial < trials; trial++ {
 					w := graph.UniformRandomWeights(g, 0, m, rng)
-					rel, err := core.BoundedWeightAPSD(g, w, m, core.Options{Epsilon: eps, Gamma: gamma, Rand: rng})
+					pg, err := session(g, w, rng, dpgraph.WithEpsilon(eps), dpgraph.WithGamma(gamma))
+					if err != nil {
+						return nil, err
+					}
+					rel, err := pg.BoundedAllPairs(m)
 					if err != nil {
 						return nil, fmt.Errorf("E5 %s V=%d M=%g: %w", wl.name, nn, m, err)
 					}
-					k, zsize = rel.K, len(rel.Z)
-					bound = rel.ErrorBound(gamma)
+					k, zsize = rel.K, rel.CoveringSize
+					bound = rel.Bound(gamma)
 					worst := 0.0
 					pairs := samplePairs(nn, pairCount, rng)
 					bySource := map[int][]int{}
@@ -183,7 +191,7 @@ func runE5(cfg Config) (*Table, error) {
 							return nil, err
 						}
 						for _, tt := range ts {
-							if e := math.Abs(rel.Query(s, tt) - tree.Dist[tt]); e > worst {
+							if e := math.Abs(rel.Distance(s, tt) - tree.Dist[tt]); e > worst {
 								worst = e
 							}
 						}
@@ -239,11 +247,15 @@ func runE6(cfg Config) (*Table, error) {
 		genMax := &stats.Summary{}
 		for trial := 0; trial < trials; trial++ {
 			w := graph.UniformRandomWeights(g, 0, m, rng)
-			relGrid, err := core.CoveringAPSD(g, w, zGrid, k, m, core.Options{Epsilon: eps, Delta: delta, Gamma: gamma, Rand: rng})
+			pg, err := session(g, w, rng, dpgraph.WithEpsilon(eps), dpgraph.WithDelta(delta), dpgraph.WithGamma(gamma))
+			if err != nil {
+				return nil, err
+			}
+			relGrid, err := pg.CoveringAllPairs(zGrid, k, m)
 			if err != nil {
 				return nil, fmt.Errorf("E6 side=%d grid covering: %w", side, err)
 			}
-			relGen, err := core.CoveringAPSD(g, w, zGen, k, m, core.Options{Epsilon: eps, Delta: delta, Gamma: gamma, Rand: rng})
+			relGen, err := pg.CoveringAllPairs(zGen, k, m)
 			if err != nil {
 				return nil, fmt.Errorf("E6 side=%d general covering: %w", side, err)
 			}
@@ -259,10 +271,10 @@ func runE6(cfg Config) (*Table, error) {
 					return nil, err
 				}
 				for _, tt := range ts {
-					if e := math.Abs(relGrid.Query(src, tt) - tree.Dist[tt]); e > wg {
+					if e := math.Abs(relGrid.Distance(src, tt) - tree.Dist[tt]); e > wg {
 						wg = e
 					}
-					if e := math.Abs(relGen.Query(src, tt) - tree.Dist[tt]); e > wn {
+					if e := math.Abs(relGen.Distance(src, tt) - tree.Dist[tt]); e > wn {
 						wn = e
 					}
 				}

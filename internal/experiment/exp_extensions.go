@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/core"
+	"repro/dpgraph"
 	"repro/internal/dp"
 	"repro/internal/graph"
 	"repro/internal/stats"
@@ -72,11 +72,15 @@ func runE16(cfg Config) (*Table, error) {
 				greedyMax := &stats.Summary{}
 				for trial := 0; trial < trials; trial++ {
 					w := graph.UniformRandomWeights(g, 0, m, rng)
-					relL, err := core.CoveringAPSD(g, w, zLemma, k, m, core.Options{Epsilon: eps, Delta: delta, Gamma: gamma, Rand: rng})
+					pg, err := session(g, w, rng, dpgraph.WithEpsilon(eps), dpgraph.WithDelta(delta), dpgraph.WithGamma(gamma))
 					if err != nil {
 						return nil, err
 					}
-					relG, err := core.CoveringAPSD(g, w, zGreedy, k, m, core.Options{Epsilon: eps, Delta: delta, Gamma: gamma, Rand: rng})
+					relL, err := pg.CoveringAllPairs(zLemma, k, m)
+					if err != nil {
+						return nil, err
+					}
+					relG, err := pg.CoveringAllPairs(zGreedy, k, m)
 					if err != nil {
 						return nil, err
 					}
@@ -92,10 +96,10 @@ func runE16(cfg Config) (*Table, error) {
 							return nil, err
 						}
 						for _, tt := range ts {
-							if e := math.Abs(relL.Query(s, tt) - tree.Dist[tt]); e > wl2 {
+							if e := math.Abs(relL.Distance(s, tt) - tree.Dist[tt]); e > wl2 {
 								wl2 = e
 							}
-							if e := math.Abs(relG.Query(s, tt) - tree.Dist[tt]); e > wg {
+							if e := math.Abs(relG.Distance(s, tt) - tree.Dist[tt]); e > wg {
 								wg = e
 							}
 						}
@@ -140,7 +144,11 @@ func runE17(cfg Config) (*Table, error) {
 		var noiseScale float64
 		for trial := 0; trial < trials; trial++ {
 			w := graph.UniformRandomWeights(g, 0, 10, rng)
-			rel, err := core.SingleSourceComposition(g, w, 0, core.Options{Epsilon: eps, Delta: delta, Gamma: gamma, Rand: rng})
+			pg, err := session(g, w, rng, dpgraph.WithEpsilon(eps), dpgraph.WithDelta(delta), dpgraph.WithGamma(gamma))
+			if err != nil {
+				return nil, err
+			}
+			rel, err := pg.SingleSource(0)
 			if err != nil {
 				return nil, fmt.Errorf("E17 V=%d: %w", n, err)
 			}
@@ -158,7 +166,11 @@ func runE17(cfg Config) (*Table, error) {
 			compMax.Add(worst)
 
 			tw := graph.UniformRandomWeights(tree, 0, 10, rng)
-			sssp, err := core.TreeSingleSource(tree, tw, 0, core.Options{Epsilon: eps, Gamma: gamma, Rand: rng})
+			tpg, err := session(tree, tw, rng, dpgraph.WithEpsilon(eps), dpgraph.WithGamma(gamma))
+			if err != nil {
+				return nil, err
+			}
+			sssp, err := tpg.TreeSingleSource(0)
 			if err != nil {
 				return nil, err
 			}
@@ -230,7 +242,11 @@ func runE18(cfg Config) (*Table, error) {
 					return nil, err
 				}
 			}
-			hubs, err := core.PathHierarchy(w, 2, core.Options{Epsilon: eps, Gamma: gamma, Rand: rng})
+			ppg, err := session(graph.Path(v), w, rng, dpgraph.WithEpsilon(eps), dpgraph.WithGamma(gamma))
+			if err != nil {
+				return nil, err
+			}
+			hubs, err := ppg.PathHierarchy(2)
 			if err != nil {
 				return nil, err
 			}
@@ -249,14 +265,14 @@ func runE18(cfg Config) (*Table, error) {
 				if e := math.Abs(got - exact); e > wc {
 					wc = e
 				}
-				if e := math.Abs(hubs.Query(x, y) - exact); e > wh {
+				if e := math.Abs(hubs.Distance(x, y) - exact); e > wh {
 					wh = e
 				}
 			}
 			counterMax.Add(wc)
 			hubMax.Add(wh)
 			cBound = 2 * counter.ErrorBound(gamma/float64(pairCount)) // Range = difference of two counts
-			hBound = hubs.ErrorBound(gamma / float64(pairCount))
+			hBound = hubs.Bound(gamma / float64(pairCount))
 		}
 		t.AddRow(inum(v), fnum(counterMax.Mean()), fnum(hubMax.Mean()), fnum(cBound), fnum(hBound))
 	}

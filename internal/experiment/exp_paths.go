@@ -3,7 +3,7 @@ package experiment
 import (
 	"fmt"
 
-	"repro/internal/core"
+	"repro/dpgraph"
 	"repro/internal/graph"
 	"repro/internal/stats"
 )
@@ -51,7 +51,11 @@ func runE7(cfg Config) (*Table, error) {
 		var bound float64
 		for trial := 0; trial < trials; trial++ {
 			g, w, planted := graph.PlantedPathGraph(n, k, heavy, rng)
-			pp, err := core.PrivateShortestPaths(g, w, core.Options{Epsilon: eps, Gamma: gamma, Rand: rng})
+			pg, err := session(g, w, rng, dpgraph.WithEpsilon(eps), dpgraph.WithGamma(gamma))
+			if err != nil {
+				return nil, err
+			}
+			pp, err := pg.ShortestPaths()
 			if err != nil {
 				return nil, fmt.Errorf("E7 k=%d: %w", k, err)
 			}
@@ -70,7 +74,7 @@ func runE7(cfg Config) (*Table, error) {
 			// Theorem 5.5 bounds the release by W + 2k log(E/gamma)/eps;
 			// we report the noise part of the bound (the planted path is
 			// near-optimal by construction).
-			bound = pp.ErrorBound(k) + graph.PathWeight(w, planted) - exact
+			bound = pp.BoundKHops(k, gamma) + graph.PathWeight(w, planted) - exact
 		}
 		t.AddRow(inum(n), inum(k), fnum(excess.Mean()), fnum(excess.Quantile(0.95)), fnum(bound), fnum(relHops.Mean()))
 		ks = append(ks, float64(k))
@@ -114,11 +118,15 @@ func runE8(cfg Config) (*Table, error) {
 			maxHops := 0
 			for trial := 0; trial < trials; trial++ {
 				w := graph.UniformRandomWeights(g, 0, 10, rng)
-				pp, err := core.PrivateShortestPaths(g, w, core.Options{Epsilon: eps, Gamma: gamma, Rand: rng})
+				pg, err := session(g, w, rng, dpgraph.WithEpsilon(eps), dpgraph.WithGamma(gamma))
+				if err != nil {
+					return nil, err
+				}
+				pp, err := pg.ShortestPaths()
 				if err != nil {
 					return nil, fmt.Errorf("E8 %s V=%d: %w", wl.name, nn, err)
 				}
-				bound = pp.WorstCaseErrorBound()
+				bound = pp.Bound(gamma)
 				worst, sum := 0.0, 0.0
 				pairs := samplePairs(nn, pairCount, rng)
 				bySource := map[int][]int{}

@@ -3,7 +3,7 @@ package experiment
 import (
 	"fmt"
 
-	"repro/internal/core"
+	"repro/dpgraph"
 	"repro/internal/graph"
 	"repro/internal/stats"
 	"repro/internal/traffic"
@@ -60,15 +60,19 @@ func runE14(cfg Config) (*Table, error) {
 		var apsdBound float64
 		for trial := 0; trial < trials; trial++ {
 			w := city.TravelTimes(traffic.CongestionModel{Hour: 8}, rng) // 8am rush
-			pp, err := core.PrivateShortestPaths(g, w, core.Options{Epsilon: eps, Gamma: gamma, Rand: rng})
+			pg, err := session(g, w, rng, dpgraph.WithEpsilon(eps), dpgraph.WithDelta(1e-6), dpgraph.WithGamma(gamma))
+			if err != nil {
+				return nil, err
+			}
+			pp, err := pg.ShortestPaths()
 			if err != nil {
 				return nil, fmt.Errorf("E14 eps=%g: %w", eps, err)
 			}
-			rel, err := core.BoundedWeightAPSD(g, w, city.MaxTime, core.Options{Epsilon: eps, Delta: 1e-6, Gamma: gamma, Rand: rng})
+			rel, err := pg.BoundedAllPairs(city.MaxTime)
 			if err != nil {
 				return nil, fmt.Errorf("E14 eps=%g APSD: %w", eps, err)
 			}
-			apsdBound = rel.ErrorBound(gamma)
+			apsdBound = rel.Bound(gamma)
 			trips := samplePairs(n, tripCount, rng)
 			bySource := map[int][]int{}
 			for _, p := range trips {
@@ -89,7 +93,7 @@ func runE14(cfg Config) (*Table, error) {
 					exact := exactTree.Dist[dst]
 					stretch.Add(released / exact)
 					absErr.Add(released - exact)
-					if e := abs(rel.Query(s, dst) - exact); e > worstAPSD {
+					if e := abs(rel.Distance(s, dst) - exact); e > worstAPSD {
 						worstAPSD = e
 					}
 				}
@@ -137,7 +141,11 @@ func runE15(cfg Config) (*Table, error) {
 		var bound float64
 		for trial := 0; trial < trials; trial++ {
 			w := graph.UniformRandomWeights(g, 0, 10, rng)
-			sssp, err := core.TreeSingleSource(g, w, 0, core.Options{Epsilon: eps, Gamma: gamma, Scale: s, Rand: rng})
+			pg, err := session(g, w, rng, dpgraph.WithEpsilon(eps), dpgraph.WithGamma(gamma), dpgraph.WithScale(s))
+			if err != nil {
+				return nil, err
+			}
+			sssp, err := pg.TreeSingleSource(0)
 			if err != nil {
 				return nil, fmt.Errorf("E15 s=%g: %w", s, err)
 			}
@@ -153,7 +161,7 @@ func runE15(cfg Config) (*Table, error) {
 				}
 			}
 			maxErrs.Add(worst)
-			bound = sssp.ErrorBound(gamma / float64(n))
+			bound = sssp.Bound(gamma / float64(n))
 		}
 		t.AddRow(inum(n), fnum(s), fnum(maxErrs.Mean()), fnum(maxErrs.Mean()/s), fnum(bound), fnum(bound/s))
 		ss = append(ss, s)

@@ -5,7 +5,7 @@ import (
 	"math"
 	"math/rand"
 
-	"repro/internal/core"
+	"repro/dpgraph"
 	"repro/internal/graph"
 	"repro/internal/stats"
 )
@@ -91,7 +91,11 @@ func runE1(cfg Config) (*Table, error) {
 			for trial := 0; trial < trials; trial++ {
 				g := shape.gen(n, rng)
 				w := graph.UniformRandomWeights(g, 0, 10, rng)
-				sssp, err := core.TreeSingleSource(g, w, 0, core.Options{Epsilon: eps, Gamma: gamma, Rand: rng})
+				pg, err := session(g, w, rng, dpgraph.WithEpsilon(eps), dpgraph.WithGamma(gamma))
+				if err != nil {
+					return nil, err
+				}
+				sssp, err := pg.TreeSingleSource(0)
 				if err != nil {
 					return nil, fmt.Errorf("E1 %s V=%d: %w", shape.name, n, err)
 				}
@@ -111,7 +115,7 @@ func runE1(cfg Config) (*Table, error) {
 				maxErrs.Add(worst)
 				meanErrs.Add(sum / float64(n))
 				// Bound for the max over V vertices: union bound.
-				bound = sssp.ErrorBound(gamma / float64(n))
+				bound = sssp.Bound(gamma / float64(n))
 			}
 			t.AddRow(shape.name, inum(n), fnum(eps), fnum(maxErrs.Mean()), fnum(meanErrs.Mean()), fnum(bound), fnum(float64(n)/eps))
 			vs = append(vs, float64(n))
@@ -156,7 +160,11 @@ func runE2(cfg Config) (*Table, error) {
 			for trial := 0; trial < trials; trial++ {
 				g := shape.gen(n, rng)
 				w := graph.UniformRandomWeights(g, 0, 10, rng)
-				apsd, err := core.TreeAllPairs(g, w, core.Options{Epsilon: eps, Gamma: gamma, Rand: rng})
+				pg, err := session(g, w, rng, dpgraph.WithEpsilon(eps), dpgraph.WithGamma(gamma))
+				if err != nil {
+					return nil, err
+				}
+				apsd, err := pg.TreeAllPairs()
 				if err != nil {
 					return nil, fmt.Errorf("E2 %s V=%d: %w", shape.name, n, err)
 				}
@@ -168,7 +176,7 @@ func runE2(cfg Config) (*Table, error) {
 				pairs := samplePairs(n, pairCount, rng)
 				for _, p := range pairs {
 					exact := tr.TreeDistance(w, p[0], p[1])
-					e := math.Abs(apsd.Query(p[0], p[1]) - exact)
+					e := math.Abs(apsd.Distance(p[0], p[1]) - exact)
 					if e > worst {
 						worst = e
 					}
@@ -176,8 +184,8 @@ func runE2(cfg Config) (*Table, error) {
 				}
 				maxErrs.Add(worst)
 				meanErrs.Add(sum / float64(len(pairs)))
-				perPair = apsd.PerPairErrorBound(gamma)
-				allPairs = apsd.AllPairsErrorBound(gamma)
+				perPair = apsd.PerPairBound(gamma)
+				allPairs = apsd.Bound(gamma)
 			}
 			t.AddRow(shape.name, inum(n), fnum(maxErrs.Mean()), fnum(meanErrs.Mean()), fnum(perPair), fnum(allPairs))
 			vs = append(vs, float64(n))
@@ -227,15 +235,19 @@ func runE3(cfg Config) (*Table, error) {
 			}
 			exactDist := func(x, y int) float64 { return math.Abs(prefix[y] - prefix[x]) }
 
-			hubs, err := core.PathHierarchy(w, 2, core.Options{Epsilon: eps, Gamma: gamma, Rand: rng})
+			pg, err := session(g, w, rng, dpgraph.WithEpsilon(eps), dpgraph.WithGamma(gamma))
 			if err != nil {
 				return nil, err
 			}
-			tree, err := core.TreeAllPairs(g, w, core.Options{Epsilon: eps, Gamma: gamma, Rand: rng})
+			hubs, err := pg.PathHierarchy(2)
 			if err != nil {
 				return nil, err
 			}
-			naive, err := core.ReleaseGraph(g, w, core.Options{Epsilon: eps, Gamma: gamma, Rand: rng})
+			tree, err := pg.TreeAllPairs()
+			if err != nil {
+				return nil, err
+			}
+			naive, err := pg.Release()
 			if err != nil {
 				return nil, err
 			}
@@ -249,10 +261,10 @@ func runE3(cfg Config) (*Table, error) {
 			hw, tw, nw := 0.0, 0.0, 0.0
 			for _, p := range pairs {
 				exact := exactDist(p[0], p[1])
-				if e := math.Abs(hubs.Query(p[0], p[1]) - exact); e > hw {
+				if e := math.Abs(hubs.Distance(p[0], p[1]) - exact); e > hw {
 					hw = e
 				}
-				if e := math.Abs(tree.Query(p[0], p[1]) - exact); e > tw {
+				if e := math.Abs(tree.Distance(p[0], p[1]) - exact); e > tw {
 					tw = e
 				}
 				if e := math.Abs((naivePrefix[p[1]] - naivePrefix[p[0]]) - (prefix[p[1]] - prefix[p[0]])); e > nw {
@@ -262,7 +274,7 @@ func runE3(cfg Config) (*Table, error) {
 			hubMax.Add(hw)
 			treeMax.Add(tw)
 			naiveMax.Add(nw)
-			bound = hubs.ErrorBound(gamma / float64(pairCount))
+			bound = hubs.Bound(gamma / float64(pairCount))
 			maxGaps = hubs.MaxGapsPerQuery()
 		}
 		t.AddRow(inum(n), fnum(hubMax.Mean()), fnum(treeMax.Mean()), fnum(naiveMax.Mean()), fnum(bound), inum(maxGaps))

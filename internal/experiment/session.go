@@ -1,0 +1,17 @@
+package experiment
+
+import (
+	"math/rand"
+
+	"repro/dpgraph"
+	"repro/internal/graph"
+)
+
+// session binds one experimental (topology, weights) draw into a dpgraph
+// session whose noise comes from the experiment's shared seeded stream,
+// keeping sweeps reproducible while exercising the public facade the
+// rest of the system uses.
+func session(g *graph.Graph, w []float64, rng *rand.Rand, opts ...dpgraph.Option) (*dpgraph.PrivateGraph, error) {
+	return dpgraph.New(g, dpgraph.PrivateWeights(w),
+		append([]dpgraph.Option{dpgraph.WithNoiseSource(rng)}, opts...)...)
+}
