@@ -1,16 +1,22 @@
-// Package repro's root benchmarks regenerate every experiment in
-// EXPERIMENTS.md (one Benchmark per table/figure; see DESIGN.md §3 for
-// the index). Each benchmark iteration runs the experiment's full Quick
-// sweep, so ns/op measures the cost of regenerating that table. Run the
-// full-size tables with cmd/experiments instead:
+// Package repro's root benchmarks regenerate every experiment indexed in
+// EXPERIMENTS.md (one Benchmark per table/figure). Each benchmark
+// iteration runs the experiment's full Quick sweep, so ns/op measures the
+// cost of regenerating that table. Run the full-size tables with
+// cmd/experiments instead:
 //
 //	go test -bench=. -benchmem            # all experiments, quick sweeps
 //	go run ./cmd/experiments              # full-size tables
+//
+// The BenchmarkMechanism*/BenchmarkOracle* group at the bottom measures
+// the serving split instead: an eager budget-charging mechanism call per
+// query versus queries answered from one materialized release's
+// DistanceOracle (see EXPERIMENTS.md, "Serving benchmarks").
 package repro_test
 
 import (
 	"testing"
 
+	"repro/dpgraph"
 	"repro/internal/experiment"
 )
 
@@ -95,3 +101,131 @@ func BenchmarkF02_PathGadget(b *testing.B) { benchExperiment(b, "F2") }
 
 // Figure 3: MST and matching lower-bound gadgets.
 func BenchmarkF03_MSTMatchingGadgets(b *testing.B) { benchExperiment(b, "F3") }
+
+// --- Serving benchmarks: release once / query many ---------------------
+//
+// BenchmarkMechanismDistance is the eager path (one budget-charging
+// mechanism call per answered query); the BenchmarkOracleDistance
+// sub-benchmarks answer the same query from a materialized release's
+// DistanceOracle. The tree/hierarchy/table oracles must report
+// 0 allocs/op — scripts/check_oracle_allocs.sh enforces that in CI.
+
+func benchSession(b *testing.B, g *dpgraph.Graph) *dpgraph.PrivateGraph {
+	b.Helper()
+	w := make([]float64, g.M())
+	for i := range w {
+		w[i] = 1 + float64(i%7)/7
+	}
+	pg, err := dpgraph.New(g, dpgraph.PrivateWeights(w),
+		dpgraph.WithEpsilon(1), dpgraph.WithDeterministicSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pg
+}
+
+// BenchmarkMechanismDistance answers each query with a fresh Laplace
+// mechanism call: every iteration pays a budget charge, a receipt
+// append, and a full shortest-path computation.
+func BenchmarkMechanismDistance(b *testing.B) {
+	g := dpgraph.Grid(16)
+	pg := benchSession(b, g)
+	n := g.N()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pg.Distance(i%n, (i*13+1)%n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchOracleDistance measures one point query against a materialized
+// oracle.
+func benchOracleDistance(b *testing.B, o dpgraph.DistanceOracle) {
+	b.Helper()
+	n := o.N()
+	if _, err := o.Distance(0, n-1); err != nil { // warm pools before measuring
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.Distance(i%n, (i*13+1)%n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOracleDistance(b *testing.B) {
+	b.Run("tree", func(b *testing.B) {
+		rel, err := benchSession(b, dpgraph.BalancedBinaryTree(1023)).TreeAllPairs()
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchOracleDistance(b, rel.Oracle())
+	})
+	b.Run("hierarchy", func(b *testing.B) {
+		rel, err := benchSession(b, dpgraph.PathGraph(1024)).PathHierarchy(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchOracleDistance(b, rel.Oracle())
+	})
+	b.Run("table", func(b *testing.B) {
+		pg := benchSession(b, dpgraph.Grid(16))
+		rel, err := pg.AllPairsDistances()
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchOracleDistance(b, rel.Oracle())
+	})
+	b.Run("synthetic", func(b *testing.B) {
+		rel, err := benchSession(b, dpgraph.Grid(16)).Release()
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchOracleDistance(b, rel.Oracle())
+	})
+}
+
+// BenchmarkOracleBatch answers a 256-pair workload per iteration through
+// the batch interface (the synthetic oracle groups the batch by source).
+func BenchmarkOracleBatch(b *testing.B) {
+	families := []struct {
+		name   string
+		oracle func(b *testing.B) dpgraph.DistanceOracle
+	}{
+		{"tree", func(b *testing.B) dpgraph.DistanceOracle {
+			rel, err := benchSession(b, dpgraph.BalancedBinaryTree(1023)).TreeAllPairs()
+			if err != nil {
+				b.Fatal(err)
+			}
+			return rel.Oracle()
+		}},
+		{"synthetic", func(b *testing.B) dpgraph.DistanceOracle {
+			rel, err := benchSession(b, dpgraph.Grid(16)).Release()
+			if err != nil {
+				b.Fatal(err)
+			}
+			return rel.Oracle()
+		}},
+	}
+	for _, f := range families {
+		b.Run(f.name, func(b *testing.B) {
+			o := f.oracle(b)
+			n := o.N()
+			pairs := make([]dpgraph.VertexPair, 256)
+			for i := range pairs {
+				pairs[i] = dpgraph.VertexPair{S: (i * 31) % n, T: (i*17 + 3) % n}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := o.Distances(pairs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

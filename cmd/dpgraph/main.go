@@ -13,13 +13,27 @@
 //	dpgraph -graph tree.txt -eps 1 treedist 3 17
 //	dpgraph -graph city.txt -eps 1 mst
 //
+// The query subcommand is the release-once / query-many path: it
+// materializes one release (spending the budget exactly once), then
+// answers every s-t pair read from stdin as free post-processing:
+//
+//	echo "3 17\n3 9\n12 0" | dpgraph -graph city.txt -eps 1 query release
+//	dpgraph -graph tree.txt query treesssp 0 < pairs.txt
+//	echo '[[0,9],[4,12]]' | dpgraph -graph city.txt -json query apsd
+//
+// Pairs are text lines "s t" or a JSON array ([[s,t], ...] or
+// [{"s":..,"t":..}, ...]); the format is sniffed from the input.
+//
 // Noise is crypto-grade unless -seed is given.
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -28,7 +42,7 @@ import (
 )
 
 func main() {
-	if err := run(os.Stdout, os.Args[1:]); err != nil {
+	if err := run(os.Stdout, os.Stdin, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "dpgraph:", err)
 		os.Exit(1)
 	}
@@ -45,7 +59,7 @@ type jsonOutput struct {
 	Result any     `json:"result"`
 }
 
-func run(out *os.File, args []string) error {
+func run(out *os.File, in io.Reader, args []string) error {
 	fs := flag.NewFlagSet("dpgraph", flag.ContinueOnError)
 	var (
 		graphPath = fs.String("graph", "", "path to graph file (text edge-list or JSON)")
@@ -66,10 +80,22 @@ func run(out *os.File, args []string) error {
 		return fmt.Errorf("need -graph and a subcommand")
 	}
 	cmd := fs.Arg(0)
+	queryMode := cmd == "query"
+	mechArgs := fs.Args()[1:]
+	if queryMode {
+		if fs.NArg() < 2 {
+			return fmt.Errorf("query needs a mechanism: query MECHANISM [args] with pairs on stdin")
+		}
+		cmd = fs.Arg(1)
+		mechArgs = fs.Args()[2:]
+	}
 	desc, ok := dpgraph.Mechanism(cmd)
-	if !ok || desc.Run == nil {
+	if !ok || (!queryMode && desc.Run == nil) {
 		usage(fs)
 		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+	if queryMode && desc.Oracle == nil {
+		return fmt.Errorf("mechanism %q releases no distance oracle; oracle-capable: %s", cmd, strings.Join(oracleMechanisms(), " "))
 	}
 	if desc.NeedsMaxWeight && !(*maxWeight > 0) {
 		return fmt.Errorf("%s requires -maxweight", cmd)
@@ -97,7 +123,11 @@ func run(out *os.File, args []string) error {
 		return err
 	}
 
-	q, err := parseArgs(desc, fs.Args()[1:])
+	if queryMode {
+		return runQuery(out, in, pg, desc, mechArgs, *maxWeight, *gamma, *jsonOut)
+	}
+
+	q, err := parseArgs(desc.Name, desc.Args, mechArgs)
 	if err != nil {
 		return err
 	}
@@ -126,14 +156,167 @@ func run(out *os.File, args []string) error {
 	return nil
 }
 
-// parseArgs maps positional arguments onto the descriptor's declared
-// parameter names.
-func parseArgs(desc dpgraph.Descriptor, args []string) (dpgraph.Args, error) {
-	var q dpgraph.Args
-	if len(args) != len(desc.Args) {
-		return q, fmt.Errorf("%s needs %d argument(s): %s", desc.Name, len(desc.Args), strings.Join(desc.Args, " "))
+// queryJSONOutput is the -json envelope of the query subcommand: one
+// receipt for the release, then every answered pair.
+type queryJSONOutput struct {
+	Mechanism string          `json:"mechanism"`
+	Bound     float64         `json:"bound"`
+	Gamma     float64         `json:"gamma"`
+	Receipt   dpgraph.Receipt `json:"receipt"`
+	Results   []pairAnswer    `json:"results"`
+}
+
+type pairAnswer struct {
+	S     int     `json:"s"`
+	T     int     `json:"t"`
+	Value float64 `json:"value"`
+}
+
+// MarshalJSON renders topology-disconnected pairs (+Inf, which
+// encoding/json rejects as a float) as a null value with an explicit
+// unreachable marker.
+func (a pairAnswer) MarshalJSON() ([]byte, error) {
+	if math.IsInf(a.Value, 0) {
+		return json.Marshal(struct {
+			S           int  `json:"s"`
+			T           int  `json:"t"`
+			Value       *int `json:"value"`
+			Unreachable bool `json:"unreachable"`
+		}{S: a.S, T: a.T, Unreachable: true})
 	}
-	for i, name := range desc.Args {
+	type plain pairAnswer
+	return json.Marshal(plain(a))
+}
+
+// runQuery is the release-once / query-many path: materialize the
+// mechanism's release (the only budget-charging step), then answer every
+// pair from the input as free post-processing of the oracle.
+func runQuery(out *os.File, in io.Reader, pg *dpgraph.PrivateGraph, desc dpgraph.Descriptor, mechArgs []string, maxWeight, gamma float64, jsonOut bool) error {
+	q, err := parseArgs(desc.Name, desc.OracleArgs, mechArgs)
+	if err != nil {
+		return err
+	}
+	q.MaxWeight = maxWeight
+	pairs, err := readPairs(in)
+	if err != nil {
+		return err
+	}
+	if len(pairs) == 0 {
+		// Refuse before materializing the release: an empty workload must
+		// not charge the budget.
+		return fmt.Errorf("query needs at least one s-t pair")
+	}
+	oracle, res, err := desc.Oracle(pg, q)
+	if err != nil {
+		return err
+	}
+	values, err := oracle.Distances(pairs)
+	if err != nil {
+		return err
+	}
+	rec := res.Info().Receipt
+	if jsonOut {
+		answers := make([]pairAnswer, len(pairs))
+		for i, p := range pairs {
+			answers[i] = pairAnswer{S: p.S, T: p.T, Value: values[i]}
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(queryJSONOutput{
+			Mechanism: desc.Name,
+			Bound:     oracle.Bound(gamma),
+			Gamma:     gamma,
+			Receipt:   rec,
+			Results:   answers,
+		})
+	}
+	for i, p := range pairs {
+		fmt.Fprintf(out, "%d %d %.4f\n", p.S, p.T, values[i])
+	}
+	fmt.Fprintf(out, "# %d queries answered from one %q release (zero extra budget)\n", len(pairs), desc.Name)
+	fmt.Fprintf(out, "# error bound at gamma=%g: %.4f\n", gamma, oracle.Bound(gamma))
+	fmt.Fprintf(out, "# privacy receipt: %s\n", rec)
+	return nil
+}
+
+// readPairs decodes the query pairs from text lines "s t" or a JSON
+// array ([[s,t], ...] or [{"s":..,"t":..}, ...]), sniffing the format.
+func readPairs(in io.Reader) ([]dpgraph.VertexPair, error) {
+	data, err := io.ReadAll(in)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := strings.TrimSpace(string(data))
+	if trimmed == "" {
+		return nil, fmt.Errorf("query needs s-t pairs on stdin (text lines \"s t\" or a JSON array)")
+	}
+	if strings.HasPrefix(trimmed, "[") {
+		if rest := strings.TrimSpace(trimmed[1:]); strings.HasPrefix(rest, "{") {
+			// Object form: reject unknown keys so a misspelled field
+			// ({"src":3}) errors instead of silently querying (0, 0).
+			dec := json.NewDecoder(strings.NewReader(trimmed))
+			dec.DisallowUnknownFields()
+			var objs []dpgraph.VertexPair
+			if err := dec.Decode(&objs); err != nil {
+				return nil, fmt.Errorf("bad JSON pairs: %w", err)
+			}
+			return objs, nil
+		}
+		var tuples [][]int
+		if err := json.Unmarshal(data, &tuples); err != nil {
+			return nil, fmt.Errorf("bad JSON pairs: %w", err)
+		}
+		pairs := make([]dpgraph.VertexPair, len(tuples))
+		for i, tu := range tuples {
+			if len(tu) != 2 {
+				return nil, fmt.Errorf("JSON pair %d has %d elements, want 2", i, len(tu))
+			}
+			pairs[i] = dpgraph.VertexPair{S: tu[0], T: tu[1]}
+		}
+		return pairs, nil
+	}
+	var pairs []dpgraph.VertexPair
+	sc := bufio.NewScanner(strings.NewReader(trimmed))
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("line %d: want \"s t\", got %q", lineNo, line)
+		}
+		s, err1 := strconv.Atoi(fields[0])
+		t, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("line %d: bad pair %q", lineNo, line)
+		}
+		pairs = append(pairs, dpgraph.VertexPair{S: s, T: t})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return pairs, nil
+}
+
+// oracleMechanisms lists the registry names offering an Oracle runner.
+func oracleMechanisms() []string {
+	var names []string
+	for _, d := range dpgraph.Mechanisms() {
+		if d.Oracle != nil {
+			names = append(names, d.Name)
+		}
+	}
+	return names
+}
+
+// parseArgs maps positional arguments onto the declared parameter names.
+func parseArgs(mech string, names []string, args []string) (dpgraph.Args, error) {
+	var q dpgraph.Args
+	if len(args) != len(names) {
+		return q, fmt.Errorf("%s needs %d argument(s): %s", mech, len(names), strings.Join(names, " "))
+	}
+	for i, name := range names {
 		v, err := strconv.Atoi(args[i])
 		if err != nil {
 			return q, fmt.Errorf("bad %s argument %q", name, args[i])
@@ -146,7 +329,7 @@ func parseArgs(desc dpgraph.Descriptor, args []string) (dpgraph.Args, error) {
 		case "root":
 			q.Root = v
 		default:
-			return q, fmt.Errorf("descriptor %s declares unknown argument %q", desc.Name, name)
+			return q, fmt.Errorf("descriptor %s declares unknown argument %q", mech, name)
 		}
 	}
 	return q, nil
@@ -156,6 +339,7 @@ func parseArgs(desc dpgraph.Descriptor, args []string) (dpgraph.Args, error) {
 // subcommand list can never drift from the library.
 func usage(fs *flag.FlagSet) {
 	fmt.Fprintln(os.Stderr, "usage: dpgraph -graph FILE [flags] SUBCOMMAND [args]")
+	fmt.Fprintln(os.Stderr, "       dpgraph -graph FILE [flags] query MECHANISM [args] < pairs")
 	fmt.Fprintln(os.Stderr, "\nflags:")
 	fs.PrintDefaults()
 	fmt.Fprintln(os.Stderr, "\nsubcommands (from the dpgraph mechanism registry):")
@@ -174,4 +358,7 @@ func usage(fs *flag.FlagSet) {
 		fmt.Fprintf(os.Stderr, "  %-12s%-8s %s%s\n", d.Name, argHint, d.Summary, extra)
 		fmt.Fprintf(os.Stderr, "  %12s         %s; sensitivity: %s; guarantee: %s\n", "", d.Ref, d.Sensitivity, d.Guarantee)
 	}
+	fmt.Fprintf(os.Stderr, "\nquery (release once, answer many): materializes one release, then\n"+
+		"answers every \"s t\" pair from stdin (text lines or JSON array) with\n"+
+		"zero extra budget. Oracle-capable mechanisms: %s\n", strings.Join(oracleMechanisms(), " "))
 }

@@ -21,15 +21,21 @@ func writeFile(t *testing.T, name, content string) string {
 
 const pathGraph = "graph 4\nedge 0 1 2.5\nedge 1 2 1\nedge 2 3 1\n"
 
-// capture runs the CLI with stdout redirected to a pipe file.
+// capture runs the CLI with stdout redirected to a pipe file and an
+// empty stdin.
 func capture(t *testing.T, args []string) (string, error) {
+	return captureWithStdin(t, "", args)
+}
+
+// captureWithStdin runs the CLI with the given stdin content.
+func captureWithStdin(t *testing.T, stdin string, args []string) (string, error) {
 	t.Helper()
 	f, err := os.CreateTemp(t.TempDir(), "out")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	runErr := run(f, args)
+	runErr := run(f, strings.NewReader(stdin), args)
 	data, err := os.ReadFile(f.Name())
 	if err != nil {
 		t.Fatal(err)
@@ -106,6 +112,142 @@ func TestRunSubcommandsFromRegistry(t *testing.T) {
 	} {
 		if _, err := capture(t, args); err != nil {
 			t.Errorf("%v: %v", args, err)
+		}
+	}
+}
+
+func TestRunQueryText(t *testing.T) {
+	path := writeFile(t, "g.txt", pathGraph)
+	out, err := captureWithStdin(t, "0 3\n1 2\n# comment\n2 2\n",
+		[]string{"-graph", path, "-eps", "4", "-seed", "7", "query", "release"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 6 {
+		t.Fatalf("want 3 answers + 3 summary lines, got:\n%s", out)
+	}
+	for i, prefix := range []string{"0 3 ", "1 2 ", "2 2 "} {
+		if !strings.HasPrefix(lines[i], prefix) {
+			t.Errorf("line %d = %q, want prefix %q", i, lines[i], prefix)
+		}
+	}
+	if !strings.HasPrefix(lines[2], "2 2 0.0000") {
+		t.Errorf("s == t answer not zero: %q", lines[2])
+	}
+	for _, want := range []string{`3 queries answered from one "release" release`, "error bound", "privacy receipt"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunQueryJSON(t *testing.T) {
+	path := writeFile(t, "g.txt", pathGraph)
+	for _, stdin := range []string{`[[0,3],[1,2]]`, `[{"s":0,"t":3},{"s":1,"t":2}]`} {
+		out, err := captureWithStdin(t, stdin,
+			[]string{"-graph", path, "-seed", "7", "-json", "query", "treedist"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got struct {
+			Mechanism string          `json:"mechanism"`
+			Bound     float64         `json:"bound"`
+			Receipt   dpgraph.Receipt `json:"receipt"`
+			Results   []struct {
+				S     int     `json:"s"`
+				T     int     `json:"t"`
+				Value float64 `json:"value"`
+			} `json:"results"`
+		}
+		if err := json.Unmarshal([]byte(out), &got); err != nil {
+			t.Fatalf("bad JSON: %v\n%s", err, out)
+		}
+		if got.Mechanism != "treedist" || got.Bound <= 0 || len(got.Results) != 2 {
+			t.Errorf("envelope = %+v", got)
+		}
+		if got.Results[0].S != 0 || got.Results[0].T != 3 {
+			t.Errorf("first result = %+v", got.Results[0])
+		}
+	}
+}
+
+func TestRunQuerySubcommands(t *testing.T) {
+	path := writeFile(t, "g.txt", pathGraph)
+	for _, args := range [][]string{
+		{"-graph", path, "-seed", "3", "query", "release"},
+		{"-graph", path, "-seed", "3", "query", "treesssp", "0"},
+		{"-graph", path, "-seed", "3", "query", "treedist"},
+		{"-graph", path, "-seed", "3", "query", "hierarchy"},
+		{"-graph", path, "-seed", "3", "query", "apsd"},
+		{"-graph", path, "-seed", "3", "-maxweight", "4", "query", "bounded"},
+	} {
+		if _, err := captureWithStdin(t, "0 3\n", args); err != nil {
+			t.Errorf("%v: %v", args, err)
+		}
+	}
+}
+
+func TestRunQueryUnreachableJSON(t *testing.T) {
+	// Two components: 0-1 and 2-3. A cross-component query must encode
+	// as unreachable, not abort the whole envelope on +Inf.
+	path := writeFile(t, "g.txt", "graph 4\nedge 0 1 1\nedge 2 3 1\n")
+	out, err := captureWithStdin(t, "0 3\n0 1\n",
+		[]string{"-graph", path, "-seed", "7", "-json", "query", "release"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Results []struct {
+			Value       *float64 `json:"value"`
+			Unreachable bool     `json:"unreachable"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal([]byte(out), &got); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if len(got.Results) != 2 {
+		t.Fatalf("want 2 results, got %d", len(got.Results))
+	}
+	if !got.Results[0].Unreachable || got.Results[0].Value != nil {
+		t.Errorf("disconnected pair = %+v, want unreachable with null value", got.Results[0])
+	}
+	if got.Results[1].Unreachable || got.Results[1].Value == nil {
+		t.Errorf("connected pair = %+v, want a value", got.Results[1])
+	}
+}
+
+func TestRunQueryEmptyPairsChargeNothing(t *testing.T) {
+	// An empty workload — empty text or an empty JSON array — must be
+	// refused before the release is materialized (no budget spent).
+	path := writeFile(t, "g.txt", pathGraph)
+	for _, stdin := range []string{"", "   \n", "[]"} {
+		if _, err := captureWithStdin(t, stdin, []string{"-graph", path, "query", "release"}); err == nil {
+			t.Errorf("stdin %q accepted; release would have been charged for zero queries", stdin)
+		}
+	}
+}
+
+func TestRunQueryErrors(t *testing.T) {
+	path := writeFile(t, "g.txt", pathGraph)
+	cases := []struct {
+		stdin string
+		args  []string
+	}{
+		{"0 3\n", []string{"-graph", path, "query"}},                          // no mechanism
+		{"0 3\n", []string{"-graph", path, "query", "mst"}},                   // no oracle form
+		{"0 3\n", []string{"-graph", path, "query", "nope"}},                  // unknown mechanism
+		{"", []string{"-graph", path, "query", "release"}},                    // no pairs
+		{"0\n", []string{"-graph", path, "query", "release"}},                 // malformed line
+		{"0 9\n", []string{"-graph", path, "query", "release"}},               // out of range
+		{`[[0]]`, []string{"-graph", path, "query", "release"}},               // bad tuple
+		{`[{"src":0,"dst":3}]`, []string{"-graph", path, "query", "release"}}, // wrong JSON keys
+		{"0 3\n", []string{"-graph", path, "query", "bounded"}},               // missing -maxweight
+		{"0 3\n", []string{"-graph", path, "query", "treesssp", "x"}},         // bad root
+	}
+	for _, c := range cases {
+		if _, err := captureWithStdin(t, c.stdin, c.args); err == nil {
+			t.Errorf("%v with stdin %q accepted", c.args, c.stdin)
 		}
 	}
 }

@@ -17,6 +17,34 @@
 // the built-in accountant charged. Once the budget set by WithBudget is
 // exhausted, methods refuse to release anything further.
 //
+// # Release once, query many
+//
+// Because differential privacy is closed under post-processing, a
+// release pays its privacy cost exactly once; everything computed from
+// it afterwards is free. The distance-releasing results therefore carry
+// an Oracle() accessor returning a DistanceOracle: construct the release
+// (one receipt), then answer unboundedly many s-t queries from the
+// oracle with zero further budget, from as many goroutines as desired.
+//
+//	syn, err := pg.Release()        // charges (epsilon, 0) once
+//	oracle := syn.Oracle()          // free post-processing forever after
+//	d, err := oracle.Distance(s, t) // no budget, no receipt
+//
+// Which oracle to use, and what its answers mean:
+//
+//   - SyntheticGraph.Oracle (Release): exact shortest paths of the noisy
+//     graph; vs the true weights a k-hop answer errs by at most k times
+//     the per-edge noise bound. Works on any topology.
+//   - TreeSSSPResult.Oracle / TreeAPSDResult.Oracle (TreeSingleSource,
+//     TreeAllPairs): bounded error polylog(V)/eps on trees; O(log V)
+//     LCA lookup per query, no allocation.
+//   - HierarchyResult.Oracle (PathHierarchy): bounded error on the path
+//     graph; O(log V) released gaps summed per query, no allocation.
+//   - APSDResult.Oracle (AllPairsDistances, CoveringAllPairs,
+//     BoundedAllPairs): table lookup; composition releases carry the
+//     per-query noise bound, covering releases additionally the
+//     2·K·MaxWeight assignment bias.
+//
 // Noise is crypto-grade by default; deterministic runs (tests,
 // experiments) must opt in via WithDeterministicSeed or WithNoiseSource.
 // A PrivateGraph is safe for concurrent use by multiple goroutines.

@@ -168,6 +168,7 @@ func (pg *PrivateGraph) treeSSSPResult(rec Receipt, rel *core.TreeSSSP) *TreeSSS
 		Dist:     rel.Dist,
 		Levels:   rel.Levels,
 		Released: rel.Released,
+		g:        pg.g,
 	}
 	res.ReleaseInfo = pg.info(rec, rel.NoiseScale)
 	return res

@@ -1,0 +1,154 @@
+package dpgraph
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// VertexPair is one (source, target) distance query for batch answering.
+type VertexPair struct {
+	S int `json:"s"`
+	T int `json:"t"`
+}
+
+// DistanceOracle answers unboundedly many s-t distance queries from one
+// materialized differentially private release. Constructing the release
+// is the only step that touches the session accountant; every oracle
+// query afterwards is pure post-processing — it charges zero budget,
+// appends no receipts, and never contacts the private weights again.
+//
+// Oracles are safe for concurrent use by many goroutines, and the
+// lookup-backed oracles (tree, hierarchy, all-pairs tables) allocate
+// nothing per query in steady state.
+//
+// Exactness: an oracle's answers carry exactly the error of the release
+// it was built from. Tree, hierarchy, and composition-table oracles are
+// bounded-error (Bound gives the high-probability additive bound);
+// covering-table oracles additionally carry the 2·K·MaxWeight assignment
+// bias; synthetic-graph oracles answer exact shortest-path queries over
+// the noisy weights, so a k-hop answer errs by at most k times the
+// per-edge noise bound.
+type DistanceOracle interface {
+	// Distance returns the released estimate of the s-t distance. It is
+	// zero when s == t and an error when either endpoint is out of range;
+	// +Inf marks pairs the public topology disconnects.
+	Distance(s, t int) (float64, error)
+	// Distances answers a batch of queries, out[i] answering pairs[i].
+	// Oracles that search (synthetic graphs) group the batch by source so
+	// shared work is paid once.
+	Distances(pairs []VertexPair) ([]float64, error)
+	// Bound returns an additive error bound on any single answered
+	// distance, holding except with probability gamma.
+	Bound(gamma float64) float64
+	// N returns the number of vertices the oracle serves; valid queries
+	// are pairs in [0, N).
+	N() int
+}
+
+// checkOracleVertices validates query endpoints against the oracle's
+// vertex range.
+func checkOracleVertices(n, s, t int) error {
+	if s < 0 || s >= n || t < 0 || t >= n {
+		return fmt.Errorf("dpgraph: oracle query (%d, %d) out of range [0, %d)", s, t, n)
+	}
+	return nil
+}
+
+// batchDistances is the generic batch implementation: one Distance call
+// per pair, failing fast on the first invalid pair.
+func batchDistances(o DistanceOracle, pairs []VertexPair) ([]float64, error) {
+	out := make([]float64, len(pairs))
+	for i, p := range pairs {
+		d, err := o.Distance(p.S, p.T)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
+// lookupOracle adapts any O(1)-ish released lookup structure (tree SSSP +
+// LCA, path hub hierarchy, all-pairs tables) to the DistanceOracle
+// interface. The query closure is bound at construction; queries perform
+// no allocation.
+type lookupOracle struct {
+	n     int
+	query func(s, t int) float64
+	bound func(gamma float64) float64
+}
+
+func (o *lookupOracle) N() int { return o.n }
+
+func (o *lookupOracle) Distance(s, t int) (float64, error) {
+	if err := checkOracleVertices(o.n, s, t); err != nil {
+		return 0, err
+	}
+	if s == t {
+		return 0, nil
+	}
+	return o.query(s, t), nil
+}
+
+func (o *lookupOracle) Distances(pairs []VertexPair) ([]float64, error) {
+	return batchDistances(o, pairs)
+}
+
+func (o *lookupOracle) Bound(gamma float64) float64 { return o.bound(gamma) }
+
+// syntheticOracle answers queries by Dijkstra over a released (clamped)
+// weight vector, using the pooled zero-alloc engine in internal/graph.
+// The weights were clamped nonnegative at construction, so queries take
+// the trusted engine entry points and skip the O(E) validation scan.
+type syntheticOracle struct {
+	g     *graph.Graph
+	w     []float64 // released weights clamped to [0, +Inf)
+	bound func(gamma float64) float64
+}
+
+func (o *syntheticOracle) N() int { return o.g.N() }
+
+func (o *syntheticOracle) Distance(s, t int) (float64, error) {
+	if err := checkOracleVertices(o.g.N(), s, t); err != nil {
+		return 0, err
+	}
+	return graph.QueryDistanceTrusted(o.g, o.w, s, t)
+}
+
+// Distances groups the batch by source so each distinct source pays one
+// early-exit multi-target Dijkstra, however many pairs share it.
+func (o *syntheticOracle) Distances(pairs []VertexPair) ([]float64, error) {
+	n := o.g.N()
+	for _, p := range pairs {
+		if err := checkOracleVertices(n, p.S, p.T); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]float64, len(pairs))
+	bySource := make(map[int][]int)
+	for i, p := range pairs {
+		bySource[p.S] = append(bySource[p.S], i)
+	}
+	var targets []int
+	var buf []float64
+	for s, idxs := range bySource {
+		targets = targets[:0]
+		for _, i := range idxs {
+			targets = append(targets, pairs[i].T)
+		}
+		if cap(buf) < len(targets) {
+			buf = make([]float64, len(targets))
+		}
+		buf = buf[:len(targets)]
+		if err := graph.QueryDistancesFromTrusted(o.g, o.w, s, targets, buf); err != nil {
+			return nil, err
+		}
+		for j, i := range idxs {
+			out[i] = buf[j]
+		}
+	}
+	return out, nil
+}
+
+func (o *syntheticOracle) Bound(gamma float64) float64 { return o.bound(gamma) }

@@ -1,0 +1,290 @@
+package dpgraph
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// oracleFixtures materializes one oracle per release family, each from
+// its own deterministic session, returning (name, oracle) pairs.
+func oracleFixtures(t *testing.T) map[string]DistanceOracle {
+	t.Helper()
+	grid := Grid(5)
+	gw := make([]float64, grid.M())
+	for i := range gw {
+		gw[i] = 1
+	}
+	tree := BalancedBinaryTree(31)
+	tw := make([]float64, tree.M())
+	for i := range tw {
+		tw[i] = 2
+	}
+	path := PathGraph(33)
+	pw := make([]float64, path.M())
+	for i := range pw {
+		pw[i] = 1
+	}
+	session := func(g *Graph, w []float64, opts ...Option) *PrivateGraph {
+		t.Helper()
+		opts = append([]Option{WithEpsilon(1), WithDeterministicSeed(7)}, opts...)
+		pg, err := New(g, PrivateWeights(w), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pg
+	}
+
+	out := map[string]DistanceOracle{}
+
+	syn, err := session(grid, gw).Release()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["synthetic"] = syn.Oracle()
+
+	sssp, err := session(tree, tw).TreeSingleSource(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["treesssp"] = sssp.Oracle()
+
+	tap, err := session(tree, tw).TreeAllPairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["treeapsd"] = tap.Oracle()
+
+	hier, err := session(path, pw).PathHierarchy(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["hierarchy"] = hier.Oracle()
+
+	apsd, err := session(grid, gw, WithDelta(1e-6)).AllPairsDistances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["apsd"] = apsd.Oracle()
+
+	cov, err := session(grid, gw).CoveringAllPairs([]int{0, 4, 20, 24, 12}, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["covering"] = cov.Oracle()
+
+	bounded, err := session(grid, gw, WithDelta(1e-6)).BoundedAllPairs(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["bounded"] = bounded.Oracle()
+
+	return out
+}
+
+// TestOracleEdgeCases checks out-of-range and same-vertex queries on
+// every oracle family.
+func TestOracleEdgeCases(t *testing.T) {
+	for name, o := range oracleFixtures(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, q := range [][2]int{{-1, 0}, {0, -1}, {o.N(), 0}, {0, o.N()}, {-3, o.N() + 5}} {
+				if _, err := o.Distance(q[0], q[1]); err == nil {
+					t.Errorf("Distance(%d, %d) accepted out-of-range query", q[0], q[1])
+				}
+				if _, err := o.Distances([]VertexPair{{S: q[0], T: q[1]}}); err == nil {
+					t.Errorf("Distances(%d, %d) accepted out-of-range query", q[0], q[1])
+				}
+			}
+			for _, v := range []int{0, o.N() / 2, o.N() - 1} {
+				d, err := o.Distance(v, v)
+				if err != nil {
+					t.Fatalf("Distance(%d, %d): %v", v, v, err)
+				}
+				if d != 0 {
+					t.Errorf("Distance(%d, %d) = %g, want 0", v, v, d)
+				}
+			}
+			if b := o.Bound(0.05); !(b >= 0) || math.IsNaN(b) {
+				t.Errorf("Bound(0.05) = %g", b)
+			}
+		})
+	}
+}
+
+// TestOracleBatchMatchesPointQueries checks Distances against Distance
+// on every family (the synthetic oracle batches by source internally).
+func TestOracleBatchMatchesPointQueries(t *testing.T) {
+	for name, o := range oracleFixtures(t) {
+		t.Run(name, func(t *testing.T) {
+			n := o.N()
+			var pairs []VertexPair
+			for i := 0; i < 25; i++ {
+				pairs = append(pairs, VertexPair{S: (i * 7) % n, T: (i*3 + 1) % n})
+			}
+			batch, err := o.Distances(pairs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, p := range pairs {
+				want, err := o.Distance(p.S, p.T)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(batch[i]-want) > 1e-9 {
+					t.Errorf("pair %v: batch %g, point %g", p, batch[i], want)
+				}
+			}
+		})
+	}
+}
+
+// TestOracleChargesZeroBudget is the release-once/query-many acceptance
+// check: after construction, 10k oracle queries leave the session's
+// spent budget and receipts ledger exactly as the single release did.
+func TestOracleChargesZeroBudget(t *testing.T) {
+	g := Grid(5)
+	w := make([]float64, g.M())
+	for i := range w {
+		w[i] = 1
+	}
+	pg, err := New(g, PrivateWeights(w), WithEpsilon(1), WithBudget(2, 0), WithDeterministicSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := pg.Release()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := syn.Oracle()
+	epsBefore, deltaBefore := pg.Spent()
+	receiptsBefore := len(pg.Receipts())
+	n := g.N()
+	for i := 0; i < 10000; i++ {
+		if _, err := oracle.Distance(i%n, (i*13+5)%n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	epsAfter, deltaAfter := pg.Spent()
+	if epsBefore != epsAfter || deltaBefore != deltaAfter {
+		t.Fatalf("oracle queries changed spent budget: (%g, %g) -> (%g, %g)",
+			epsBefore, deltaBefore, epsAfter, deltaAfter)
+	}
+	if got := len(pg.Receipts()); got != receiptsBefore {
+		t.Fatalf("oracle queries appended receipts: %d -> %d", receiptsBefore, got)
+	}
+	if receiptsBefore != 1 {
+		t.Fatalf("expected exactly the release receipt, got %d", receiptsBefore)
+	}
+}
+
+// TestOracleAccuracy sanity-checks each bounded-error oracle against the
+// exact distance within its reported bound (deterministic noise).
+func TestOracleAccuracy(t *testing.T) {
+	tree := BalancedBinaryTree(63)
+	w := make([]float64, tree.M())
+	for i := range w {
+		w[i] = 3
+	}
+	pg, err := New(tree, PrivateWeights(w), WithEpsilon(4), WithDeterministicSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := pg.TreeAllPairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := rel.Oracle()
+	bound := oracle.Bound(1e-6) // generous gamma: failure vanishingly unlikely
+	for x := 0; x < tree.N(); x += 5 {
+		for y := 0; y < tree.N(); y += 7 {
+			got, err := oracle.Distance(x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := rel.Distance(x, y)
+			if got != want {
+				t.Fatalf("oracle disagrees with release: (%d,%d) %g vs %g", x, y, got, want)
+			}
+			if math.Abs(got-exactTreeDistance(t, tree, w, x, y)) > bound {
+				t.Fatalf("oracle (%d,%d) off by more than bound %g", x, y, bound)
+			}
+		}
+	}
+}
+
+func exactTreeDistance(t *testing.T, g *Graph, w []float64, x, y int) float64 {
+	t.Helper()
+	d, err := graph.Distance(g, w, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestOracleConcurrentWithSession hammers one oracle from many
+// goroutines while the parent session keeps charging budget on other
+// mechanisms; run under -race this is the goroutine-safety check for
+// the release-once/query-many split.
+func TestOracleConcurrentWithSession(t *testing.T) {
+	g := Grid(6)
+	w := make([]float64, g.M())
+	for i := range w {
+		w[i] = 1
+	}
+	pg, err := New(g, PrivateWeights(w), WithEpsilon(1), WithDeterministicSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := pg.Release()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := syn.Oracle()
+	tap, err := New(BalancedBinaryTree(31), PrivateWeights(make([]float64, 30)), WithEpsilon(1), WithDeterministicSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeRel, err := tap.TreeAllPairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeOracle := treeRel.Oracle()
+
+	var wg sync.WaitGroup
+	for worker := 0; worker < 8; worker++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			n := oracle.N()
+			tn := treeOracle.N()
+			for i := 0; i < 300; i++ {
+				if _, err := oracle.Distance((seed+i)%n, (seed*5+i*3)%n); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := treeOracle.Distance((seed*3+i)%tn, (seed+i*7)%tn); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(worker)
+	}
+	// The parent session keeps releasing (charging budget) concurrently
+	// with the oracle readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if _, err := pg.Distance(i%g.N(), (i+9)%g.N()); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if got := len(pg.Receipts()); got != 21 {
+		t.Fatalf("expected 21 receipts (1 release + 20 distances), got %d", got)
+	}
+}

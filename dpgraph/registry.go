@@ -63,6 +63,16 @@ type Descriptor struct {
 	// whose inputs cannot be conveyed through Args (e.g. an explicit
 	// covering); call the method directly instead.
 	Run func(pg *PrivateGraph, q Args) (Result, error)
+
+	// Oracle materializes the mechanism's release once — the only
+	// budget-charging step — and returns its DistanceOracle together
+	// with the release result carrying the receipt. It is nil for
+	// mechanisms that release no distance structure (paths, MST,
+	// matchings) or whose inputs cannot be conveyed through Args.
+	Oracle func(pg *PrivateGraph, q Args) (DistanceOracle, Result, error)
+	// OracleArgs names the positional arguments the Oracle runner
+	// expects, in order (subset of the names Args recognizes).
+	OracleArgs []string
 }
 
 // registry is the authoritative mechanism list; keep it sorted by Name.
@@ -91,6 +101,19 @@ var registry = []Descriptor{
 			}
 			return pairQuery(rel.ReleaseInfo, q, rel.Distance(q.S, q.T), rel.Bound), nil
 		},
+		Oracle: func(pg *PrivateGraph, q Args) (DistanceOracle, Result, error) {
+			var rel *APSDResult
+			var err error
+			if q.MaxWeight > 0 {
+				rel, err = pg.BoundedAllPairs(q.MaxWeight)
+			} else {
+				rel, err = pg.AllPairsDistances()
+			}
+			if err != nil {
+				return nil, nil, err
+			}
+			return rel.Oracle(), rel, nil
+		},
 	},
 	{
 		Name:           "bounded",
@@ -110,6 +133,13 @@ var registry = []Descriptor{
 				return nil, err
 			}
 			return pairQuery(rel.ReleaseInfo, q, rel.Distance(q.S, q.T), rel.Bound), nil
+		},
+		Oracle: func(pg *PrivateGraph, q Args) (DistanceOracle, Result, error) {
+			rel, err := pg.BoundedAllPairs(q.MaxWeight)
+			if err != nil {
+				return nil, nil, err
+			}
+			return rel.Oracle(), rel, nil
 		},
 	},
 	{
@@ -154,6 +184,17 @@ var registry = []Descriptor{
 				return nil, err
 			}
 			return pairQuery(rel.ReleaseInfo, q, rel.Distance(q.S, q.T), rel.Bound), nil
+		},
+		Oracle: func(pg *PrivateGraph, q Args) (DistanceOracle, Result, error) {
+			base := q.Base
+			if base == 0 {
+				base = 2
+			}
+			rel, err := pg.PathHierarchy(base)
+			if err != nil {
+				return nil, nil, err
+			}
+			return rel.Oracle(), rel, nil
 		},
 	},
 	{
@@ -242,6 +283,13 @@ var registry = []Descriptor{
 		Run: func(pg *PrivateGraph, q Args) (Result, error) {
 			return noNil(pg.Release())
 		},
+		Oracle: func(pg *PrivateGraph, q Args) (DistanceOracle, Result, error) {
+			rel, err := pg.Release()
+			if err != nil {
+				return nil, nil, err
+			}
+			return rel.Oracle(), rel, nil
+		},
 	},
 	{
 		Name:        "sssp",
@@ -275,6 +323,13 @@ var registry = []Descriptor{
 			info := rel.ReleaseInfo
 			return pairQuery(info, q, rel.Distance(q.S, q.T), rel.PerPairBound), nil
 		},
+		Oracle: func(pg *PrivateGraph, q Args) (DistanceOracle, Result, error) {
+			rel, err := pg.TreeAllPairs()
+			if err != nil {
+				return nil, nil, err
+			}
+			return rel.Oracle(), rel, nil
+		},
 	},
 	{
 		Name:        "treesssp",
@@ -288,6 +343,14 @@ var registry = []Descriptor{
 		Run: func(pg *PrivateGraph, q Args) (Result, error) {
 			return noNil(pg.TreeSingleSource(q.Root))
 		},
+		Oracle: func(pg *PrivateGraph, q Args) (DistanceOracle, Result, error) {
+			rel, err := pg.TreeSingleSource(q.Root)
+			if err != nil {
+				return nil, nil, err
+			}
+			return rel.Oracle(), rel, nil
+		},
+		OracleArgs: []string{"root"},
 	},
 }
 

@@ -131,6 +131,21 @@ type APSDResult struct {
 	queries int // noisy values released by the composition baseline
 	apsd    *core.APSD
 	cov     *core.CoveringRelease
+
+	oracleOnce sync.Once
+	oracle     DistanceOracle
+}
+
+// Oracle returns a table-backed DistanceOracle over the released
+// all-pairs structure: construction charged the budget once, and every
+// query is a free table lookup (bounded-error; for covering releases the
+// bound includes the 2·K·MaxWeight assignment bias). Callers should
+// query the oracle instead of indexing raw matrices.
+func (r *APSDResult) Oracle() DistanceOracle {
+	r.oracleOnce.Do(func() {
+		r.oracle = &lookupOracle{n: r.n, query: r.Distance, bound: r.Bound}
+	})
+	return r.oracle
 }
 
 // Distance returns the released estimate of the s-t distance. Pure
@@ -184,6 +199,32 @@ type SyntheticGraph struct {
 	Weights []float64 `json:"weights"`
 
 	g *graph.Graph
+
+	oracleOnce sync.Once
+	oracle     DistanceOracle
+}
+
+// Oracle returns a DistanceOracle that answers queries by shortest-path
+// search over the released weights (clamped at zero), using the pooled
+// zero-allocation Dijkstra engine. Answers are exact shortest paths of
+// the synthetic graph; against the true weights a k-hop answer errs by
+// at most k times the per-edge noise bound, so Bound reports the
+// worst-case (V-1)-hop figure.
+func (r *SyntheticGraph) Oracle() DistanceOracle {
+	r.oracleOnce.Do(func() {
+		hops := r.g.N() - 1
+		if hops < 1 {
+			hops = 1
+		}
+		r.oracle = &syntheticOracle{
+			g: r.g,
+			w: graph.ClampWeights(r.Weights, 0, graph.Inf),
+			bound: func(gamma float64) float64 {
+				return float64(hops) * r.Bound(gamma)
+			},
+		}
+	})
+	return r.oracle
 }
 
 // Distance answers an s-t distance query on the synthetic weights.
@@ -309,12 +350,50 @@ type TreeSSSPResult struct {
 	Levels int `json:"levels"`
 	// Released counts the noisy values drawn (at most 2V).
 	Released int `json:"released"`
+
+	g *graph.Graph
+
+	oracleOnce sync.Once
+	oracle     DistanceOracle
 }
 
 // Bound returns the per-vertex error bound holding except with
 // probability gamma.
 func (r *TreeSSSPResult) Bound(gamma float64) float64 {
 	return dp.SumTailBound(r.NoiseScale, 2*r.Levels, gamma)
+}
+
+// Oracle returns a DistanceOracle answering any pair (x, y) of the tree
+// from the single root-distance release via the public LCA structure:
+// d(x, y) = d(r, x) + d(r, y) - 2·d(r, lca(x, y)), an O(log V) lookup
+// with no allocation and no further budget (Theorem 4.2's reduction).
+// Bounded-error: Bound reports the per-pair figure (three released
+// estimates combined).
+func (r *TreeSSSPResult) Oracle() DistanceOracle {
+	r.oracleOnce.Do(func() {
+		if r.g == nil {
+			// A result rehydrated from JSON carries no topology; the
+			// oracle needs the session it was released from.
+			panic("dpgraph: TreeSSSPResult.Oracle needs a result obtained from a PrivateGraph session (no topology attached)")
+		}
+		tr, err := graph.NewTree(r.g, r.Root)
+		if err != nil {
+			// The release validated the topology; reaching this means the
+			// result was built outside a session.
+			panic("dpgraph: TreeSSSPResult.Oracle without session topology: " + err.Error())
+		}
+		lca := graph.NewLCA(tr)
+		dist := r.Dist
+		r.oracle = &lookupOracle{
+			n: r.g.N(),
+			query: func(x, y int) float64 {
+				z := lca.Find(x, y)
+				return dist[x] + dist[y] - 2*dist[z]
+			},
+			bound: func(gamma float64) float64 { return 4 * r.Bound(gamma/3) },
+		}
+	})
+	return r.oracle
 }
 
 func (r *TreeSSSPResult) Summary() string {
@@ -330,6 +409,19 @@ type TreeAPSDResult struct {
 	SSSP *TreeSSSPResult `json:"sssp"`
 
 	apsd *core.TreeAPSD
+
+	oracleOnce sync.Once
+	oracle     DistanceOracle
+}
+
+// Oracle returns a DistanceOracle over the precomputed LCA reduction:
+// every pair is answered from the one Algorithm 1 release at zero
+// further budget. Bounded-error with the per-pair bound of PerPairBound.
+func (r *TreeAPSDResult) Oracle() DistanceOracle {
+	r.oracleOnce.Do(func() {
+		r.oracle = &lookupOracle{n: len(r.SSSP.Dist), query: r.apsd.Query, bound: r.PerPairBound}
+	})
+	return r.oracle
 }
 
 // Distance returns the released estimate of the x-y tree distance.
@@ -362,6 +454,19 @@ type HierarchyResult struct {
 	Levels int `json:"levels"`
 
 	hubs *core.PathHubs
+
+	oracleOnce sync.Once
+	oracle     DistanceOracle
+}
+
+// Oracle returns a DistanceOracle over the hub hierarchy: any pair on
+// the path is assembled from O(log V) released gaps with no allocation
+// and zero further budget. Bounded-error with the per-query Bound.
+func (r *HierarchyResult) Oracle() DistanceOracle {
+	r.oracleOnce.Do(func() {
+		r.oracle = &lookupOracle{n: r.hubs.V, query: r.hubs.Query, bound: r.Bound}
+	})
+	return r.oracle
 }
 
 // Distance returns the released estimate of the x-y distance on the

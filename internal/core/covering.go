@@ -91,16 +91,18 @@ func coveringRelease(g *graph.Graph, w []float64, Z []int, k int, maxWeight floa
 		zdist[i] = make([]float64, z)
 	}
 	for i, zv := range Z {
-		tree, err := graph.Dijkstra(g, w, zv)
-		if err != nil {
+		// One early-exit multi-target Dijkstra per covering vertex: the
+		// release only needs Z-to-Z distances, so the pooled engine can
+		// stop as soon as the remaining covering vertices settle. The
+		// weights were range-checked against [0, maxWeight] above, so the
+		// trusted entry point applies.
+		if err := graph.QueryDistancesFromTrusted(g, w, zv, Z[i+1:], zdist[i][i+1:]); err != nil {
 			return nil, err
 		}
 		for j := i + 1; j < z; j++ {
-			d := tree.Dist[Z[j]]
-			if math.IsInf(d, 1) {
+			if math.IsInf(zdist[i][j], 1) {
 				return nil, fmt.Errorf("core: covering vertices %d and %d are disconnected", zv, Z[j])
 			}
-			zdist[i][j] = d
 		}
 	}
 	assign, _ := graph.NearestCoveringVertex(g, Z)

@@ -1,0 +1,287 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// This file is the allocation-free single-source shortest-path engine the
+// release-once / query-many oracles run on. The historical implementation
+// used container/heap, whose interface boxes every vertex into an `any` on
+// each push and pop; here the frontier is an indexed 4-ary heap over plain
+// int32 slices (4-ary because Dijkstra does far more decrease-keys than
+// pops, and a wider node flattens the sift-up path while keeping sift-down
+// cache-friendly). All per-query state lives in a sync.Pool-recycled
+// workspace, so steady-state queries allocate nothing.
+
+// spWorkspace holds every array one Dijkstra run needs. A workspace is
+// good for graphs of any size: reset grows the arrays monotonically and
+// clears only the first n entries.
+type spWorkspace struct {
+	dist   []float64
+	parent []int32
+	via    []int32
+	done   []bool
+	want   []bool  // per-target marks for multi-target early exit
+	heap   []int32 // frontier vertices, 4-ary heap ordered by dist
+	pos    []int32 // pos[v] = index of v in heap, or -1
+}
+
+var spPool = sync.Pool{New: func() any { return new(spWorkspace) }}
+
+// reset prepares the workspace for an n-vertex run.
+func (ws *spWorkspace) reset(n int) {
+	if cap(ws.dist) < n {
+		ws.dist = make([]float64, n)
+		ws.parent = make([]int32, n)
+		ws.via = make([]int32, n)
+		ws.done = make([]bool, n)
+		ws.want = make([]bool, n)
+		ws.pos = make([]int32, n)
+		ws.heap = make([]int32, 0, n)
+	}
+	ws.dist = ws.dist[:n]
+	ws.parent = ws.parent[:n]
+	ws.via = ws.via[:n]
+	ws.done = ws.done[:n]
+	ws.want = ws.want[:n]
+	ws.pos = ws.pos[:n]
+	ws.heap = ws.heap[:0]
+	for i := 0; i < n; i++ {
+		ws.dist[i] = math.Inf(1)
+		ws.parent[i] = -1
+		ws.via[i] = -1
+		ws.done[i] = false
+		ws.want[i] = false
+		ws.pos[i] = -1
+	}
+}
+
+// push inserts v into the frontier; v must not already be present.
+func (ws *spWorkspace) push(v int32) {
+	ws.pos[v] = int32(len(ws.heap))
+	ws.heap = append(ws.heap, v)
+	ws.siftUp(len(ws.heap) - 1)
+}
+
+// pop removes and returns the frontier vertex with minimum distance.
+func (ws *spWorkspace) pop() int32 {
+	top := ws.heap[0]
+	last := len(ws.heap) - 1
+	ws.heap[0] = ws.heap[last]
+	ws.pos[ws.heap[0]] = 0
+	ws.heap = ws.heap[:last]
+	ws.pos[top] = -1
+	if last > 0 {
+		ws.siftDown(0)
+	}
+	return top
+}
+
+// decrease restores heap order after ws.dist[v] decreased.
+func (ws *spWorkspace) decrease(v int32) {
+	ws.siftUp(int(ws.pos[v]))
+}
+
+func (ws *spWorkspace) siftUp(i int) {
+	v := ws.heap[i]
+	d := ws.dist[v]
+	for i > 0 {
+		p := (i - 1) / 4
+		pv := ws.heap[p]
+		if ws.dist[pv] <= d {
+			break
+		}
+		ws.heap[i] = pv
+		ws.pos[pv] = int32(i)
+		i = p
+	}
+	ws.heap[i] = v
+	ws.pos[v] = int32(i)
+}
+
+func (ws *spWorkspace) siftDown(i int) {
+	v := ws.heap[i]
+	d := ws.dist[v]
+	n := len(ws.heap)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		bd := ws.dist[ws.heap[first]]
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if cd := ws.dist[ws.heap[c]]; cd < bd {
+				best, bd = c, cd
+			}
+		}
+		if bd >= d {
+			break
+		}
+		bv := ws.heap[best]
+		ws.heap[i] = bv
+		ws.pos[bv] = int32(i)
+		i = best
+	}
+	ws.heap[i] = v
+	ws.pos[v] = int32(i)
+}
+
+// run executes Dijkstra from source over the frozen CSR adjacency.
+// stopAfter is the number of marked (ws.want) vertices after whose
+// settlement the search may stop; pass 0 to settle the whole reachable
+// component. Weights must be nonnegative (checked by callers).
+func (ws *spWorkspace) run(g *Graph, w []float64, source int, stopAfter int) {
+	adj := g.csrSnapshot()
+	ws.dist[source] = 0
+	ws.push(int32(source))
+	remaining := stopAfter
+	for len(ws.heap) > 0 {
+		v := ws.pop()
+		ws.done[v] = true
+		if ws.want[v] {
+			remaining--
+			if remaining == 0 {
+				return
+			}
+		}
+		dv := ws.dist[v]
+		for _, h := range adj.halves[adj.offsets[v]:adj.offsets[v+1]] {
+			u := h.To
+			if ws.done[u] {
+				continue
+			}
+			nd := dv + w[h.Edge]
+			if nd < ws.dist[u] {
+				ws.dist[u] = nd
+				ws.parent[u] = v
+				ws.via[u] = int32(h.Edge)
+				if ws.pos[u] >= 0 {
+					ws.decrease(int32(u))
+				} else {
+					ws.push(int32(u))
+				}
+			}
+		}
+	}
+}
+
+// checkDijkstraArgs validates the shared preconditions of every engine
+// entry point. The negative-weight scan is O(E) with no allocations; it
+// keeps ErrNegativeWeight exact instead of failing mid-search.
+func checkDijkstraArgs(g *Graph, w []float64, source int) error {
+	if err := checkDijkstraArgsTrusted(g, w, source); err != nil {
+		return err
+	}
+	for id, x := range w {
+		if x < 0 {
+			return fmt.Errorf("%w: edge %d has weight %g", ErrNegativeWeight, id, x)
+		}
+	}
+	return nil
+}
+
+// checkDijkstraArgsTrusted is the O(1) half of the validation, for
+// callers that already guarantee nonnegative weights.
+func checkDijkstraArgsTrusted(g *Graph, w []float64, source int) error {
+	if len(w) != g.M() {
+		return fmt.Errorf("graph: Dijkstra weight vector has length %d, want %d", len(w), g.M())
+	}
+	if source < 0 || source >= g.N() {
+		return fmt.Errorf("graph: Dijkstra source %d out of range [0, %d)", source, g.N())
+	}
+	return nil
+}
+
+// QueryDistance returns the weighted s-t distance (Inf if unreachable),
+// running Dijkstra in a pooled workspace with early exit once t settles.
+// It allocates nothing in steady state and is safe for concurrent use.
+func QueryDistance(g *Graph, w []float64, s, t int) (float64, error) {
+	if err := checkDijkstraArgs(g, w, s); err != nil {
+		return 0, err
+	}
+	return queryDistanceValidated(g, w, s, t)
+}
+
+// QueryDistanceTrusted is QueryDistance minus the O(E) negative-weight
+// scan, for weight vectors the caller already guarantees nonnegative
+// (e.g. clamped once at release time). This is the hot path of the
+// synthetic-graph distance oracles: an early-exit query touches only
+// the part of the graph it needs.
+func QueryDistanceTrusted(g *Graph, w []float64, s, t int) (float64, error) {
+	if err := checkDijkstraArgsTrusted(g, w, s); err != nil {
+		return 0, err
+	}
+	return queryDistanceValidated(g, w, s, t)
+}
+
+func queryDistanceValidated(g *Graph, w []float64, s, t int) (float64, error) {
+	if t < 0 || t >= g.N() {
+		return 0, fmt.Errorf("graph: QueryDistance target %d out of range [0, %d)", t, g.N())
+	}
+	if s == t {
+		return 0, nil
+	}
+	ws := spPool.Get().(*spWorkspace)
+	ws.reset(g.N())
+	ws.want[t] = true
+	ws.run(g, w, s, 1)
+	d := ws.dist[t]
+	spPool.Put(ws)
+	return d, nil
+}
+
+// QueryDistancesFrom fills out[i] with the distance from source to
+// targets[i] (Inf if unreachable), running one Dijkstra with early exit
+// once every target settles. len(out) must equal len(targets). Allocates
+// nothing in steady state.
+func QueryDistancesFrom(g *Graph, w []float64, source int, targets []int, out []float64) error {
+	if err := checkDijkstraArgs(g, w, source); err != nil {
+		return err
+	}
+	return queryDistancesFromValidated(g, w, source, targets, out)
+}
+
+// QueryDistancesFromTrusted is QueryDistancesFrom minus the O(E)
+// negative-weight scan, for weight vectors already known nonnegative.
+func QueryDistancesFromTrusted(g *Graph, w []float64, source int, targets []int, out []float64) error {
+	if err := checkDijkstraArgsTrusted(g, w, source); err != nil {
+		return err
+	}
+	return queryDistancesFromValidated(g, w, source, targets, out)
+}
+
+func queryDistancesFromValidated(g *Graph, w []float64, source int, targets []int, out []float64) error {
+	if len(out) != len(targets) {
+		return fmt.Errorf("graph: QueryDistancesFrom out has length %d, want %d", len(out), len(targets))
+	}
+	for _, t := range targets {
+		if t < 0 || t >= g.N() {
+			return fmt.Errorf("graph: QueryDistancesFrom target %d out of range [0, %d)", t, g.N())
+		}
+	}
+	if len(targets) == 0 {
+		return nil
+	}
+	ws := spPool.Get().(*spWorkspace)
+	ws.reset(g.N())
+	distinct := 0
+	for _, t := range targets {
+		if !ws.want[t] {
+			ws.want[t] = true
+			distinct++
+		}
+	}
+	ws.run(g, w, source, distinct)
+	for i, t := range targets {
+		out[i] = ws.dist[t]
+	}
+	spPool.Put(ws)
+	return nil
+}

@@ -1,0 +1,211 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func randomConnectedGraph(t *testing.T, n int, extra int, rng *rand.Rand) (*Graph, []float64) {
+	t.Helper()
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(rng.Intn(v), v)
+	}
+	for i := 0; i < extra; i++ {
+		g.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	w := make([]float64, g.M())
+	for i := range w {
+		w[i] = rng.Float64() * 10
+	}
+	return g, w
+}
+
+func TestQueryDistanceMatchesDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		g, w := randomConnectedGraph(t, 40, 60, rng)
+		for s := 0; s < g.N(); s += 7 {
+			tree, err := Dijkstra(g, w, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := 0; v < g.N(); v++ {
+				got, err := QueryDistance(g, w, s, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(got-tree.Dist[v]) > 1e-9 {
+					t.Fatalf("QueryDistance(%d, %d) = %g, Dijkstra says %g", s, v, got, tree.Dist[v])
+				}
+			}
+		}
+	}
+}
+
+func TestQueryDistancesFrom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g, w := randomConnectedGraph(t, 50, 80, rng)
+	tree, err := Dijkstra(g, w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := []int{0, 49, 3, 17, 17, 8}
+	out := make([]float64, len(targets))
+	if err := QueryDistancesFrom(g, w, 3, targets, out); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range targets {
+		if math.Abs(out[i]-tree.Dist[v]) > 1e-9 {
+			t.Fatalf("target %d: got %g, want %g", v, out[i], tree.Dist[v])
+		}
+	}
+	if err := QueryDistancesFrom(g, w, 3, []int{1}, make([]float64, 2)); err == nil {
+		t.Fatal("length mismatch not reported")
+	}
+	if err := QueryDistancesFrom(g, w, 3, []int{g.N()}, make([]float64, 1)); err == nil {
+		t.Fatal("out-of-range target not reported")
+	}
+	if err := QueryDistancesFrom(g, w, 3, nil, nil); err != nil {
+		t.Fatalf("empty target list: %v", err)
+	}
+}
+
+// TestQueryDistanceTrusted checks the scan-skipping variants agree with
+// the validating ones on valid input and still reject bad arguments.
+func TestQueryDistanceTrusted(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g, w := randomConnectedGraph(t, 30, 40, rng)
+	for v := 0; v < g.N(); v += 3 {
+		want, err := QueryDistance(g, w, 2, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := QueryDistanceTrusted(g, w, 2, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trusted(2, %d) = %g, want %g", v, got, want)
+		}
+	}
+	if _, err := QueryDistanceTrusted(g, w, -1, 0); err == nil {
+		t.Fatal("trusted accepted negative source")
+	}
+	if _, err := QueryDistanceTrusted(g, w[:1], 0, 1); err == nil {
+		t.Fatal("trusted accepted weight length mismatch")
+	}
+	tree, err := Dijkstra(g, w, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := []int{0, 7, 29}
+	out := make([]float64, len(targets))
+	if err := QueryDistancesFromTrusted(g, w, 5, targets, out); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range targets {
+		if out[i] != tree.Dist[v] {
+			t.Fatalf("trusted batch target %d: %g, want %g", v, out[i], tree.Dist[v])
+		}
+	}
+}
+
+func TestQueryDistanceUnreachableAndErrors(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1) // 2 and 3 isolated
+	w := []float64{1}
+	d, err := QueryDistance(g, w, 0, 2)
+	if err != nil || !math.IsInf(d, 1) {
+		t.Fatalf("unreachable: got %g, %v", d, err)
+	}
+	if d, err := QueryDistance(g, w, 2, 2); err != nil || d != 0 {
+		t.Fatalf("s == t: got %g, %v", d, err)
+	}
+	if _, err := QueryDistance(g, w, -1, 0); err == nil {
+		t.Fatal("negative source accepted")
+	}
+	if _, err := QueryDistance(g, w, 0, 4); err == nil {
+		t.Fatal("out-of-range target accepted")
+	}
+	if _, err := QueryDistance(g, []float64{-1}, 0, 1); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := QueryDistance(g, []float64{1, 2}, 0, 1); err == nil {
+		t.Fatal("weight length mismatch accepted")
+	}
+}
+
+// TestQueryDistanceZeroAlloc verifies the pooled-workspace promise the
+// distance oracles rely on: steady-state point queries allocate nothing.
+func TestQueryDistanceZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool does not cache under -race; alloc counts are meaningless")
+	}
+	rng := rand.New(rand.NewSource(1))
+	g, w := randomConnectedGraph(t, 64, 100, rng)
+	g.Adj(0) // freeze the CSR before measuring
+	if _, err := QueryDistance(g, w, 0, 63); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := QueryDistance(g, w, 0, 63); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("QueryDistance allocates %.1f objects per op, want 0", allocs)
+	}
+}
+
+// TestQueryDistanceConcurrent hammers the pooled engine from many
+// goroutines on one frozen graph; run under -race this checks the CSR
+// snapshot and workspace pool are safe to share.
+func TestQueryDistanceConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g, w := randomConnectedGraph(t, 60, 90, rng)
+	want, err := Dijkstra(g, w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for worker := 0; worker < 8; worker++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				v := (seed*31 + i) % g.N()
+				got, err := QueryDistance(g, w, 0, v)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if math.Abs(got-want.Dist[v]) > 1e-9 {
+					t.Errorf("concurrent QueryDistance(0, %d) = %g, want %g", v, got, want.Dist[v])
+					return
+				}
+			}
+		}(worker)
+	}
+	wg.Wait()
+}
+
+// TestCSRRebuildAfterAddEdge checks that mutating the builder invalidates
+// the frozen adjacency snapshot.
+func TestCSRRebuildAfterAddEdge(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	if got := g.Degree(0); got != 1 {
+		t.Fatalf("degree before = %d", got)
+	}
+	g.AddEdge(0, 2)
+	if got := g.Degree(0); got != 2 {
+		t.Fatalf("degree after AddEdge = %d, want 2 (stale CSR?)", got)
+	}
+	adj := g.Adj(0)
+	if len(adj) != 2 || adj[0].To != 1 || adj[1].To != 2 {
+		t.Fatalf("adjacency after rebuild = %v", adj)
+	}
+}

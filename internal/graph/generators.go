@@ -177,13 +177,24 @@ func ErdosRenyi(n int, p float64, rng *rand.Rand) *Graph {
 // superimposed, guaranteeing connectivity while keeping ER-like density.
 func ConnectedErdosRenyi(n int, p float64, rng *rand.Rand) *Graph {
 	g := New(n)
+	// Track spanning-tree pairs locally instead of probing the graph:
+	// interleaving HasEdgeBetween with AddEdge would rebuild the frozen
+	// adjacency snapshot per added edge. The rng call sequence matches
+	// the historical implementation, so seeded draws are unchanged.
+	type pair struct{ a, b int }
+	seen := make(map[pair]bool, n)
 	perm := rng.Perm(n)
 	for i := 1; i < n; i++ {
-		g.AddEdge(perm[rng.Intn(i)], perm[i])
+		u, v := perm[rng.Intn(i)], perm[i]
+		g.AddEdge(u, v)
+		if u > v {
+			u, v = v, u
+		}
+		seen[pair{u, v}] = true
 	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			if rng.Float64() < p && !g.HasEdgeBetween(i, j) {
+			if rng.Float64() < p && !seen[pair{i, j}] {
 				g.AddEdge(i, j)
 			}
 		}

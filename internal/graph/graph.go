@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Edge is one edge of a graph. Edges are undirected unless the graph was
@@ -43,15 +45,30 @@ type Half struct {
 	To   int // far endpoint
 }
 
+// csr is a frozen compressed-sparse-row adjacency snapshot: the half-edges
+// of vertex v occupy halves[offsets[v]:offsets[v+1]]. It is built once from
+// the edge list and never mutated, so readers can share it without locks.
+type csr struct {
+	offsets []int32
+	halves  []Half
+}
+
 // Graph is a (multi)graph with a fixed vertex set {0, ..., N-1} and edges
 // identified by dense IDs {0, ..., M-1}. The zero value is an empty
 // undirected graph with no vertices; use New or NewDirected for a graph
 // with vertices.
+//
+// The edge list is the mutable builder; adjacency is served from a frozen
+// CSR snapshot built on first use and invalidated by AddEdge. Concurrent
+// reads (Adj, Degree, traversals) are safe once construction is done;
+// AddEdge must not race with readers, exactly as with any mutable slice.
 type Graph struct {
 	n        int
 	directed bool
 	edges    []Edge
-	adj      [][]Half // out-adjacency; for undirected graphs both directions
+
+	frozen  atomic.Pointer[csr] // current snapshot; nil after a mutation
+	buildMu sync.Mutex          // serializes snapshot builds
 }
 
 // New returns an empty undirected graph on n vertices.
@@ -59,7 +76,7 @@ func New(n int) *Graph {
 	if n < 0 {
 		panic("graph: negative vertex count")
 	}
-	return &Graph{n: n, adj: make([][]Half, n)}
+	return &Graph{n: n}
 }
 
 // NewDirected returns an empty directed graph on n vertices.
@@ -80,18 +97,63 @@ func (g *Graph) Directed() bool { return g.directed }
 
 // AddEdge appends an edge from u to v and returns its ID. Parallel edges
 // and self-loops are permitted; the lower-bound constructions of the paper
-// rely on parallel edges.
+// rely on parallel edges. Adding an edge invalidates the frozen adjacency
+// snapshot; it is rebuilt on the next adjacency read.
 func (g *Graph) AddEdge(u, v int) int {
 	if u < 0 || u >= g.n || v < 0 || v >= g.n {
 		panic(fmt.Sprintf("graph: AddEdge(%d, %d) out of range [0, %d)", u, v, g.n))
 	}
 	id := len(g.edges)
 	g.edges = append(g.edges, Edge{ID: id, From: u, To: v})
-	g.adj[u] = append(g.adj[u], Half{Edge: id, To: v})
-	if !g.directed && u != v {
-		g.adj[v] = append(g.adj[v], Half{Edge: id, To: u})
-	}
+	g.frozen.Store(nil)
 	return id
+}
+
+// csrSnapshot returns the current CSR adjacency, building it if the edge
+// list changed since the last build. The double-checked build keeps
+// concurrent first reads safe while steady-state reads stay a single
+// atomic load.
+func (g *Graph) csrSnapshot() *csr {
+	if c := g.frozen.Load(); c != nil {
+		return c
+	}
+	g.buildMu.Lock()
+	defer g.buildMu.Unlock()
+	if c := g.frozen.Load(); c != nil {
+		return c
+	}
+	c := buildCSR(g.n, g.directed, g.edges)
+	g.frozen.Store(c)
+	return c
+}
+
+// buildCSR assembles the flat offsets/halves arrays in two counting-sort
+// passes over the edge list. Per-vertex half-edge order matches edge
+// insertion order, with the From-side half first for each undirected edge
+// — the same order the historical append-based adjacency produced.
+func buildCSR(n int, directed bool, edges []Edge) *csr {
+	offsets := make([]int32, n+1)
+	for _, e := range edges {
+		offsets[e.From+1]++
+		if !directed && e.From != e.To {
+			offsets[e.To+1]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		offsets[v+1] += offsets[v]
+	}
+	halves := make([]Half, offsets[n])
+	next := make([]int32, n)
+	copy(next, offsets[:n])
+	for _, e := range edges {
+		halves[next[e.From]] = Half{Edge: e.ID, To: e.To}
+		next[e.From]++
+		if !directed && e.From != e.To {
+			halves[next[e.To]] = Half{Edge: e.ID, To: e.From}
+			next[e.To]++
+		}
+	}
+	return &csr{offsets: offsets, halves: halves}
 }
 
 // Edge returns the edge with the given ID.
@@ -104,20 +166,37 @@ func (g *Graph) Edges() []Edge { return g.edges }
 
 // Adj returns the adjacency list of v: all half-edges leaving v. For
 // undirected graphs this includes edges added in either orientation. The
-// caller must not modify the returned slice.
-func (g *Graph) Adj(v int) []Half { return g.adj[v] }
+// returned slice aliases the frozen CSR snapshot; the caller must not
+// modify it.
+func (g *Graph) Adj(v int) []Half {
+	c := g.csrSnapshot()
+	return c.halves[c.offsets[v]:c.offsets[v+1]]
+}
 
 // Degree returns the number of half-edges at v (out-degree for directed
 // graphs).
-func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int) int {
+	c := g.csrSnapshot()
+	return int(c.offsets[v+1] - c.offsets[v])
+}
 
 // HasEdgeBetween reports whether at least one edge joins u and v
-// (in either orientation for undirected graphs).
+// (in either orientation for undirected graphs). While the graph is
+// still under construction (no frozen snapshot) it scans the edge list
+// rather than forcing an adjacency build per probe.
 func (g *Graph) HasEdgeBetween(u, v int) bool {
 	if u < 0 || u >= g.n || v < 0 || v >= g.n {
 		return false
 	}
-	for _, h := range g.adj[u] {
+	if g.frozen.Load() == nil {
+		for _, e := range g.edges {
+			if (e.From == u && e.To == v) || (!g.directed && e.From == v && e.To == u) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, h := range g.Adj(u) {
 		if h.To == v {
 			return true
 		}
@@ -126,9 +205,19 @@ func (g *Graph) HasEdgeBetween(u, v int) bool {
 }
 
 // EdgeIDsBetween returns the IDs of all edges joining u and v, sorted.
+// Like HasEdgeBetween, it scans the edge list while the graph is under
+// construction instead of forcing a snapshot build.
 func (g *Graph) EdgeIDsBetween(u, v int) []int {
 	var ids []int
-	for _, h := range g.adj[u] {
+	if g.frozen.Load() == nil {
+		for _, e := range g.edges {
+			if (e.From == u && e.To == v) || (!g.directed && e.From == v && e.To == u) {
+				ids = append(ids, e.ID)
+			}
+		}
+		return ids // edge IDs are visited in increasing order
+	}
+	for _, h := range g.Adj(u) {
 		if h.To == v {
 			ids = append(ids, h.Edge)
 		}
@@ -141,10 +230,6 @@ func (g *Graph) EdgeIDsBetween(u, v int) []int {
 func (g *Graph) Clone() *Graph {
 	c := &Graph{n: g.n, directed: g.directed}
 	c.edges = append([]Edge(nil), g.edges...)
-	c.adj = make([][]Half, g.n)
-	for v := range g.adj {
-		c.adj[v] = append([]Half(nil), g.adj[v]...)
-	}
 	return c
 }
 
@@ -208,17 +293,13 @@ func (g *Graph) Components() *ComponentSet {
 	for i := range label {
 		label[i] = -1
 	}
-	// For directed graphs we need the union of out- and in-adjacency.
-	neighbors := g.adj
+	// For directed graphs we need the union of out- and in-adjacency;
+	// undirected CSR snapshots already carry both directions.
+	undirected := g
 	if g.directed {
-		neighbors = make([][]Half, g.n)
-		for v := range g.adj {
-			neighbors[v] = append(neighbors[v], g.adj[v]...)
-		}
-		for _, e := range g.edges {
-			neighbors[e.To] = append(neighbors[e.To], Half{Edge: e.ID, To: e.From})
-		}
+		undirected = g.Undirected()
 	}
+	adj := undirected.csrSnapshot()
 	count := 0
 	stack := make([]int, 0, g.n)
 	for s := 0; s < g.n; s++ {
@@ -230,7 +311,7 @@ func (g *Graph) Components() *ComponentSet {
 		for len(stack) > 0 {
 			v := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			for _, h := range neighbors[v] {
+			for _, h := range adj.halves[adj.offsets[v]:adj.offsets[v+1]] {
 				if label[h.To] == -1 {
 					label[h.To] = count
 					stack = append(stack, h.To)

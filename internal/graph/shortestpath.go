@@ -1,7 +1,6 @@
 package graph
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -66,49 +65,14 @@ func (t *ShortestPathTree) Hops(v int) int {
 	return h
 }
 
-// distHeap is a binary heap of (vertex, distance) pairs for Dijkstra.
-type distHeap struct {
-	verts []int
-	dist  []float64 // keyed by vertex; shared with caller
-	index []int     // index[v] = position of v in verts, or -1
-}
-
-func (h *distHeap) Len() int { return len(h.verts) }
-func (h *distHeap) Less(i, j int) bool {
-	return h.dist[h.verts[i]] < h.dist[h.verts[j]]
-}
-func (h *distHeap) Swap(i, j int) {
-	h.verts[i], h.verts[j] = h.verts[j], h.verts[i]
-	h.index[h.verts[i]] = i
-	h.index[h.verts[j]] = j
-}
-func (h *distHeap) Push(x any) {
-	v := x.(int)
-	h.index[v] = len(h.verts)
-	h.verts = append(h.verts, v)
-}
-func (h *distHeap) Pop() any {
-	v := h.verts[len(h.verts)-1]
-	h.verts = h.verts[:len(h.verts)-1]
-	h.index[v] = -1
-	return v
-}
-
 // Dijkstra computes single-source shortest paths from source under the
 // weight vector w. All weights must be nonnegative; a negative weight
-// yields ErrNegativeWeight. Runs in O((V + E) log V) with an indexed
-// binary heap.
+// yields ErrNegativeWeight. Runs in O((V + E) log V) on the frozen CSR
+// adjacency with a non-boxing indexed 4-ary heap (see dijkstra.go); only
+// the returned tree's arrays are allocated.
 func Dijkstra(g *Graph, w []float64, source int) (*ShortestPathTree, error) {
-	if len(w) != g.M() {
-		return nil, fmt.Errorf("graph: Dijkstra weight vector has length %d, want %d", len(w), g.M())
-	}
-	if source < 0 || source >= g.N() {
-		return nil, fmt.Errorf("graph: Dijkstra source %d out of range [0, %d)", source, g.N())
-	}
-	for id, x := range w {
-		if x < 0 {
-			return nil, fmt.Errorf("%w: edge %d has weight %g", ErrNegativeWeight, id, x)
-		}
+	if err := checkDijkstraArgs(g, w, source); err != nil {
+		return nil, err
 	}
 	n := g.N()
 	t := &ShortestPathTree{
@@ -117,43 +81,15 @@ func Dijkstra(g *Graph, w []float64, source int) (*ShortestPathTree, error) {
 		Parent:  make([]int, n),
 		ViaEdge: make([]int, n),
 	}
+	ws := spPool.Get().(*spWorkspace)
+	ws.reset(n)
+	ws.run(g, w, source, 0)
+	copy(t.Dist, ws.dist)
 	for v := 0; v < n; v++ {
-		t.Dist[v] = Inf
-		t.Parent[v] = -1
-		t.ViaEdge[v] = -1
+		t.Parent[v] = int(ws.parent[v])
+		t.ViaEdge[v] = int(ws.via[v])
 	}
-	t.Dist[source] = 0
-
-	h := &distHeap{dist: t.Dist, index: make([]int, n)}
-	for v := range h.index {
-		h.index[v] = -1
-	}
-	heap.Push(h, source)
-	done := make([]bool, n)
-	for h.Len() > 0 {
-		v := heap.Pop(h).(int)
-		if done[v] {
-			continue
-		}
-		done[v] = true
-		for _, half := range g.Adj(v) {
-			u := half.To
-			if done[u] {
-				continue
-			}
-			nd := t.Dist[v] + w[half.Edge]
-			if nd < t.Dist[u] {
-				t.Dist[u] = nd
-				t.Parent[u] = v
-				t.ViaEdge[u] = half.Edge
-				if h.index[u] >= 0 {
-					heap.Fix(h, h.index[u])
-				} else {
-					heap.Push(h, u)
-				}
-			}
-		}
-	}
+	spPool.Put(ws)
 	return t, nil
 }
 
@@ -210,13 +146,10 @@ func BellmanFord(g *Graph, w []float64, source int) (*ShortestPathTree, error) {
 }
 
 // Distance returns the weighted distance between s and t under w, or Inf
-// if t is unreachable from s.
+// if t is unreachable from s. It runs in a pooled workspace with early
+// exit at t and allocates nothing in steady state.
 func Distance(g *Graph, w []float64, s, t int) (float64, error) {
-	tree, err := Dijkstra(g, w, s)
-	if err != nil {
-		return 0, err
-	}
-	return tree.Dist[t], nil
+	return QueryDistance(g, w, s, t)
 }
 
 // ShortestPath returns a minimum-weight path between s and t as an
@@ -235,17 +168,24 @@ func ShortestPath(g *Graph, w []float64, s, t int) ([]int, float64, bool, error)
 }
 
 // AllPairsDistances runs Dijkstra from every vertex and returns the full
-// distance matrix, D[s][t]. Unreachable pairs get Inf.
+// distance matrix, D[s][t]. Unreachable pairs get Inf. One pooled
+// workspace serves all V runs; only the matrix itself is allocated.
 func AllPairsDistances(g *Graph, w []float64) ([][]float64, error) {
 	n := g.N()
 	d := make([][]float64, n)
-	for s := 0; s < n; s++ {
-		tree, err := Dijkstra(g, w, s)
-		if err != nil {
-			return nil, err
-		}
-		d[s] = tree.Dist
+	if n == 0 {
+		return d, nil
 	}
+	if err := checkDijkstraArgs(g, w, 0); err != nil {
+		return nil, err
+	}
+	ws := spPool.Get().(*spWorkspace)
+	for s := 0; s < n; s++ {
+		ws.reset(n)
+		ws.run(g, w, s, 0)
+		d[s] = append([]float64(nil), ws.dist...)
+	}
+	spPool.Put(ws)
 	return d, nil
 }
 

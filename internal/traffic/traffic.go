@@ -243,6 +243,46 @@ func (c *City) TravelTimes(m CongestionModel, rng *rand.Rand) []float64 {
 	return w
 }
 
+// Trip is one origin-destination query of the navigation service's read
+// side — the workload the release-once / query-many oracles serve.
+type Trip struct {
+	From, To int
+}
+
+// CommuteTrips draws n origin-destination trips for a rush-hour query
+// workload: most trips funnel into a handful of employment hubs (the
+// pattern that makes release-once serving pay off, since many queries
+// share sources and destinations), the remainder are uniform errands.
+// hubs <= 0 defaults to 4. All trips have From != To.
+func (c *City) CommuteTrips(n, hubs int, rng *rand.Rand) []Trip {
+	if hubs <= 0 {
+		hubs = 4
+	}
+	v := c.G.N()
+	if v < 2 || n <= 0 {
+		return nil
+	}
+	hubAt := make([]int, hubs)
+	for i := range hubAt {
+		hubAt[i] = rng.Intn(v)
+	}
+	trips := make([]Trip, 0, n)
+	for len(trips) < n {
+		from := rng.Intn(v)
+		var to int
+		if rng.Float64() < 0.7 {
+			to = hubAt[rng.Intn(hubs)] // commute into a hub
+		} else {
+			to = rng.Intn(v) // errand
+		}
+		if from == to {
+			continue
+		}
+		trips = append(trips, Trip{From: from, To: to})
+	}
+	return trips
+}
+
 // VertexAt returns the vertex ID of intersection (row, col).
 func (c *City) VertexAt(row, col int) int { return row*c.Side + col }
 

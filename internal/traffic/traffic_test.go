@@ -167,3 +167,39 @@ func TestTravelTimesUsableByMechanisms(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCommuteTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	city, err := NewCity(Config{Side: 8}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trips := city.CommuteTrips(500, 3, rng)
+	if len(trips) != 500 {
+		t.Fatalf("got %d trips, want 500", len(trips))
+	}
+	dests := map[int]int{}
+	for _, tr := range trips {
+		if tr.From == tr.To {
+			t.Fatalf("trip %v has equal endpoints", tr)
+		}
+		if tr.From < 0 || tr.From >= city.G.N() || tr.To < 0 || tr.To >= city.G.N() {
+			t.Fatalf("trip %v out of range", tr)
+		}
+		dests[tr.To]++
+	}
+	// The hub bias should concentrate destinations: the top destination
+	// must see far more traffic than a uniform draw would give it.
+	top := 0
+	for _, c := range dests {
+		if c > top {
+			top = c
+		}
+	}
+	if top < 50 {
+		t.Fatalf("top destination has %d trips; hub bias missing", top)
+	}
+	if got := city.CommuteTrips(0, 3, rng); got != nil {
+		t.Fatalf("n=0 should give nil, got %v", got)
+	}
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Guards the release-once/query-many acceptance bar: steady-state
+# DistanceOracle point queries on the tree, hierarchy, and table oracles
+# must not allocate. Fails if any guarded sub-benchmark reports
+# allocs/op > 0 (run without -race: the race runtime defeats sync.Pool).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=$(go test -bench 'BenchmarkOracleDistance/(tree|hierarchy|table)' -benchmem -benchtime=200x -run '^$' .)
+echo "$out"
+
+bad=$(echo "$out" | awk '/^BenchmarkOracleDistance\// && $(NF) == "allocs/op" && $(NF-1)+0 > 0')
+if [ -n "$bad" ]; then
+    echo >&2
+    echo "FAIL: oracle point queries must be allocation-free:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+echo "OK: all guarded oracle benchmarks report 0 allocs/op"
