@@ -20,6 +20,11 @@
 //	echo "3 17\n3 9\n12 0" | dpgraph -graph city.txt -eps 1 query release
 //	dpgraph -graph tree.txt query treesssp 0 < pairs.txt
 //	echo '[[0,9],[4,12]]' | dpgraph -graph city.txt -json query apsd
+//	dpgraph -graph city.txt -workers 0 query release < pairs.txt
+//
+// Large pair batches can be answered in parallel with -workers N (0
+// uses GOMAXPROCS): oracles are goroutine-safe and queries spend no
+// budget, so sharding the batch is pure post-processing.
 //
 // Pairs are text lines "s t" or a JSON array ([[s,t], ...] or
 // [{"s":..,"t":..}, ...]); the format is sniffed from the input.
@@ -35,8 +40,10 @@ import (
 	"io"
 	"math"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/dpgraph"
 )
@@ -70,6 +77,7 @@ func run(out *os.File, in io.Reader, args []string) error {
 		maxWeight = fs.Float64("maxweight", 0, "weight cap M for bounded-weight mechanisms")
 		seed      = fs.Int64("seed", 0, "deterministic noise seed (0: crypto-grade noise)")
 		jsonOut   = fs.Bool("json", false, "emit machine-readable JSON (value, error bound, receipt)")
+		workers   = fs.Int("workers", 1, "parallel workers answering query-mode pairs (0: GOMAXPROCS)")
 	)
 	fs.Usage = func() { usage(fs) }
 	if err := fs.Parse(args); err != nil {
@@ -124,7 +132,10 @@ func run(out *os.File, in io.Reader, args []string) error {
 	}
 
 	if queryMode {
-		return runQuery(out, in, pg, desc, mechArgs, *maxWeight, *gamma, *jsonOut)
+		return runQuery(out, in, pg, desc, mechArgs, *maxWeight, *gamma, *jsonOut, *workers)
+	}
+	if *workers != 1 {
+		return fmt.Errorf("-workers only applies to the query subcommand")
 	}
 
 	q, err := parseArgs(desc.Name, desc.Args, mechArgs)
@@ -190,8 +201,13 @@ func (a pairAnswer) MarshalJSON() ([]byte, error) {
 
 // runQuery is the release-once / query-many path: materialize the
 // mechanism's release (the only budget-charging step), then answer every
-// pair from the input as free post-processing of the oracle.
-func runQuery(out *os.File, in io.Reader, pg *dpgraph.PrivateGraph, desc dpgraph.Descriptor, mechArgs []string, maxWeight, gamma float64, jsonOut bool) error {
+// pair from the input as free post-processing of the oracle — sharded
+// across workers goroutines when requested, which is safe because
+// oracles are goroutine-safe and queries touch no budget state.
+func runQuery(out *os.File, in io.Reader, pg *dpgraph.PrivateGraph, desc dpgraph.Descriptor, mechArgs []string, maxWeight, gamma float64, jsonOut bool, workers int) error {
+	if workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", workers)
+	}
 	q, err := parseArgs(desc.Name, desc.OracleArgs, mechArgs)
 	if err != nil {
 		return err
@@ -210,7 +226,7 @@ func runQuery(out *os.File, in io.Reader, pg *dpgraph.PrivateGraph, desc dpgraph
 	if err != nil {
 		return err
 	}
-	values, err := oracle.Distances(pairs)
+	values, err := answerPairs(oracle, pairs, workers)
 	if err != nil {
 		return err
 	}
@@ -237,6 +253,49 @@ func runQuery(out *os.File, in io.Reader, pg *dpgraph.PrivateGraph, desc dpgraph
 	fmt.Fprintf(out, "# error bound at gamma=%g: %.4f\n", gamma, oracle.Bound(gamma))
 	fmt.Fprintf(out, "# privacy receipt: %s\n", rec)
 	return nil
+}
+
+// answerPairs evaluates the batch against the oracle, sharding it into
+// contiguous chunks across workers goroutines (0 means GOMAXPROCS).
+// Answer order always matches input order; with one worker the batch
+// goes through the oracle's own Distances (which may group by source).
+func answerPairs(oracle dpgraph.DistanceOracle, pairs []dpgraph.VertexPair, workers int) ([]float64, error) {
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if max := len(pairs); workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		return oracle.Distances(pairs)
+	}
+	values := make([]float64, len(pairs))
+	errs := make([]error, workers)
+	chunk := (len(pairs) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for wk := 0; wk*chunk < len(pairs); wk++ {
+		lo, hi := wk*chunk, (wk+1)*chunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		wg.Add(1)
+		go func(wk, lo, hi int) {
+			defer wg.Done()
+			part, err := oracle.Distances(pairs[lo:hi])
+			if err != nil {
+				errs[wk] = err
+				return
+			}
+			copy(values[lo:hi], part)
+		}(wk, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return values, nil
 }
 
 // readPairs decodes the query pairs from text lines "s t" or a JSON
@@ -360,5 +419,6 @@ func usage(fs *flag.FlagSet) {
 	}
 	fmt.Fprintf(os.Stderr, "\nquery (release once, answer many): materializes one release, then\n"+
 		"answers every \"s t\" pair from stdin (text lines or JSON array) with\n"+
-		"zero extra budget. Oracle-capable mechanisms: %s\n", strings.Join(oracleMechanisms(), " "))
+		"zero extra budget; -workers N answers the batch in parallel.\n"+
+		"Oracle-capable mechanisms: %s\n", strings.Join(oracleMechanisms(), " "))
 }

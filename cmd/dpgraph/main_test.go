@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -185,6 +186,45 @@ func TestRunQuerySubcommands(t *testing.T) {
 		if _, err := captureWithStdin(t, "0 3\n", args); err != nil {
 			t.Errorf("%v: %v", args, err)
 		}
+	}
+}
+
+func TestRunQueryWorkers(t *testing.T) {
+	// A seeded session answers a batch identically with 1, 3, or
+	// GOMAXPROCS workers: queries are post-processing of one release, so
+	// sharding must not change values or order.
+	path := writeFile(t, "g.txt", pathGraph)
+	var stdin strings.Builder
+	for s := 0; s < 4; s++ {
+		for u := 0; u < 4; u++ {
+			fmt.Fprintf(&stdin, "%d %d\n", s, u)
+		}
+	}
+	var want string
+	for _, workers := range []string{"1", "3", "0"} {
+		out, err := captureWithStdin(t, stdin.String(),
+			[]string{"-graph", path, "-seed", "7", "-workers", workers, "query", "release"})
+		if err != nil {
+			t.Fatalf("workers=%s: %v", workers, err)
+		}
+		if want == "" {
+			want = out
+		} else if out != want {
+			t.Errorf("workers=%s output differs:\n%s\nwant:\n%s", workers, out, want)
+		}
+	}
+	// Errors (out-of-range pairs) must surface from worker shards too.
+	if _, err := captureWithStdin(t, "0 1\n0 9\n0 1\n0 2\n",
+		[]string{"-graph", path, "-seed", "7", "-workers", "4", "query", "release"}); err == nil {
+		t.Error("out-of-range pair accepted on the sharded path")
+	}
+	// -workers is query-mode only, and negative counts are rejected.
+	if _, err := capture(t, []string{"-graph", path, "-workers", "2", "mst"}); err == nil {
+		t.Error("-workers accepted outside query mode")
+	}
+	if _, err := captureWithStdin(t, "0 1\n",
+		[]string{"-graph", path, "-workers", "-2", "query", "release"}); err == nil {
+		t.Error("negative -workers accepted")
 	}
 }
 

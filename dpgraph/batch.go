@@ -1,0 +1,77 @@
+package dpgraph
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ReleaseRequest names one mechanism release for ReleaseAll: a registry
+// mechanism name (see Mechanisms) plus the Args its runner reads.
+type ReleaseRequest struct {
+	Mechanism string
+	Args      Args
+}
+
+// ReleaseOutcome is the result of one ReleaseRequest: exactly one of
+// Result and Err is non-nil.
+type ReleaseOutcome struct {
+	Request ReleaseRequest
+	Result  Result
+	Err     error
+}
+
+// ReleaseAll materializes several releases against the session in one
+// batch, returning one outcome per request in request order.
+//
+// Crypto-noise sessions (the default; see ConcurrentReleases) run the
+// requests concurrently: every mechanism call samples from its own
+// independent entropy stream, so the only shared state is the
+// mutex-guarded accountant and receipt ledger. Deterministic and
+// shared-stream sessions run the requests serially in request order, so
+// a seeded batch reproduces exactly.
+//
+// Each request charges the accountant independently; failed requests
+// (including budget refusals) release nothing and report their error in
+// the outcome. When the remaining budget cannot cover the whole batch,
+// which requests are refused is first-come-first-served — under
+// concurrent execution that order is not deterministic. The returned
+// error joins all per-request errors (nil when every release succeeded).
+func (pg *PrivateGraph) ReleaseAll(reqs ...ReleaseRequest) ([]ReleaseOutcome, error) {
+	outcomes := make([]ReleaseOutcome, len(reqs))
+	run := func(i int) {
+		outcomes[i].Request = reqs[i]
+		desc, ok := Mechanism(reqs[i].Mechanism)
+		if !ok {
+			outcomes[i].Err = fmt.Errorf("dpgraph: unknown mechanism %q", reqs[i].Mechanism)
+			return
+		}
+		if desc.Run == nil {
+			outcomes[i].Err = fmt.Errorf("dpgraph: mechanism %q has no registry runner; call the %s method directly", reqs[i].Mechanism, desc.Method)
+			return
+		}
+		outcomes[i].Result, outcomes[i].Err = desc.Run(pg, reqs[i].Args)
+	}
+	if pg.ConcurrentReleases() {
+		var wg sync.WaitGroup
+		for i := range reqs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				run(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range reqs {
+			run(i)
+		}
+	}
+	var errs []error
+	for i := range outcomes {
+		if outcomes[i].Err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", outcomes[i].Request.Mechanism, outcomes[i].Err))
+		}
+	}
+	return outcomes, errors.Join(errs...)
+}

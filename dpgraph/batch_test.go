@@ -1,0 +1,157 @@
+package dpgraph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func batchSession(t *testing.T, opts ...Option) *PrivateGraph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(61))
+	g := Grid(4)
+	w := UniformRandomWeights(g, 1, 4, rng)
+	pg, err := New(g, PrivateWeights(w), append([]Option{WithEpsilon(1)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pg
+}
+
+func TestConcurrentReleasesReporting(t *testing.T) {
+	if !batchSession(t).ConcurrentReleases() {
+		t.Error("crypto session should allow concurrent releases")
+	}
+	if batchSession(t, WithDeterministicSeed(1)).ConcurrentReleases() {
+		t.Error("seeded session must not allow concurrent releases")
+	}
+	if batchSession(t, WithNoiseSource(rand.New(rand.NewSource(1)))).ConcurrentReleases() {
+		t.Error("shared-stream session must not allow concurrent releases")
+	}
+}
+
+// TestReleaseAllCrypto materializes a mixed batch in parallel (crypto
+// mode; meaningful under -race) and checks outcomes, receipts, and
+// spent budget all line up.
+func TestReleaseAllCrypto(t *testing.T) {
+	pg := batchSession(t)
+	reqs := []ReleaseRequest{
+		{Mechanism: "release"},
+		{Mechanism: "path", Args: Args{S: 0, T: 15}},
+		{Mechanism: "distance", Args: Args{S: 0, T: 15}},
+		{Mechanism: "mstcost"},
+		{Mechanism: "treesssp", Args: Args{Root: 0}}, // grid is not a tree: must fail cleanly
+	}
+	outcomes, err := pg.ReleaseAll(reqs...)
+	if err == nil {
+		t.Fatal("expected joined error from the treesssp request")
+	}
+	if len(outcomes) != len(reqs) {
+		t.Fatalf("%d outcomes for %d requests", len(outcomes), len(reqs))
+	}
+	for i, o := range outcomes {
+		if o.Request.Mechanism != reqs[i].Mechanism {
+			t.Errorf("outcome %d is for %q, want %q", i, o.Request.Mechanism, reqs[i].Mechanism)
+		}
+		if reqs[i].Mechanism == "treesssp" {
+			if o.Err == nil || o.Result != nil {
+				t.Errorf("treesssp outcome = (%v, %v), want error only", o.Result, o.Err)
+			}
+			continue
+		}
+		if o.Err != nil || o.Result == nil {
+			t.Errorf("%s outcome = (%v, %v), want result only", o.Request.Mechanism, o.Result, o.Err)
+			continue
+		}
+		if o.Result.Info().Receipt.Mechanism == "" {
+			t.Errorf("%s result has no receipt", o.Request.Mechanism)
+		}
+	}
+	if got := len(pg.Receipts()); got != 4 {
+		t.Errorf("%d receipts for 4 successful releases", got)
+	}
+	if eps, _ := pg.Spent(); eps != 4 {
+		t.Errorf("spent %g, want 4", eps)
+	}
+}
+
+// TestReleaseAllDeterministicReproduces runs the same seeded batch on
+// two sessions: serial in-order execution must reproduce exactly.
+func TestReleaseAllDeterministicReproduces(t *testing.T) {
+	reqs := []ReleaseRequest{
+		{Mechanism: "release"},
+		{Mechanism: "distance", Args: Args{S: 0, T: 15}},
+		{Mechanism: "sssp", Args: Args{Root: 0}},
+	}
+	var first []float64
+	for round := 0; round < 2; round++ {
+		pg := batchSession(t, WithDeterministicSeed(123))
+		outcomes, err := pg.ReleaseAll(reqs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var vals []float64
+		vals = append(vals, outcomes[0].Result.(*SyntheticGraph).Weights...)
+		vals = append(vals, outcomes[1].Result.(*DistanceResult).Value)
+		if round == 0 {
+			first = vals
+			continue
+		}
+		for i := range vals {
+			if vals[i] != first[i] {
+				t.Fatalf("round 2 value %d = %g, want %g", i, vals[i], first[i])
+			}
+		}
+	}
+}
+
+func TestReleaseAllBadRequests(t *testing.T) {
+	pg := batchSession(t)
+	outcomes, err := pg.ReleaseAll(
+		ReleaseRequest{Mechanism: "nope"},
+		ReleaseRequest{Mechanism: "covering"}, // registered but runner-less
+	)
+	if err == nil {
+		t.Fatal("bad requests accepted")
+	}
+	if outcomes[0].Err == nil || outcomes[1].Err == nil {
+		t.Errorf("outcomes = %+v, want errors", outcomes)
+	}
+	if len(pg.Receipts()) != 0 {
+		t.Error("failed requests left receipts")
+	}
+	if outcomes, err := pg.ReleaseAll(); err != nil || len(outcomes) != 0 {
+		t.Errorf("empty batch = (%v, %v), want no-op", outcomes, err)
+	}
+}
+
+// TestReleaseAllBudgetedAdmitsExactly checks the accountant under a
+// parallel batch: a budget with room for 3 releases admits exactly 3.
+func TestReleaseAllBudgetedAdmitsExactly(t *testing.T) {
+	pg := batchSession(t, WithBudget(3, 0))
+	reqs := make([]ReleaseRequest, 6)
+	for i := range reqs {
+		reqs[i] = ReleaseRequest{Mechanism: "release"}
+	}
+	outcomes, err := pg.ReleaseAll(reqs...)
+	if err == nil {
+		t.Fatal("over-budget batch fully admitted")
+	}
+	ok, refused := 0, 0
+	for _, o := range outcomes {
+		switch {
+		case o.Err == nil:
+			ok++
+		case errors.Is(o.Err, ErrBudgetExhausted):
+			refused++
+		default:
+			t.Errorf("unexpected error: %v", o.Err)
+		}
+	}
+	if ok != 3 || refused != 3 {
+		t.Errorf("admitted %d, refused %d; want 3 and 3", ok, refused)
+	}
+	if eps, _ := pg.Spent(); eps != 3 {
+		t.Errorf("spent %g, want 3", eps)
+	}
+}

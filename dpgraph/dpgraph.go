@@ -45,9 +45,21 @@
 //     per-query noise bound, covering releases additionally the
 //     2·K·MaxWeight assignment bias.
 //
+// # Noise and throughput
+//
 // Noise is crypto-grade by default; deterministic runs (tests,
 // experiments) must opt in via WithDeterministicSeed or WithNoiseSource.
 // A PrivateGraph is safe for concurrent use by multiple goroutines.
+//
+// All sampling flows through the internal NoiseSource layer, which
+// serves noise in vectorized blocks: crypto-noise sessions draw from a
+// ChaCha8 stream seeded per call from OS entropy and shard large fills
+// across GOMAXPROCS workers, so million-edge releases run at memory
+// speed. Crypto sessions additionally run whole mechanism calls in
+// parallel (ConcurrentReleases reports true) — use ReleaseAll to
+// materialize a batch of releases concurrently against the shared
+// budget accountant. Seeded sessions keep a deterministic draw order
+// and therefore run serially.
 //
 // The available mechanisms, with sensitivity and guarantee metadata, are
 // enumerated by Mechanisms().
@@ -57,7 +69,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
 	"sync"
 	"time"
 
@@ -95,9 +106,13 @@ type PrivateGraph struct {
 
 	acct *dp.Accountant
 
-	noiseMu sync.Mutex // guards det / shared noise streams
-	det     *rand.Rand // deterministic root stream (nil in crypto mode)
-	shared  *rand.Rand // caller-supplied stream (nil unless WithNoiseSource)
+	// noise is the session's root noise source; each mechanism call
+	// draws from noise.Child(). Crypto roots hand out fresh independent
+	// entropy streams (zero shared state, so mechanism calls and
+	// ReleaseAll batches run fully in parallel); seeded roots split a
+	// reproducible child per call; caller-supplied shared streams
+	// serialize draws internally.
+	noise dp.NoiseSource
 
 	recMu    sync.Mutex
 	receipts []Receipt
@@ -132,9 +147,11 @@ func New(topology *Graph, private Weights, opts ...Option) (*PrivateGraph, error
 	}
 	switch {
 	case cfg.sharedRand != nil:
-		pg.shared = cfg.sharedRand
+		pg.noise = dp.WrapRand(cfg.sharedRand)
 	case cfg.seeded:
-		pg.det = rand.New(rand.NewSource(cfg.seed))
+		pg.noise = dp.NewSeededNoise(cfg.seed)
+	default:
+		pg.noise = dp.NewCryptoNoise()
 	}
 	return pg, nil
 }
@@ -172,47 +189,41 @@ func (pg *PrivateGraph) Receipts() []Receipt {
 	return append([]Receipt(nil), pg.receipts...)
 }
 
-// options assembles the core options for one mechanism call, together
-// with an unlock function that must be called once sampling is done.
-//
-// Noise streams per mode:
-//   - crypto (default): a fresh OS-entropy stream per call, no locking;
-//   - deterministic: a per-call child stream seeded from the root stream
-//     under the lock, so serial runs reproduce exactly;
-//   - shared (WithNoiseSource): the caller's stream, held under the lock
-//     for the whole call since *rand.Rand is not concurrency-safe.
-func (pg *PrivateGraph) options() (core.Options, func()) {
-	o := core.Options{
+// options assembles the core options for one mechanism call. The call's
+// noise stream is a child of the session root:
+//   - crypto (default): a fresh OS-entropy stream per call with no
+//     shared state, so any number of mechanism calls sample in parallel;
+//   - deterministic (WithDeterministicSeed): a child stream split from
+//     the seeded root, so a serial sequence of calls reproduces exactly;
+//   - shared (WithNoiseSource): the caller's stream, which serializes
+//     its draws internally.
+func (pg *PrivateGraph) options() core.Options {
+	return core.Options{
 		Epsilon:    pg.cfg.epsilon,
 		Delta:      pg.cfg.delta,
 		Gamma:      pg.cfg.gamma,
 		Scale:      pg.cfg.scale,
+		Noise:      pg.noise.Child(),
 		Accountant: pg.acct,
 	}
-	unlock := func() {}
-	switch {
-	case pg.shared != nil:
-		pg.noiseMu.Lock()
-		o.Rand = pg.shared
-		unlock = pg.noiseMu.Unlock
-	case pg.det != nil:
-		pg.noiseMu.Lock()
-		o.Rand = rand.New(rand.NewSource(pg.det.Int63()))
-		pg.noiseMu.Unlock()
-	default:
-		o.Rand = dp.NewCryptoRand()
-	}
-	return o, unlock
+}
+
+// ConcurrentReleases reports whether the session's mechanism calls may
+// run fully in parallel: true for crypto-noise sessions (every call gets
+// an independent entropy stream, and only the accountant and receipt
+// ledger are shared, each behind its own short mutex), false for
+// deterministic and shared-stream sessions, whose draw order is part of
+// the reproducibility contract. ReleaseAll consults this to decide
+// between parallel and serial materialization.
+func (pg *PrivateGraph) ConcurrentReleases() bool {
+	return !pg.noise.Deterministic()
 }
 
 // exec runs one mechanism body with session options and, on success,
 // records a receipt for the charged cost. Pure mechanisms charge no
 // delta regardless of the session delta.
 func (pg *PrivateGraph) exec(mechanism string, pure bool, run func(o core.Options) error) (Receipt, error) {
-	o, unlock := pg.options()
-	err := run(o)
-	unlock()
-	if err != nil {
+	if err := run(pg.options()); err != nil {
 		return Receipt{}, err
 	}
 	rec := Receipt{

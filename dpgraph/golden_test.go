@@ -1,0 +1,218 @@
+package dpgraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The golden values below are bit patterns (math.Float64bits) of seeded
+// releases captured from the pre-NoiseSource scalar sampling path
+// (PR 2's *rand.Rand plumbing). The NoiseSource refactor must keep every
+// seeded stream byte-identical: the splittable seeded root reproduces
+// the historical per-call child-seeding, and block fills draw in the
+// historical scalar order. If one of these tests fails, a change broke
+// the reproducibility contract that experiments and checked-in tables
+// rely on — it is not a tolerance issue, and the values must not be
+// "refreshed" without bumping that contract deliberately.
+
+func assertBits(t *testing.T, label string, got []float64, want []uint64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d values, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != want[i] {
+			t.Errorf("%s[%d] = %x (%g), want %x (%g)", label, i,
+				math.Float64bits(got[i]), got[i], want[i], math.Float64frombits(want[i]))
+		}
+	}
+}
+
+func TestGoldenReleaseGrid4Seed42(t *testing.T) {
+	g := Grid(4)
+	w := make([]float64, g.M())
+	for i := range w {
+		w[i] = 1 + float64(i%5)
+	}
+	pg, err := New(g, PrivateWeights(w), WithEpsilon(1), WithDeterministicSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := pg.Release()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBits(t, "release/grid4/seed42", rel.Weights, []uint64{
+		0x4006bf6933a6f181, 0x401231a26eb97690, 0x400883bf3f7e81a6,
+		0x400c6f8e6c0dd49d, 0x40188e937907ec50, 0x3ff5ad4aef9bede6,
+		0x3ff7881436367fd2, 0x3ff606a0d1a7f55f, 0x4009174a3a107d9e,
+		0x4001f7b041938fb5, 0x3ffac7ec212decc4, 0x400377b79f8b4cc8,
+		0x400cfa2e74a89c8c, 0x40105f2302295b6b, 0x401a71152d787782,
+		0x3ffce5d8a0decbfc, 0x3feab059b10097aa, 0x4001fdee6d9dcdcd,
+		0x401056191f3df6e3, 0x401407738c7c681d, 0xbff5eb99339b4ac8,
+		0x400263c219911704, 0x3fff43f1da783be2, 0x4008e6c86134e8e9,
+	})
+}
+
+func TestGoldenTreeSSSPSeed7(t *testing.T) {
+	g := BalancedBinaryTree(15)
+	w := make([]float64, g.M())
+	for i := range w {
+		w[i] = 2 + float64(i%3)
+	}
+	pg, err := New(g, PrivateWeights(w), WithEpsilon(1), WithDeterministicSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := pg.TreeSingleSource(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBits(t, "treesssp/bbt15/seed7", rel.Dist, []uint64{
+		0x0000000000000000, 0x4021fcbf3bcbb33b, 0x4037c8d0f567d51f,
+		0x4026f39f5fa1e365, 0x401ec8cdfefc1fea, 0x4038618bcd596d56,
+		0x4034a234f0d2d3d7, 0x402f836a1c56030b, 0x402e8368d026b26b,
+		0x4030da7853f33140, 0x40194c69da14cdbe, 0x40452753c9ba0780,
+		0x40442845dbfb7fd3, 0x4040cd3b698cf453, 0x403e6de4c3b39a79,
+	})
+}
+
+func TestGoldenHierarchySeed9(t *testing.T) {
+	g := PathGraph(9)
+	w := make([]float64, g.M())
+	for i := range w {
+		w[i] = 1 + float64(i)/8
+	}
+	pg, err := New(g, PrivateWeights(w), WithEpsilon(1), WithDeterministicSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := pg.PathHierarchy(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ds []float64
+	for _, p := range [][2]int{{0, 8}, {1, 7}, {2, 5}, {3, 4}, {0, 1}} {
+		ds = append(ds, rel.Distance(p[0], p[1]))
+	}
+	assertBits(t, "hierarchy/path9/seed9", ds, []uint64{
+		0x401d95d92129cc08, 0x4040621788276545, 0x403b90c0e9c1e8ce,
+		0xbfcdb0097e52e870, 0xbfe33a237bb49bd0,
+	})
+}
+
+func TestGoldenAPSDSeed5(t *testing.T) {
+	g := Grid(3)
+	w := make([]float64, g.M())
+	for i := range w {
+		w[i] = 1 + float64(i%4)/2
+	}
+	pg, err := New(g, PrivateWeights(w), WithEpsilon(1), WithDeterministicSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := pg.AllPairsDistances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ds []float64
+	for _, p := range [][2]int{{0, 8}, {1, 7}, {2, 6}, {3, 5}, {4, 0}} {
+		ds = append(ds, rel.Distance(p[0], p[1]))
+	}
+	assertBits(t, "apsd/grid3/seed5", ds, []uint64{
+		0x40503c6ffcdc4688, 0xc0601b2d55796a2c, 0x4053a774710f5638,
+		0xbfe93dd662935630, 0xc0415deefd85df63,
+	})
+}
+
+func TestGoldenShortestPathsSeed11(t *testing.T) {
+	g := Grid(3)
+	w := make([]float64, g.M())
+	for i := range w {
+		w[i] = 1 + float64(i%3)
+	}
+	pg, err := New(g, PrivateWeights(w), WithEpsilon(1), WithDeterministicSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := pg.ShortestPaths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges, err := rel.Path(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEdges := []int{0, 3, 7, 9}
+	if len(edges) != len(wantEdges) {
+		t.Fatalf("path = %v, want %v", edges, wantEdges)
+	}
+	for i := range edges {
+		if edges[i] != wantEdges[i] {
+			t.Fatalf("path = %v, want %v", edges, wantEdges)
+		}
+	}
+	if bits := math.Float64bits(rel.Shift); bits != 0x4015ec2c9c23c107 {
+		t.Errorf("shift bits = %x, want 4015ec2c9c23c107", bits)
+	}
+}
+
+func TestGoldenCallSequenceSeed99(t *testing.T) {
+	// Several mechanisms on one session: the per-call child-stream split
+	// order is part of the contract, not just the per-mechanism draws.
+	g := Grid(3)
+	w := make([]float64, g.M())
+	for i := range w {
+		w[i] = 1.5
+	}
+	pg, err := New(g, PrivateWeights(w), WithEpsilon(1), WithDeterministicSeed(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := pg.Release()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := pg.Distance(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := pg.MSTCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBits(t, "sequence/grid3/seed99",
+		[]float64{rel.Weights[0], rel.Weights[11], d.Value, c.Value}, []uint64{
+			0x3ff20c0e2fcba9c8, 0x3ffc56eda060ffb6,
+			0x40198a100cd4f72a, 0x40269bb0d1654e5a,
+		})
+}
+
+func TestGoldenSharedNoiseSourceSeed2024(t *testing.T) {
+	// The WithNoiseSource path (experiments' shared seeded stream): two
+	// mechanism calls consuming one *rand.Rand in call order.
+	g := Grid(3)
+	w := make([]float64, g.M())
+	for i := range w {
+		w[i] = 2
+	}
+	rng := rand.New(rand.NewSource(2024))
+	pg, err := New(g, PrivateWeights(w), WithEpsilon(1), WithNoiseSource(rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := pg.Release()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := pg.SingleSource(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBits(t, "shared/grid3/seed2024",
+		[]float64{r1.Weights[0], r1.Weights[5], r2.Dist[1], r2.Dist[8]}, []uint64{
+			0x4008e529ce929906, 0x3fed6ab603d447ec,
+			0xc01b692fede07222, 0x402a96e8add641c4,
+		})
+}

@@ -99,8 +99,9 @@ func WithBudget(epsilon, delta float64) Option {
 
 // WithNoiseSource supplies an explicit noise stream, e.g. an
 // experiment's shared seeded *rand.Rand. The session serializes all
-// sampling from it, so concurrent queries remain safe but no longer run
-// in parallel. Prefer WithDeterministicSeed unless the stream must be
+// sampling from it (and never parallelizes fills), so concurrent queries
+// remain safe but releases no longer run in parallel — ConcurrentReleases
+// reports false. Prefer WithDeterministicSeed unless the stream must be
 // shared with other consumers.
 func WithNoiseSource(rng *rand.Rand) Option {
 	return func(c *config) error {
@@ -114,8 +115,10 @@ func WithNoiseSource(rng *rand.Rand) Option {
 }
 
 // WithDeterministicSeed makes noise reproducible: each mechanism call
-// draws from a child stream seeded from a root stream seeded with seed.
-// A sequence of calls on one goroutine reproduces exactly across runs.
+// draws from a child stream split off a root stream seeded with seed.
+// A sequence of calls on one goroutine reproduces exactly across runs;
+// releases run serially (ConcurrentReleases reports false) because draw
+// order is part of the contract.
 //
 // Deterministic noise is predictable by anyone who knows the seed and
 // therefore offers NO privacy; it exists for tests, benchmarks, and

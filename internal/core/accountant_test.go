@@ -15,7 +15,7 @@ func TestAccountantEnforcedAcrossMechanisms(t *testing.T) {
 	acct := dp.NewAccountant(dp.PrivacyParams{Epsilon: 2.5, Delta: 1e-6})
 	g := graph.Grid(5)
 	w := graph.UniformRandomWeights(g, 1, 3, rng)
-	opts := Options{Epsilon: 1, Rand: rng, Accountant: acct}
+	opts := Options{Epsilon: 1, Noise: dp.WrapRand(rng), Accountant: acct}
 
 	if _, err := PrivateDistance(g, w, 0, 24, opts); err != nil {
 		t.Fatalf("first query rejected: %v", err)
@@ -57,7 +57,7 @@ func TestAccountantChargedOncePerRelease(t *testing.T) {
 	acct := dp.NewAccountant(dp.PrivacyParams{Epsilon: 10, Delta: 1e-5})
 	g := graph.BalancedBinaryTree(63)
 	w := graph.UniformRandomWeights(g, 1, 2, rng)
-	if _, err := TreeAllPairs(g, w, Options{Epsilon: 1, Rand: rng, Accountant: acct}); err != nil {
+	if _, err := TreeAllPairs(g, w, Options{Epsilon: 1, Noise: dp.WrapRand(rng), Accountant: acct}); err != nil {
 		t.Fatal(err)
 	}
 	if got := acct.Spent().Epsilon; got != 1 {
@@ -65,7 +65,7 @@ func TestAccountantChargedOncePerRelease(t *testing.T) {
 	}
 	grid := graph.Grid(8)
 	gw := graph.UniformRandomWeights(grid, 0, 1, rng)
-	if _, err := BoundedWeightAPSD(grid, gw, 1, Options{Epsilon: 1, Delta: 1e-6, Rand: rng, Accountant: acct}); err != nil {
+	if _, err := BoundedWeightAPSD(grid, gw, 1, Options{Epsilon: 1, Delta: 1e-6, Noise: dp.WrapRand(rng), Accountant: acct}); err != nil {
 		t.Fatal(err)
 	}
 	spent := acct.Spent()
@@ -81,7 +81,7 @@ func TestAccountantBlocksBeforeRelease(t *testing.T) {
 	acct := dp.NewAccountant(dp.PrivacyParams{Epsilon: 0.5})
 	g := graph.Path(5)
 	w := graph.UniformWeights(g, 1)
-	rel, err := ReleaseGraph(g, w, Options{Epsilon: 1, Rand: rng, Accountant: acct})
+	rel, err := ReleaseGraph(g, w, Options{Epsilon: 1, Noise: dp.WrapRand(rng), Accountant: acct})
 	if err == nil || rel != nil {
 		t.Fatal("over-budget ReleaseGraph returned output")
 	}
@@ -92,7 +92,7 @@ func TestAccountantBlocksBeforeRelease(t *testing.T) {
 func TestNoAccountantNoCharge(t *testing.T) {
 	rng := rand.New(rand.NewSource(124))
 	g := graph.Path(5)
-	if _, err := PathHierarchy(graph.UniformWeights(g, 1), 2, Options{Epsilon: 1, Rand: rng}); err != nil {
+	if _, err := PathHierarchy(graph.UniformWeights(g, 1), 2, Options{Epsilon: 1, Noise: dp.WrapRand(rng)}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -127,7 +127,7 @@ func TestAccountantMechanismsCoverage(t *testing.T) {
 	}
 	for _, r := range runs {
 		acct := dp.NewAccountant(dp.PrivacyParams{Epsilon: 1, Delta: r.delta})
-		o := Options{Epsilon: 1, Delta: r.delta, Rand: rng, Accountant: acct}
+		o := Options{Epsilon: 1, Delta: r.delta, Noise: dp.WrapRand(rng), Accountant: acct}
 		if err := r.run(o); err != nil {
 			t.Errorf("%s: first run rejected: %v", r.name, err)
 			continue

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/dp"
+
 	"repro/internal/graph"
 )
 
@@ -13,7 +15,7 @@ func TestPrivateMSTReleasesSpanningTree(t *testing.T) {
 	for trial := 0; trial < 10; trial++ {
 		g := graph.ConnectedErdosRenyi(40, 0.15, rng)
 		w := graph.UniformRandomWeights(g, -5, 10, rng)
-		rel, err := PrivateMST(g, w, Options{Epsilon: 1, Rand: rng})
+		rel, err := PrivateMST(g, w, Options{Epsilon: 1, Noise: dp.WrapRand(rng)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -27,7 +29,7 @@ func TestPrivateMSTExactAtHugeEps(t *testing.T) {
 	rng := rand.New(rand.NewSource(104))
 	g := graph.Grid(6)
 	w := graph.UniformRandomWeights(g, 0, 10, rng)
-	rel, err := PrivateMST(g, w, Options{Epsilon: 1e9, Rand: rng})
+	rel, err := PrivateMST(g, w, Options{Epsilon: 1e9, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +48,7 @@ func TestPrivateMSTErrorWithinBound(t *testing.T) {
 	for trial := 0; trial < 20; trial++ {
 		g := graph.ConnectedErdosRenyi(60, 0.1, rng)
 		w := graph.UniformRandomWeights(g, 0, 10, rng)
-		rel, err := PrivateMST(g, w, Options{Epsilon: 1, Rand: rng})
+		rel, err := PrivateMST(g, w, Options{Epsilon: 1, Noise: dp.WrapRand(rng)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -87,7 +89,7 @@ func TestPrivateMatchingReleasesPerfectMatching(t *testing.T) {
 	for trial := 0; trial < 10; trial++ {
 		g := graph.CompleteBipartite(15, 15)
 		w := graph.UniformRandomWeights(g, -2, 8, rng)
-		rel, err := PrivateMatching(g, w, Options{Epsilon: 1, Rand: rng})
+		rel, err := PrivateMatching(g, w, Options{Epsilon: 1, Noise: dp.WrapRand(rng)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -101,7 +103,7 @@ func TestPrivateMatchingExactAtHugeEps(t *testing.T) {
 	rng := rand.New(rand.NewSource(107))
 	g := graph.CompleteBipartite(10, 10)
 	w := graph.UniformRandomWeights(g, 0, 5, rng)
-	rel, err := PrivateMatching(g, w, Options{Epsilon: 1e9, Rand: rng})
+	rel, err := PrivateMatching(g, w, Options{Epsilon: 1e9, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +122,7 @@ func TestPrivateMatchingErrorWithinBound(t *testing.T) {
 	for trial := 0; trial < 20; trial++ {
 		hg := graph.NewHourglassGadget(30)
 		w := graph.UniformRandomWeights(hg.G, 0, 5, rng)
-		rel, err := PrivateMatching(hg.G, w, Options{Epsilon: 1, Rand: rng})
+		rel, err := PrivateMatching(hg.G, w, Options{Epsilon: 1, Noise: dp.WrapRand(rng)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -163,7 +165,7 @@ func TestPrivateMSTNegativeWeightsAllowed(t *testing.T) {
 	rng := rand.New(rand.NewSource(109))
 	g := graph.Complete(10)
 	w := graph.UniformRandomWeights(g, -10, -1, rng)
-	rel, err := PrivateMST(g, w, Options{Epsilon: 1, Rand: rng})
+	rel, err := PrivateMST(g, w, Options{Epsilon: 1, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}

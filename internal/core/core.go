@@ -30,7 +30,6 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/dp"
 )
@@ -48,10 +47,13 @@ type Options struct {
 	// Scale is the l1 influence of a single individual on the weight
 	// vector (the paper's scaling remark). Defaults to 1.
 	Scale float64
-	// Rand is the noise source. Defaults to crypto-grade noise
-	// (dp.NewCryptoRand); pass an explicit seeded source only for
-	// reproducible experiments and tests.
-	Rand *rand.Rand
+	// Noise is the noise source every mechanism draws from. Defaults to
+	// crypto-grade noise (dp.NewCryptoNoise); pass a seeded source
+	// (dp.NewSeededNoise, dp.WrapRand) only for reproducible experiments
+	// and tests. Mechanisms request noise in blocks (dp.NoiseSource's
+	// FillLaplace), so large releases hit the vectorized — and for
+	// crypto sources parallel — sampling path.
+	Noise dp.NoiseSource
 	// Accountant, when non-nil, is charged (Epsilon, Delta) before each
 	// mechanism releases anything; if the budget would be exceeded the
 	// mechanism returns the accountant's error and releases nothing.
@@ -89,8 +91,8 @@ func (o Options) withDefaults() (Options, error) {
 	if !(o.Scale > 0) {
 		return o, fmt.Errorf("core: scale must be positive, got %g", o.Scale)
 	}
-	if o.Rand == nil {
-		o.Rand = dp.NewCryptoRand()
+	if o.Noise == nil {
+		o.Noise = dp.NewCryptoNoise()
 	}
 	return o, nil
 }
@@ -98,9 +100,9 @@ func (o Options) withDefaults() (Options, error) {
 // Validate checks the parameter values without running a mechanism;
 // zero values that withDefaults would fill in are accepted.
 func (o Options) Validate() error {
-	if o.Rand == nil {
+	if o.Noise == nil {
 		// Avoid allocating a crypto stream just to validate numbers.
-		o.Rand = rand.New(rand.NewSource(0))
+		o.Noise = dp.NewSeededNoise(0)
 	}
 	_, err := o.withDefaults()
 	return err

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/dp"
+
 	"repro/internal/graph"
 )
 
@@ -30,7 +32,7 @@ func TestOptionsDefaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if o.Gamma != 0.05 || o.Scale != 1 || o.Rand == nil {
+	if o.Gamma != 0.05 || o.Scale != 1 || o.Noise == nil {
 		t.Errorf("defaults = %+v", o)
 	}
 	if p := o.Params(); p.Epsilon != 2 || p.Delta != 0 {
@@ -47,7 +49,7 @@ func TestPrivateDistanceAccuracy(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Strong signal: eps large means nearly exact.
-	d, err := PrivateDistance(g, w, 0, 35, Options{Epsilon: 1e6, Rand: rng})
+	d, err := PrivateDistance(g, w, 0, 35, Options{Epsilon: 1e6, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +57,7 @@ func TestPrivateDistanceAccuracy(t *testing.T) {
 		t.Errorf("huge-eps distance %g vs exact %g", d, exact)
 	}
 	// Moderate eps: within a generous multiple of 1/eps (fixed seed).
-	d, err = PrivateDistance(g, w, 0, 35, Options{Epsilon: 1, Rand: rng})
+	d, err = PrivateDistance(g, w, 0, 35, Options{Epsilon: 1, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +84,7 @@ func TestAPSDCompositionSymmetricAndSane(t *testing.T) {
 	rng := rand.New(rand.NewSource(66))
 	g := graph.ConnectedErdosRenyi(30, 0.2, rng)
 	w := graph.UniformRandomWeights(g, 0, 4, rng)
-	rel, err := APSDComposition(g, w, Options{Epsilon: 1, Delta: 1e-6, Rand: rng})
+	rel, err := APSDComposition(g, w, Options{Epsilon: 1, Delta: 1e-6, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,11 +114,11 @@ func TestAPSDCompositionAdvancedBeatsBasic(t *testing.T) {
 	rng := rand.New(rand.NewSource(67))
 	g := graph.Grid(8)
 	w := graph.UniformRandomWeights(g, 0, 1, rng)
-	pure, err := APSDComposition(g, w, Options{Epsilon: 1, Rand: rng})
+	pure, err := APSDComposition(g, w, Options{Epsilon: 1, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	approx, err := APSDComposition(g, w, Options{Epsilon: 1, Delta: 1e-6, Rand: rng})
+	approx, err := APSDComposition(g, w, Options{Epsilon: 1, Delta: 1e-6, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +150,7 @@ func TestAPSDCompositionDirected(t *testing.T) {
 	g.AddEdge(2, 3)
 	g.AddEdge(3, 0)
 	w := []float64{1, 1, 1, 1}
-	rel, err := APSDComposition(g, w, Options{Epsilon: 100, Rand: rng})
+	rel, err := APSDComposition(g, w, Options{Epsilon: 100, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +164,7 @@ func TestReleaseGraphPostProcessing(t *testing.T) {
 	rng := rand.New(rand.NewSource(69))
 	g := graph.Grid(5)
 	w := graph.UniformRandomWeights(g, 1, 3, rng)
-	rel, err := ReleaseGraph(g, w, Options{Epsilon: 1000, Rand: rng})
+	rel, err := ReleaseGraph(g, w, Options{Epsilon: 1000, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +200,7 @@ func TestReleaseGraphNoiseMagnitude(t *testing.T) {
 	rng := rand.New(rand.NewSource(70))
 	g := graph.Complete(30)
 	w := graph.UniformWeights(g, 10)
-	rel, err := ReleaseGraph(g, w, Options{Epsilon: 1, Rand: rng})
+	rel, err := ReleaseGraph(g, w, Options{Epsilon: 1, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,11 +230,11 @@ func TestSameSeedSensitivityReleaseGraph(t *testing.T) {
 	w2 := append([]float64(nil), w...)
 	w2[3] += 0.6
 	w2[9] -= 0.4
-	r1, err := ReleaseGraph(g, w, Options{Epsilon: 1, Rand: rng1})
+	r1, err := ReleaseGraph(g, w, Options{Epsilon: 1, Noise: dp.WrapRand(rng1)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := ReleaseGraph(g, w2, Options{Epsilon: 1, Rand: rng2})
+	r2, err := ReleaseGraph(g, w2, Options{Epsilon: 1, Noise: dp.WrapRand(rng2)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -114,10 +114,15 @@ func coveringRelease(g *graph.Graph, w []float64, Z []int, k int, maxWeight floa
 	if err := o.charge("CoveringAPSD", o.Params()); err != nil {
 		return nil, err
 	}
-	lap := dp.NewLaplace(noiseScale)
+	// One block of noise for the z(z-1)/2 released covering distances,
+	// consumed in the historical (i, j) order.
+	noise := make([]float64, z*(z-1)/2)
+	o.Noise.FillLaplace(noiseScale, noise)
+	next := 0
 	for i := 0; i < z; i++ {
 		for j := i + 1; j < z; j++ {
-			noisy := zdist[i][j] + lap.Sample(o.Rand)
+			noisy := zdist[i][j] + noise[next]
+			next++
 			zdist[i][j] = noisy
 			zdist[j][i] = noisy
 		}

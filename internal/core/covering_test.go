@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/dp"
+
 	"repro/internal/graph"
 )
 
@@ -62,7 +64,7 @@ func TestCoveringAPSDExactAtHugeEps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rel, err := CoveringAPSD(g, w, z, k, 1, Options{Epsilon: 1e9, Delta: 1e-6, Rand: rng})
+	rel, err := CoveringAPSD(g, w, z, k, 1, Options{Epsilon: 1e9, Delta: 1e-6, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +86,7 @@ func TestCoveringAPSDErrorWithinBound(t *testing.T) {
 	g := graph.Grid(12)
 	n := g.N()
 	w := graph.UniformRandomWeights(g, 0, 2, rng)
-	rel, err := BoundedWeightAPSD(g, w, 2, Options{Epsilon: 1, Delta: 1e-6, Rand: rng})
+	rel, err := BoundedWeightAPSD(g, w, 2, Options{Epsilon: 1, Delta: 1e-6, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,11 +115,11 @@ func TestCoveringAPSDPureNoiseLargerThanApprox(t *testing.T) {
 	if len(z) < 3 {
 		t.Skip("covering too small to compare")
 	}
-	approx, err := CoveringAPSD(g, w, z, k, 1, Options{Epsilon: 1, Delta: 1e-6, Rand: rng})
+	approx, err := CoveringAPSD(g, w, z, k, 1, Options{Epsilon: 1, Delta: 1e-6, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	pure, err := CoveringAPSDPure(g, w, z, k, 1, Options{Epsilon: 1, Rand: rng})
+	pure, err := CoveringAPSDPure(g, w, z, k, 1, Options{Epsilon: 1, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +135,7 @@ func TestCoveringAPSDAssignAndSymmetry(t *testing.T) {
 	rng := rand.New(rand.NewSource(91))
 	g := graph.Grid(6)
 	w := graph.UniformRandomWeights(g, 0, 1, rng)
-	rel, err := BoundedWeightAPSD(g, w, 1, Options{Epsilon: 1, Delta: 1e-6, Rand: rng})
+	rel, err := BoundedWeightAPSD(g, w, 1, Options{Epsilon: 1, Delta: 1e-6, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +160,7 @@ func TestCoveringAPSDMatrix(t *testing.T) {
 	rng := rand.New(rand.NewSource(92))
 	g := graph.Grid(5)
 	w := graph.UniformRandomWeights(g, 0, 1, rng)
-	rel, err := BoundedWeightAPSD(g, w, 1, Options{Epsilon: 1, Delta: 1e-6, Rand: rng})
+	rel, err := BoundedWeightAPSD(g, w, 1, Options{Epsilon: 1, Delta: 1e-6, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +183,7 @@ func TestBoundedWeightAPSDChoosesK(t *testing.T) {
 	g := graph.Grid(16) // V = 256
 	w := graph.UniformRandomWeights(g, 0, 4, rng)
 	// (eps, delta): k = floor(sqrt(256 / (4*1))) = 8.
-	rel, err := BoundedWeightAPSD(g, w, 4, Options{Epsilon: 1, Delta: 1e-6, Rand: rng})
+	rel, err := BoundedWeightAPSD(g, w, 4, Options{Epsilon: 1, Delta: 1e-6, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +191,7 @@ func TestBoundedWeightAPSDChoosesK(t *testing.T) {
 		t.Errorf("approx k = %d, want 8", rel.K)
 	}
 	// Pure: k = floor(256^{2/3} / 4^{1/3}) = floor(40.3/1.59) = 25.
-	relPure, err := BoundedWeightAPSD(g, w, 4, Options{Epsilon: 1, Rand: rng})
+	relPure, err := BoundedWeightAPSD(g, w, 4, Options{Epsilon: 1, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +206,7 @@ func TestBoundedWeightAPSDClampsK(t *testing.T) {
 	// Tiny M*eps pushes k above V-1: must clamp.
 	g := graph.Path(8)
 	w := graph.UniformWeights(g, 0.001)
-	rel, err := BoundedWeightAPSD(g, w, 0.001, Options{Epsilon: 0.01, Delta: 1e-6, Rand: rng})
+	rel, err := BoundedWeightAPSD(g, w, 0.001, Options{Epsilon: 0.01, Delta: 1e-6, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +216,7 @@ func TestBoundedWeightAPSDClampsK(t *testing.T) {
 	// Huge M*eps pushes k below 1: must clamp to 1.
 	g2 := graph.Grid(4)
 	w2 := graph.UniformWeights(g2, 100)
-	rel2, err := BoundedWeightAPSD(g2, w2, 100, Options{Epsilon: 100, Delta: 1e-6, Rand: rng})
+	rel2, err := BoundedWeightAPSD(g2, w2, 100, Options{Epsilon: 100, Delta: 1e-6, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,11 +237,11 @@ func TestCoveringAPSDSameSeedSensitivity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1, err := CoveringAPSD(g, w, z, k, 1, Options{Epsilon: 1, Delta: 1e-6, Rand: rand.New(rand.NewSource(8))})
+	r1, err := CoveringAPSD(g, w, z, k, 1, Options{Epsilon: 1, Delta: 1e-6, Noise: dp.NewSeededNoise(8)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := CoveringAPSD(g, w2, z, k, 1, Options{Epsilon: 1, Delta: 1e-6, Rand: rand.New(rand.NewSource(8))})
+	r2, err := CoveringAPSD(g, w2, z, k, 1, Options{Epsilon: 1, Delta: 1e-6, Noise: dp.NewSeededNoise(8)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +263,7 @@ func TestGridCoveringWithCoveringAPSD(t *testing.T) {
 	z := graph.GridCovering(side, s)
 	k := 2 * (s - 1)
 	w := graph.UniformRandomWeights(g, 0, 1, rng)
-	rel, err := CoveringAPSD(g, w, z, k, 1, Options{Epsilon: 1, Delta: 1e-6, Rand: rng})
+	rel, err := CoveringAPSD(g, w, z, k, 1, Options{Epsilon: 1, Delta: 1e-6, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,7 +28,7 @@ func PrivateDistance(g *graph.Graph, w []float64, s, t int, opts Options) (float
 	if err := o.charge("PrivateDistance", o.pureParams()); err != nil {
 		return 0, err
 	}
-	return d + dp.NewLaplace(o.Scale/o.Epsilon).Sample(o.Rand), nil
+	return d + o.Noise.SampleLaplace(o.Scale/o.Epsilon), nil
 }
 
 // APSD holds privately released all-pairs distance estimates.
@@ -81,25 +81,42 @@ func APSDComposition(g *graph.Graph, w []float64, opts Options) (*APSD, error) {
 	if err := o.charge("APSDComposition", o.Params()); err != nil {
 		return nil, err
 	}
-	l := dp.NewLaplace(noiseScale)
 	released := make([][]float64, n)
 	for s := 0; s < n; s++ {
 		released[s] = make([]float64, n)
 	}
+	// One block of noise for every finite released entry, requested up
+	// front so the fill can amortize (and, for crypto sources, shard);
+	// consumption order matches the historical per-entry sampling loop.
+	// The counting pass shares the consumption loop's skip predicate so
+	// the two cannot drift.
+	needsNoise := func(s, t int) bool {
+		return s != t && (g.Directed() || s < t) && !math.IsInf(exact[s][t], 1)
+	}
+	noisy := 0
 	for s := 0; s < n; s++ {
 		for t := 0; t < n; t++ {
-			if s == t {
-				continue
+			if needsNoise(s, t) {
+				noisy++
 			}
-			if !g.Directed() && s > t {
+		}
+	}
+	noise := make([]float64, noisy)
+	o.Noise.FillLaplace(noiseScale, noise)
+	next := 0
+	for s := 0; s < n; s++ {
+		for t := 0; t < n; t++ {
+			switch {
+			case needsNoise(s, t):
+				released[s][t] = exact[s][t] + noise[next]
+				next++
+			case s == t:
+				// Diagonal stays zero.
+			case !g.Directed() && s > t:
 				released[s][t] = released[t][s]
-				continue
-			}
-			if math.IsInf(exact[s][t], 1) {
+			default:
 				released[s][t] = math.Inf(1)
-				continue
 			}
-			released[s][t] = exact[s][t] + l.Sample(o.Rand)
 		}
 	}
 	return &APSD{

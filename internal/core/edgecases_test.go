@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/dp"
+
 	"repro/internal/graph"
 )
 
@@ -15,7 +17,7 @@ func TestMechanismsOnSingleEdge(t *testing.T) {
 	rng := rand.New(rand.NewSource(126))
 	g := graph.Path(2)
 	w := []float64{7}
-	opts := Options{Epsilon: 1, Rand: rng}
+	opts := Options{Epsilon: 1, Noise: dp.WrapRand(rng)}
 
 	if _, err := PrivateDistance(g, w, 0, 1, opts); err != nil {
 		t.Errorf("PrivateDistance: %v", err)
@@ -45,11 +47,11 @@ func TestMechanismsOnZeroWeights(t *testing.T) {
 	rng := rand.New(rand.NewSource(127))
 	g := graph.Grid(4)
 	w := make([]float64, g.M())
-	opts := Options{Epsilon: 1, Rand: rng}
+	opts := Options{Epsilon: 1, Noise: dp.WrapRand(rng)}
 	if _, err := PrivateShortestPaths(g, w, opts); err != nil {
 		t.Errorf("zero weights paths: %v", err)
 	}
-	if _, err := BoundedWeightAPSD(g, w, 1, Options{Epsilon: 1, Delta: 1e-6, Rand: rng}); err != nil {
+	if _, err := BoundedWeightAPSD(g, w, 1, Options{Epsilon: 1, Delta: 1e-6, Noise: dp.WrapRand(rng)}); err != nil {
 		t.Errorf("zero weights APSD: %v", err)
 	}
 	tree := graph.BalancedBinaryTree(15)
@@ -65,7 +67,7 @@ func TestMechanismsOnHugeWeights(t *testing.T) {
 	rng := rand.New(rand.NewSource(128))
 	g := graph.Grid(5)
 	w := graph.UniformRandomWeights(g, 1e12, 2e12, rng)
-	pp, err := PrivateShortestPaths(g, w, Options{Epsilon: 1, Rand: rng})
+	pp, err := PrivateShortestPaths(g, w, Options{Epsilon: 1, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +88,7 @@ func TestMechanismsOnStar(t *testing.T) {
 	rng := rand.New(rand.NewSource(129))
 	g := graph.Star(64)
 	w := graph.UniformRandomWeights(g, 1, 2, rng)
-	sssp, err := TreeSingleSource(g, w, 0, Options{Epsilon: 1e9, Rand: rng})
+	sssp, err := TreeSingleSource(g, w, 0, Options{Epsilon: 1e9, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +98,7 @@ func TestMechanismsOnStar(t *testing.T) {
 		}
 	}
 	// Star with leaf root.
-	sssp, err = TreeSingleSource(g, w, 5, Options{Epsilon: 1e9, Rand: rng})
+	sssp, err = TreeSingleSource(g, w, 5, Options{Epsilon: 1e9, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +112,7 @@ func TestExtremeScale(t *testing.T) {
 	g := graph.Path(16)
 	w := graph.UniformWeights(g, 1)
 	// Tiny scale: near-exact release even at small epsilon.
-	pp, err := PrivateShortestPaths(g, w, Options{Epsilon: 0.01, Scale: 1e-9, Rand: rng})
+	pp, err := PrivateShortestPaths(g, w, Options{Epsilon: 0.01, Scale: 1e-9, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,11 +124,11 @@ func TestExtremeScale(t *testing.T) {
 		t.Errorf("tiny-scale path weight %g", got)
 	}
 	// Large scale: mechanisms still run and bounds grow linearly.
-	sssp, err := TreeSingleSource(g, w, 0, Options{Epsilon: 1, Scale: 100, Rand: rng})
+	sssp, err := TreeSingleSource(g, w, 0, Options{Epsilon: 1, Scale: 100, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref, err := TreeSingleSource(g, w, 0, Options{Epsilon: 1, Scale: 1, Rand: rng})
+	ref, err := TreeSingleSource(g, w, 0, Options{Epsilon: 1, Scale: 1, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +141,7 @@ func TestPrivateMaxMatching(t *testing.T) {
 	rng := rand.New(rand.NewSource(131))
 	g := graph.CompleteBipartite(6, 6)
 	w := graph.UniformRandomWeights(g, 0, 10, rng)
-	rel, err := PrivateMaxMatching(g, w, Options{Epsilon: 1e9, Rand: rng})
+	rel, err := PrivateMaxMatching(g, w, Options{Epsilon: 1e9, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +159,7 @@ func TestPrivateMaxMatching(t *testing.T) {
 		t.Errorf("released weight %g should be near true weight at huge eps", rel.ReleasedWeight)
 	}
 	// Moderate eps: shortfall stays within the Theorem B.6 bound.
-	rel, err = PrivateMaxMatching(g, w, Options{Epsilon: 1, Rand: rng})
+	rel, err = PrivateMaxMatching(g, w, Options{Epsilon: 1, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,11 +171,11 @@ func TestPrivateMaxMatching(t *testing.T) {
 func TestTreeMechanismDeterministicGivenSeed(t *testing.T) {
 	g := graph.BalancedBinaryTree(127)
 	w := graph.UniformWeights(g, 2)
-	a, err := TreeSingleSource(g, w, 0, Options{Epsilon: 1, Rand: rand.New(rand.NewSource(10))})
+	a, err := TreeSingleSource(g, w, 0, Options{Epsilon: 1, Noise: dp.NewSeededNoise(10)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := TreeSingleSource(g, w, 0, Options{Epsilon: 1, Rand: rand.New(rand.NewSource(10))})
+	b, err := TreeSingleSource(g, w, 0, Options{Epsilon: 1, Noise: dp.NewSeededNoise(10)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -45,7 +45,7 @@ func PrivateMatching(g *graph.Graph, w []float64, opts Options) (*MatchingReleas
 	if err := o.charge("PrivateMatching", o.pureParams()); err != nil {
 		return nil, err
 	}
-	noisy := dp.AddLaplace(w, noiseScale, o.Rand)
+	noisy := dp.AddLaplace(w, noiseScale, o.Noise)
 	m, wt, err := graph.MinWeightPerfectMatching(g, noisy)
 	if err != nil {
 		return nil, err

@@ -47,7 +47,7 @@ func PrivateMST(g *graph.Graph, w []float64, opts Options) (*MSTRelease, error) 
 	if err := o.charge("PrivateMST", o.pureParams()); err != nil {
 		return nil, err
 	}
-	noisy := dp.AddLaplace(w, noiseScale, o.Rand)
+	noisy := dp.AddLaplace(w, noiseScale, o.Noise)
 	tree, wt, err := graph.MST(g, noisy)
 	if err != nil {
 		return nil, err

@@ -55,7 +55,6 @@ func PathHierarchy(w []float64, base int, opts Options) (*PathHubs, error) {
 	if err := o.charge("PathHierarchy", o.pureParams()); err != nil {
 		return nil, err
 	}
-	lap := dp.NewLaplace(scale)
 
 	// prefix[i] = exact distance from vertex 0 to vertex i.
 	prefix := make([]float64, v)
@@ -66,10 +65,12 @@ func PathHierarchy(w []float64, base int, opts Options) (*PathHubs, error) {
 	span := 1
 	for l := 0; l < levels; l++ {
 		count := (v - 1) / span // gaps with both endpoints <= V-1
+		// Fill the level's noise as one block, then shift by the exact
+		// gaps; level-by-level fills preserve the historical draw order.
 		gaps[l] = make([]float64, count)
+		o.Noise.FillLaplace(scale, gaps[l])
 		for j := 0; j < count; j++ {
-			exact := prefix[(j+1)*span] - prefix[j*span]
-			gaps[l][j] = exact + lap.Sample(o.Rand)
+			gaps[l][j] += prefix[(j+1)*span] - prefix[j*span]
 		}
 		span *= base
 	}

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/dp"
+
 	"repro/internal/graph"
 )
 
@@ -23,7 +25,7 @@ func TestPathHierarchyExactAtHugeEps(t *testing.T) {
 		for i := range w {
 			w[i] = rng.Float64() * 10
 		}
-		hubs, err := PathHierarchy(w, 2, Options{Epsilon: 1e9, Rand: rng})
+		hubs, err := PathHierarchy(w, 2, Options{Epsilon: 1e9, Noise: dp.WrapRand(rng)})
 		if err != nil {
 			t.Fatalf("V=%d: %v", v, err)
 		}
@@ -47,7 +49,7 @@ func TestPathHierarchyAllPairsExhaustive(t *testing.T) {
 			for i := range w {
 				w[i] = rng.Float64()
 			}
-			hubs, err := PathHierarchy(w, base, Options{Epsilon: 1e9, Rand: rng})
+			hubs, err := PathHierarchy(w, base, Options{Epsilon: 1e9, Noise: dp.WrapRand(rng)})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -69,7 +71,7 @@ func TestPathHierarchyGapsUsedBound(t *testing.T) {
 	for _, base := range []int{2, 3} {
 		v := 1000
 		w := make([]float64, v-1)
-		hubs, err := PathHierarchy(w, base, Options{Epsilon: 1, Rand: rng})
+		hubs, err := PathHierarchy(w, base, Options{Epsilon: 1, Noise: dp.WrapRand(rng)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -99,7 +101,7 @@ func TestPathHierarchyErrorWithinBound(t *testing.T) {
 	for i := range w {
 		w[i] = rng.Float64() * 10
 	}
-	hubs, err := PathHierarchy(w, 2, Options{Epsilon: 1, Rand: rng})
+	hubs, err := PathHierarchy(w, 2, Options{Epsilon: 1, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,11 +143,11 @@ func TestPathHierarchySameSeedSensitivity(t *testing.T) {
 	}
 	w2 := append([]float64(nil), w...)
 	w2[100] += 1
-	h1, err := PathHierarchy(w, 2, Options{Epsilon: 1, Rand: rand.New(rand.NewSource(7))})
+	h1, err := PathHierarchy(w, 2, Options{Epsilon: 1, Noise: dp.NewSeededNoise(7)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	h2, err := PathHierarchy(w2, 2, Options{Epsilon: 1, Rand: rand.New(rand.NewSource(7))})
+	h2, err := PathHierarchy(w2, 2, Options{Epsilon: 1, Noise: dp.NewSeededNoise(7)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,11 +194,11 @@ func TestPathHierarchyMatchesTreeMechanismScale(t *testing.T) {
 	v := 4096
 	g := graph.Path(v)
 	w := graph.UniformRandomWeights(g, 0, 10, rng)
-	hubs, err := PathHierarchy(w, 2, Options{Epsilon: 1, Rand: rng})
+	hubs, err := PathHierarchy(w, 2, Options{Epsilon: 1, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	tree, err := TreeAllPairs(g, w, Options{Epsilon: 1, Rand: rng})
+	tree, err := TreeAllPairs(g, w, Options{Epsilon: 1, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}

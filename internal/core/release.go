@@ -40,7 +40,7 @@ func ReleaseGraph(g *graph.Graph, w []float64, opts Options) (*ReleasedGraph, er
 	}
 	return &ReleasedGraph{
 		G:          g,
-		Weights:    dp.AddLaplace(w, scale, o.Rand),
+		Weights:    dp.AddLaplace(w, scale, o.Noise),
 		NoiseScale: scale,
 		Params:     dp.PrivacyParams{Epsilon: o.Epsilon},
 	}, nil

@@ -55,10 +55,11 @@ func PrivateShortestPaths(g *graph.Graph, w []float64, opts Options) (*PrivatePa
 	if err := o.charge("PrivateShortestPaths", o.pureParams()); err != nil {
 		return nil, err
 	}
-	lap := dp.NewLaplace(noiseScale)
+	// One block fill over all m edges: the release-throughput hot loop.
 	released := make([]float64, m)
+	o.Noise.FillLaplace(noiseScale, released)
 	for e := range released {
-		released[e] = w[e] + lap.Sample(o.Rand) + shift
+		released[e] += w[e] + shift
 		if released[e] < 0 {
 			released[e] = 0
 		}

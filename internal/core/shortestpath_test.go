@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/dp"
+
 	"repro/internal/graph"
 )
 
@@ -12,7 +14,7 @@ func TestPrivateShortestPathsReleasesValidPaths(t *testing.T) {
 	rng := rand.New(rand.NewSource(96))
 	g := graph.ConnectedErdosRenyi(60, 0.1, rng)
 	w := graph.UniformRandomWeights(g, 0, 10, rng)
-	pp, err := PrivateShortestPaths(g, w, Options{Epsilon: 1, Rand: rng})
+	pp, err := PrivateShortestPaths(g, w, Options{Epsilon: 1, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +34,7 @@ func TestPrivateShortestPathsWeightsNonnegativeAndShifted(t *testing.T) {
 	rng := rand.New(rand.NewSource(97))
 	g := graph.Grid(10)
 	w := graph.UniformRandomWeights(g, 0, 1, rng)
-	pp, err := PrivateShortestPaths(g, w, Options{Epsilon: 0.1, Rand: rng})
+	pp, err := PrivateShortestPaths(g, w, Options{Epsilon: 0.1, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +61,7 @@ func TestPrivateShortestPathsTheorem55Inequality(t *testing.T) {
 	for trial := 0; trial < 6; trial++ {
 		g := graph.ConnectedErdosRenyi(50, 0.15, rng)
 		w := graph.UniformRandomWeights(g, 0, 10, rng)
-		pp, err := PrivateShortestPaths(g, w, Options{Epsilon: 1, Gamma: 0.05, Rand: rng})
+		pp, err := PrivateShortestPaths(g, w, Options{Epsilon: 1, Gamma: 0.05, Noise: dp.WrapRand(rng)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -93,7 +95,7 @@ func TestPrivateShortestPathsExactAtHugeEps(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
 	g := graph.Grid(7)
 	w := graph.UniformRandomWeights(g, 1, 5, rng)
-	pp, err := PrivateShortestPaths(g, w, Options{Epsilon: 1e9, Rand: rng})
+	pp, err := PrivateShortestPaths(g, w, Options{Epsilon: 1e9, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +131,7 @@ func TestPrivateShortestPathsHopBiasPrefersFewHops(t *testing.T) {
 	}
 	wins := 0
 	for trial := 0; trial < 50; trial++ {
-		pp, err := PrivateShortestPaths(g, w, Options{Epsilon: 1, Rand: rng})
+		pp, err := PrivateShortestPaths(g, w, Options{Epsilon: 1, Noise: dp.WrapRand(rng)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -200,7 +202,7 @@ func TestPrivateShortestPathsDirected(t *testing.T) {
 	g.AddEdge(3, 4)
 	g.AddEdge(0, 4)
 	w := []float64{1, 1, 1, 1, 10}
-	pp, err := PrivateShortestPaths(g, w, Options{Epsilon: 1e9, Rand: rng})
+	pp, err := PrivateShortestPaths(g, w, Options{Epsilon: 1e9, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +221,7 @@ func TestPrivateShortestPathsDirected(t *testing.T) {
 func TestPrivateShortestPathsTreeCache(t *testing.T) {
 	rng := rand.New(rand.NewSource(102))
 	g := graph.Grid(6)
-	pp, err := PrivateShortestPaths(g, graph.UniformWeights(g, 1), Options{Epsilon: 1, Rand: rng})
+	pp, err := PrivateShortestPaths(g, graph.UniformWeights(g, 1), Options{Epsilon: 1, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +250,7 @@ func BenchmarkPrivateShortestPathsGrid32(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		pp, err := PrivateShortestPaths(g, w, Options{Epsilon: 1, Rand: rng})
+		pp, err := PrivateShortestPaths(g, w, Options{Epsilon: 1, Noise: dp.WrapRand(rng)})
 		if err != nil {
 			b.Fatal(err)
 		}

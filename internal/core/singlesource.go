@@ -47,16 +47,32 @@ func SingleSourceComposition(g *graph.Graph, w []float64, source int, opts Optio
 	if err := o.charge("SingleSourceComposition", o.Params()); err != nil {
 		return nil, err
 	}
-	lap := dp.NewLaplace(noiseScale)
+	// One block of noise for the reachable non-source vertices, consumed
+	// in vertex order (matching the historical per-vertex sampling). The
+	// counting pass shares the consumption loop's predicate so the two
+	// cannot drift.
+	needsNoise := func(v int) bool {
+		return v != source && !math.IsInf(tree.Dist[v], 1)
+	}
+	noisy := 0
+	for v := 0; v < g.N(); v++ {
+		if needsNoise(v) {
+			noisy++
+		}
+	}
+	noise := make([]float64, noisy)
+	o.Noise.FillLaplace(noiseScale, noise)
 	released := make([]float64, g.N())
+	next := 0
 	for v := 0; v < g.N(); v++ {
 		switch {
+		case needsNoise(v):
+			released[v] = tree.Dist[v] + noise[next]
+			next++
 		case v == source:
 			released[v] = 0
-		case math.IsInf(tree.Dist[v], 1):
-			released[v] = math.Inf(1)
 		default:
-			released[v] = tree.Dist[v] + lap.Sample(o.Rand)
+			released[v] = math.Inf(1)
 		}
 	}
 	return &SSSPRelease{
@@ -98,5 +114,5 @@ func PrivateMSTCost(g *graph.Graph, w []float64, opts Options) (float64, error) 
 	if err := o.charge("PrivateMSTCost", o.pureParams()); err != nil {
 		return 0, err
 	}
-	return cost + dp.NewLaplace(o.Scale/o.Epsilon).Sample(o.Rand), nil
+	return cost + o.Noise.SampleLaplace(o.Scale/o.Epsilon), nil
 }

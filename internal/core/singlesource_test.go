@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/dp"
+
 	"repro/internal/graph"
 )
 
@@ -15,7 +17,7 @@ func TestSingleSourceCompositionExactAtHugeEps(t *testing.T) {
 	// Pure DP here: basic composition's noise scale (V-1)/eps vanishes at
 	// huge eps, whereas advanced composition's calibrated per-query eps
 	// saturates (the e^eps term) and keeps noise non-negligible.
-	rel, err := SingleSourceComposition(g, w, 3, Options{Epsilon: 1e9, Rand: rng})
+	rel, err := SingleSourceComposition(g, w, 3, Options{Epsilon: 1e9, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,14 +39,14 @@ func TestSingleSourceCompositionNoiseScales(t *testing.T) {
 	rng := rand.New(rand.NewSource(117))
 	g := graph.Grid(16) // V = 256
 	w := graph.UniformWeights(g, 1)
-	pure, err := SingleSourceComposition(g, w, 0, Options{Epsilon: 1, Rand: rng})
+	pure, err := SingleSourceComposition(g, w, 0, Options{Epsilon: 1, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if pure.NoiseScale != 255 {
 		t.Errorf("pure noise scale = %g, want V-1 = 255", pure.NoiseScale)
 	}
-	approx, err := SingleSourceComposition(g, w, 0, Options{Epsilon: 1, Delta: 1e-6, Rand: rng})
+	approx, err := SingleSourceComposition(g, w, 0, Options{Epsilon: 1, Delta: 1e-6, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +60,7 @@ func TestSingleSourceCompositionErrorWithinBound(t *testing.T) {
 	rng := rand.New(rand.NewSource(118))
 	g := graph.Grid(12)
 	w := graph.UniformRandomWeights(g, 0, 3, rng)
-	rel, err := SingleSourceComposition(g, w, 5, Options{Epsilon: 1, Delta: 1e-6, Rand: rng})
+	rel, err := SingleSourceComposition(g, w, 5, Options{Epsilon: 1, Delta: 1e-6, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +109,7 @@ func TestPrivateMSTCostNearExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := PrivateMSTCost(g, w, Options{Epsilon: 1e9, Rand: rng})
+	got, err := PrivateMSTCost(g, w, Options{Epsilon: 1e9, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +118,7 @@ func TestPrivateMSTCostNearExact(t *testing.T) {
 	}
 	// At eps=1, error should be small and V-independent — a handful of
 	// units regardless of graph size (fixed seed).
-	got, err = PrivateMSTCost(g, w, Options{Epsilon: 1, Rand: rng})
+	got, err = PrivateMSTCost(g, w, Options{Epsilon: 1, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}

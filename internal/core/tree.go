@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"math"
-	"math/rand"
 
 	"repro/internal/dp"
 	"repro/internal/graph"
@@ -36,10 +35,11 @@ func (t *TreeSSSP) ErrorBound(gamma float64) float64 {
 
 // treeMech carries the recursion state of Algorithm 1.
 type treeMech struct {
-	lap dp.Laplace
-	rng *rand.Rand
-	out []float64 // released distances indexed by original vertex ID
-	rel int
+	scale float64
+	noise dp.NoiseSource
+	out   []float64 // released distances indexed by original vertex ID
+	buf   []float64 // reusable per-node noise block (1 + #children draws)
+	rel   int
 }
 
 // TreeSingleSource runs Algorithm 1 (Theorem 4.1) on the tree graph g
@@ -80,9 +80,9 @@ func TreeSingleSource(g *graph.Graph, w []float64, root int, opts Options) (*Tre
 		return nil, err
 	}
 	m := &treeMech{
-		lap: dp.NewLaplace(scale),
-		rng: o.Rand,
-		out: make([]float64, n),
+		scale: scale,
+		noise: o.Noise,
+		out:   make([]float64, n),
 	}
 	m.solve(t, w, identity(n), 0)
 	return &TreeSSSP{
@@ -114,18 +114,27 @@ func (m *treeMech) solve(t *graph.Tree, w []float64, vertOrig []int, base float6
 	}
 	vstar := t.Splitter()
 
+	// One noise block covers this node's releases — d(v*) plus one value
+	// per child of v* — drawn in the historical order (d(v*) first).
+	kids := t.Children(vstar)
+	need := 1 + len(kids)
+	if cap(m.buf) < need {
+		m.buf = make([]float64, need)
+	}
+	block := m.buf[:need]
+	m.noise.FillLaplace(m.scale, block)
+
 	// Step 4: release d(v*) = d(root, v*) + noise. (When v* is the root
 	// the exact distance is zero; the release still happens, matching the
 	// algorithm as stated, and costs nothing extra in sensitivity.)
-	dstar := base + t.TreeDistance(w, t.Root, vstar) + m.lap.Sample(m.rng)
+	dstar := base + t.TreeDistance(w, t.Root, vstar) + block[0]
 	m.rel++
 
 	// Step 6: for each child of v*, release d(child) = d(v*) + w(edge) + noise.
-	kids := t.Children(vstar)
 	childBase := make([]float64, len(kids))
 	inChildSubtree := make([]bool, t.N())
 	for i, h := range kids {
-		childBase[i] = dstar + w[h.Edge] + m.lap.Sample(m.rng)
+		childBase[i] = dstar + w[h.Edge] + block[1+i]
 		m.rel++
 		for _, v := range t.SubtreeVertices(h.To) {
 			inChildSubtree[v] = true

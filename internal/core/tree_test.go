@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/dp"
+
 	"repro/internal/graph"
 )
 
@@ -24,7 +26,7 @@ func TestTreeSingleSourceExactAtHugeEps(t *testing.T) {
 	rng := rand.New(rand.NewSource(72))
 	for name, g := range coreTestTrees(rng) {
 		w := graph.UniformRandomWeights(g, 0.5, 4, rng)
-		sssp, err := TreeSingleSource(g, w, 0, Options{Epsilon: 1e9, Rand: rng})
+		sssp, err := TreeSingleSource(g, w, 0, Options{Epsilon: 1e9, Noise: dp.WrapRand(rng)})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -46,7 +48,7 @@ func TestTreeSingleSourceNonRootSource(t *testing.T) {
 	g := graph.BalancedBinaryTree(63)
 	w := graph.UniformRandomWeights(g, 1, 2, rng)
 	root := 17
-	sssp, err := TreeSingleSource(g, w, root, Options{Epsilon: 1e9, Rand: rng})
+	sssp, err := TreeSingleSource(g, w, root, Options{Epsilon: 1e9, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +72,7 @@ func TestTreeSingleSourceReleasedCount(t *testing.T) {
 	rng := rand.New(rand.NewSource(74))
 	for name, g := range coreTestTrees(rng) {
 		w := graph.UniformRandomWeights(g, 1, 2, rng)
-		sssp, err := TreeSingleSource(g, w, 0, Options{Epsilon: 1, Rand: rng})
+		sssp, err := TreeSingleSource(g, w, 0, Options{Epsilon: 1, Noise: dp.WrapRand(rng)})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -84,7 +86,7 @@ func TestTreeSingleSourceLevels(t *testing.T) {
 	rng := rand.New(rand.NewSource(75))
 	g := graph.Path(1024)
 	w := graph.UniformWeights(g, 1)
-	sssp, err := TreeSingleSource(g, w, 0, Options{Epsilon: 2, Rand: rng})
+	sssp, err := TreeSingleSource(g, w, 0, Options{Epsilon: 2, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +105,7 @@ func TestTreeSingleSourceErrorWithinBound(t *testing.T) {
 	g := graph.BalancedBinaryTree(1023)
 	w := graph.UniformRandomWeights(g, 0, 10, rng)
 	for trial := 0; trial < 5; trial++ {
-		sssp, err := TreeSingleSource(g, w, 0, Options{Epsilon: 1, Rand: rng})
+		sssp, err := TreeSingleSource(g, w, 0, Options{Epsilon: 1, Noise: dp.WrapRand(rng)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -131,11 +133,11 @@ func TestTreeSingleSourceSameSeedSensitivity(t *testing.T) {
 	w2 := append([]float64(nil), w...)
 	w2[10] += 0.5
 	w2[50] -= 0.5
-	s1, err := TreeSingleSource(g, w, 0, Options{Epsilon: 1, Rand: rand.New(rand.NewSource(5))})
+	s1, err := TreeSingleSource(g, w, 0, Options{Epsilon: 1, Noise: dp.NewSeededNoise(5)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, err := TreeSingleSource(g, w2, 0, Options{Epsilon: 1, Rand: rand.New(rand.NewSource(5))})
+	s2, err := TreeSingleSource(g, w2, 0, Options{Epsilon: 1, Noise: dp.NewSeededNoise(5)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,11 +158,11 @@ func TestTreeSingleSourceScaleLinearity(t *testing.T) {
 	w := graph.UniformWeights(g, 2)
 	tr, _ := graph.NewTree(g, 0)
 	exact := tr.RootDistances(w)
-	s1, err := TreeSingleSource(g, w, 0, Options{Epsilon: 1, Scale: 1, Rand: rand.New(rand.NewSource(6))})
+	s1, err := TreeSingleSource(g, w, 0, Options{Epsilon: 1, Scale: 1, Noise: dp.NewSeededNoise(6)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, err := TreeSingleSource(g, w, 0, Options{Epsilon: 1, Scale: 0.01, Rand: rand.New(rand.NewSource(6))})
+	s2, err := TreeSingleSource(g, w, 0, Options{Epsilon: 1, Scale: 0.01, Noise: dp.NewSeededNoise(6)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +202,7 @@ func TestTreeAllPairsExactAtHugeEps(t *testing.T) {
 	rng := rand.New(rand.NewSource(78))
 	g := graph.RandomPruferTree(80, rng)
 	w := graph.UniformRandomWeights(g, 0.2, 5, rng)
-	apsd, err := TreeAllPairs(g, w, Options{Epsilon: 1e9, Rand: rng})
+	apsd, err := TreeAllPairs(g, w, Options{Epsilon: 1e9, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +222,7 @@ func TestTreeAllPairsExactAtHugeEps(t *testing.T) {
 func TestTreeAllPairsSelfDistanceZero(t *testing.T) {
 	rng := rand.New(rand.NewSource(79))
 	g := graph.BalancedBinaryTree(31)
-	apsd, err := TreeAllPairs(g, graph.UniformWeights(g, 1), Options{Epsilon: 1, Rand: rng})
+	apsd, err := TreeAllPairs(g, graph.UniformWeights(g, 1), Options{Epsilon: 1, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +236,7 @@ func TestTreeAllPairsSelfDistanceZero(t *testing.T) {
 func TestTreeAllPairsSymmetry(t *testing.T) {
 	rng := rand.New(rand.NewSource(80))
 	g := graph.RandomTree(50, rng)
-	apsd, err := TreeAllPairs(g, graph.UniformRandomWeights(g, 1, 2, rng), Options{Epsilon: 1, Rand: rng})
+	apsd, err := TreeAllPairs(g, graph.UniformRandomWeights(g, 1, 2, rng), Options{Epsilon: 1, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +251,7 @@ func TestTreeAllPairsSymmetry(t *testing.T) {
 func TestTreeAllPairsMatrix(t *testing.T) {
 	rng := rand.New(rand.NewSource(81))
 	g := graph.Path(20)
-	apsd, err := TreeAllPairs(g, graph.UniformWeights(g, 1), Options{Epsilon: 1, Rand: rng})
+	apsd, err := TreeAllPairs(g, graph.UniformWeights(g, 1), Options{Epsilon: 1, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +272,7 @@ func TestTreeAllPairsErrorWithinBound(t *testing.T) {
 	rng := rand.New(rand.NewSource(82))
 	g := graph.BalancedBinaryTree(511)
 	w := graph.UniformRandomWeights(g, 0, 10, rng)
-	apsd, err := TreeAllPairs(g, w, Options{Epsilon: 1, Rand: rng})
+	apsd, err := TreeAllPairs(g, w, Options{Epsilon: 1, Noise: dp.WrapRand(rng)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +311,7 @@ func BenchmarkTreeSingleSource4095(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := TreeSingleSource(g, w, 0, Options{Epsilon: 1, Rand: rng}); err != nil {
+		if _, err := TreeSingleSource(g, w, 0, Options{Epsilon: 1, Noise: dp.WrapRand(rng)}); err != nil {
 			b.Fatal(err)
 		}
 	}

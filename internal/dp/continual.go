@@ -2,7 +2,6 @@ package dp
 
 import (
 	"fmt"
-	"math/rand"
 )
 
 // ContinualCounter is the binary-tree mechanism of Dwork, Naor, Pitassi
@@ -27,7 +26,7 @@ type ContinualCounter struct {
 	horizon int // capacity T (power of two)
 	levels  int
 	lap     Laplace
-	rng     *rand.Rand
+	src     NoiseSource
 
 	n     int       // increments received so far
 	exact []float64 // exact dyadic sums, heap-ordered: node i covers its canonical interval
@@ -36,16 +35,17 @@ type ContinualCounter struct {
 }
 
 // NewContinualCounter creates a counter for up to horizon increments at
-// privacy eps.
-func NewContinualCounter(horizon int, eps float64, rng *rand.Rand) (*ContinualCounter, error) {
+// privacy eps, drawing node noise from src (nil defaults to a fixed
+// seeded source, matching the historical default).
+func NewContinualCounter(horizon int, eps float64, src NoiseSource) (*ContinualCounter, error) {
 	if horizon < 1 {
 		return nil, fmt.Errorf("dp: counter horizon must be >= 1, got %d", horizon)
 	}
 	if !(eps > 0) {
 		return nil, fmt.Errorf("dp: counter epsilon must be positive, got %g", eps)
 	}
-	if rng == nil {
-		rng = rand.New(rand.NewSource(1))
+	if src == nil {
+		src = NewSeededNoise(1)
 	}
 	cap := 1
 	levels := 1
@@ -57,7 +57,7 @@ func NewContinualCounter(horizon int, eps float64, rng *rand.Rand) (*ContinualCo
 		eps:     eps,
 		horizon: cap,
 		levels:  levels,
-		rng:     rng,
+		src:     src,
 		exact:   make([]float64, 2*cap),
 		noise:   make([]float64, 2*cap),
 		dirty:   make([]bool, 2*cap),
@@ -86,7 +86,7 @@ func (c *ContinualCounter) Append(x float64) error {
 	for i > 0 {
 		if !c.dirty[i] {
 			c.dirty[i] = true
-			c.noise[i] = c.lap.Sample(c.rng)
+			c.noise[i] = c.src.SampleLaplace(c.lap.Scale)
 		}
 		parent := i / 2
 		if parent >= 1 {

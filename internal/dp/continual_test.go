@@ -8,7 +8,7 @@ import (
 
 func TestContinualCounterExactAtHugeEps(t *testing.T) {
 	rng := rand.New(rand.NewSource(110))
-	c, err := NewContinualCounter(100, 1e9, rng)
+	c, err := NewContinualCounter(100, 1e9, WrapRand(rng))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +34,7 @@ func TestContinualCounterExactAtHugeEps(t *testing.T) {
 func TestContinualCounterOnline(t *testing.T) {
 	// Queries interleaved with appends must see consistent prefixes.
 	rng := rand.New(rand.NewSource(111))
-	c, err := NewContinualCounter(64, 1e9, rng)
+	c, err := NewContinualCounter(64, 1e9, WrapRand(rng))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestContinualCounterOnline(t *testing.T) {
 
 func TestContinualCounterRange(t *testing.T) {
 	rng := rand.New(rand.NewSource(112))
-	c, err := NewContinualCounter(32, 1e9, rng)
+	c, err := NewContinualCounter(32, 1e9, WrapRand(rng))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestContinualCounterRange(t *testing.T) {
 func TestContinualCounterErrorWithinBound(t *testing.T) {
 	rng := rand.New(rand.NewSource(113))
 	horizon := 1024
-	c, err := NewContinualCounter(horizon, 1, rng)
+	c, err := NewContinualCounter(horizon, 1, WrapRand(rng))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,13 +115,13 @@ func TestContinualCounterErrorWithinBound(t *testing.T) {
 
 func TestContinualCounterHorizonAndValidation(t *testing.T) {
 	rng := rand.New(rand.NewSource(114))
-	if _, err := NewContinualCounter(0, 1, rng); err == nil {
+	if _, err := NewContinualCounter(0, 1, WrapRand(rng)); err == nil {
 		t.Error("horizon 0 accepted")
 	}
-	if _, err := NewContinualCounter(4, 0, rng); err == nil {
+	if _, err := NewContinualCounter(4, 0, WrapRand(rng)); err == nil {
 		t.Error("eps 0 accepted")
 	}
-	c, err := NewContinualCounter(2, 1, rng)
+	c, err := NewContinualCounter(2, 1, WrapRand(rng))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,14 +146,14 @@ func TestContinualCounterHorizonAndValidation(t *testing.T) {
 
 func TestContinualCounterLevels(t *testing.T) {
 	rng := rand.New(rand.NewSource(115))
-	c, err := NewContinualCounter(1024, 2, rng)
+	c, err := NewContinualCounter(1024, 2, WrapRand(rng))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if c.Levels() != 11 { // 1024 leaves -> 11 levels including root
 		t.Errorf("levels = %d, want 11", c.Levels())
 	}
-	c2, err := NewContinualCounter(1000, 2, rng) // rounds up to 1024
+	c2, err := NewContinualCounter(1000, 2, WrapRand(rng)) // rounds up to 1024
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +167,7 @@ func TestContinualCounterSameSeedSensitivity(t *testing.T) {
 	// differs by 1) give counts differing by at most 1 at each time, and
 	// the full released node vector differs by at most Levels in l1.
 	build := func(seed int64, bump float64) *ContinualCounter {
-		c, err := NewContinualCounter(64, 1, rand.New(rand.NewSource(seed)))
+		c, err := NewContinualCounter(64, 1, NewSeededNoise(seed))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -197,7 +197,7 @@ func TestContinualCounterStatisticalAccuracy(t *testing.T) {
 	// At eps=1, T=256, the final count of an all-ones stream should be
 	// near 256 (within the bound) across several seeds.
 	for seed := int64(0); seed < 5; seed++ {
-		c, err := NewContinualCounter(256, 1, rand.New(rand.NewSource(200+seed)))
+		c, err := NewContinualCounter(256, 1, NewSeededNoise(200+seed))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -3,6 +3,17 @@
 // (Definition 3.1, Lemma 3.2 [DMNS06]), concentration of Laplace sums
 // (Lemma 3.1 [CSS10]), and composition calculators (Lemmas 3.3 and 3.4
 // [DKM+06, DRV10, DR13]).
+//
+// All mechanism noise is sampled through the NoiseSource interface — the
+// package's single sampling entry point. A NoiseSource hands out Laplace
+// draws one at a time (SampleLaplace) or in vectorized blocks
+// (FillLaplace), and comes in three flavors: crypto-grade entropy with
+// buffered syscalls and parallel sharded fills (NewCryptoNoise), a
+// splittable deterministic stream for reproducible experiments
+// (NewSeededNoise), and an adapter sharing a caller-owned *rand.Rand
+// (WrapRand). The Laplace type below remains the distribution object
+// (density, quantiles, tail bounds); its scalar Sample method survives
+// for distribution-level tests, but mechanisms must draw via NoiseSource.
 package dp
 
 import (
@@ -28,17 +39,12 @@ func NewLaplace(scale float64) Laplace {
 }
 
 // Sample draws one value by inverse-CDF sampling: with U uniform on
-// (-1/2, 1/2), the value -b*sgn(U)*ln(1-2|U|) is Lap(b).
+// (-1/2, 1/2), the value -b*sgn(U)*ln(1-2|U|) is Lap(b). Mechanisms
+// draw through a NoiseSource instead; this scalar entry point exists for
+// distribution-level tests and for callers that already own a bare
+// *rand.Rand.
 func (l Laplace) Sample(rng *rand.Rand) float64 {
-	u := rng.Float64() - 0.5
-	// Guard the measure-zero endpoints so Log never sees 0.
-	for u == 0.5 || u == -0.5 {
-		u = rng.Float64() - 0.5
-	}
-	if u < 0 {
-		return l.Scale * math.Log(1+2*u)
-	}
-	return -l.Scale * math.Log(1-2*u)
+	return laplaceFromRand(rng, l.Scale)
 }
 
 // SampleN draws n independent values.

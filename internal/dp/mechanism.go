@@ -2,7 +2,6 @@ package dp
 
 import (
 	"fmt"
-	"math/rand"
 )
 
 // Query is a vector-valued function of a private weight vector together
@@ -19,8 +18,8 @@ type Query struct {
 
 // LaplaceMechanism answers q with epsilon-differential privacy by adding
 // independent Lap(Delta f / epsilon) noise to each coordinate (Lemma 3.2,
-// [DMNS06]).
-func LaplaceMechanism(q Query, eps float64, w []float64, rng *rand.Rand) []float64 {
+// [DMNS06]). Noise is requested from src as one block.
+func LaplaceMechanism(q Query, eps float64, w []float64, src NoiseSource) []float64 {
 	if !(eps > 0) {
 		panic(fmt.Sprintf("dp: LaplaceMechanism requires epsilon > 0, got %g", eps))
 	}
@@ -28,22 +27,30 @@ func LaplaceMechanism(q Query, eps float64, w []float64, rng *rand.Rand) []float
 		panic(fmt.Sprintf("dp: query %q has non-positive sensitivity %g", q.Name, q.Sensitivity))
 	}
 	ans := q.Eval(w)
-	l := NewLaplace(q.Sensitivity / eps)
 	out := make([]float64, len(ans))
+	src.FillLaplace(q.Sensitivity/eps, out)
 	for i, a := range ans {
-		out[i] = a + l.Sample(rng)
+		out[i] += a
 	}
 	return out
 }
 
 // AddLaplace adds independent Lap(scale) noise to every entry of v,
 // returning a new slice. It is the raw noise step used by mechanisms that
-// manage their own sensitivity accounting.
-func AddLaplace(v []float64, scale float64, rng *rand.Rand) []float64 {
-	l := NewLaplace(scale)
+// manage their own sensitivity accounting; the noise is requested from
+// src as one block, so large vectors hit the vectorized fill path, and
+// crypto sources additionally shard the fused fill-and-add across
+// GOMAXPROCS workers.
+func AddLaplace(v []float64, scale float64, src NoiseSource) []float64 {
 	out := make([]float64, len(v))
+	if f, ok := src.(laplaceAdder); ok {
+		checkNoiseScale(scale)
+		f.addLaplace(scale, v, out)
+		return out
+	}
+	src.FillLaplace(scale, out)
 	for i, a := range v {
-		out[i] = a + l.Sample(rng)
+		out[i] += a
 	}
 	return out
 }

@@ -21,14 +21,14 @@ func sumQuery() Query {
 }
 
 func TestLaplaceMechanismAddsCalibratedNoise(t *testing.T) {
-	rng := rand.New(rand.NewSource(42))
+	src := WrapRand(rand.New(rand.NewSource(42)))
 	q := sumQuery()
 	w := []float64{1, 2, 3}
 	eps := 0.5
 	n := 50000
 	var errSum, errSqSum float64
 	for i := 0; i < n; i++ {
-		out := LaplaceMechanism(q, eps, w, rng)
+		out := LaplaceMechanism(q, eps, w, src)
 		if len(out) != 1 {
 			t.Fatal("wrong output length")
 		}
@@ -48,25 +48,25 @@ func TestLaplaceMechanismAddsCalibratedNoise(t *testing.T) {
 }
 
 func TestLaplaceMechanismValidation(t *testing.T) {
-	rng := rand.New(rand.NewSource(43))
+	src := WrapRand(rand.New(rand.NewSource(43)))
 	func() {
 		defer func() { _ = recover() }()
-		LaplaceMechanism(sumQuery(), 0, nil, rng)
+		LaplaceMechanism(sumQuery(), 0, nil, src)
 		t.Error("eps=0 accepted")
 	}()
 	func() {
 		defer func() { _ = recover() }()
 		q := sumQuery()
 		q.Sensitivity = 0
-		LaplaceMechanism(q, 1, nil, rng)
+		LaplaceMechanism(q, 1, nil, src)
 		t.Error("sensitivity=0 accepted")
 	}()
 }
 
 func TestAddLaplaceShape(t *testing.T) {
-	rng := rand.New(rand.NewSource(44))
+	src := WrapRand(rand.New(rand.NewSource(44)))
 	v := []float64{5, 5, 5, 5}
-	out := AddLaplace(v, 0.001, rng)
+	out := AddLaplace(v, 0.001, src)
 	if len(out) != 4 {
 		t.Fatal("length changed")
 	}
@@ -133,7 +133,7 @@ func TestMeasuredSensitivityLengthMismatchPanics(t *testing.T) {
 // query, the output density ratio between neighboring inputs is bounded
 // by e^eps. We verify on a discretized histogram.
 func TestLaplaceMechanismDPRatio(t *testing.T) {
-	rng := rand.New(rand.NewSource(46))
+	src := WrapRand(rand.New(rand.NewSource(46)))
 	q := sumQuery()
 	eps := 1.0
 	w1 := []float64{0}
@@ -141,8 +141,8 @@ func TestLaplaceMechanismDPRatio(t *testing.T) {
 	n := 400000
 	bins := make(map[int][2]int)
 	for i := 0; i < n; i++ {
-		a := LaplaceMechanism(q, eps, w1, rng)[0]
-		b := LaplaceMechanism(q, eps, w2, rng)[0]
+		a := LaplaceMechanism(q, eps, w1, src)[0]
+		b := LaplaceMechanism(q, eps, w2, src)[0]
 		ka := int(math.Floor(a * 2)) // bins of width 0.5
 		kb := int(math.Floor(b * 2))
 		pa := bins[ka]

@@ -1,0 +1,306 @@
+package dp
+
+import (
+	crand "crypto/rand"
+	"fmt"
+	"math"
+	"math/rand"
+	randv2 "math/rand/v2"
+	"runtime"
+	"sync"
+)
+
+// NoiseSource is the single entry point for sampling mechanism noise.
+// Every mechanism in this repository requests its Laplace draws through
+// this interface — either one value at a time (SampleLaplace) or, on the
+// hot release paths, a whole block at once (FillLaplace), which lets the
+// implementation amortize entropy syscalls and, for non-deterministic
+// sources, shard large fills across CPUs.
+//
+// Draw-order contract: FillLaplace(scale, dst) produces exactly the
+// sequence of len(dst) consecutive SampleLaplace(scale) draws for
+// deterministic sources, so refactoring a scalar sampling loop into one
+// block fill never changes a seeded release.
+//
+// Sampling from a crypto source (SampleLaplace/FillLaplace) is confined
+// to one goroutine — its stream state is unsynchronized — but Child IS
+// safe to call concurrently on a crypto source: it must hand out a
+// freshly seeded stream without touching the parent's stream state
+// (dpgraph shares one crypto root across parallel mechanism calls).
+// Seeded and wrapped sources serialize all access internally and may be
+// shared freely.
+type NoiseSource interface {
+	// SampleLaplace draws one Lap(scale) value. It panics if scale is
+	// not positive and finite (mirroring NewLaplace).
+	SampleLaplace(scale float64) float64
+
+	// FillLaplace fills dst with independent Lap(scale) draws. For
+	// deterministic sources the fill is sequential and equals len(dst)
+	// SampleLaplace calls; crypto sources may shard large fills across
+	// GOMAXPROCS workers with independent entropy streams.
+	FillLaplace(scale float64, dst []float64)
+
+	// Child returns an independent stream for one mechanism call or one
+	// parallel shard. Crypto sources return a fresh entropy-backed
+	// stream with no shared state; seeded sources return a child stream
+	// seeded from the root (the split sequence is part of the
+	// reproducibility contract); wrapped shared streams return
+	// themselves.
+	Child() NoiseSource
+
+	// Deterministic reports whether draws are reproducible from a seed.
+	// Deterministic sources never parallelize fills — draw order is part
+	// of their contract — so sessions using them run releases serially.
+	Deterministic() bool
+}
+
+// checkNoiseScale validates a Laplace scale the way NewLaplace does.
+func checkNoiseScale(scale float64) {
+	if !(scale > 0) || math.IsInf(scale, 1) {
+		panic(fmt.Sprintf("dp: Laplace scale must be positive and finite, got %g", scale))
+	}
+}
+
+// laplaceFromRand draws one Lap(scale) value from a *rand.Rand by
+// inverse-CDF sampling. This is the exact historical formula of
+// Laplace.Sample; seeded sources must keep it bit-identical so checked-in
+// golden releases stay valid.
+func laplaceFromRand(rng *rand.Rand, scale float64) float64 {
+	u := rng.Float64() - 0.5
+	// Guard the measure-zero endpoints so Log never sees 0.
+	for u == 0.5 || u == -0.5 {
+		u = rng.Float64() - 0.5
+	}
+	if u < 0 {
+		return scale * math.Log(1+2*u)
+	}
+	return -scale * math.Log(1-2*u)
+}
+
+// ---------------------------------------------------------------------
+// Crypto-entropy source
+// ---------------------------------------------------------------------
+
+const (
+	// parallelFillMin is the smallest fill a crypto source shards
+	// across GOMAXPROCS workers; below it the goroutine fan-out costs
+	// more than it saves.
+	parallelFillMin = 1 << 15
+
+	// parallelShardMin is the smallest per-worker shard, bounding the
+	// worker count on mid-size fills.
+	parallelShardMin = 1 << 13
+)
+
+// cryptoNoise expands operating-system entropy through a ChaCha8 stream
+// cipher: each source draws one 32-byte seed from crypto/rand and then
+// generates uniforms at memory speed, so release throughput is bounded
+// by the Laplace transform rather than by getrandom syscalls (raw
+// crypto/rand reads cost ~20 ns per draw; the keyed ChaCha8 expansion,
+// the same construction the Go runtime uses for its internal random
+// state, costs ~2 ns). Not safe for concurrent use by itself (Child
+// returns independent streams for that); large FillLaplace calls shard
+// internally across freshly seeded child streams.
+type cryptoNoise struct {
+	cha    *randv2.ChaCha8
+	serial bool
+}
+
+// NewCryptoNoise returns a crypto-grade NoiseSource: a ChaCha8 stream
+// seeded from crypto/rand. Seeding and reproducibility are unavailable
+// by design. Large fills are sharded across GOMAXPROCS workers, each
+// with its own independently seeded stream.
+func NewCryptoNoise() NoiseSource {
+	return newCryptoNoise(false)
+}
+
+// NewSerialCryptoNoise returns a crypto-grade NoiseSource that never
+// shards fills across workers: the single-threaded baseline used by the
+// throughput benchmarks and the per-shard worker streams.
+func NewSerialCryptoNoise() NoiseSource {
+	return newCryptoNoise(true)
+}
+
+func newCryptoNoise(serial bool) *cryptoNoise {
+	var seed [32]byte
+	if _, err := crand.Read(seed[:]); err != nil {
+		panic(fmt.Sprintf("dp: crypto/rand read failed: %v", err))
+	}
+	return &cryptoNoise{cha: randv2.NewChaCha8(seed), serial: serial}
+}
+
+// uniform returns the next uniform draw in [0, 1) at float64 resolution
+// (53 random bits).
+func (c *cryptoNoise) uniform() float64 {
+	return float64(c.cha.Uint64()>>11) / (1 << 53)
+}
+
+func (c *cryptoNoise) SampleLaplace(scale float64) float64 {
+	checkNoiseScale(scale)
+	return c.laplace(scale)
+}
+
+func (c *cryptoNoise) laplace(scale float64) float64 {
+	u := c.uniform() - 0.5
+	for u == -0.5 { // u == 0.5 cannot occur: uniform() < 1
+		u = c.uniform() - 0.5
+	}
+	if u < 0 {
+		return scale * math.Log(1+2*u)
+	}
+	return -scale * math.Log(1-2*u)
+}
+
+func (c *cryptoNoise) FillLaplace(scale float64, dst []float64) {
+	checkNoiseScale(scale)
+	if !c.serial && len(dst) >= parallelFillMin && runtime.GOMAXPROCS(0) > 1 {
+		fillLaplaceParallel(scale, dst)
+		return
+	}
+	c.fillSerial(scale, dst)
+}
+
+// fillSerial converts the ChaCha8 stream into Laplace draws one value
+// at a time. It performs no allocation: the stream state lives in the
+// receiver and dst is caller-owned.
+func (c *cryptoNoise) fillSerial(scale float64, dst []float64) {
+	for i := range dst {
+		dst[i] = c.laplace(scale)
+	}
+}
+
+// fillLaplaceParallel shards dst across up to GOMAXPROCS workers, each
+// drawing from its own independent entropy stream. Only reached from
+// non-deterministic sources, where draw order carries no contract.
+func fillLaplaceParallel(scale float64, dst []float64) {
+	shardRanges(len(dst), func(lo, hi int) {
+		newCryptoNoise(true).fillSerial(scale, dst[lo:hi])
+	})
+}
+
+// laplaceAdder is the optional fused fill-and-add fast path a
+// NoiseSource may provide; AddLaplace upgrades to it when present.
+// Sources whose draw order is contractual must not implement it.
+type laplaceAdder interface {
+	addLaplace(scale float64, v, out []float64)
+}
+
+// addLaplace writes out[i] = v[i] + Lap(scale) for all i, sharding both
+// the fill and the add across workers for large vectors: the vectorized
+// core of dp.AddLaplace on crypto sources. len(out) must equal len(v).
+func (c *cryptoNoise) addLaplace(scale float64, v, out []float64) {
+	if !c.serial && len(v) >= parallelFillMin && runtime.GOMAXPROCS(0) > 1 {
+		shardRanges(len(v), func(lo, hi int) {
+			part := out[lo:hi]
+			newCryptoNoise(true).fillSerial(scale, part)
+			for i, a := range v[lo:hi] {
+				part[i] += a
+			}
+		})
+		return
+	}
+	c.fillSerial(scale, out)
+	for i, a := range v {
+		out[i] += a
+	}
+}
+
+// shardRanges splits [0, n) into up to GOMAXPROCS contiguous ranges of
+// at least parallelShardMin elements and runs work on each concurrently,
+// falling back to one inline call when sharding isn't worthwhile.
+func shardRanges(n int, work func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if max := n / parallelShardMin; workers > max {
+		workers = max
+	}
+	if workers < 2 {
+		work(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			work(lo, hi)
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+func (c *cryptoNoise) Child() NoiseSource {
+	// Fresh independent entropy stream. Child must never read the
+	// parent's cha stream: dpgraph calls Child concurrently on one
+	// shared crypto root (see the NoiseSource doc), so forking from the
+	// parent stream here would be a data race.
+	return newCryptoNoise(c.serial)
+}
+
+func (c *cryptoNoise) Deterministic() bool { return false }
+
+// ---------------------------------------------------------------------
+// Seeded (deterministic, splittable) and wrapped shared sources
+// ---------------------------------------------------------------------
+
+// seededNoise derives draws from a math/rand stream. In root mode
+// (NewSeededNoise) Child splits off an independent child stream seeded
+// from the root — the splittable replacement for the historical per-call
+// child-seeding dance — while in shared mode (WrapRand) Child returns
+// the same stream, preserving the semantics of a caller-supplied
+// *rand.Rand shared across mechanism calls. All access is serialized
+// internally, so a seededNoise may be handed to concurrent goroutines;
+// draw order is only reproducible when calls arrive in a fixed order.
+type seededNoise struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	shared bool
+}
+
+// NewSeededNoise returns a deterministic, splittable NoiseSource: the
+// same seed always yields the same draw and split sequence. Seeded noise
+// is predictable by anyone who knows the seed and therefore offers NO
+// privacy; it exists for tests, benchmarks, and experiments.
+func NewSeededNoise(seed int64) NoiseSource {
+	return &seededNoise{rng: rand.New(rand.NewSource(seed))}
+}
+
+// WrapRand adapts a caller-supplied *rand.Rand into a NoiseSource whose
+// Child is the stream itself, so successive mechanism calls consume one
+// shared sequence — the contract experiments with a shared seeded stream
+// rely on. Access is serialized internally.
+func WrapRand(rng *rand.Rand) NoiseSource {
+	return &seededNoise{rng: rng, shared: true}
+}
+
+func (s *seededNoise) SampleLaplace(scale float64) float64 {
+	checkNoiseScale(scale)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return laplaceFromRand(s.rng, scale)
+}
+
+func (s *seededNoise) FillLaplace(scale float64, dst []float64) {
+	checkNoiseScale(scale)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range dst {
+		dst[i] = laplaceFromRand(s.rng, scale)
+	}
+}
+
+func (s *seededNoise) Child() NoiseSource {
+	if s.shared {
+		return s
+	}
+	s.mu.Lock()
+	seed := s.rng.Int63()
+	s.mu.Unlock()
+	return &seededNoise{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (s *seededNoise) Deterministic() bool { return true }

@@ -1,0 +1,270 @@
+package dp
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// moments estimates the mean and variance of n draws pulled through fn.
+func moments(n int, fn func() float64) (mean, variance float64) {
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := fn()
+		sum += x
+		sumSq += x * x
+	}
+	mean = sum / float64(n)
+	variance = sumSq/float64(n) - mean*mean
+	return mean, variance
+}
+
+func TestCryptoNoiseMoments(t *testing.T) {
+	src := NewCryptoNoise()
+	scale := 3.0
+	want := NewLaplace(scale).Variance()
+	mean, variance := moments(200000, func() float64 { return src.SampleLaplace(scale) })
+	if math.Abs(mean) > 0.06 {
+		t.Errorf("crypto Laplace mean %g, want ~0", mean)
+	}
+	if math.Abs(variance-want)/want > 0.1 {
+		t.Errorf("crypto Laplace variance %g, want ~%g", variance, want)
+	}
+}
+
+func TestCryptoNoiseFillMatchesDistribution(t *testing.T) {
+	// The block fill must produce the same distribution as scalar draws:
+	// check moments and the exp(-t) tail law on one large fill.
+	src := NewSerialCryptoNoise()
+	scale := 1.5
+	dst := make([]float64, 200000)
+	src.FillLaplace(scale, dst)
+	sum, sumSq, over1, over2 := 0.0, 0.0, 0, 0
+	for _, x := range dst {
+		sum += x
+		sumSq += x * x
+		if math.Abs(x) > scale {
+			over1++
+		}
+		if math.Abs(x) > 2*scale {
+			over2++
+		}
+	}
+	n := float64(len(dst))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	want := NewLaplace(scale).Variance()
+	if math.Abs(mean) > 0.03 {
+		t.Errorf("fill mean %g, want ~0", mean)
+	}
+	if math.Abs(variance-want)/want > 0.1 {
+		t.Errorf("fill variance %g, want ~%g", variance, want)
+	}
+	if p := float64(over1) / n; math.Abs(p-math.Exp(-1)) > 0.01 {
+		t.Errorf("Pr[|Y|>b] = %g, want %g", p, math.Exp(-1))
+	}
+	if p := float64(over2) / n; math.Abs(p-math.Exp(-2)) > 0.01 {
+		t.Errorf("Pr[|Y|>2b] = %g, want %g", p, math.Exp(-2))
+	}
+}
+
+func TestCryptoNoiseParallelFillMatchesDistribution(t *testing.T) {
+	// Above the sharding threshold (with GOMAXPROCS > 1 this runs the
+	// parallel path; either way the distribution must be right).
+	src := NewCryptoNoise()
+	scale := 2.0
+	dst := make([]float64, parallelFillMin*4)
+	src.FillLaplace(scale, dst)
+	sum, sumSq := 0.0, 0.0
+	for _, x := range dst {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Fatal("invalid draw in parallel fill")
+		}
+		sum += x
+		sumSq += x * x
+	}
+	n := float64(len(dst))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	want := NewLaplace(scale).Variance()
+	if math.Abs(mean) > 0.1 {
+		t.Errorf("parallel fill mean %g, want ~0", mean)
+	}
+	if math.Abs(variance-want)/want > 0.1 {
+		t.Errorf("parallel fill variance %g, want ~%g", variance, want)
+	}
+	// Every position must be written: the probability any draw is
+	// exactly zero is zero.
+	zeros := 0
+	for _, x := range dst {
+		if x == 0 {
+			zeros++
+		}
+	}
+	if zeros > 0 {
+		t.Errorf("%d positions left unfilled", zeros)
+	}
+}
+
+func TestCryptoNoiseChildrenIndependent(t *testing.T) {
+	// Children must not share stream state with the parent or each other.
+	root := NewCryptoNoise()
+	a, b := root.Child(), root.Child()
+	xa := a.SampleLaplace(1)
+	xb := b.SampleLaplace(1)
+	if xa == xb {
+		t.Error("two crypto children produced identical first draws")
+	}
+	if root.Deterministic() {
+		t.Error("crypto source claims to be deterministic")
+	}
+}
+
+func TestSeededNoiseReproducible(t *testing.T) {
+	a, b := NewSeededNoise(17), NewSeededNoise(17)
+	for i := 0; i < 100; i++ {
+		if x, y := a.SampleLaplace(2), b.SampleLaplace(2); x != y {
+			t.Fatalf("draw %d diverged: %g vs %g", i, x, y)
+		}
+	}
+	if !a.Deterministic() {
+		t.Error("seeded source claims not to be deterministic")
+	}
+}
+
+func TestSeededNoiseFillEqualsScalarDraws(t *testing.T) {
+	// The vectorized contract: FillLaplace(scale, dst) is exactly
+	// len(dst) consecutive SampleLaplace(scale) draws.
+	fill, scalar := NewSeededNoise(23), NewSeededNoise(23)
+	dst := make([]float64, 257)
+	fill.FillLaplace(0.7, dst)
+	for i, x := range dst {
+		if y := scalar.SampleLaplace(0.7); x != y {
+			t.Fatalf("fill[%d] = %g but scalar draw = %g", i, x, y)
+		}
+	}
+}
+
+func TestSeededNoiseMatchesHistoricalSampler(t *testing.T) {
+	// The seeded source must stay bit-identical to the historical
+	// Laplace.Sample(*rand.Rand) path: golden releases depend on it.
+	src := NewSeededNoise(99)
+	rng := rand.New(rand.NewSource(99))
+	l := NewLaplace(1.3)
+	for i := 0; i < 1000; i++ {
+		if x, y := src.SampleLaplace(1.3), l.Sample(rng); x != y {
+			t.Fatalf("draw %d: NoiseSource %g != historical %g", i, x, y)
+		}
+	}
+}
+
+func TestSeededNoiseChildSplitReproducible(t *testing.T) {
+	// Splitting children from equal roots yields equal child streams —
+	// the property session-level reproducibility rests on.
+	a, b := NewSeededNoise(5), NewSeededNoise(5)
+	for call := 0; call < 5; call++ {
+		ca, cb := a.Child(), b.Child()
+		for i := 0; i < 20; i++ {
+			if x, y := ca.SampleLaplace(1), cb.SampleLaplace(1); x != y {
+				t.Fatalf("call %d draw %d diverged", call, i)
+			}
+		}
+	}
+	// And the historical child-seeding dance is preserved exactly:
+	// child = rand.New(rand.NewSource(root.Int63())).
+	root := NewSeededNoise(42)
+	oldRoot := rand.New(rand.NewSource(42))
+	child := root.Child()
+	oldChild := rand.New(rand.NewSource(oldRoot.Int63()))
+	l := NewLaplace(2)
+	for i := 0; i < 100; i++ {
+		if x, y := child.SampleLaplace(2), l.Sample(oldChild); x != y {
+			t.Fatalf("split draw %d: %g != historical %g", i, x, y)
+		}
+	}
+}
+
+func TestWrapRandSharesStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	src := WrapRand(rng)
+	if src.Child() != src {
+		t.Error("WrapRand child is not the same shared stream")
+	}
+	// Draws must consume the caller's stream exactly like the historical
+	// shared-*rand.Rand path.
+	ref := rand.New(rand.NewSource(7))
+	l := NewLaplace(1)
+	for i := 0; i < 50; i++ {
+		if x, y := src.SampleLaplace(1), l.Sample(ref); x != y {
+			t.Fatalf("draw %d: wrapped %g != historical %g", i, x, y)
+		}
+	}
+}
+
+func TestSeededNoiseConcurrentAccessSafe(t *testing.T) {
+	// Shared seeded sources serialize internally; hammer one from many
+	// goroutines (meaningful under -race).
+	src := WrapRand(rand.New(rand.NewSource(3)))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := make([]float64, 64)
+			for i := 0; i < 50; i++ {
+				src.SampleLaplace(1)
+				src.FillLaplace(1, dst)
+				src.Child()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestNoiseScaleValidation(t *testing.T) {
+	for _, src := range []NoiseSource{NewCryptoNoise(), NewSeededNoise(1), WrapRand(rand.New(rand.NewSource(1)))} {
+		for _, bad := range []float64{0, -1, math.Inf(1), math.NaN()} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("%T accepted scale %g", src, bad)
+					}
+				}()
+				src.SampleLaplace(bad)
+			}()
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("%T FillLaplace accepted scale %g", src, bad)
+					}
+				}()
+				src.FillLaplace(bad, make([]float64, 2))
+			}()
+		}
+	}
+}
+
+func TestAddLaplaceCryptoParallelShape(t *testing.T) {
+	// The fused crypto fill-and-add must add noise to every entry and
+	// leave the input untouched, including on the sharded path.
+	v := make([]float64, parallelFillMin*2)
+	for i := range v {
+		v[i] = 5
+	}
+	out := AddLaplace(v, 0.001, NewCryptoNoise())
+	if len(out) != len(v) {
+		t.Fatal("length changed")
+	}
+	for i, x := range out {
+		if math.Abs(x-5) > 0.2 {
+			t.Fatalf("entry %d drifted to %g with tiny noise", i, x)
+		}
+		if x == 5 {
+			t.Fatalf("entry %d got exactly zero noise", i)
+		}
+	}
+	if v[0] != 5 {
+		t.Error("input mutated")
+	}
+}

@@ -233,7 +233,7 @@ func runE18(cfg Config) (*Table, error) {
 			for i, x := range w {
 				prefix[i+1] = prefix[i] + x
 			}
-			counter, err := dp.NewContinualCounter(v-1, eps, rng)
+			counter, err := dp.NewContinualCounter(v-1, eps, dp.WrapRand(rng))
 			if err != nil {
 				return nil, err
 			}

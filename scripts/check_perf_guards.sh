@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Perf guards for the serving and release hot paths (run without -race:
+# the race runtime defeats sync.Pool and skews allocation counts).
+#
+# 1. Release-once/query-many: steady-state DistanceOracle point queries
+#    on the tree, hierarchy, and table oracles must not allocate.
+# 2. Vectorized noise: the FillLaplace block sampler (crypto-serial and
+#    seeded sub-benchmarks) must not allocate per block.
+# 3. Parallel release: on machines with GOMAXPROCS >= 8, the sharded
+#    crypto fill must deliver >= 4x wall-clock over the serial path on a
+#    >= 1M-edge ReleaseGraph (skipped on smaller machines, where the two
+#    paths coincide).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1 + 2: allocation guards -----------------------------------------
+out=$(go test -bench 'BenchmarkOracleDistance/(tree|hierarchy|table)|BenchmarkFillLaplace/(crypto-serial|seeded)' \
+    -benchmem -benchtime=200x -run '^$' .)
+echo "$out"
+
+bad=$(echo "$out" | awk '/^Benchmark(OracleDistance|FillLaplace)\// && $(NF) == "allocs/op" && $(NF-1)+0 > 0')
+if [ -n "$bad" ]; then
+    echo >&2
+    echo "FAIL: guarded benchmarks must be allocation-free:" >&2
+    echo "$bad" >&2
+    fail=1
+else
+    echo "OK: oracle point queries and block sampling report 0 allocs/op"
+fi
+
+# --- 3: parallel release speedup --------------------------------------
+# Effective parallelism: an explicit GOMAXPROCS (container/cgroup
+# setups) wins over the online-processor count.
+procs="${GOMAXPROCS:-}"
+[ -n "$procs" ] || procs=$(go env GOMAXPROCS 2>/dev/null || true)
+[ -n "$procs" ] && [ "$procs" != "0" ] || procs=$(getconf _NPROCESSORS_ONLN)
+if [ "$procs" -ge 8 ]; then
+    # -count=3 and best-of ratios de-flake the gate against noisy
+    # neighbors on shared runners: serial takes its fastest run (the
+    # hardest comparison), parallel its fastest too.
+    out=$(go test -bench 'BenchmarkParallelRelease' -benchtime=5x -count=3 -run '^$' .)
+    echo "$out"
+    serial=$(echo "$out" | awk '/^BenchmarkParallelRelease\/serial/ {if (min == "" || $3 < min) min = $3} END {print min}')
+    parallel=$(echo "$out" | awk '/^BenchmarkParallelRelease\/parallel/ {if (min == "" || $3 < min) min = $3} END {print min}')
+    if [ -z "$serial" ] || [ -z "$parallel" ]; then
+        echo "FAIL: could not parse BenchmarkParallelRelease output" >&2
+        fail=1
+    else
+        speedup=$(awk -v s="$serial" -v p="$parallel" 'BEGIN {printf "%.2f", s / p}')
+        echo "parallel release speedup at GOMAXPROCS=$procs: ${speedup}x"
+        if awk -v x="$speedup" 'BEGIN {exit !(x < 4)}'; then
+            echo "FAIL: parallel release speedup ${speedup}x < 4x at GOMAXPROCS=$procs" >&2
+            fail=1
+        else
+            echo "OK: parallel release >= 4x over serial"
+        fi
+    fi
+else
+    echo "SKIP: parallel release speedup guard needs GOMAXPROCS >= 8 (have $procs)"
+fi
+
+exit "$fail"
