@@ -194,6 +194,28 @@ func BenchmarkOracleDistance(b *testing.B) {
 		}
 		benchOracleDistance(b, rel.Oracle())
 	})
+	// The indexed-serving group: one ≥100k-edge release (Grid(225) has
+	// 2*225*224 = 100,800 edges), served unindexed (per-query Dijkstra)
+	// versus through the contraction-hierarchy and landmark indexes.
+	// scripts/check_perf_guards.sh asserts the CH oracle is ≥10x faster
+	// than the unindexed one on this workload.
+	for _, mode := range []dpgraph.QueryIndexMode{dpgraph.IndexOff, dpgraph.IndexCH, dpgraph.IndexALT} {
+		name := "synthetic-100k"
+		if mode != dpgraph.IndexOff {
+			name += "-" + mode.String()
+		}
+		b.Run(name, func(b *testing.B) {
+			rel, err := benchSession(b, dpgraph.Grid(225)).Release()
+			if err != nil {
+				b.Fatal(err)
+			}
+			oracle, err := rel.IndexedOracle(mode)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchOracleDistance(b, oracle)
+		})
+	}
 }
 
 // --- Throughput benchmarks: the vectorized noise layer -----------------

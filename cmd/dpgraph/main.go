@@ -21,10 +21,16 @@
 //	dpgraph -graph tree.txt query treesssp 0 < pairs.txt
 //	echo '[[0,9],[4,12]]' | dpgraph -graph city.txt -json query apsd
 //	dpgraph -graph city.txt -workers 0 query release < pairs.txt
+//	dpgraph -graph city.txt -index ch -workers 0 query release < pairs.txt
 //
 // Large pair batches can be answered in parallel with -workers N (0
 // uses GOMAXPROCS): oracles are goroutine-safe and queries spend no
-// budget, so sharding the batch is pure post-processing.
+// budget, so sharding the batch is pure post-processing. For the
+// synthetic-graph release, -index MODE (auto, ch, alt) additionally
+// builds a precomputed speedup index over the materialized release —
+// contraction hierarchy or landmark A* — so each worker answers its
+// pairs orders of magnitude faster than per-query Dijkstra; the two
+// flags multiply.
 //
 // Pairs are text lines "s t" or a JSON array ([[s,t], ...] or
 // [{"s":..,"t":..}, ...]); the format is sniffed from the input.
@@ -78,6 +84,7 @@ func run(out *os.File, in io.Reader, args []string) error {
 		seed      = fs.Int64("seed", 0, "deterministic noise seed (0: crypto-grade noise)")
 		jsonOut   = fs.Bool("json", false, "emit machine-readable JSON (value, error bound, receipt)")
 		workers   = fs.Int("workers", 1, "parallel workers answering query-mode pairs (0: GOMAXPROCS)")
+		indexMode = fs.String("index", "off", "query-mode speedup index over the release: off, auto, ch, alt")
 	)
 	fs.Usage = func() { usage(fs) }
 	if err := fs.Parse(args); err != nil {
@@ -117,11 +124,20 @@ func run(out *os.File, in io.Reader, args []string) error {
 		return fmt.Errorf("graph file %s carries no weights", *graphPath)
 	}
 
+	idxMode, err := dpgraph.ParseQueryIndexMode(*indexMode)
+	if err != nil {
+		return err
+	}
+	if idxMode != dpgraph.IndexOff && !queryMode {
+		return fmt.Errorf("-index only applies to the query subcommand")
+	}
+
 	opts := []dpgraph.Option{
 		dpgraph.WithEpsilon(*eps),
 		dpgraph.WithDelta(*delta),
 		dpgraph.WithGamma(*gamma),
 		dpgraph.WithScale(*scale),
+		dpgraph.WithQueryIndex(idxMode),
 	}
 	if *seed != 0 {
 		opts = append(opts, dpgraph.WithDeterministicSeed(*seed))
@@ -419,6 +435,8 @@ func usage(fs *flag.FlagSet) {
 	}
 	fmt.Fprintf(os.Stderr, "\nquery (release once, answer many): materializes one release, then\n"+
 		"answers every \"s t\" pair from stdin (text lines or JSON array) with\n"+
-		"zero extra budget; -workers N answers the batch in parallel.\n"+
+		"zero extra budget; -workers N answers the batch in parallel, and\n"+
+		"-index MODE (auto, ch, alt) serves synthetic-graph releases from a\n"+
+		"precomputed contraction-hierarchy or landmark index.\n"+
 		"Oracle-capable mechanisms: %s\n", strings.Join(oracleMechanisms(), " "))
 }

@@ -228,6 +228,41 @@ func TestRunQueryWorkers(t *testing.T) {
 	}
 }
 
+func TestRunQueryIndex(t *testing.T) {
+	// A seeded session answers a batch identically however it is served:
+	// unindexed, contraction hierarchy, landmark A*, or auto — with or
+	// without worker sharding on top. (The release draws the same noise
+	// either way; indexing is post-processing.)
+	path := writeFile(t, "g.txt", pathGraph)
+	var stdin strings.Builder
+	for s := 0; s < 4; s++ {
+		for u := 0; u < 4; u++ {
+			fmt.Fprintf(&stdin, "%d %d\n", s, u)
+		}
+	}
+	var want string
+	for _, index := range []string{"off", "auto", "ch", "alt"} {
+		out, err := captureWithStdin(t, stdin.String(),
+			[]string{"-graph", path, "-seed", "7", "-index", index, "-workers", "2", "query", "release"})
+		if err != nil {
+			t.Fatalf("index=%s: %v", index, err)
+		}
+		if want == "" {
+			want = out
+		} else if out != want {
+			t.Errorf("index=%s output differs:\n%s\nwant:\n%s", index, out, want)
+		}
+	}
+	// -index is query-mode only, and unknown modes are rejected.
+	if _, err := capture(t, []string{"-graph", path, "-index", "ch", "mst"}); err == nil {
+		t.Error("-index accepted outside query mode")
+	}
+	if _, err := captureWithStdin(t, "0 1\n",
+		[]string{"-graph", path, "-index", "bogus", "query", "release"}); err == nil {
+		t.Error("unknown -index mode accepted")
+	}
+}
+
 func TestRunQueryUnreachableJSON(t *testing.T) {
 	// Two components: 0-1 and 2-3. A cross-component query must encode
 	// as unreachable, not abort the whole envelope on +Inf.

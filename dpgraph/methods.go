@@ -120,7 +120,7 @@ func (pg *PrivateGraph) Release() (*SyntheticGraph, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &SyntheticGraph{Weights: rel.Weights, g: pg.g}
+	res := &SyntheticGraph{Weights: rel.Weights, g: pg.g, indexMode: pg.cfg.indexMode}
 	res.ReleaseInfo = pg.info(rec, rel.NoiseScale)
 	return res, nil
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/dp"
+	"repro/internal/graph/index"
 )
 
 // config carries the session settings accumulated by Options.
@@ -14,6 +15,8 @@ type config struct {
 	gamma   float64
 	scale   float64
 	budget  dp.PrivacyParams
+
+	indexMode QueryIndexMode
 
 	seeded     bool
 	seed       int64
@@ -93,6 +96,94 @@ func WithBudget(epsilon, delta float64) Option {
 			return fmt.Errorf("dpgraph: budget must be nonnegative, got (%g, %g)", epsilon, delta)
 		}
 		c.budget = dp.PrivacyParams{Epsilon: epsilon, Delta: delta}
+		return nil
+	}
+}
+
+// QueryIndexMode selects the query-speedup index a session's
+// searching oracles build over materialized releases (see
+// WithQueryIndex). Indexing is pure post-processing of the released
+// weights: it never touches the private inputs, charges no budget, and
+// changes no answer — only how fast the answer is found.
+type QueryIndexMode int
+
+const (
+	// IndexOff (the default) serves synthetic-graph oracle queries by
+	// plain early-exit Dijkstra.
+	IndexOff QueryIndexMode = iota
+	// IndexAuto builds a contraction hierarchy, falling back to the
+	// landmark index when contraction degenerates and to unindexed
+	// serving on topologies no index family supports (directed graphs).
+	IndexAuto
+	// IndexCH forces a contraction hierarchy.
+	IndexCH
+	// IndexALT forces the ALT landmark A* index.
+	IndexALT
+)
+
+// String returns the CLI spelling of the mode (off, auto, ch, alt).
+func (m QueryIndexMode) String() string {
+	switch m {
+	case IndexOff:
+		return "off"
+	case IndexAuto:
+		return "auto"
+	case IndexCH:
+		return "ch"
+	case IndexALT:
+		return "alt"
+	}
+	return fmt.Sprintf("QueryIndexMode(%d)", int(m))
+}
+
+// indexMode maps the public mode onto the internal engine's.
+func (m QueryIndexMode) indexMode() index.Mode {
+	switch m {
+	case IndexAuto:
+		return index.Auto
+	case IndexCH:
+		return index.CH
+	case IndexALT:
+		return index.ALT
+	}
+	return index.Off
+}
+
+// ParseQueryIndexMode maps the CLI spellings (off, auto, ch, alt) onto
+// QueryIndexMode.
+func ParseQueryIndexMode(s string) (QueryIndexMode, error) {
+	switch s {
+	case "off":
+		return IndexOff, nil
+	case "auto":
+		return IndexAuto, nil
+	case "ch":
+		return IndexCH, nil
+	case "alt":
+		return IndexALT, nil
+	}
+	return IndexOff, fmt.Errorf("dpgraph: unknown query-index mode %q (want off, auto, ch, or alt)", s)
+}
+
+// WithQueryIndex makes the session's searching oracles (the
+// synthetic-graph oracles returned by SyntheticGraph.Oracle) build a
+// precomputed speedup index over the released weights, once per
+// release, instead of running a full Dijkstra per query. Lookup-backed
+// oracles (tree, hierarchy, table) are O(1)-ish already and ignore the
+// mode. Indexed oracles additionally share a lock-striped s-t result
+// cache, so repeated pairs are answered without any search at all.
+//
+// IndexCH and IndexALT require an undirected topology (rejected at New
+// otherwise); IndexAuto serves directed topologies unindexed. Default
+// IndexOff.
+func WithQueryIndex(mode QueryIndexMode) Option {
+	return func(c *config) error {
+		switch mode {
+		case IndexOff, IndexAuto, IndexCH, IndexALT:
+		default:
+			return fmt.Errorf("dpgraph: invalid query-index mode %d", int(mode))
+		}
+		c.indexMode = mode
 		return nil
 	}
 }

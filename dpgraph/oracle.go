@@ -2,8 +2,10 @@ package dpgraph
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/graph/index"
 )
 
 // VertexPair is one (source, target) distance query for batch answering.
@@ -97,14 +99,21 @@ func (o *lookupOracle) Distances(pairs []VertexPair) ([]float64, error) {
 
 func (o *lookupOracle) Bound(gamma float64) float64 { return o.bound(gamma) }
 
-// syntheticOracle answers queries by Dijkstra over a released (clamped)
-// weight vector, using the pooled zero-alloc engine in internal/graph.
-// The weights were clamped nonnegative at construction, so queries take
-// the trusted engine entry points and skip the O(E) validation scan.
+// syntheticOracle answers queries over a released (clamped) weight
+// vector — by the pooled zero-alloc Dijkstra engine in internal/graph,
+// or, when the session requested a query index, through a precomputed
+// contraction-hierarchy/landmark structure plus a sharded s-t result
+// cache. The weights were clamped nonnegative at construction, so the
+// unindexed path takes the trusted engine entry points and skips the
+// O(E) validation scan.
 type syntheticOracle struct {
 	g     *graph.Graph
 	w     []float64 // released weights clamped to [0, +Inf)
 	bound func(gamma float64) float64
+
+	// idx is nil for unindexed serving; cache is non-nil iff idx is.
+	idx   index.Index
+	cache *index.PairCache
 }
 
 func (o *syntheticOracle) N() int { return o.g.N() }
@@ -113,11 +122,37 @@ func (o *syntheticOracle) Distance(s, t int) (float64, error) {
 	if err := checkOracleVertices(o.g.N(), s, t); err != nil {
 		return 0, err
 	}
+	if o.idx != nil {
+		return o.indexedDistance(s, t), nil
+	}
 	return graph.QueryDistanceTrusted(o.g, o.w, s, t)
 }
 
-// Distances groups the batch by source so each distinct source pays one
-// early-exit multi-target Dijkstra, however many pairs share it.
+// indexedDistance serves one validated pair from the result cache,
+// falling through to the index on a miss. Indexes exist only for
+// undirected topologies, so both orientations share one cache entry.
+func (o *syntheticOracle) indexedDistance(s, t int) float64 {
+	if s == t {
+		return 0
+	}
+	if s > t {
+		s, t = t, s
+	}
+	if d, ok := o.cache.Get(s, t); ok {
+		return d
+	}
+	d := o.idx.Distance(s, t)
+	o.cache.Put(s, t, d)
+	return d
+}
+
+// Distances answers a batch with shared work paid once: the batch is
+// ordered by (source, target) so each distinct source runs one
+// early-exit multi-target Dijkstra — duplicate sources reuse that one
+// settled workspace, and duplicate targets within a source are answered
+// from it without even re-marking. Indexed oracles instead route every
+// pair through the per-pair index, where the result cache deduplicates
+// repeats.
 func (o *syntheticOracle) Distances(pairs []VertexPair) ([]float64, error) {
 	n := o.g.N()
 	for _, p := range pairs {
@@ -126,16 +161,38 @@ func (o *syntheticOracle) Distances(pairs []VertexPair) ([]float64, error) {
 		}
 	}
 	out := make([]float64, len(pairs))
-	bySource := make(map[int][]int)
-	for i, p := range pairs {
-		bySource[p.S] = append(bySource[p.S], i)
+	if o.idx != nil {
+		for i, p := range pairs {
+			out[i] = o.indexedDistance(p.S, p.T)
+		}
+		return out, nil
 	}
+	order := make([]int, len(pairs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := pairs[order[a]], pairs[order[b]]
+		if pa.S != pb.S {
+			return pa.S < pb.S
+		}
+		return pa.T < pb.T
+	})
 	var targets []int
 	var buf []float64
-	for s, idxs := range bySource {
+	for lo := 0; lo < len(order); {
+		s := pairs[order[lo]].S
+		hi := lo
+		for hi < len(order) && pairs[order[hi]].S == s {
+			hi++
+		}
+		// Targets arrive sorted within the run; collapse duplicates.
 		targets = targets[:0]
-		for _, i := range idxs {
-			targets = append(targets, pairs[i].T)
+		for k := lo; k < hi; k++ {
+			t := pairs[order[k]].T
+			if len(targets) == 0 || targets[len(targets)-1] != t {
+				targets = append(targets, t)
+			}
 		}
 		if cap(buf) < len(targets) {
 			buf = make([]float64, len(targets))
@@ -144,9 +201,14 @@ func (o *syntheticOracle) Distances(pairs []VertexPair) ([]float64, error) {
 		if err := graph.QueryDistancesFromTrusted(o.g, o.w, s, targets, buf); err != nil {
 			return nil, err
 		}
-		for j, i := range idxs {
-			out[i] = buf[j]
+		ti := 0
+		for k := lo; k < hi; k++ {
+			for targets[ti] != pairs[order[k]].T {
+				ti++
+			}
+			out[order[k]] = buf[ti]
 		}
+		lo = hi
 	}
 	return out, nil
 }

@@ -1,0 +1,58 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// benchGraph is the ≥100k-edge grid the serving benchmarks run on
+// (2 * 225 * 224 = 100,800 edges).
+func benchGraph(b *testing.B) (*graph.Graph, []float64) {
+	b.Helper()
+	g := graph.Grid(225)
+	rng := rand.New(rand.NewSource(1))
+	return g, graph.UniformRandomWeights(g, 0.5, 2.5, rng)
+}
+
+func BenchmarkBuild(b *testing.B) {
+	g, w := benchGraph(b)
+	for _, m := range []Mode{CH, ALT} {
+		b.Run(m.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Build(g, w, Options{Mode: m}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkIndexDistance(b *testing.B) {
+	g, w := benchGraph(b)
+	n := g.N()
+	b.Run("dijkstra", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := graph.QueryDistanceTrusted(g, w, (i*7919)%n, (i*104729+1)%n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, m := range []Mode{CH, ALT} {
+		idx, err := Build(g, w, Options{Mode: m})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(m.String(), func(b *testing.B) {
+			idx.Distance(0, n-1) // warm the workspace pool
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				idx.Distance((i*7919)%n, (i*104729+1)%n)
+			}
+		})
+	}
+}

@@ -1,0 +1,95 @@
+package index
+
+import "sync"
+
+// PairCache is a sharded, lock-striped s-t result cache for repeated
+// distance queries. Keys are (s, t) vertex pairs; callers on undirected
+// topologies should normalize s <= t so both orientations share one
+// entry. Shards are selected by a Fibonacci hash of the key, so hot
+// query mixes spread their locking across all stripes; each shard is
+// individually bounded and sheds an arbitrary eighth of its entries
+// when full, which keeps the cache O(capacity) without a global LRU
+// lock on the read path.
+type PairCache struct {
+	shards   [cacheShards]pairShard
+	perShard int
+}
+
+const cacheShards = 64 // power of two; see shardOf
+
+type pairShard struct {
+	mu sync.RWMutex
+	m  map[uint64]float64
+}
+
+// DefaultCacheCapacity is the total entry bound used by NewPairCache
+// when capacity <= 0.
+const DefaultCacheCapacity = 1 << 18
+
+// NewPairCache returns a cache bounded to roughly capacity entries
+// across all shards.
+func NewPairCache(capacity int) *PairCache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	per := capacity / cacheShards
+	if per < 1 {
+		per = 1
+	}
+	return &PairCache{perShard: per}
+}
+
+func pairKey(s, t int) uint64 {
+	return uint64(uint32(s))<<32 | uint64(uint32(t))
+}
+
+func (c *PairCache) shardOf(key uint64) *pairShard {
+	// Fibonacci multiplicative hash; the high bits select the shard.
+	return &c.shards[(key*0x9e3779b97f4a7c15)>>(64-6)]
+}
+
+// Get returns the cached distance for (s, t), if present.
+func (c *PairCache) Get(s, t int) (float64, bool) {
+	sh := c.shardOf(pairKey(s, t))
+	sh.mu.RLock()
+	d, ok := sh.m[pairKey(s, t)]
+	sh.mu.RUnlock()
+	return d, ok
+}
+
+// Put records the distance for (s, t), evicting arbitrary entries from
+// the shard when it is full.
+func (c *PairCache) Put(s, t int, d float64) {
+	key := pairKey(s, t)
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[uint64]float64, c.perShard)
+	}
+	if len(sh.m) >= c.perShard {
+		drop := c.perShard / 8
+		if drop < 1 {
+			drop = 1
+		}
+		for k := range sh.m {
+			delete(sh.m, k)
+			drop--
+			if drop == 0 {
+				break
+			}
+		}
+	}
+	sh.m[key] = d
+	sh.mu.Unlock()
+}
+
+// Len returns the current number of cached entries.
+func (c *PairCache) Len() int {
+	total := 0
+	for i := range c.shards {
+		c.shards[i].mu.RLock()
+		total += len(c.shards[i].m)
+		c.shards[i].mu.RUnlock()
+	}
+	return total
+}

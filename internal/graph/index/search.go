@@ -1,0 +1,147 @@
+package index
+
+import "math"
+
+// searchState is one direction of a Dijkstra/A* search with O(1) reset:
+// every per-vertex array is guarded by a version stamp, so starting a
+// new query just bumps the epoch instead of clearing O(n) memory — the
+// whole point of an index is that queries touch far fewer than n
+// vertices. The frontier is an indexed binary heap ordered by an
+// explicit key array (plain distance for Dijkstra, distance plus
+// heuristic for A*), so decrease-key works for both.
+type searchState struct {
+	epoch   uint32
+	ver     []uint32  // ver[v] == epoch marks dist/key/pos/settled valid
+	dist    []float64 // tentative distance label
+	key     []float64 // heap ordering key
+	settled []bool
+	pos     []int32 // heap position, -1 when not enqueued
+	heap    []int32
+}
+
+func newSearchState(n int) *searchState {
+	return &searchState{
+		ver:     make([]uint32, n),
+		dist:    make([]float64, n),
+		key:     make([]float64, n),
+		settled: make([]bool, n),
+		pos:     make([]int32, n),
+	}
+}
+
+// begin starts a new search; all previous labels become stale.
+func (s *searchState) begin() {
+	s.epoch++
+	s.heap = s.heap[:0]
+	if s.epoch == 0 { // wrapped: stamps from 2^32 queries ago are now live
+		for i := range s.ver {
+			s.ver[i] = 0
+		}
+		s.epoch = 1
+	}
+}
+
+// labeled reports whether v carries a label in the current search.
+func (s *searchState) labeled(v int32) bool { return s.ver[v] == s.epoch }
+
+// distance returns v's tentative distance, Inf when unlabeled.
+func (s *searchState) distance(v int32) float64 {
+	if s.ver[v] == s.epoch {
+		return s.dist[v]
+	}
+	return math.Inf(1)
+}
+
+// touch makes v live in the current epoch with cleared state.
+func (s *searchState) touch(v int32) {
+	if s.ver[v] != s.epoch {
+		s.ver[v] = s.epoch
+		s.dist[v] = math.Inf(1)
+		s.key[v] = math.Inf(1)
+		s.settled[v] = false
+		s.pos[v] = -1
+	}
+}
+
+// update sets v's label and key, pushing or decreasing as needed.
+func (s *searchState) update(v int32, dist, key float64) {
+	s.touch(v)
+	s.dist[v] = dist
+	s.key[v] = key
+	if s.pos[v] >= 0 {
+		s.siftUp(int(s.pos[v]))
+	} else {
+		s.pos[v] = int32(len(s.heap))
+		s.heap = append(s.heap, v)
+		s.siftUp(len(s.heap) - 1)
+	}
+}
+
+// empty reports whether the frontier is exhausted.
+func (s *searchState) empty() bool { return len(s.heap) == 0 }
+
+// minKey returns the smallest frontier key, Inf when empty.
+func (s *searchState) minKey() float64 {
+	if len(s.heap) == 0 {
+		return math.Inf(1)
+	}
+	return s.key[s.heap[0]]
+}
+
+// pop removes and returns the frontier vertex with the minimum key.
+func (s *searchState) pop() int32 {
+	top := s.heap[0]
+	last := len(s.heap) - 1
+	s.heap[0] = s.heap[last]
+	s.pos[s.heap[0]] = 0
+	s.heap = s.heap[:last]
+	s.pos[top] = -1
+	if last > 0 {
+		s.siftDown(0)
+	}
+	return top
+}
+
+func (s *searchState) siftUp(i int) {
+	v := s.heap[i]
+	k := s.key[v]
+	for i > 0 {
+		p := (i - 1) / 2
+		pv := s.heap[p]
+		if s.key[pv] <= k {
+			break
+		}
+		s.heap[i] = pv
+		s.pos[pv] = int32(i)
+		i = p
+	}
+	s.heap[i] = v
+	s.pos[v] = int32(i)
+}
+
+func (s *searchState) siftDown(i int) {
+	v := s.heap[i]
+	k := s.key[v]
+	n := len(s.heap)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		best, bk := l, s.key[s.heap[l]]
+		if r := l + 1; r < n {
+			if rk := s.key[s.heap[r]]; rk < bk {
+				best, bk = r, rk
+			}
+		}
+		if bk >= k {
+			break
+		}
+		bv := s.heap[best]
+		s.heap[i] = bv
+		s.pos[bv] = int32(i)
+		i = best
+	}
+	s.heap[i] = v
+	s.pos[v] = int32(i)
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"sync"
 )
 
 // Tree is a rooted view of a graph whose underlying undirected topology is
@@ -191,69 +192,171 @@ func (t *Tree) TreeDistance(w []float64, x, y int) float64 {
 	return PathWeight(w, t.TreePath(x, y))
 }
 
-// LCA is a lowest-common-ancestor oracle built by binary lifting:
-// O(N log N) preprocessing, O(log N) per query.
+// LCA is a lowest-common-ancestor oracle. Find runs in O(1) per query
+// after O(N log N) preprocessing: the tree is flattened into an Euler
+// tour, where the LCA of x and y is the minimum-depth vertex between
+// their first occurrences, and that range-minimum query is answered
+// from a sparse table of doubling-width windows. (The historical
+// implementation answered Find by binary lifting in O(log N); the
+// release-once/query-many tree oracles run Find on every distance
+// query, so the constant-time tour lookup is the serving hot path.)
+// An ancestor table by binary lifting is built lazily for Ancestor,
+// so Find-only consumers (the release-once/query-many tree oracles)
+// never pay for it.
 type LCA struct {
 	tree *Tree
-	up   [][]int // up[k][v] = 2^k-th ancestor of v, or root
+
+	euler []int32   // vertex at each tour position (2N-1 entries)
+	first []int32   // first tour position of each vertex
+	table [][]int32 // table[k][i] = argmin-depth position in [i, i+2^k)
+	logs  []uint8   // logs[w] = floor(log2 w), for window sizing
+
+	upOnce sync.Once
+	up     [][]int // up[k][v] = 2^k-th ancestor of v, or root
 }
 
-// NewLCA builds the binary-lifting ancestor table for t.
+// NewLCA builds the Euler tour and its sparse range-minimum table for t.
 func NewLCA(t *Tree) *LCA {
-	n := t.N()
-	levels := 1
-	if n > 1 {
-		levels = bits.Len(uint(n-1)) + 1
-	}
-	up := make([][]int, levels)
-	up[0] = make([]int, n)
-	for v := 0; v < n; v++ {
-		if t.Parent[v] >= 0 {
-			up[0][v] = t.Parent[v]
-		} else {
-			up[0][v] = v
+	l := &LCA{tree: t}
+	l.buildTour()
+	return l
+}
+
+// lifting returns the binary-lifting ancestor table, building it on
+// first use (goroutine-safe).
+func (l *LCA) lifting() [][]int {
+	l.upOnce.Do(func() {
+		t := l.tree
+		n := t.N()
+		levels := 1
+		if n > 1 {
+			levels = bits.Len(uint(n-1)) + 1
 		}
-	}
-	for k := 1; k < levels; k++ {
-		up[k] = make([]int, n)
+		up := make([][]int, levels)
+		up[0] = make([]int, n)
 		for v := 0; v < n; v++ {
-			up[k][v] = up[k-1][up[k-1][v]]
+			if t.Parent[v] >= 0 {
+				up[0][v] = t.Parent[v]
+			} else {
+				up[0][v] = v
+			}
 		}
+		for k := 1; k < levels; k++ {
+			up[k] = make([]int, n)
+			for v := 0; v < n; v++ {
+				up[k][v] = up[k-1][up[k-1][v]]
+			}
+		}
+		l.up = up
+	})
+	return l.up
+}
+
+// buildTour flattens the tree into an Euler tour (each vertex appears
+// once on entry and once more after each child returns) and tabulates
+// range-minimum-by-depth over it.
+func (l *LCA) buildTour() {
+	t := l.tree
+	n := t.N()
+	tourLen := 2*n - 1
+	l.euler = make([]int32, 0, tourLen)
+	l.first = make([]int32, n)
+	for i := range l.first {
+		l.first[i] = -1
 	}
-	return &LCA{tree: t, up: up}
+	// Iterative DFS: frame (vertex, next child index); the vertex is
+	// appended on entry and again after each child's subtree.
+	type frame struct {
+		v    int32
+		next int32
+	}
+	stack := make([]frame, 1, 64)
+	stack[0] = frame{v: int32(t.Root)}
+	l.push(int32(t.Root))
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		kids := t.children[f.v]
+		if int(f.next) >= len(kids) {
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				l.push(stack[len(stack)-1].v)
+			}
+			continue
+		}
+		c := int32(kids[f.next].To)
+		f.next++
+		stack = append(stack, frame{v: c})
+		l.push(c)
+	}
+
+	// logs[w] = floor(log2 w) for every window width up to the tour.
+	l.logs = make([]uint8, tourLen+1)
+	for w := 2; w <= tourLen; w++ {
+		l.logs[w] = l.logs[w/2] + 1
+	}
+	// table[0] is the tour itself; each level halves the window count.
+	rows := int(l.logs[tourLen]) + 1
+	l.table = make([][]int32, rows)
+	base := make([]int32, tourLen)
+	for i := range base {
+		base[i] = int32(i)
+	}
+	l.table[0] = base
+	depth := t.Depth
+	for k := 1; k < rows; k++ {
+		width := 1 << k
+		prev := l.table[k-1]
+		row := make([]int32, tourLen-width+1)
+		for i := range row {
+			a, b := prev[i], prev[i+width/2]
+			if depth[l.euler[b]] < depth[l.euler[a]] {
+				a = b
+			}
+			row[i] = a
+		}
+		l.table[k] = row
+	}
+}
+
+// push appends v to the tour, recording its first occurrence.
+func (l *LCA) push(v int32) {
+	if l.first[v] == -1 {
+		l.first[v] = int32(len(l.euler))
+	}
+	l.euler = append(l.euler, v)
 }
 
 // Ancestor returns the d-th ancestor of v (clamped at the root).
 func (l *LCA) Ancestor(v, d int) int {
+	up := l.lifting()
 	if d > l.tree.Depth[v] {
 		d = l.tree.Depth[v]
 	}
-	for k := 0; d > 0 && k < len(l.up); k++ {
+	for k := 0; d > 0 && k < len(up); k++ {
 		if d&1 == 1 {
-			v = l.up[k][v]
+			v = up[k][v]
 		}
 		d >>= 1
 	}
 	return v
 }
 
-// Find returns the lowest common ancestor of x and y.
+// Find returns the lowest common ancestor of x and y in O(1): the
+// minimum-depth tour vertex between their first occurrences, read from
+// two overlapping sparse-table windows.
 func (l *LCA) Find(x, y int) int {
-	t := l.tree
-	if t.Depth[x] < t.Depth[y] {
-		x, y = y, x
+	lo, hi := l.first[x], l.first[y]
+	if lo > hi {
+		lo, hi = hi, lo
 	}
-	x = l.Ancestor(x, t.Depth[x]-t.Depth[y])
-	if x == y {
-		return x
+	k := l.logs[hi-lo+1]
+	a := l.table[k][lo]
+	b := l.table[k][hi+1-(int32(1)<<k)]
+	depth := l.tree.Depth
+	if depth[l.euler[b]] < depth[l.euler[a]] {
+		a = b
 	}
-	for k := len(l.up) - 1; k >= 0; k-- {
-		if l.up[k][x] != l.up[k][y] {
-			x = l.up[k][x]
-			y = l.up[k][y]
-		}
-	}
-	return t.Parent[x]
+	return int(l.euler[a])
 }
 
 // ExtractSubtree materializes the subtree of t rooted at r (over original

@@ -317,6 +317,54 @@ func TestLCAIdentities(t *testing.T) {
 	}
 }
 
+// TestLCAEulerTour checks the invariants of the O(1)-query structure:
+// the tour has exactly 2N-1 entries, consecutive entries are tree
+// neighbors, every vertex has a first occurrence, and Find agrees with
+// the depth-minimum over the tour range it reads — including the
+// degenerate one- and two-vertex trees.
+func TestLCAEulerTour(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	trees := []*Graph{New(1), Path(2), Path(9), Star(7), BalancedBinaryTree(31), RandomPruferTree(64, rng)}
+	for _, g := range trees {
+		n := g.N()
+		tr, err := NewTree(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lca := NewLCA(tr)
+		if got, want := len(lca.euler), 2*n-1; got != want {
+			t.Fatalf("n=%d: tour has %d entries, want %d", n, got, want)
+		}
+		for i := 1; i < len(lca.euler); i++ {
+			a, b := int(lca.euler[i-1]), int(lca.euler[i])
+			if tr.Parent[a] != b && tr.Parent[b] != a {
+				t.Fatalf("n=%d: tour step %d joins non-adjacent %d and %d", n, i, a, b)
+			}
+		}
+		for v := 0; v < n; v++ {
+			if lca.first[v] < 0 || int(lca.euler[lca.first[v]]) != v {
+				t.Fatalf("n=%d: first[%d] = %d is not an occurrence of %d", n, v, lca.first[v], v)
+			}
+		}
+		for trial := 0; trial < 50; trial++ {
+			x, y := rng.Intn(n), rng.Intn(n)
+			lo, hi := lca.first[x], lca.first[y]
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			want, wd := -1, n+1
+			for i := lo; i <= hi; i++ {
+				if v := int(lca.euler[i]); tr.Depth[v] < wd {
+					want, wd = v, tr.Depth[v]
+				}
+			}
+			if got := lca.Find(x, y); got != want {
+				t.Fatalf("n=%d: Find(%d,%d) = %d, tour minimum %d", n, x, y, got, want)
+			}
+		}
+	}
+}
+
 func TestExtractSubtree(t *testing.T) {
 	g := BalancedBinaryTree(15)
 	tr, err := NewTree(g, 0)

@@ -10,6 +10,9 @@
 #    crypto fill must deliver >= 4x wall-clock over the serial path on a
 #    >= 1M-edge ReleaseGraph (skipped on smaller machines, where the two
 #    paths coincide).
+# 4. Indexed serving: on a >= 100k-edge synthetic release, the
+#    contraction-hierarchy oracle (WithQueryIndex) must answer point
+#    queries >= 10x faster than the unindexed per-query Dijkstra oracle.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -59,6 +62,29 @@ if [ "$procs" -ge 8 ]; then
     fi
 else
     echo "SKIP: parallel release speedup guard needs GOMAXPROCS >= 8 (have $procs)"
+fi
+
+# --- 4: indexed serving speedup ---------------------------------------
+# One 100,800-edge release served unindexed versus through the CH
+# index. -count=2 with best-of ratios de-flakes the gate; the unindexed
+# oracle takes its fastest run, the indexed oracle its fastest too.
+out=$(go test -bench '^BenchmarkOracleDistance$/^synthetic-100k(-ch)?$' -benchtime=30x -count=2 -run '^$' .)
+echo "$out"
+# The -N GOMAXPROCS suffix is absent when GOMAXPROCS=1.
+plain=$(echo "$out" | awk '$1 ~ /^BenchmarkOracleDistance\/synthetic-100k(-[0-9]+)?$/ {if (min == "" || $3 < min) min = $3} END {print min}')
+indexed=$(echo "$out" | awk '$1 ~ /^BenchmarkOracleDistance\/synthetic-100k-ch(-[0-9]+)?$/ {if (min == "" || $3 < min) min = $3} END {print min}')
+if [ -z "$plain" ] || [ -z "$indexed" ]; then
+    echo "FAIL: could not parse BenchmarkOracleDistance/synthetic-100k output" >&2
+    fail=1
+else
+    speedup=$(awk -v p="$plain" -v i="$indexed" 'BEGIN {printf "%.1f", p / i}')
+    echo "indexed query speedup on the 100k-edge release: ${speedup}x"
+    if awk -v x="$speedup" 'BEGIN {exit !(x < 10)}'; then
+        echo "FAIL: indexed oracle speedup ${speedup}x < 10x over unindexed Dijkstra" >&2
+        fail=1
+    else
+        echo "OK: indexed oracle >= 10x over unindexed Dijkstra"
+    fi
 fi
 
 exit "$fail"
