@@ -1,0 +1,186 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// runBenchServe is the load generator for a running dpgraph serve
+// daemon: it discovers the named release's vertex count from the
+// listing endpoint, fires n point or batch requests from c concurrent
+// workers over keep-alive connections, and reports throughput and
+// latency quantiles — the numbers behind EXPERIMENTS.md E21.
+func runBenchServe(out *os.File, args []string) error {
+	fs := flag.NewFlagSet("dpgraph bench-serve", flag.ContinueOnError)
+	var (
+		baseURL = fs.String("url", "http://127.0.0.1:8080", "base URL of a running dpgraph serve")
+		release = fs.String("release", "", "release name to query (required)")
+		n       = fs.Int("n", 10000, "total requests to send")
+		c       = fs.Int("c", 8, "concurrent client workers")
+		batch   = fs.Int("batch", 1, "pairs per request (1: point endpoint, >1: batch endpoint)")
+		seed    = fs.Int64("seed", 1, "pair-generation seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("bench-serve takes no positional arguments, got %q", fs.Args())
+	}
+	if *release == "" {
+		return fmt.Errorf("bench-serve requires -release NAME (see GET %s/v1/releases)", *baseURL)
+	}
+	if *n < 1 || *c < 1 || *batch < 1 {
+		return fmt.Errorf("-n, -c, and -batch must be >= 1")
+	}
+
+	nv, err := releaseVertices(*baseURL, *release)
+	if err != nil {
+		return err
+	}
+	if nv < 2 {
+		return fmt.Errorf("release %q serves %d vertices; need >= 2 to generate pairs", *release, nv)
+	}
+
+	// Pregenerate a shared pool of pairs (and batch bodies) so workers
+	// spend their time on requests, not on formatting.
+	rng := rand.New(rand.NewSource(*seed))
+	const pool = 1024
+	urls := make([]string, pool)
+	bodies := make([]string, pool)
+	for i := range urls {
+		if *batch == 1 {
+			urls[i] = fmt.Sprintf("%s/v1/releases/%s/distance?s=%d&t=%d", *baseURL, *release, rng.Intn(nv), rng.Intn(nv))
+			continue
+		}
+		var b strings.Builder
+		b.WriteString("[")
+		for k := 0; k < *batch; k++ {
+			if k > 0 {
+				b.WriteString(",")
+			}
+			fmt.Fprintf(&b, "[%d,%d]", rng.Intn(nv), rng.Intn(nv))
+		}
+		b.WriteString("]")
+		bodies[i] = b.String()
+	}
+	batchURL := fmt.Sprintf("%s/v1/releases/%s/distances", *baseURL, *release)
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *c}}
+	var (
+		next      atomic.Int64 // request tickets
+		failures  atomic.Int64
+		lastError atomic.Value
+		wg        sync.WaitGroup
+	)
+	latencies := make([][]time.Duration, *c)
+	start := time.Now()
+	for wk := 0; wk < *c; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			lat := make([]time.Duration, 0, *n / *c)
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(*n) {
+					break
+				}
+				t0 := time.Now()
+				var resp *http.Response
+				var err error
+				if *batch == 1 {
+					resp, err = client.Get(urls[i%pool])
+				} else {
+					resp, err = client.Post(batchURL, "application/json", strings.NewReader(bodies[i%pool]))
+				}
+				if err == nil {
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						err = fmt.Errorf("status %s", resp.Status)
+					}
+				}
+				if err != nil {
+					failures.Add(1)
+					lastError.Store(err.Error())
+					continue
+				}
+				lat = append(lat, time.Since(t0))
+			}
+			latencies[wk] = lat
+		}(wk)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, lat := range latencies {
+		all = append(all, lat...)
+	}
+	if len(all) == 0 {
+		return fmt.Errorf("all %d requests failed (last error: %v)", *n, lastError.Load())
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	q := func(p float64) time.Duration { return all[int(p*float64(len(all)-1))] }
+
+	pairs := int64(len(all)) * int64(*batch)
+	fmt.Fprintf(out, "bench-serve: %d ok / %d failed requests against release %q in %.2fs (%d workers, batch %d)\n",
+		len(all), failures.Load(), *release, elapsed.Seconds(), *c, *batch)
+	fmt.Fprintf(out, "throughput: %.1f requests/s, %.1f pairs/s\n",
+		float64(len(all))/elapsed.Seconds(), float64(pairs)/elapsed.Seconds())
+	fmt.Fprintf(out, "latency: p50 %s  p90 %s  p99 %s\n", q(0.50), q(0.90), q(0.99))
+	if f := failures.Load(); f > 0 {
+		return fmt.Errorf("%d of %d requests failed (last error: %v)", f, *n, lastError.Load())
+	}
+	return nil
+}
+
+// releaseVertices asks the serving daemon for the named release's
+// vertex count.
+func releaseVertices(baseURL, name string) (int, error) {
+	resp, err := http.Get(baseURL + "/v1/releases")
+	if err != nil {
+		return 0, fmt.Errorf("listing releases: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("listing releases: status %s: %s", resp.Status, data)
+	}
+	var list struct {
+		Releases []struct {
+			Name   string `json:"name"`
+			Status string `json:"status"`
+			N      int    `json:"n"`
+		} `json:"releases"`
+	}
+	if err := json.Unmarshal(data, &list); err != nil {
+		return 0, fmt.Errorf("bad listing: %w", err)
+	}
+	for _, rel := range list.Releases {
+		if rel.Name != name {
+			continue
+		}
+		if rel.Status != "ready" {
+			return 0, fmt.Errorf("release %q is %s, not ready", name, rel.Status)
+		}
+		return rel.N, nil
+	}
+	var names []string
+	for _, rel := range list.Releases {
+		names = append(names, rel.Name)
+	}
+	return 0, fmt.Errorf("release %q not found; server has: %s", name, strings.Join(names, " "))
+}

@@ -35,12 +35,21 @@
 // Pairs are text lines "s t" or a JSON array ([[s,t], ...] or
 // [{"s":..,"t":..}, ...]); the format is sniffed from the input.
 //
+// The serve subcommand turns the same machinery into a long-running
+// HTTP daemon: POST /v1/releases materializes named, independently
+// budgeted releases, and the distance endpoints answer unboundedly
+// many queries from their oracles with zero extra budget (see
+// internal/serve). bench-serve is the matching load generator:
+//
+//	dpgraph -graph city.txt serve -addr 127.0.0.1:8080
+//	dpgraph bench-serve -url http://127.0.0.1:8080 -release main -n 100000 -c 32
+//
 // Noise is crypto-grade unless -seed is given.
 package main
 
 import (
-	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -52,6 +61,7 @@ import (
 	"sync"
 
 	"repro/dpgraph"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -90,6 +100,14 @@ func run(out *os.File, in io.Reader, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// bench-serve targets a running server, not a graph file; dispatch
+	// before the -graph requirement.
+	if fs.NArg() >= 1 && fs.Arg(0) == "bench-serve" {
+		if err := rejectGlobalFlags(fs, "bench-serve", nil); err != nil {
+			return err
+		}
+		return runBenchServe(out, fs.Args()[1:])
+	}
 	if *graphPath == "" || fs.NArg() < 1 {
 		usage(fs)
 		return fmt.Errorf("need -graph and a subcommand")
@@ -104,24 +122,36 @@ func run(out *os.File, in io.Reader, args []string) error {
 		cmd = fs.Arg(1)
 		mechArgs = fs.Args()[2:]
 	}
+
+	if cmd == "serve" {
+		// The daemon materializes releases from POST /v1/releases specs,
+		// each carrying its own privacy parameters; session flags here
+		// would be dead settings, so reject them loudly.
+		if err := rejectGlobalFlags(fs, "serve", map[string]bool{"graph": true}); err != nil {
+			return err
+		}
+		g, w, err := loadGraph(*graphPath)
+		if err != nil {
+			return err
+		}
+		return runServe(out, g, w, fs.Args()[1:])
+	}
+
 	desc, ok := dpgraph.Mechanism(cmd)
 	if !ok || (!queryMode && desc.Run == nil) {
 		usage(fs)
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
 	if queryMode && desc.Oracle == nil {
-		return fmt.Errorf("mechanism %q releases no distance oracle; oracle-capable: %s", cmd, strings.Join(oracleMechanisms(), " "))
+		return fmt.Errorf("mechanism %q releases no distance oracle; oracle-capable: %s", cmd, strings.Join(dpgraph.OracleMechanisms(), " "))
 	}
 	if desc.NeedsMaxWeight && !(*maxWeight > 0) {
 		return fmt.Errorf("%s requires -maxweight", cmd)
 	}
 
-	g, w, err := dpgraph.ReadGraphFile(*graphPath)
+	g, w, err := loadGraph(*graphPath)
 	if err != nil {
 		return err
-	}
-	if w == nil {
-		return fmt.Errorf("graph file %s carries no weights", *graphPath)
 	}
 
 	idxMode, err := dpgraph.ParseQueryIndexMode(*indexMode)
@@ -132,12 +162,49 @@ func run(out *os.File, in io.Reader, args []string) error {
 		return fmt.Errorf("-index only applies to the query subcommand")
 	}
 
+	if queryMode {
+		q, err := parseArgs(desc.Name, desc.OracleArgs, mechArgs)
+		if err != nil {
+			return err
+		}
+		// ReleaseSpec reads zero-valued parameters as "use the default",
+		// but a flag explicitly set to an invalid value must still fail
+		// loudly, not silently run at the default. The flag defaults are
+		// all valid, so any invalid value here was user-supplied.
+		if !(*eps > 0) {
+			return fmt.Errorf("epsilon must be positive, got %g", *eps)
+		}
+		if !(*gamma > 0 && *gamma < 1) {
+			return fmt.Errorf("gamma must be in (0, 1), got %g", *gamma)
+		}
+		if !(*scale > 0) {
+			return fmt.Errorf("scale must be positive, got %g", *scale)
+		}
+		// The CLI and the HTTP server share one release-construction
+		// path: flags assemble the same spec a POST /v1/releases body
+		// carries.
+		spec := dpgraph.ReleaseSpec{
+			Mechanism: desc.Name,
+			Root:      q.Root,
+			MaxWeight: *maxWeight,
+			Epsilon:   *eps,
+			Delta:     *delta,
+			Gamma:     *gamma,
+			Scale:     *scale,
+			Seed:      *seed,
+			Index:     *indexMode,
+		}
+		return runQuery(out, in, g, w, spec, desc.Name, *gamma, *jsonOut, *workers)
+	}
+	if *workers != 1 {
+		return fmt.Errorf("-workers only applies to the query subcommand")
+	}
+
 	opts := []dpgraph.Option{
 		dpgraph.WithEpsilon(*eps),
 		dpgraph.WithDelta(*delta),
 		dpgraph.WithGamma(*gamma),
 		dpgraph.WithScale(*scale),
-		dpgraph.WithQueryIndex(idxMode),
 	}
 	if *seed != 0 {
 		opts = append(opts, dpgraph.WithDeterministicSeed(*seed))
@@ -145,13 +212,6 @@ func run(out *os.File, in io.Reader, args []string) error {
 	pg, err := dpgraph.New(g, dpgraph.PrivateWeights(w), opts...)
 	if err != nil {
 		return err
-	}
-
-	if queryMode {
-		return runQuery(out, in, pg, desc, mechArgs, *maxWeight, *gamma, *jsonOut, *workers)
-	}
-	if *workers != 1 {
-		return fmt.Errorf("-workers only applies to the query subcommand")
 	}
 
 	q, err := parseArgs(desc.Name, desc.Args, mechArgs)
@@ -170,7 +230,7 @@ func run(out *os.File, in io.Reader, args []string) error {
 		return enc.Encode(jsonOutput{
 			Bound:  res.Bound(*gamma),
 			Gamma:  *gamma,
-			Result: res,
+			Result: jsonSafeResult(res),
 		})
 	}
 	rec := res.Info().Receipt
@@ -186,49 +246,22 @@ func run(out *os.File, in io.Reader, args []string) error {
 // queryJSONOutput is the -json envelope of the query subcommand: one
 // receipt for the release, then every answered pair.
 type queryJSONOutput struct {
-	Mechanism string          `json:"mechanism"`
-	Bound     float64         `json:"bound"`
-	Gamma     float64         `json:"gamma"`
-	Receipt   dpgraph.Receipt `json:"receipt"`
-	Results   []pairAnswer    `json:"results"`
-}
-
-type pairAnswer struct {
-	S     int     `json:"s"`
-	T     int     `json:"t"`
-	Value float64 `json:"value"`
-}
-
-// MarshalJSON renders topology-disconnected pairs (+Inf, which
-// encoding/json rejects as a float) as a null value with an explicit
-// unreachable marker.
-func (a pairAnswer) MarshalJSON() ([]byte, error) {
-	if math.IsInf(a.Value, 0) {
-		return json.Marshal(struct {
-			S           int  `json:"s"`
-			T           int  `json:"t"`
-			Value       *int `json:"value"`
-			Unreachable bool `json:"unreachable"`
-		}{S: a.S, T: a.T, Unreachable: true})
-	}
-	type plain pairAnswer
-	return json.Marshal(plain(a))
+	Mechanism string             `json:"mechanism"`
+	Bound     float64            `json:"bound"`
+	Gamma     float64            `json:"gamma"`
+	Receipt   dpgraph.Receipt    `json:"receipt"`
+	Results   []serve.PairAnswer `json:"results"`
 }
 
 // runQuery is the release-once / query-many path: materialize the
-// mechanism's release (the only budget-charging step), then answer every
+// spec's release (the only budget-charging step), then answer every
 // pair from the input as free post-processing of the oracle — sharded
 // across workers goroutines when requested, which is safe because
 // oracles are goroutine-safe and queries touch no budget state.
-func runQuery(out *os.File, in io.Reader, pg *dpgraph.PrivateGraph, desc dpgraph.Descriptor, mechArgs []string, maxWeight, gamma float64, jsonOut bool, workers int) error {
+func runQuery(out *os.File, in io.Reader, g *dpgraph.Graph, w []float64, spec dpgraph.ReleaseSpec, mech string, gamma float64, jsonOut bool, workers int) error {
 	if workers < 0 {
 		return fmt.Errorf("-workers must be >= 0, got %d", workers)
 	}
-	q, err := parseArgs(desc.Name, desc.OracleArgs, mechArgs)
-	if err != nil {
-		return err
-	}
-	q.MaxWeight = maxWeight
 	pairs, err := readPairs(in)
 	if err != nil {
 		return err
@@ -238,7 +271,7 @@ func runQuery(out *os.File, in io.Reader, pg *dpgraph.PrivateGraph, desc dpgraph
 		// not charge the budget.
 		return fmt.Errorf("query needs at least one s-t pair")
 	}
-	oracle, res, err := desc.Oracle(pg, q)
+	oracle, res, err := spec.Materialize(g, dpgraph.PrivateWeights(w))
 	if err != nil {
 		return err
 	}
@@ -248,14 +281,14 @@ func runQuery(out *os.File, in io.Reader, pg *dpgraph.PrivateGraph, desc dpgraph
 	}
 	rec := res.Info().Receipt
 	if jsonOut {
-		answers := make([]pairAnswer, len(pairs))
+		answers := make([]serve.PairAnswer, len(pairs))
 		for i, p := range pairs {
-			answers[i] = pairAnswer{S: p.S, T: p.T, Value: values[i]}
+			answers[i] = serve.PairAnswer{S: p.S, T: p.T, Value: values[i]}
 		}
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		return enc.Encode(queryJSONOutput{
-			Mechanism: desc.Name,
+			Mechanism: mech,
 			Bound:     oracle.Bound(gamma),
 			Gamma:     gamma,
 			Receipt:   rec,
@@ -265,7 +298,7 @@ func runQuery(out *os.File, in io.Reader, pg *dpgraph.PrivateGraph, desc dpgraph
 	for i, p := range pairs {
 		fmt.Fprintf(out, "%d %d %.4f\n", p.S, p.T, values[i])
 	}
-	fmt.Fprintf(out, "# %d queries answered from one %q release (zero extra budget)\n", len(pairs), desc.Name)
+	fmt.Fprintf(out, "# %d queries answered from one %q release (zero extra budget)\n", len(pairs), mech)
 	fmt.Fprintf(out, "# error bound at gamma=%g: %.4f\n", gamma, oracle.Bound(gamma))
 	fmt.Fprintf(out, "# privacy receipt: %s\n", rec)
 	return nil
@@ -314,75 +347,105 @@ func answerPairs(oracle dpgraph.DistanceOracle, pairs []dpgraph.VertexPair, work
 	return values, nil
 }
 
-// readPairs decodes the query pairs from text lines "s t" or a JSON
-// array ([[s,t], ...] or [{"s":..,"t":..}, ...]), sniffing the format.
+// readPairs decodes the query pairs from stdin via the parser shared
+// with the HTTP batch handler: text lines "s t" or a JSON array
+// ([[s,t], ...] or [{"s":..,"t":..}, ...]), format sniffed, trailing
+// JSON content rejected in both array forms.
 func readPairs(in io.Reader) ([]dpgraph.VertexPair, error) {
 	data, err := io.ReadAll(in)
 	if err != nil {
 		return nil, err
 	}
-	trimmed := strings.TrimSpace(string(data))
-	if trimmed == "" {
+	pairs, err := serve.ParsePairs(data)
+	if errors.Is(err, serve.ErrNoPairs) {
 		return nil, fmt.Errorf("query needs s-t pairs on stdin (text lines \"s t\" or a JSON array)")
 	}
-	if strings.HasPrefix(trimmed, "[") {
-		if rest := strings.TrimSpace(trimmed[1:]); strings.HasPrefix(rest, "{") {
-			// Object form: reject unknown keys so a misspelled field
-			// ({"src":3}) errors instead of silently querying (0, 0).
-			dec := json.NewDecoder(strings.NewReader(trimmed))
-			dec.DisallowUnknownFields()
-			var objs []dpgraph.VertexPair
-			if err := dec.Decode(&objs); err != nil {
-				return nil, fmt.Errorf("bad JSON pairs: %w", err)
-			}
-			return objs, nil
-		}
-		var tuples [][]int
-		if err := json.Unmarshal(data, &tuples); err != nil {
-			return nil, fmt.Errorf("bad JSON pairs: %w", err)
-		}
-		pairs := make([]dpgraph.VertexPair, len(tuples))
-		for i, tu := range tuples {
-			if len(tu) != 2 {
-				return nil, fmt.Errorf("JSON pair %d has %d elements, want 2", i, len(tu))
-			}
-			pairs[i] = dpgraph.VertexPair{S: tu[0], T: tu[1]}
-		}
-		return pairs, nil
-	}
-	var pairs []dpgraph.VertexPair
-	sc := bufio.NewScanner(strings.NewReader(trimmed))
-	for lineNo := 1; sc.Scan(); lineNo++ {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) != 2 {
-			return nil, fmt.Errorf("line %d: want \"s t\", got %q", lineNo, line)
-		}
-		s, err1 := strconv.Atoi(fields[0])
-		t, err2 := strconv.Atoi(fields[1])
-		if err1 != nil || err2 != nil {
-			return nil, fmt.Errorf("line %d: bad pair %q", lineNo, line)
-		}
-		pairs = append(pairs, dpgraph.VertexPair{S: s, T: t})
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return pairs, nil
+	return pairs, err
 }
 
-// oracleMechanisms lists the registry names offering an Oracle runner.
-func oracleMechanisms() []string {
-	var names []string
-	for _, d := range dpgraph.Mechanisms() {
-		if d.Oracle != nil {
-			names = append(names, d.Name)
-		}
+// loadGraph reads the -graph file and insists on a weight vector (the
+// private input every subcommand consumes).
+func loadGraph(path string) (*dpgraph.Graph, []float64, error) {
+	g, w, err := dpgraph.ReadGraphFile(path)
+	if err != nil {
+		return nil, nil, err
 	}
-	return names
+	if w == nil {
+		return nil, nil, fmt.Errorf("graph file %s carries no weights", path)
+	}
+	return g, w, nil
+}
+
+// rejectGlobalFlags errors when any global flag outside allowed was set
+// on a subcommand that cannot honor it (serve, bench-serve), instead of
+// silently ignoring the setting.
+func rejectGlobalFlags(fs *flag.FlagSet, cmd string, allowed map[string]bool) error {
+	var bad []string
+	fs.Visit(func(f *flag.Flag) {
+		if !allowed[f.Name] {
+			bad = append(bad, "-"+f.Name)
+		}
+	})
+	if len(bad) > 0 {
+		return fmt.Errorf("%s does not use %s (privacy parameters travel in each release spec); see %s -h", cmd, strings.Join(bad, " "), cmd)
+	}
+	return nil
+}
+
+// unreachablePairResult is the -json shape of a pairwise result whose
+// released value is ±Inf: the pairAnswer null+unreachable convention
+// over the usual release metadata.
+type unreachablePairResult struct {
+	dpgraph.ReleaseInfo
+	Source      int      `json:"source"`
+	Target      int      `json:"target"`
+	Value       *float64 `json:"value"`
+	Unreachable bool     `json:"unreachable"`
+}
+
+// jsonSafeResult rewraps results whose released values may be ±Inf
+// (distances on topology-disconnected pairs) so the -json envelope
+// encodes with the same null+unreachable convention the query
+// subcommand and the HTTP handlers use, instead of failing with
+// encoding/json's "unsupported value".
+func jsonSafeResult(res dpgraph.Result) any {
+	switch r := res.(type) {
+	case *dpgraph.DistanceResult:
+		if !math.IsInf(r.Value, 0) {
+			return res
+		}
+		return unreachablePairResult{ReleaseInfo: r.ReleaseInfo, Source: r.Source, Target: r.Target, Unreachable: true}
+	case *dpgraph.QueryResult:
+		if !math.IsInf(r.Value, 0) {
+			return res
+		}
+		return unreachablePairResult{ReleaseInfo: r.ReleaseInfo, Source: r.Source, Target: r.Target, Unreachable: true}
+	case *dpgraph.SSSPResult:
+		finite := true
+		for _, d := range r.Dist {
+			if math.IsInf(d, 0) {
+				finite = false
+				break
+			}
+		}
+		if finite {
+			return res
+		}
+		dist := make([]*float64, len(r.Dist))
+		var unreachable []int
+		for i, d := range r.Dist {
+			if dist[i] = serve.FiniteOrNil(d); dist[i] == nil {
+				unreachable = append(unreachable, i)
+			}
+		}
+		return struct {
+			dpgraph.ReleaseInfo
+			Source      int        `json:"source"`
+			Dist        []*float64 `json:"dist"`
+			Unreachable []int      `json:"unreachable"`
+		}{r.ReleaseInfo, r.Source, dist, unreachable}
+	}
+	return res
 }
 
 // parseArgs maps positional arguments onto the declared parameter names.
@@ -415,11 +478,15 @@ func parseArgs(mech string, names []string, args []string) (dpgraph.Args, error)
 func usage(fs *flag.FlagSet) {
 	fmt.Fprintln(os.Stderr, "usage: dpgraph -graph FILE [flags] SUBCOMMAND [args]")
 	fmt.Fprintln(os.Stderr, "       dpgraph -graph FILE [flags] query MECHANISM [args] < pairs")
+	fmt.Fprintln(os.Stderr, "       dpgraph -graph FILE serve [-addr HOST:PORT] [serve flags]")
+	fmt.Fprintln(os.Stderr, "       dpgraph bench-serve -release NAME [bench flags]")
 	fmt.Fprintln(os.Stderr, "\nflags:")
 	fs.PrintDefaults()
 	fmt.Fprintln(os.Stderr, "\nsubcommands (from the dpgraph mechanism registry):")
 	for _, d := range dpgraph.Mechanisms() {
-		if d.Run == nil {
+		// A mechanism with only an Oracle runner is still a subcommand
+		// (through query mode); hiding it would make the listing lie.
+		if d.Run == nil && d.Oracle == nil {
 			continue
 		}
 		argHint := ""
@@ -430,6 +497,9 @@ func usage(fs *flag.FlagSet) {
 		if d.NeedsMaxWeight {
 			extra = " (requires -maxweight)"
 		}
+		if d.Run == nil {
+			extra += " (query mode only)"
+		}
 		fmt.Fprintf(os.Stderr, "  %-12s%-8s %s%s\n", d.Name, argHint, d.Summary, extra)
 		fmt.Fprintf(os.Stderr, "  %12s         %s; sensitivity: %s; guarantee: %s\n", "", d.Ref, d.Sensitivity, d.Guarantee)
 	}
@@ -438,5 +508,9 @@ func usage(fs *flag.FlagSet) {
 		"zero extra budget; -workers N answers the batch in parallel, and\n"+
 		"-index MODE (auto, ch, alt) serves synthetic-graph releases from a\n"+
 		"precomputed contraction-hierarchy or landmark index.\n"+
-		"Oracle-capable mechanisms: %s\n", strings.Join(oracleMechanisms(), " "))
+		"Oracle-capable mechanisms: %s\n", strings.Join(dpgraph.OracleMechanisms(), " "))
+	fmt.Fprintln(os.Stderr, "\nserve: long-running HTTP daemon over the same machinery — POST\n"+
+		"/v1/releases materializes named releases, GET/POST distance\n"+
+		"endpoints answer queries with zero extra budget; bench-serve is\n"+
+		"its load generator. Each prints its own -h.")
 }

@@ -292,6 +292,110 @@ func TestRunQueryUnreachableJSON(t *testing.T) {
 	}
 }
 
+// TestReadPairsTrailingContent is the regression table for the
+// object-form decoder bug: json.Decoder stops after the first value, so
+// `[{"s":1,"t":2}] trailing garbage` was silently accepted while the
+// tuple form rejected it. Both forms must now reject trailing content.
+func TestReadPairsTrailingContent(t *testing.T) {
+	cases := []struct {
+		stdin string
+		ok    bool
+	}{
+		{`[[1,2]]`, true},
+		{`[{"s":1,"t":2}]`, true},
+		{"  [[1,2]]  \n", true},
+		{"\n[{\"s\":1,\"t\":2}]\t\n ", true},
+		// Trailing content: tuple form (already rejected) and object
+		// form (the bug) must agree.
+		{`[[1,2]] garbage`, false},
+		{`[{"s":1,"t":2}] garbage`, false},
+		{`[[1,2]][[3,4]]`, false},
+		{`[{"s":1,"t":2}][{"s":3,"t":4}]`, false},
+		{`[{"s":1,"t":2}] [[3,4]]`, false},
+		{`[{"s":1,"t":2}],`, false},
+	}
+	for _, c := range cases {
+		pairs, err := readPairs(strings.NewReader(c.stdin))
+		if c.ok && (err != nil || len(pairs) != 1 || pairs[0].S != 1 || pairs[0].T != 2) {
+			t.Errorf("readPairs(%q) = (%v, %v), want one pair (1,2)", c.stdin, pairs, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("readPairs(%q) accepted: %v", c.stdin, pairs)
+		}
+	}
+}
+
+// TestRunQueryLongCommentLine: text pairs input must accept lines past
+// the 64 KiB default scanner limit, matching graph.ReadText's 16 MiB.
+func TestRunQueryLongCommentLine(t *testing.T) {
+	path := writeFile(t, "g.txt", pathGraph)
+	stdin := "# " + strings.Repeat("x", 128*1024) + "\n0 3\n"
+	out, err := captureWithStdin(t, stdin, []string{"-graph", path, "-seed", "7", "query", "release"})
+	if err != nil {
+		t.Fatalf("long comment line rejected: %v", err)
+	}
+	if !strings.Contains(out, `1 queries answered`) {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+// TestRunJSONUnreachable: non-query -json output must render results
+// carrying ±Inf (disconnected pairs) with the null+unreachable
+// convention instead of failing with "unsupported value".
+func TestRunJSONUnreachable(t *testing.T) {
+	split := writeFile(t, "g.txt", "graph 4\nedge 0 1 1\nedge 2 3 1\n")
+
+	// apsd on a disconnected pair: QueryResult carries +Inf.
+	out, err := capture(t, []string{"-graph", split, "-seed", "7", "-json", "apsd", "0", "3"})
+	if err != nil {
+		t.Fatalf("apsd -json on disconnected pair: %v", err)
+	}
+	var pairGot struct {
+		Result struct {
+			Value       *float64 `json:"value"`
+			Unreachable bool     `json:"unreachable"`
+			Receipt     dpgraph.Receipt
+		} `json:"result"`
+	}
+	if err := json.Unmarshal([]byte(out), &pairGot); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if pairGot.Result.Value != nil || !pairGot.Result.Unreachable {
+		t.Errorf("apsd result = %s", out)
+	}
+
+	// sssp: the released vector has +Inf entries for vertices 2 and 3.
+	out, err = capture(t, []string{"-graph", split, "-seed", "7", "-json", "sssp", "0"})
+	if err != nil {
+		t.Fatalf("sssp -json on disconnected graph: %v", err)
+	}
+	var ssspGot struct {
+		Result struct {
+			Dist        []*float64 `json:"dist"`
+			Unreachable []int      `json:"unreachable"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal([]byte(out), &ssspGot); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if len(ssspGot.Result.Dist) != 4 || ssspGot.Result.Dist[0] == nil || ssspGot.Result.Dist[3] != nil {
+		t.Errorf("sssp dist = %s", out)
+	}
+	if len(ssspGot.Result.Unreachable) != 2 || ssspGot.Result.Unreachable[0] != 2 || ssspGot.Result.Unreachable[1] != 3 {
+		t.Errorf("sssp unreachable = %v", ssspGot.Result.Unreachable)
+	}
+
+	// Connected graphs keep the plain shape (no unreachable key).
+	path := writeFile(t, "conn.txt", pathGraph)
+	out, err = capture(t, []string{"-graph", path, "-seed", "7", "-json", "apsd", "0", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "unreachable") {
+		t.Errorf("connected result grew an unreachable marker:\n%s", out)
+	}
+}
+
 func TestRunQueryEmptyPairsChargeNothing(t *testing.T) {
 	// An empty workload — empty text or an empty JSON array — must be
 	// refused before the release is materialized (no budget spent).
@@ -319,6 +423,12 @@ func TestRunQueryErrors(t *testing.T) {
 		{`[{"src":0,"dst":3}]`, []string{"-graph", path, "query", "release"}}, // wrong JSON keys
 		{"0 3\n", []string{"-graph", path, "query", "bounded"}},               // missing -maxweight
 		{"0 3\n", []string{"-graph", path, "query", "treesssp", "x"}},         // bad root
+		// ReleaseSpec treats zero as "default", but explicit invalid
+		// flags must still fail instead of silently running at eps=1.
+		{"0 3\n", []string{"-graph", path, "-eps", "0", "query", "release"}},
+		{"0 3\n", []string{"-graph", path, "-eps", "-1", "query", "release"}},
+		{"0 3\n", []string{"-graph", path, "-gamma", "0", "query", "release"}},
+		{"0 3\n", []string{"-graph", path, "-scale", "0", "query", "release"}},
 	}
 	for _, c := range cases {
 		if _, err := captureWithStdin(t, c.stdin, c.args); err == nil {

@@ -23,11 +23,17 @@ type config struct {
 	sharedRand *rand.Rand
 }
 
+// DefaultGamma is the failure probability sessions use for error
+// bounds when WithGamma is not given; consumers reporting bounds for a
+// release whose spec left Gamma unset (the serving layer) evaluate at
+// this same value.
+const DefaultGamma = 0.05
+
 func defaultConfig() config {
 	return config{
 		epsilon: 1,
 		delta:   0,
-		gamma:   0.05,
+		gamma:   DefaultGamma,
 		scale:   1,
 		budget:  unlimited(),
 	}

@@ -214,3 +214,14 @@ func (o *syntheticOracle) Distances(pairs []VertexPair) ([]float64, error) {
 }
 
 func (o *syntheticOracle) Bound(gamma float64) float64 { return o.bound(gamma) }
+
+// CacheStats reports the result-cache hit/miss counters of an indexed
+// oracle; ok is false on the unindexed path, which has no cache. The
+// serving layer reads these for its /metrics endpoint.
+func (o *syntheticOracle) CacheStats() (hits, misses uint64, ok bool) {
+	if o.cache == nil {
+		return 0, 0, false
+	}
+	hits, misses = o.cache.Stats()
+	return hits, misses, true
+}

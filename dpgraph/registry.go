@@ -362,6 +362,18 @@ func Mechanisms() []Descriptor {
 	return out
 }
 
+// OracleMechanisms returns the names of the mechanisms offering an
+// Oracle runner (the release-once/query-many path), sorted.
+func OracleMechanisms() []string {
+	var names []string
+	for _, d := range Mechanisms() {
+		if d.Oracle != nil {
+			names = append(names, d.Name)
+		}
+	}
+	return names
+}
+
 // Mechanism looks up one descriptor by registry name.
 func Mechanism(name string) (Descriptor, bool) {
 	for _, d := range registry {

@@ -1,0 +1,89 @@
+package dpgraph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ReleaseSpec describes one oracle-backed release to materialize: which
+// mechanism to run, its arguments, and the privacy parameters of the
+// session that will pay for it. It is the single release-construction
+// path shared by the CLI query subcommand and the HTTP serving layer,
+// and doubles as the wire format of the server's POST /v1/releases body.
+//
+// Zero-valued parameters take the session defaults (epsilon 1, gamma
+// 0.05, scale 1, delta 0); Seed 0 keeps crypto-grade noise, and an empty
+// Index means unindexed serving.
+type ReleaseSpec struct {
+	// Mechanism is the registry name; it must carry an Oracle runner
+	// (see OracleMechanisms).
+	Mechanism string `json:"mechanism"`
+
+	// Root is the source vertex for single-source mechanisms (treesssp).
+	Root int `json:"root,omitempty"`
+	// MaxWeight is the public weight cap for bounded-weight mechanisms.
+	MaxWeight float64 `json:"maxweight,omitempty"`
+
+	// Epsilon, Delta, Gamma, and Scale are the session privacy
+	// parameters; zero values take the defaults (1, 0, 0.05, 1).
+	Epsilon float64 `json:"epsilon,omitempty"`
+	Delta   float64 `json:"delta,omitempty"`
+	Gamma   float64 `json:"gamma,omitempty"`
+	Scale   float64 `json:"scale,omitempty"`
+
+	// Seed, when nonzero, opts into deterministic noise (tests and
+	// experiments only; predictable noise offers no privacy).
+	Seed int64 `json:"seed,omitempty"`
+
+	// Index selects the query-speedup index over the materialized
+	// release: "", "off", "auto", "ch", or "alt" (ParseQueryIndexMode
+	// spellings; empty means off).
+	Index string `json:"index,omitempty"`
+}
+
+// Materialize opens a fresh, independently budgeted session over the
+// public topology and private weights, runs the mechanism's Oracle
+// runner — the only budget-charging step — and returns the oracle
+// together with the release result carrying the receipt. Every oracle
+// query afterwards is free post-processing.
+func (spec ReleaseSpec) Materialize(topology *Graph, private Weights) (DistanceOracle, Result, error) {
+	desc, ok := Mechanism(spec.Mechanism)
+	if !ok {
+		return nil, nil, fmt.Errorf("dpgraph: unknown mechanism %q", spec.Mechanism)
+	}
+	if desc.Oracle == nil {
+		return nil, nil, fmt.Errorf("dpgraph: mechanism %q releases no distance oracle; oracle-capable: %s",
+			spec.Mechanism, strings.Join(OracleMechanisms(), " "))
+	}
+	if desc.NeedsMaxWeight && !(spec.MaxWeight > 0) {
+		return nil, nil, fmt.Errorf("dpgraph: mechanism %q requires a positive maxweight", spec.Mechanism)
+	}
+	mode := IndexOff
+	if spec.Index != "" {
+		var err error
+		if mode, err = ParseQueryIndexMode(spec.Index); err != nil {
+			return nil, nil, err
+		}
+	}
+	opts := []Option{WithQueryIndex(mode)}
+	if spec.Epsilon != 0 {
+		opts = append(opts, WithEpsilon(spec.Epsilon))
+	}
+	if spec.Delta != 0 {
+		opts = append(opts, WithDelta(spec.Delta))
+	}
+	if spec.Gamma != 0 {
+		opts = append(opts, WithGamma(spec.Gamma))
+	}
+	if spec.Scale != 0 {
+		opts = append(opts, WithScale(spec.Scale))
+	}
+	if spec.Seed != 0 {
+		opts = append(opts, WithDeterministicSeed(spec.Seed))
+	}
+	pg, err := New(topology, private, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return desc.Oracle(pg, Args{Root: spec.Root, MaxWeight: spec.MaxWeight})
+}

@@ -1,0 +1,127 @@
+package dpgraph
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReleaseSpecMaterialize pins the shared CLI/server release
+// constructor to the direct session path: same seed, same mechanism,
+// same answers.
+func TestReleaseSpecMaterialize(t *testing.T) {
+	grid := Grid(5)
+	w := make([]float64, grid.M())
+	for i := range w {
+		w[i] = 1 + float64(i%3)
+	}
+
+	pg, err := New(grid, PrivateWeights(w), WithEpsilon(2), WithDeterministicSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := pg.Release()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := syn.Oracle()
+
+	oracle, res, err := ReleaseSpec{Mechanism: "release", Epsilon: 2, Seed: 11}.Materialize(grid, PrivateWeights(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Info().Mechanism != "release" || res.Info().Epsilon != 2 {
+		t.Errorf("release info = %+v", res.Info())
+	}
+	if oracle.N() != grid.N() {
+		t.Errorf("oracle serves %d vertices, want %d", oracle.N(), grid.N())
+	}
+	for _, p := range [][2]int{{0, 24}, {3, 17}, {5, 5}} {
+		got, err := oracle.Distance(p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := want.Distance(p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != ref {
+			t.Errorf("Distance(%d, %d) = %g via spec, %g via session", p[0], p[1], got, ref)
+		}
+	}
+}
+
+// TestReleaseSpecIndexed checks that an Index spelling flows through to
+// the indexed oracle and answers match the unindexed release bit-wise
+// on a seeded session.
+func TestReleaseSpecIndexed(t *testing.T) {
+	grid := Grid(6)
+	w := make([]float64, grid.M())
+	for i := range w {
+		w[i] = float64(1 + i%5)
+	}
+	plainO, _, err := ReleaseSpec{Mechanism: "release", Seed: 3}.Materialize(grid, PrivateWeights(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chO, _, err := ReleaseSpec{Mechanism: "release", Seed: 3, Index: "ch"}.Materialize(grid, PrivateWeights(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := chO.(interface {
+		CacheStats() (uint64, uint64, bool)
+	}).CacheStats(); !ok {
+		t.Error("indexed oracle reports no cache stats")
+	}
+	for s := 0; s < grid.N(); s += 7 {
+		for u := 0; u < grid.N(); u += 5 {
+			a, err1 := plainO.Distance(s, u)
+			b, err2 := chO.Distance(s, u)
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			if diff := a - b; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("Distance(%d, %d): unindexed %g vs ch %g", s, u, a, b)
+			}
+		}
+	}
+}
+
+func TestReleaseSpecTreeRoot(t *testing.T) {
+	tree := BalancedBinaryTree(15)
+	w := make([]float64, tree.M())
+	for i := range w {
+		w[i] = 2
+	}
+	oracle, res, err := ReleaseSpec{Mechanism: "treesssp", Root: 3, Seed: 9}.Materialize(tree, PrivateWeights(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.(*TreeSSSPResult).Root; got != 3 {
+		t.Errorf("release root = %d, want 3", got)
+	}
+	if d, err := oracle.Distance(3, 3); err != nil || d != 0 {
+		t.Errorf("Distance(root, root) = (%g, %v)", d, err)
+	}
+}
+
+func TestReleaseSpecErrors(t *testing.T) {
+	grid := Grid(3)
+	w := make([]float64, grid.M())
+	cases := []struct {
+		spec ReleaseSpec
+		want string
+	}{
+		{ReleaseSpec{Mechanism: "nope"}, "unknown mechanism"},
+		{ReleaseSpec{Mechanism: "mst"}, "no distance oracle"},
+		{ReleaseSpec{Mechanism: "bounded"}, "maxweight"},
+		{ReleaseSpec{Mechanism: "release", Index: "bogus"}, "index mode"},
+		{ReleaseSpec{Mechanism: "release", Epsilon: -1}, "epsilon"},
+		{ReleaseSpec{Mechanism: "release", Gamma: 2}, "gamma"},
+	}
+	for _, c := range cases {
+		_, _, err := c.spec.Materialize(grid, PrivateWeights(w))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("spec %+v: err = %v, want substring %q", c.spec, err, c.want)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package index
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // PairCache is a sharded, lock-striped s-t result cache for repeated
 // distance queries. Keys are (s, t) vertex pairs; callers on undirected
@@ -19,7 +22,23 @@ const cacheShards = 64 // power of two; see shardOf
 
 type pairShard struct {
 	mu sync.RWMutex
-	m  map[uint64]float64
+	m  map[pairKey]float64
+	// hits/misses live per shard so the hot Get path spreads its
+	// counter traffic across the stripes like its locking, instead of
+	// serializing every lookup on one shared cache line.
+	hits, misses atomic.Uint64
+}
+
+// pairKey carries both endpoints at full width. Truncating either
+// coordinate (e.g. packing two uint32 halves into a uint64) would make
+// distinct pairs collide on graphs with more than 2^32 vertices and
+// silently serve a wrong cached distance for one of them.
+type pairKey struct {
+	s, t int64
+}
+
+func makePairKey(s, t int) pairKey {
+	return pairKey{s: int64(s), t: int64(t)}
 }
 
 // DefaultCacheCapacity is the total entry bound used by NewPairCache
@@ -39,32 +58,37 @@ func NewPairCache(capacity int) *PairCache {
 	return &PairCache{perShard: per}
 }
 
-func pairKey(s, t int) uint64 {
-	return uint64(uint32(s))<<32 | uint64(uint32(t))
+func (c *PairCache) shardOf(key pairKey) *pairShard {
+	// Fibonacci multiplicative hash over both coordinates; the high
+	// bits select the shard.
+	h := uint64(key.s)*0x9e3779b97f4a7c15 ^ uint64(key.t)*0xc2b2ae3d27d4eb4f
+	return &c.shards[(h*0x9e3779b97f4a7c15)>>(64-6)]
 }
 
-func (c *PairCache) shardOf(key uint64) *pairShard {
-	// Fibonacci multiplicative hash; the high bits select the shard.
-	return &c.shards[(key*0x9e3779b97f4a7c15)>>(64-6)]
-}
-
-// Get returns the cached distance for (s, t), if present.
+// Get returns the cached distance for (s, t), if present, counting the
+// lookup in the hit/miss statistics.
 func (c *PairCache) Get(s, t int) (float64, bool) {
-	sh := c.shardOf(pairKey(s, t))
+	key := makePairKey(s, t)
+	sh := c.shardOf(key)
 	sh.mu.RLock()
-	d, ok := sh.m[pairKey(s, t)]
+	d, ok := sh.m[key]
 	sh.mu.RUnlock()
+	if ok {
+		sh.hits.Add(1)
+	} else {
+		sh.misses.Add(1)
+	}
 	return d, ok
 }
 
 // Put records the distance for (s, t), evicting arbitrary entries from
 // the shard when it is full.
 func (c *PairCache) Put(s, t int, d float64) {
-	key := pairKey(s, t)
+	key := makePairKey(s, t)
 	sh := c.shardOf(key)
 	sh.mu.Lock()
 	if sh.m == nil {
-		sh.m = make(map[uint64]float64, c.perShard)
+		sh.m = make(map[pairKey]float64, c.perShard)
 	}
 	if len(sh.m) >= c.perShard {
 		drop := c.perShard / 8
@@ -81,6 +105,16 @@ func (c *PairCache) Put(s, t int, d float64) {
 	}
 	sh.m[key] = d
 	sh.mu.Unlock()
+}
+
+// Stats reports the cumulative Get hit/miss counters, summed across
+// the shards.
+func (c *PairCache) Stats() (hits, misses uint64) {
+	for i := range c.shards {
+		hits += c.shards[i].hits.Load()
+		misses += c.shards[i].misses.Load()
+	}
+	return hits, misses
 }
 
 // Len returns the current number of cached entries.

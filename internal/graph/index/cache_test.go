@@ -1,0 +1,52 @@
+package index
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestPairCacheNoTruncationCollision is the regression test for the
+// uint32-truncated key scheme, under which (s, t) and (s + 2^32, t)
+// shared one entry and the second query of such a pair returned the
+// first pair's cached distance.
+func TestPairCacheNoTruncationCollision(t *testing.T) {
+	if strconv.IntSize < 64 {
+		t.Skip("collision pattern needs 64-bit vertex IDs")
+	}
+	c := NewPairCache(1024)
+	const shift = int64(1) << 32
+	cases := [][2]int{
+		{1, 2},
+		{int(int64(1) + shift), 2},         // high bits of s truncated away
+		{1, int(int64(2) + shift)},         // high bits of t truncated away
+		{int(shift), 0},                    // s truncated to zero
+		{int(3 + shift), int(4 + 2*shift)}, // both coordinates oversized
+		{int(4 + 2*shift), int(3 + shift)}, // swapped orientation is distinct
+	}
+	for i, p := range cases {
+		c.Put(p[0], p[1], float64(100+i))
+	}
+	for i, p := range cases {
+		d, ok := c.Get(p[0], p[1])
+		if !ok || d != float64(100+i) {
+			t.Errorf("Get(%d, %d) = (%g, %v), want (%g, true)", p[0], p[1], d, ok, float64(100+i))
+		}
+	}
+	// A pair never inserted must miss even when its truncated image was.
+	if d, ok := c.Get(2, int(1+shift)); ok {
+		t.Errorf("Get(2, %d) hit with %g; distinct pair collided with a cached one", int(1+shift), d)
+	}
+}
+
+func TestPairCacheStats(t *testing.T) {
+	c := NewPairCache(64)
+	c.Get(1, 2)
+	c.Put(1, 2, 7)
+	c.Get(1, 2)
+	c.Get(1, 2)
+	c.Get(9, 9)
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 2 {
+		t.Errorf("Stats() = (%d, %d), want (2, 2)", hits, misses)
+	}
+}

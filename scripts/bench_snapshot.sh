@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Snapshot the serving and throughput bench group into BENCH_report.json:
 # ns/op and allocs/op for every BenchmarkOracleDistance, BenchmarkOracleBatch,
-# BenchmarkFillLaplace, and BenchmarkParallelRelease sub-benchmark, plus
+# BenchmarkFillLaplace, BenchmarkParallelRelease, and (HTTP layer)
+# BenchmarkServeDistance/BenchmarkServeBatch sub-benchmark, plus
 # enough metadata (go version, GOMAXPROCS, timestamp) to compare two
 # snapshots. CI runs this on every push so a perf regression shows up as
 # a diff in the uploaded report, not as an anecdote.
@@ -14,6 +15,9 @@ report="${1:-BENCH_report.json}"
 
 out=$(go test -bench 'BenchmarkOracleDistance|BenchmarkOracleBatch|BenchmarkFillLaplace|BenchmarkParallelRelease' \
     -benchmem -benchtime=20x -run '^$' .)
+serveout=$(go test -bench 'BenchmarkServeDistance|BenchmarkServeBatch' \
+    -benchmem -benchtime=20x -run '^$' ./internal/serve)
+out=$(printf '%s\n%s' "$out" "$serveout")
 echo "$out"
 
 goversion=$(go env GOVERSION)

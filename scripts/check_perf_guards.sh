@@ -13,6 +13,10 @@
 # 4. Indexed serving: on a >= 100k-edge synthetic release, the
 #    contraction-hierarchy oracle (WithQueryIndex) must answer point
 #    queries >= 10x faster than the unindexed per-query Dijkstra oracle.
+# 5. HTTP serving: a point query answered through the dpgraph serve
+#    handler (request parse + admission + JSON response) must stay
+#    within 2x of the same oracle called directly — the serving layer
+#    may not swallow the release-once/query-many win.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -84,6 +88,30 @@ else
         fail=1
     else
         echo "OK: indexed oracle >= 10x over unindexed Dijkstra"
+    fi
+fi
+
+# --- 5: HTTP serving overhead -----------------------------------------
+# One Grid(60) release: the same point queries answered by the oracle
+# directly versus through the serve handler. -count=2 with best-of
+# ratios de-flakes the gate. The 2x bound is generous (measured ~1.05x:
+# a few microseconds of HTTP atop a ~250us search) but catches any
+# accidental per-request release work or lock contention on the path.
+out=$(go test -bench '^BenchmarkServeDistance$' -benchtime=50x -count=2 -run '^$' ./internal/serve)
+echo "$out"
+direct=$(echo "$out" | awk '$1 ~ /^BenchmarkServeDistance\/direct(-[0-9]+)?$/ {if (min == "" || $3 < min) min = $3} END {print min}')
+served=$(echo "$out" | awk '$1 ~ /^BenchmarkServeDistance\/http(-[0-9]+)?$/ {if (min == "" || $3 < min) min = $3} END {print min}')
+if [ -z "$direct" ] || [ -z "$served" ]; then
+    echo "FAIL: could not parse BenchmarkServeDistance output" >&2
+    fail=1
+else
+    ratio=$(awk -v d="$direct" -v s="$served" 'BEGIN {printf "%.2f", s / d}')
+    echo "HTTP serving overhead over the direct oracle call: ${ratio}x"
+    if awk -v x="$ratio" 'BEGIN {exit !(x > 2)}'; then
+        echo "FAIL: serve hot path is ${ratio}x the direct oracle call, want <= 2x" >&2
+        fail=1
+    else
+        echo "OK: serve hot path within 2x of the direct oracle call"
     fi
 fi
 
