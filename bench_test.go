@@ -18,6 +18,7 @@
 package repro_test
 
 import (
+	"bytes"
 	"testing"
 
 	"repro/dpgraph"
@@ -275,6 +276,69 @@ func BenchmarkParallelRelease(b *testing.B) {
 	}
 	b.Run("serial", func(b *testing.B) { run(b, dp.NewSerialCryptoNoise) })
 	b.Run("parallel", func(b *testing.B) { run(b, dp.NewCryptoNoise) })
+}
+
+// --- Snapshot benchmarks: sealed-release restore ------------------------
+//
+// BenchmarkSnapshotRestore compares the two ways a replica can start
+// serving the same ≥100k-edge indexed release: re-materializing it from
+// the private weights (budget charge + noise + contraction hierarchy)
+// versus unsealing a snapshot artifact (decode + index rehydration,
+// zero budget). Both sub-benchmarks end with one answered query, so
+// ns/op is the restore-to-first-answer latency.
+// scripts/check_perf_guards.sh asserts unseal is ≥50x faster.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	g := dpgraph.Grid(225) // 2*225*224 = 100,800 edges
+	w := make([]float64, g.M())
+	for i := range w {
+		w[i] = 1 + float64(i%7)/7
+	}
+	materialize := func() (dpgraph.DistanceOracle, dpgraph.Result) {
+		pg, err := dpgraph.New(g, dpgraph.PrivateWeights(w),
+			dpgraph.WithEpsilon(1), dpgraph.WithDeterministicSeed(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rel, err := pg.Release()
+		if err != nil {
+			b.Fatal(err)
+		}
+		oracle, err := rel.IndexedOracle(dpgraph.IndexCH)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return oracle, rel
+	}
+	firstQuery := func(o dpgraph.DistanceOracle) {
+		if _, err := o.Distance(0, g.N()-1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("rematerialize", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			oracle, _ := materialize()
+			firstQuery(oracle)
+		}
+	})
+	b.Run("unseal", func(b *testing.B) {
+		oracle, rel := materialize()
+		var buf bytes.Buffer
+		if err := dpgraph.Seal(&buf, oracle, rel); err != nil {
+			b.Fatal(err)
+		}
+		data := buf.Bytes()
+		b.SetBytes(int64(len(data)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sealed, err := dpgraph.Unseal(bytes.NewReader(data))
+			if err != nil {
+				b.Fatal(err)
+			}
+			firstQuery(sealed.Oracle())
+		}
+	})
 }
 
 // BenchmarkOracleBatch answers a 256-pair workload per iteration through

@@ -16,15 +16,16 @@ import (
 )
 
 // runBenchServe is the load generator for a running dpgraph serve
-// daemon: it discovers the named release's vertex count from the
-// listing endpoint, fires n point or batch requests from c concurrent
-// workers over keep-alive connections, and reports throughput and
-// latency quantiles — the numbers behind EXPERIMENTS.md E21.
+// daemon: it discovers ready releases from the listing endpoint (all of
+// them, or just -release when given), fires n point or batch requests
+// from c concurrent workers over keep-alive connections, and reports
+// throughput and latency quantiles — the numbers behind
+// EXPERIMENTS.md E21.
 func runBenchServe(out *os.File, args []string) error {
 	fs := flag.NewFlagSet("dpgraph bench-serve", flag.ContinueOnError)
 	var (
 		baseURL = fs.String("url", "http://127.0.0.1:8080", "base URL of a running dpgraph serve")
-		release = fs.String("release", "", "release name to query (required)")
+		release = fs.String("release", "", "release name to query (default: fan across every ready release)")
 		n       = fs.Int("n", 10000, "total requests to send")
 		c       = fs.Int("c", 8, "concurrent client workers")
 		batch   = fs.Int("batch", 1, "pairs per request (1: point endpoint, >1: batch endpoint)")
@@ -36,44 +37,40 @@ func runBenchServe(out *os.File, args []string) error {
 	if fs.NArg() > 0 {
 		return fmt.Errorf("bench-serve takes no positional arguments, got %q", fs.Args())
 	}
-	if *release == "" {
-		return fmt.Errorf("bench-serve requires -release NAME (see GET %s/v1/releases)", *baseURL)
-	}
 	if *n < 1 || *c < 1 || *batch < 1 {
 		return fmt.Errorf("-n, -c, and -batch must be >= 1")
 	}
 
-	nv, err := releaseVertices(*baseURL, *release)
+	targets, err := benchReleases(*baseURL, *release)
 	if err != nil {
 		return err
 	}
-	if nv < 2 {
-		return fmt.Errorf("release %q serves %d vertices; need >= 2 to generate pairs", *release, nv)
-	}
 
-	// Pregenerate a shared pool of pairs (and batch bodies) so workers
-	// spend their time on requests, not on formatting.
+	// Pregenerate a shared pool of request targets (and batch bodies),
+	// spreading pool slots across the benched releases, so workers spend
+	// their time on requests, not on formatting.
 	rng := rand.New(rand.NewSource(*seed))
 	const pool = 1024
 	urls := make([]string, pool)
 	bodies := make([]string, pool)
 	for i := range urls {
+		tgt := targets[i%len(targets)]
 		if *batch == 1 {
-			urls[i] = fmt.Sprintf("%s/v1/releases/%s/distance?s=%d&t=%d", *baseURL, *release, rng.Intn(nv), rng.Intn(nv))
+			urls[i] = fmt.Sprintf("%s/v1/releases/%s/distance?s=%d&t=%d", *baseURL, tgt.name, rng.Intn(tgt.n), rng.Intn(tgt.n))
 			continue
 		}
+		urls[i] = fmt.Sprintf("%s/v1/releases/%s/distances", *baseURL, tgt.name)
 		var b strings.Builder
 		b.WriteString("[")
 		for k := 0; k < *batch; k++ {
 			if k > 0 {
 				b.WriteString(",")
 			}
-			fmt.Fprintf(&b, "[%d,%d]", rng.Intn(nv), rng.Intn(nv))
+			fmt.Fprintf(&b, "[%d,%d]", rng.Intn(tgt.n), rng.Intn(tgt.n))
 		}
 		b.WriteString("]")
 		bodies[i] = b.String()
 	}
-	batchURL := fmt.Sprintf("%s/v1/releases/%s/distances", *baseURL, *release)
 
 	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *c}}
 	var (
@@ -100,7 +97,7 @@ func runBenchServe(out *os.File, args []string) error {
 				if *batch == 1 {
 					resp, err = client.Get(urls[i%pool])
 				} else {
-					resp, err = client.Post(batchURL, "application/json", strings.NewReader(bodies[i%pool]))
+					resp, err = client.Post(urls[i%pool], "application/json", strings.NewReader(bodies[i%pool]))
 				}
 				if err == nil {
 					_, _ = io.Copy(io.Discard, resp.Body)
@@ -132,9 +129,13 @@ func runBenchServe(out *os.File, args []string) error {
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	q := func(p float64) time.Duration { return all[int(p*float64(len(all)-1))] }
 
+	var names []string
+	for _, tgt := range targets {
+		names = append(names, tgt.name)
+	}
 	pairs := int64(len(all)) * int64(*batch)
-	fmt.Fprintf(out, "bench-serve: %d ok / %d failed requests against release %q in %.2fs (%d workers, batch %d)\n",
-		len(all), failures.Load(), *release, elapsed.Seconds(), *c, *batch)
+	fmt.Fprintf(out, "bench-serve: %d ok / %d failed requests against release(s) %s in %.2fs (%d workers, batch %d)\n",
+		len(all), failures.Load(), strings.Join(names, " "), elapsed.Seconds(), *c, *batch)
 	fmt.Fprintf(out, "throughput: %.1f requests/s, %.1f pairs/s\n",
 		float64(len(all))/elapsed.Seconds(), float64(pairs)/elapsed.Seconds())
 	fmt.Fprintf(out, "latency: p50 %s  p90 %s  p99 %s\n", q(0.50), q(0.90), q(0.99))
@@ -144,20 +145,28 @@ func runBenchServe(out *os.File, args []string) error {
 	return nil
 }
 
-// releaseVertices asks the serving daemon for the named release's
-// vertex count.
-func releaseVertices(baseURL, name string) (int, error) {
+// benchRelease is one release the generator fires at: its name and the
+// vertex count pairs are drawn from.
+type benchRelease struct {
+	name string
+	n    int
+}
+
+// benchReleases asks the serving daemon for the benchable releases:
+// the named one when name is non-empty (it must be ready), otherwise
+// every ready release with enough vertices to generate pairs.
+func benchReleases(baseURL, name string) ([]benchRelease, error) {
 	resp, err := http.Get(baseURL + "/v1/releases")
 	if err != nil {
-		return 0, fmt.Errorf("listing releases: %w", err)
+		return nil, fmt.Errorf("listing releases: %w", err)
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return 0, fmt.Errorf("listing releases: status %s: %s", resp.Status, data)
+		return nil, fmt.Errorf("listing releases: status %s: %s", resp.Status, data)
 	}
 	var list struct {
 		Releases []struct {
@@ -167,20 +176,35 @@ func releaseVertices(baseURL, name string) (int, error) {
 		} `json:"releases"`
 	}
 	if err := json.Unmarshal(data, &list); err != nil {
-		return 0, fmt.Errorf("bad listing: %w", err)
+		return nil, fmt.Errorf("bad listing: %w", err)
 	}
-	for _, rel := range list.Releases {
-		if rel.Name != name {
-			continue
+	if name != "" {
+		for _, rel := range list.Releases {
+			if rel.Name != name {
+				continue
+			}
+			if rel.Status != "ready" {
+				return nil, fmt.Errorf("release %q is %s, not ready", name, rel.Status)
+			}
+			if rel.N < 2 {
+				return nil, fmt.Errorf("release %q serves %d vertices; need >= 2 to generate pairs", name, rel.N)
+			}
+			return []benchRelease{{name: rel.Name, n: rel.N}}, nil
 		}
-		if rel.Status != "ready" {
-			return 0, fmt.Errorf("release %q is %s, not ready", name, rel.Status)
+		var names []string
+		for _, rel := range list.Releases {
+			names = append(names, rel.Name)
 		}
-		return rel.N, nil
+		return nil, fmt.Errorf("release %q not found; server has: %s", name, strings.Join(names, " "))
 	}
-	var names []string
+	var targets []benchRelease
 	for _, rel := range list.Releases {
-		names = append(names, rel.Name)
+		if rel.Status == "ready" && rel.N >= 2 {
+			targets = append(targets, benchRelease{name: rel.Name, n: rel.N})
+		}
 	}
-	return 0, fmt.Errorf("release %q not found; server has: %s", name, strings.Join(names, " "))
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("no ready releases to bench (see GET %s/v1/releases)", baseURL)
+	}
+	return targets, nil
 }

@@ -100,13 +100,27 @@ func run(out *os.File, in io.Reader, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	// bench-serve targets a running server, not a graph file; dispatch
-	// before the -graph requirement.
-	if fs.NArg() >= 1 && fs.Arg(0) == "bench-serve" {
-		if err := rejectGlobalFlags(fs, "bench-serve", nil); err != nil {
-			return err
+	// bench-serve targets a running server, unseal an artifact, and
+	// version/keygen nothing at all — none reads a graph file, so they
+	// dispatch before the -graph requirement.
+	if fs.NArg() >= 1 {
+		switch fs.Arg(0) {
+		case "bench-serve", "version", "keygen", "unseal":
+			if err := rejectGlobalFlags(fs, fs.Arg(0), nil); err != nil {
+				return err
+			}
+			rest := fs.Args()[1:]
+			switch fs.Arg(0) {
+			case "bench-serve":
+				return runBenchServe(out, rest)
+			case "version":
+				return runVersion(out, rest)
+			case "keygen":
+				return runKeygen(out, rest)
+			default:
+				return runUnseal(out, in, rest)
+			}
 		}
-		return runBenchServe(out, fs.Args()[1:])
 	}
 	if *graphPath == "" || fs.NArg() < 1 {
 		usage(fs)
@@ -114,10 +128,11 @@ func run(out *os.File, in io.Reader, args []string) error {
 	}
 	cmd := fs.Arg(0)
 	queryMode := cmd == "query"
+	sealMode := cmd == "seal"
 	mechArgs := fs.Args()[1:]
-	if queryMode {
+	if queryMode || sealMode {
 		if fs.NArg() < 2 {
-			return fmt.Errorf("query needs a mechanism: query MECHANISM [args] with pairs on stdin")
+			return fmt.Errorf("%[1]s needs a mechanism: %[1]s MECHANISM [args]", fs.Arg(0))
 		}
 		cmd = fs.Arg(1)
 		mechArgs = fs.Args()[2:]
@@ -138,11 +153,11 @@ func run(out *os.File, in io.Reader, args []string) error {
 	}
 
 	desc, ok := dpgraph.Mechanism(cmd)
-	if !ok || (!queryMode && desc.Run == nil) {
+	if !ok || (!queryMode && !sealMode && desc.Run == nil) {
 		usage(fs)
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
-	if queryMode && desc.Oracle == nil {
+	if (queryMode || sealMode) && desc.Oracle == nil {
 		return fmt.Errorf("mechanism %q releases no distance oracle; oracle-capable: %s", cmd, strings.Join(dpgraph.OracleMechanisms(), " "))
 	}
 	if desc.NeedsMaxWeight && !(*maxWeight > 0) {
@@ -158,15 +173,11 @@ func run(out *os.File, in io.Reader, args []string) error {
 	if err != nil {
 		return err
 	}
-	if idxMode != dpgraph.IndexOff && !queryMode {
-		return fmt.Errorf("-index only applies to the query subcommand")
+	if idxMode != dpgraph.IndexOff && !queryMode && !sealMode {
+		return fmt.Errorf("-index only applies to the query and seal subcommands")
 	}
 
-	if queryMode {
-		q, err := parseArgs(desc.Name, desc.OracleArgs, mechArgs)
-		if err != nil {
-			return err
-		}
+	if queryMode || sealMode {
 		// ReleaseSpec reads zero-valued parameters as "use the default",
 		// but a flag explicitly set to an invalid value must still fail
 		// loudly, not silently run at the default. The flag defaults are
@@ -185,7 +196,6 @@ func run(out *os.File, in io.Reader, args []string) error {
 		// carries.
 		spec := dpgraph.ReleaseSpec{
 			Mechanism: desc.Name,
-			Root:      q.Root,
 			MaxWeight: *maxWeight,
 			Epsilon:   *eps,
 			Delta:     *delta,
@@ -194,6 +204,17 @@ func run(out *os.File, in io.Reader, args []string) error {
 			Seed:      *seed,
 			Index:     *indexMode,
 		}
+		if sealMode {
+			if *workers != 1 {
+				return fmt.Errorf("-workers only applies to the query subcommand")
+			}
+			return runSeal(out, g, w, desc, spec, mechArgs)
+		}
+		q, err := parseArgs(desc.Name, desc.OracleArgs, mechArgs)
+		if err != nil {
+			return err
+		}
+		spec.Root = q.Root
 		return runQuery(out, in, g, w, spec, desc.Name, *gamma, *jsonOut, *workers)
 	}
 	if *workers != 1 {
@@ -478,8 +499,11 @@ func parseArgs(mech string, names []string, args []string) (dpgraph.Args, error)
 func usage(fs *flag.FlagSet) {
 	fmt.Fprintln(os.Stderr, "usage: dpgraph -graph FILE [flags] SUBCOMMAND [args]")
 	fmt.Fprintln(os.Stderr, "       dpgraph -graph FILE [flags] query MECHANISM [args] < pairs")
+	fmt.Fprintln(os.Stderr, "       dpgraph -graph FILE [flags] seal MECHANISM [-out FILE] [-key PEM] [args]")
+	fmt.Fprintln(os.Stderr, "       dpgraph unseal [-in FILE] [-verify PEM] [-json] [-query < pairs]")
 	fmt.Fprintln(os.Stderr, "       dpgraph -graph FILE serve [-addr HOST:PORT] [serve flags]")
-	fmt.Fprintln(os.Stderr, "       dpgraph bench-serve -release NAME [bench flags]")
+	fmt.Fprintln(os.Stderr, "       dpgraph bench-serve [-release NAME] [bench flags]")
+	fmt.Fprintln(os.Stderr, "       dpgraph keygen [-out KEY] [-pub PUB] | dpgraph version [-json]")
 	fmt.Fprintln(os.Stderr, "\nflags:")
 	fs.PrintDefaults()
 	fmt.Fprintln(os.Stderr, "\nsubcommands (from the dpgraph mechanism registry):")
@@ -513,4 +537,9 @@ func usage(fs *flag.FlagSet) {
 		"/v1/releases materializes named releases, GET/POST distance\n"+
 		"endpoints answer queries with zero extra budget; bench-serve is\n"+
 		"its load generator. Each prints its own -h.")
+	fmt.Fprintln(os.Stderr, "\nseal / unseal: write a materialized release as a signed snapshot\n"+
+		"artifact and restore it elsewhere — bit-identical answers, the\n"+
+		"origin receipt carried along, zero budget spent on restore. keygen\n"+
+		"mints the ed25519 pair; version prints the build stamp artifacts\n"+
+		"embed as their writer.")
 }

@@ -1,0 +1,238 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// gridGraphFile writes a small weighted grid in the text format the
+// -graph flag reads.
+func gridGraphFile(t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+	// 3x3 grid: vertices r*3+c, unit weights.
+	b.WriteString("graph 9\n")
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			v := r*3 + c
+			if c < 2 {
+				b.WriteString("edge " + itoa(v) + " " + itoa(v+1) + " 1\n")
+			}
+			if r < 2 {
+				b.WriteString("edge " + itoa(v) + " " + itoa(v+3) + " 1\n")
+			}
+		}
+	}
+	return writeFile(t, "grid.txt", b.String())
+}
+
+func itoa(v int) string {
+	if v >= 10 {
+		return string(rune('0'+v/10)) + string(rune('0'+v%10))
+	}
+	return string(rune('0' + v))
+}
+
+// TestRunSealUnsealRoundTrip seals a seeded release to a file, then
+// unseals it: the info output must describe the release, and -query
+// answers must match what the query subcommand says about the same
+// seeded release — the snapshot changes the transport, not the bits.
+func TestRunSealUnsealRoundTrip(t *testing.T) {
+	graph := gridGraphFile(t)
+	art := filepath.Join(t.TempDir(), "rel.dpsnap")
+	out, err := capture(t, []string{"-graph", graph, "-eps", "1", "-seed", "7", "-index", "ch",
+		"seal", "release", "-out", art})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"sealed", "privacy receipt"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("seal output missing %q:\n%s", want, out)
+		}
+	}
+
+	info, err := capture(t, []string{"unseal", "-in", art})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"9 vertices, 12 edges", "index ch", "signed: false", "privacy receipt"} {
+		if !strings.Contains(info, want) {
+			t.Errorf("unseal info missing %q:\n%s", want, info)
+		}
+	}
+
+	pairs := "0 8\n3 5\n"
+	fromSnap, err := captureWithStdin(t, pairs, []string{"unseal", "-in", art, "-query"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromQuery, err := captureWithStdin(t, pairs, []string{"-graph", graph, "-eps", "1", "-seed", "7", "-index", "ch",
+		"query", "release"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first len(pairs) lines are the answers; they must agree to
+	// the last printed digit.
+	snapLines, queryLines := strings.Split(fromSnap, "\n"), strings.Split(fromQuery, "\n")
+	for i := 0; i < 2; i++ {
+		if snapLines[i] != queryLines[i] {
+			t.Errorf("pair %d: unseal -query says %q, query says %q", i, snapLines[i], queryLines[i])
+		}
+	}
+
+	// JSON info parses and reports the artifact shape.
+	jsonInfo, err := capture(t, []string{"unseal", "-in", art, "-json"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Mechanism string  `json:"mechanism"`
+		N         int     `json:"n"`
+		M         int     `json:"m"`
+		Index     string  `json:"index"`
+		Bound     float64 `json:"bound"`
+	}
+	if err := json.Unmarshal([]byte(jsonInfo), &got); err != nil {
+		t.Fatalf("bad unseal -json: %v\n%s", err, jsonInfo)
+	}
+	if got.Mechanism != "release" || got.N != 9 || got.M != 12 || got.Index != "ch" || got.Bound <= 0 {
+		t.Errorf("unseal -json = %+v", got)
+	}
+}
+
+// TestRunKeygenSealSigned mints a key pair, seals with the private
+// key, and verifies with the public one; verification against a
+// foreign key must fail, as must tampered bytes.
+func TestRunKeygenSealSigned(t *testing.T) {
+	graph := gridGraphFile(t)
+	dir := t.TempDir()
+	key, pub := filepath.Join(dir, "snap.key"), filepath.Join(dir, "snap.pub")
+	if _, err := capture(t, []string{"keygen", "-out", key, "-pub", pub}); err != nil {
+		t.Fatal(err)
+	}
+	// keygen refuses to clobber the private key.
+	if _, err := capture(t, []string{"keygen", "-out", key, "-pub", pub}); err == nil {
+		t.Fatal("keygen overwrote an existing private key")
+	}
+
+	art := filepath.Join(dir, "rel.dpsnap")
+	if _, err := capture(t, []string{"-graph", graph, "-eps", "1", "-seed", "3",
+		"seal", "release", "-out", art, "-key", key}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := capture(t, []string{"unseal", "-in", art, "-verify", pub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(info, "signed: true, verified: true") {
+		t.Errorf("verified unseal output:\n%s", info)
+	}
+
+	// A different key must not verify.
+	otherKey, otherPub := filepath.Join(dir, "other.key"), filepath.Join(dir, "other.pub")
+	if _, err := capture(t, []string{"keygen", "-out", otherKey, "-pub", otherPub}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture(t, []string{"unseal", "-in", art, "-verify", otherPub}); err == nil {
+		t.Fatal("unseal verified against the wrong key")
+	}
+
+	// Tampered artifact bytes must not unseal.
+	data, err := os.ReadFile(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x10
+	bad := filepath.Join(dir, "bad.dpsnap")
+	if err := os.WriteFile(bad, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture(t, []string{"unseal", "-in", bad}); err == nil {
+		t.Fatal("unseal accepted tampered bytes")
+	}
+}
+
+// TestRunSealSameAnswers: two independent seeded seals are separate
+// releases (fresh receipts), but with the same seed they release the
+// same weights, so their restored oracles agree bit for bit.
+func TestRunSealSameAnswers(t *testing.T) {
+	graph := gridGraphFile(t)
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.dpsnap"), filepath.Join(dir, "b.dpsnap")
+	for _, out := range []string{a, b} {
+		if _, err := capture(t, []string{"-graph", graph, "-eps", "1", "-seed", "5", "-index", "alt",
+			"seal", "release", "-out", out}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pairs := "0 8\n2 6\n4 4\n"
+	ansA, err := captureWithStdin(t, pairs, []string{"unseal", "-in", a, "-query"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ansB, err := captureWithStdin(t, pairs, []string{"unseal", "-in", b, "-query"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, lb := strings.Split(ansA, "\n"), strings.Split(ansB, "\n")
+	for i := 0; i < 3; i++ {
+		if la[i] != lb[i] {
+			t.Errorf("pair %d: %q vs %q", i, la[i], lb[i])
+		}
+	}
+}
+
+func TestRunSealUnsealErrors(t *testing.T) {
+	graph := gridGraphFile(t)
+	art := filepath.Join(t.TempDir(), "rel.dpsnap")
+	if _, err := capture(t, []string{"-graph", graph, "-eps", "1", "-seed", "7", "seal", "release", "-out", art}); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]string{
+		{"-graph", graph, "seal"},                             // missing mechanism
+		{"-graph", graph, "seal", "mst"},                      // no oracle
+		{"-graph", graph, "-maxweight", "4", "seal", "apsd"},  // oracle, but not sealable
+		{"-graph", graph, "-workers", "4", "seal", "release"}, // workers is query-only
+		{"unseal", "-in", art, "extra"},                       // positional args
+		{"unseal", "-query"},                                  // -query needs -in
+		{"unseal", "-in", art, "-gamma", "2"},                 // bad gamma
+		{"unseal", "-in", filepath.Join(t.TempDir(), "missing.dpsnap")},
+		{"-graph", graph, "unseal", "-in", art}, // global flags rejected
+	}
+	for _, args := range cases {
+		if _, err := captureWithStdin(t, "0 1\n", args); err == nil {
+			t.Errorf("%v accepted", args)
+		}
+	}
+}
+
+func TestRunVersion(t *testing.T) {
+	out, err := capture(t, []string{"version"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "snapshot writer id:") {
+		t.Errorf("version output:\n%s", out)
+	}
+	jsonOut, err := capture(t, []string{"version", "-json"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Module    string `json:"module"`
+		GoVersion string `json:"go_version"`
+		Writer    string `json:"writer"`
+	}
+	if err := json.Unmarshal([]byte(jsonOut), &got); err != nil {
+		t.Fatalf("bad version -json: %v\n%s", err, jsonOut)
+	}
+	if got.GoVersion == "" || got.Writer == "" {
+		t.Errorf("version -json = %+v", got)
+	}
+	if _, err := capture(t, []string{"version", "extra"}); err == nil {
+		t.Error("version accepted positional args")
+	}
+}

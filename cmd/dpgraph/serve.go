@@ -13,6 +13,7 @@ import (
 
 	"repro/dpgraph"
 	"repro/internal/serve"
+	"repro/internal/snapshot"
 )
 
 // serveListening is a test seam: when non-nil it receives the bound
@@ -31,6 +32,9 @@ func runServe(out *os.File, g *dpgraph.Graph, w []float64, args []string) error 
 		maxInflight = fs.Int("max-inflight", 256, "default per-release cap on concurrent in-flight requests (0: unlimited; specs may override with max_inflight)")
 		maxReleases = fs.Int("max-releases", serve.DefaultMaxReleases, "cap on registered releases (bounds memory and cumulative privacy loss)")
 		allowSeeded = fs.Bool("allow-seeded", false, "accept specs with a deterministic seed (NO privacy; tests and demos only)")
+		snapDir     = fs.String("snapshot-dir", "", "restore every *.dpsnap sealed release in this directory at boot")
+		snapKey     = fs.String("snapshot-key", "", "ed25519 private key (PEM) used to sign exported snapshots")
+		snapVerify  = fs.String("snapshot-verify", "", "ed25519 public key (PEM); imported and restored snapshots must verify against it")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -45,12 +49,35 @@ func runServe(out *os.File, g *dpgraph.Graph, w []float64, args []string) error 
 		return fmt.Errorf("-max-releases must be >= 1, got %d", *maxReleases)
 	}
 
-	srv := serve.New(g, w, serve.Config{
+	cfg := serve.Config{
 		MaxBodyBytes: *maxBody,
 		MaxInflight:  *maxInflight,
 		MaxReleases:  *maxReleases,
 		AllowSeeded:  *allowSeeded,
-	})
+	}
+	if *snapKey != "" {
+		key, err := snapshot.LoadPrivateKey(*snapKey)
+		if err != nil {
+			return fmt.Errorf("-snapshot-key: %w", err)
+		}
+		cfg.SigningKey = key
+	}
+	if *snapVerify != "" {
+		key, err := snapshot.LoadPublicKey(*snapVerify)
+		if err != nil {
+			return fmt.Errorf("-snapshot-verify: %w", err)
+		}
+		cfg.VerifyKey = key
+	}
+
+	srv := serve.New(g, w, cfg)
+	if *snapDir != "" {
+		n, err := srv.RestoreDir(*snapDir)
+		if err != nil {
+			return fmt.Errorf("restoring snapshots from %s: %w", *snapDir, err)
+		}
+		fmt.Fprintf(out, "dpgraph: restored %d sealed release(s) from %s\n", n, *snapDir)
+	}
 	hs := &http.Server{
 		Handler: srv.Handler(),
 		// Bound how long a client may dribble headers or a body; without

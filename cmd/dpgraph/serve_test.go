@@ -149,10 +149,33 @@ func TestRunBenchServe(t *testing.T) {
 	}
 }
 
+// TestRunBenchServeFanOut: with no -release the generator spreads its
+// load across every ready release the daemon lists.
+func TestRunBenchServeFanOut(t *testing.T) {
+	ts := benchTarget(t)
+	resp, err := http.Post(ts.URL+"/v1/releases", "application/json",
+		strings.NewReader(`{"name":"second","mechanism":"release","seed":9}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create second release: status %d", resp.StatusCode)
+	}
+	out, err := capture(t, []string{"bench-serve", "-url", ts.URL, "-n", "40", "-c", "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"40 ok / 0 failed", "main", "second"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fan-out output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRunBenchServeErrors(t *testing.T) {
 	ts := benchTarget(t)
 	cases := [][]string{
-		{"bench-serve"}, // missing -release
 		{"bench-serve", "-release", "nope", "-url", ts.URL},                          // unknown release
 		{"bench-serve", "-release", "main", "-url", ts.URL, "-n", "0"},               // bad counts
 		{"bench-serve", "-release", "main", "-url", "http://127.0.0.1:1", "-n", "4"}, // unreachable server

@@ -1,0 +1,325 @@
+package dpgraph
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/snapshot"
+)
+
+// sealedRelease materializes one seeded synthetic-graph release over
+// the E20 topology family (grid, uniform random weights) and returns
+// its oracle, result, and sealed bytes.
+func sealedRelease(t testing.TB, side int, seed int64, mode QueryIndexMode, opts ...SealOption) (DistanceOracle, Result, []byte) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := Grid(side)
+	w := UniformRandomWeights(g, 0.5, 3, rng)
+	pg, err := New(g, PrivateWeights(w), WithEpsilon(1), WithDeterministicSeed(seed), WithQueryIndex(mode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := pg.Release()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := rel.Oracle()
+	var buf bytes.Buffer
+	if err := Seal(&buf, oracle, rel, opts...); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	return oracle, rel, buf.Bytes()
+}
+
+// TestSealUnsealEquivalence is the round-trip property on the E20 grid
+// family: the unsealed oracle must answer bit-identically to its
+// origin release across the point, batch, and indexed query paths, and
+// carry the origin receipt without re-charging.
+func TestSealUnsealEquivalence(t *testing.T) {
+	for _, mode := range []QueryIndexMode{IndexOff, IndexCH, IndexALT} {
+		t.Run(mode.String(), func(t *testing.T) {
+			origin, rel, data := sealedRelease(t, 20, 17, mode)
+			sealed, err := Unseal(bytes.NewReader(data))
+			if err != nil {
+				t.Fatalf("Unseal: %v", err)
+			}
+			restored := sealed.Oracle()
+			if restored.N() != origin.N() {
+				t.Fatalf("restored N = %d, origin %d", restored.N(), origin.N())
+			}
+			wantKind := map[QueryIndexMode]string{IndexOff: "", IndexCH: "ch", IndexALT: "alt"}[mode]
+			if sealed.IndexKind() != wantKind {
+				t.Fatalf("IndexKind = %q, want %q", sealed.IndexKind(), wantKind)
+			}
+
+			// Point path, bit for bit.
+			rng := rand.New(rand.NewSource(5))
+			n := origin.N()
+			pairs := make([]VertexPair, 400)
+			for i := range pairs {
+				pairs[i] = VertexPair{S: rng.Intn(n), T: rng.Intn(n)}
+				a, err := origin.Distance(pairs[i].S, pairs[i].T)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := restored.Distance(pairs[i].S, pairs[i].T)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Float64bits(a) != math.Float64bits(b) {
+					t.Fatalf("pair (%d,%d): origin %v, restored %v", pairs[i].S, pairs[i].T, a, b)
+				}
+			}
+			// Batch path, bit for bit.
+			wantBatch, err := origin.Distances(pairs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotBatch, err := restored.Distances(pairs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range pairs {
+				if math.Float64bits(wantBatch[i]) != math.Float64bits(gotBatch[i]) {
+					t.Fatalf("batch[%d]: origin %v, restored %v", i, wantBatch[i], gotBatch[i])
+				}
+			}
+			// Error bounds and metadata match the origin result.
+			for _, gamma := range []float64{0.01, 0.05, 0.5} {
+				if a, b := origin.Bound(gamma), restored.Bound(gamma); math.Float64bits(a) != math.Float64bits(b) {
+					t.Fatalf("oracle bound at gamma %g: origin %v, restored %v", gamma, a, b)
+				}
+				if a, b := rel.Bound(gamma), sealed.Bound(gamma); math.Float64bits(a) != math.Float64bits(b) {
+					t.Fatalf("result bound at gamma %g: origin %v, restored %v", gamma, a, b)
+				}
+			}
+			// The receipt is carried, not re-charged.
+			or, sr := rel.Info().Receipt, sealed.Info().Receipt
+			if or.Mechanism != sr.Mechanism || or.Epsilon != sr.Epsilon || or.Delta != sr.Delta || !or.Time.Equal(sr.Time) {
+				t.Fatalf("receipt changed in transit: origin %v, restored %v", or, sr)
+			}
+			if sealed.Info().Epsilon != rel.Info().Epsilon || sealed.Info().NoiseScale != rel.Info().NoiseScale {
+				t.Fatalf("release info changed in transit: %+v vs %+v", sealed.Info(), rel.Info())
+			}
+		})
+	}
+}
+
+// TestUnsealedOracleConcurrent hammers a restored indexed oracle from
+// many goroutines under -race: the rehydrated index and its fresh
+// result cache must serve concurrently, agreeing with the origin.
+func TestUnsealedOracleConcurrent(t *testing.T) {
+	for _, mode := range []QueryIndexMode{IndexCH, IndexALT} {
+		origin, _, data := sealedRelease(t, 12, 23, mode)
+		sealed, err := Unseal(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored := sealed.Oracle()
+		n := restored.N()
+		want := make([]float64, n)
+		for v := 0; v < n; v++ {
+			d, err := origin.Distance(0, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[v] = d
+		}
+		var wg sync.WaitGroup
+		for wk := 0; wk < 8; wk++ {
+			wg.Add(1)
+			go func(wk int) {
+				defer wg.Done()
+				for i := 0; i < 200; i++ {
+					v := (i + wk*17) % n
+					d, err := restored.Distance(0, v)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if math.Float64bits(d) != math.Float64bits(want[v]) {
+						t.Errorf("concurrent query (0,%d) = %v, want %v", v, d, want[v])
+						return
+					}
+				}
+			}(wk)
+		}
+		wg.Wait()
+	}
+}
+
+// TestSealSignedRoundTrip exercises the signing options end to end:
+// verify with the right key, reject the wrong key and unsigned
+// artifacts.
+func TestSealSignedRoundTrip(t *testing.T) {
+	pub, priv, err := snapshot.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, data := sealedRelease(t, 8, 3, IndexCH, WithSigningKey(priv))
+
+	sealed, err := Unseal(bytes.NewReader(data), WithVerifyKey(pub))
+	if err != nil {
+		t.Fatalf("Unseal with verify key: %v", err)
+	}
+	if !sealed.Signed() || !sealed.Verified() {
+		t.Fatalf("signed artifact reported signed=%v verified=%v", sealed.Signed(), sealed.Verified())
+	}
+	if sealed.WriterVersion() == "" {
+		t.Fatal("sealed artifact carries no writer version")
+	}
+
+	otherPub, _, err := snapshot.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unseal(bytes.NewReader(data), WithVerifyKey(otherPub)); !errors.Is(err, ErrSnapshotBadSignature) {
+		t.Fatalf("wrong key: err = %v, want ErrSnapshotBadSignature", err)
+	}
+	_, _, unsigned := sealedRelease(t, 8, 3, IndexCH)
+	if _, err := Unseal(bytes.NewReader(unsigned), WithVerifyKey(pub)); !errors.Is(err, ErrSnapshotBadSignature) {
+		t.Fatalf("unsigned artifact: err = %v, want ErrSnapshotBadSignature", err)
+	}
+	// Without a verify key the signature is reported but unchecked.
+	sealed2, err := Unseal(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sealed2.Signed() || sealed2.Verified() {
+		t.Fatalf("unverified read reported signed=%v verified=%v", sealed2.Signed(), sealed2.Verified())
+	}
+}
+
+// TestSealRejectsNonSealable: lookup-backed oracles have no flat-array
+// form and must be refused, not mis-serialized.
+func TestSealRejectsNonSealable(t *testing.T) {
+	g := Grid(4)
+	rng := rand.New(rand.NewSource(9))
+	w := UniformRandomWeights(g, 1, 2, rng)
+	pg, err := New(g, PrivateWeights(w), WithDeterministicSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := pg.AllPairsDistances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Seal(&bytes.Buffer{}, rel.Oracle(), rel); !errors.Is(err, ErrNotSealable) {
+		t.Fatalf("sealing a table oracle: err = %v, want ErrNotSealable", err)
+	}
+}
+
+// TestUnsealRejectsForgedReceipt: an artifact whose receipt disagrees
+// with its own metadata must hard-fail even though the container
+// itself is well-formed — the receipt cross-check is the last line
+// against a spliced artifact.
+func TestUnsealRejectsForgedReceipt(t *testing.T) {
+	art := &snapshot.Artifact{
+		Meta: snapshot.Meta{
+			FormatVersion: snapshot.FormatVersion,
+			Mechanism:     "release",
+			Epsilon:       1,
+			NoiseScale:    4,
+			N:             2,
+			M:             1,
+			// Receipt claims a different epsilon than the metadata.
+			Receipt: json.RawMessage(`{"mechanism":"release","epsilon":8,"time":"2026-01-02T03:04:05Z"}`),
+		},
+		EdgeFrom: []uint32{0},
+		EdgeTo:   []uint32{1},
+		Weights:  []float64{1.5},
+	}
+	var buf bytes.Buffer
+	if err := snapshot.Write(&buf, art, snapshot.WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := Unseal(bytes.NewReader(buf.Bytes()))
+	if !errors.Is(err, ErrInvalidSnapshot) {
+		t.Fatalf("forged receipt: err = %v, want ErrInvalidSnapshot", err)
+	}
+	if sealed != nil {
+		t.Fatal("forged receipt returned a sealed release")
+	}
+
+	// Mismatched mechanism, same shape.
+	art.Meta.Receipt = json.RawMessage(`{"mechanism":"treesssp","epsilon":1,"time":"2026-01-02T03:04:05Z"}`)
+	buf.Reset()
+	if err := snapshot.Write(&buf, art, snapshot.WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unseal(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrInvalidSnapshot) {
+		t.Fatalf("forged mechanism: err = %v, want ErrInvalidSnapshot", err)
+	}
+}
+
+// FuzzUnseal throws corrupted archives at Unseal: truncations,
+// bit flips, and length-lying headers. The contract is typed errors
+// only — no panics, and never a partial oracle.
+func FuzzUnseal(f *testing.F) {
+	seeds := make([][]byte, 0, 8)
+	for _, mode := range []QueryIndexMode{IndexOff, IndexCH, IndexALT} {
+		_, _, data := sealedRelease(f, 5, int64(mode)+1, mode)
+		seeds = append(seeds, data)
+	}
+	_, priv, err := snapshot.GenerateKey()
+	if err != nil {
+		f.Fatal(err)
+	}
+	_, _, signed := sealedRelease(f, 5, 9, IndexCH, WithSigningKey(priv))
+	seeds = append(seeds, signed)
+
+	base := seeds[1]
+	// Truncations at structural boundaries.
+	for _, cut := range []int{0, 7, 8, 55, 56, 120, len(base) / 2, len(base) - 1} {
+		if cut < len(base) {
+			seeds = append(seeds, base[:cut])
+		}
+	}
+	// Bit flips in the header, table, and payload.
+	for _, pos := range []int{9, 12, 60, 80, 200, len(base) - 30} {
+		if pos >= 0 && pos < len(base) {
+			mut := append([]byte(nil), base...)
+			mut[pos] ^= 0x10
+			seeds = append(seeds, mut)
+		}
+	}
+	// Length-lying header: manifest length maxed out.
+	mut := append([]byte(nil), base...)
+	for i := 24; i < 32; i++ {
+		mut[i] = 0xFF
+	}
+	seeds = append(seeds, mut)
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sealed, err := Unseal(bytes.NewReader(data))
+		if err != nil {
+			if sealed != nil {
+				t.Fatal("Unseal returned a sealed release alongside an error")
+			}
+			if !errors.Is(err, ErrInvalidSnapshot) {
+				t.Fatalf("untyped error: %v", err)
+			}
+			return
+		}
+		// Accepted input must yield a fully working oracle.
+		o := sealed.Oracle()
+		if o == nil {
+			t.Fatal("accepted snapshot has no oracle")
+		}
+		if o.N() > 0 {
+			if _, err := o.Distance(0, o.N()-1); err != nil {
+				t.Fatalf("accepted snapshot's oracle fails: %v", err)
+			}
+		}
+		sealed.Bound(0.05)
+		_ = sealed.Summary()
+	})
+}

@@ -1,0 +1,143 @@
+package index
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// This file is the serialization boundary of the index package: a built
+// index exports its query-ready flat arrays, and those arrays rebuild
+// an equivalent index over the same (topology, weights) pair without
+// repeating construction. Only the expensive, non-derivable state is
+// exported — the CH upward graph (the product of contraction) and the
+// ALT landmark distance rows (k full Dijkstras). Everything cheaply
+// derivable from the topology and released weights (the simplified CSR,
+// component labels) is recomputed at rehydration instead, which both
+// shrinks snapshots and removes those arrays as a tamper surface:
+// a rehydrated index can never disagree with its own topology about
+// adjacency or connectivity.
+
+// FlatIndex is the flat-array form of a built index, the shape the
+// snapshot container stores. Kind selects which family the arrays
+// belong to; the unused family's fields are nil. The slices returned by
+// Export alias the live index — callers must treat them as read-only.
+type FlatIndex struct {
+	// Kind is "ch" or "alt" (Index.Kind spellings).
+	Kind string
+
+	// Contraction hierarchy: the frozen upward CSR. UpOff has N+1
+	// entries; UpTo/UpWt hold one entry per upward edge (original or
+	// shortcut).
+	UpOff []int32
+	UpTo  []int32
+	UpWt  []float64
+
+	// ALT: Landmarks distance rows, row l occupying LD[l*N : (l+1)*N]
+	// (+Inf where the landmark cannot reach the vertex).
+	Landmarks int
+	LD        []float64
+}
+
+// Export returns the flat-array form of an index built by Build. It
+// errs on index implementations this package does not know how to
+// flatten (there are none today; the check guards future families).
+func Export(idx Index) (*FlatIndex, error) {
+	switch c := idx.(type) {
+	case *chIndex:
+		return &FlatIndex{Kind: "ch", UpOff: c.upOff, UpTo: c.upTo, UpWt: c.upWt}, nil
+	case *altIndex:
+		return &FlatIndex{Kind: "alt", Landmarks: c.k, LD: c.ld}, nil
+	}
+	return nil, fmt.Errorf("index: cannot export index kind %q", idx.Kind())
+}
+
+// Rehydrate rebuilds a query-ready index over (g, w) from exported flat
+// arrays, skipping construction entirely: no contraction for CH, no
+// landmark Dijkstras for ALT. The simplified CSR and component labels
+// are recomputed from the topology, so they cannot be lied about; the
+// flat arrays themselves are validated structurally (bounds, monotone
+// offsets, nonnegative finite weights) because they may arrive from an
+// untrusted snapshot. A structurally valid but semantically wrong array
+// set yields wrong distances, not unsafety — authenticity is the
+// snapshot signature's job, not this function's.
+func Rehydrate(g *graph.Graph, w []float64, f *FlatIndex) (Index, error) {
+	if len(w) != g.M() {
+		return nil, fmt.Errorf("index: weight vector has %d entries for %d edges", len(w), g.M())
+	}
+	if g.Directed() {
+		return nil, fmt.Errorf("index: rehydration supports undirected topologies only")
+	}
+	for id, x := range w {
+		if x < 0 || math.IsNaN(x) {
+			return nil, fmt.Errorf("index: edge %d has weight %g; indexes require nonnegative weights", id, x)
+		}
+	}
+	p := prepare(g, w)
+	switch f.Kind {
+	case "ch":
+		return rehydrateCH(p, f)
+	case "alt":
+		return rehydrateALT(p, f)
+	}
+	return nil, fmt.Errorf("index: unknown flat index kind %q", f.Kind)
+}
+
+// rehydrateCH validates the upward-CSR invariants and freezes the
+// query structure around them.
+func rehydrateCH(p *prepared, f *FlatIndex) (Index, error) {
+	n := p.n
+	if len(f.UpOff) != n+1 {
+		return nil, fmt.Errorf("index: CH upward offsets have %d entries for %d vertices (want %d)", len(f.UpOff), n, n+1)
+	}
+	if f.UpOff[0] != 0 {
+		return nil, fmt.Errorf("index: CH upward offsets must start at 0, got %d", f.UpOff[0])
+	}
+	for v := 0; v < n; v++ {
+		if f.UpOff[v+1] < f.UpOff[v] {
+			return nil, fmt.Errorf("index: CH upward offsets decrease at vertex %d", v)
+		}
+	}
+	total := int(f.UpOff[n])
+	if len(f.UpTo) != total || len(f.UpWt) != total {
+		return nil, fmt.Errorf("index: CH upward arrays have %d targets / %d weights for %d offset entries", len(f.UpTo), len(f.UpWt), total)
+	}
+	for i, u := range f.UpTo {
+		if u < 0 || int(u) >= n {
+			return nil, fmt.Errorf("index: CH upward edge %d targets vertex %d outside [0, %d)", i, u, n)
+		}
+	}
+	for i, x := range f.UpWt {
+		if x < 0 || math.IsNaN(x) {
+			return nil, fmt.Errorf("index: CH upward edge %d has weight %g; want nonnegative", i, x)
+		}
+	}
+	c := &chIndex{n: n, comp: p.comp, upOff: f.UpOff, upTo: f.UpTo, upWt: f.UpWt}
+	c.pool.New = func() any {
+		return &chWorkspace{f: newSearchState(n), b: newSearchState(n)}
+	}
+	return c, nil
+}
+
+// rehydrateALT validates the landmark rows and rebuilds the A* index
+// over the recomputed simplified CSR.
+func rehydrateALT(p *prepared, f *FlatIndex) (Index, error) {
+	n := p.n
+	k := f.Landmarks
+	if k < 0 || k > maxLandmarks {
+		return nil, fmt.Errorf("index: ALT landmark count %d outside [0, %d]", k, maxLandmarks)
+	}
+	if len(f.LD) != k*n {
+		return nil, fmt.Errorf("index: ALT distance rows have %d entries for %d landmarks x %d vertices", len(f.LD), k, n)
+	}
+	for i, x := range f.LD {
+		if x < 0 || math.IsNaN(x) {
+			return nil, fmt.Errorf("index: ALT row entry %d is %g; want nonnegative or +Inf", i, x)
+		}
+	}
+	a := &altIndex{n: n, comp: p.comp, off: p.off, to: p.to, wt: p.wt, k: k, ld: f.LD}
+	a.pool = sync.Pool{New: func() any { return &altWork{st: newSearchState(n)} }}
+	return a, nil
+}

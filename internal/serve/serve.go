@@ -14,6 +14,8 @@
 //	GET    /v1/releases/{name}/distance    one s-t query (?s=&t=)
 //	POST   /v1/releases/{name}/distance    one s-t query ({"s":..,"t":..})
 //	POST   /v1/releases/{name}/distances   batch query (text lines or JSON array of pairs)
+//	GET    /v1/releases/{name}/snapshot    download the sealed snapshot artifact (receipt-hash ETag)
+//	POST   /v1/releases/{name}:import      register a release from an uploaded snapshot (zero budget)
 //	GET    /healthz                        liveness
 //	GET    /metrics                        query/cache/latency counters per release
 //
@@ -31,6 +33,7 @@
 package serve
 
 import (
+	"crypto/ed25519"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -63,6 +66,15 @@ type Config struct {
 	// noise is reproducible by anyone who knows the seed and therefore
 	// offers NO privacy; leave this false outside tests and demos.
 	AllowSeeded bool
+	// MaxSnapshotBytes bounds uploaded snapshot artifacts on the
+	// :import endpoint; <= 0 takes DefaultMaxSnapshotBytes.
+	MaxSnapshotBytes int64
+	// SigningKey, when set, signs every snapshot the server exports so
+	// replicas can verify provenance.
+	SigningKey ed25519.PrivateKey
+	// VerifyKey, when set, requires every imported or boot-restored
+	// snapshot to carry a signature verifying against it.
+	VerifyKey ed25519.PublicKey
 }
 
 // DefaultMaxBodyBytes bounds request bodies when Config leaves
@@ -106,6 +118,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/releases", s.handleList)
 	mux.HandleFunc("POST /v1/releases", s.handleCreate)
 	mux.HandleFunc("DELETE /v1/releases/{name}", s.handleDelete)
+	// The import spelling /v1/releases/{name}:import lands here with
+	// the wildcard capturing "name:import" (a colon cannot appear in a
+	// release name); the handler splits the verb back off.
+	mux.HandleFunc("POST /v1/releases/{name}", s.handleImport)
+	mux.HandleFunc("GET /v1/releases/{name}/snapshot", s.handleSnapshotGet)
 	mux.HandleFunc("GET /v1/releases/{name}/distance", s.handleDistance)
 	mux.HandleFunc("POST /v1/releases/{name}/distance", s.handleDistance)
 	mux.HandleFunc("POST /v1/releases/{name}/distances", s.handleDistances)

@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/dpgraph"
+	"repro/internal/snapshot"
+)
+
+// fetchSnapshot downloads a release's sealed artifact, returning the
+// status, body, and ETag.
+func fetchSnapshot(t *testing.T, url string) (int, []byte, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, data, resp.Header.Get("ETag")
+}
+
+// importSnapshot uploads artifact bytes to the :import endpoint.
+func importSnapshot(t *testing.T, baseURL, name string, data []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(baseURL+"/v1/releases/"+name+":import", "application/octet-stream", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, body
+}
+
+// distanceOf runs one point query and returns the answer bits.
+func distanceOf(t *testing.T, baseURL, name string, s, u int) PairAnswer {
+	t.Helper()
+	status, data := get(t, baseURL+"/v1/releases/"+name+"/distance?s="+itoa(s)+"&t="+itoa(u))
+	if status != http.StatusOK {
+		t.Fatalf("distance on %q: status %d: %s", name, status, data)
+	}
+	var ans PairAnswer
+	if err := json.Unmarshal(data, &ans); err != nil {
+		t.Fatalf("bad distance response: %v\n%s", err, data)
+	}
+	return ans
+}
+
+func itoa(v int) string {
+	return string(rune('0'+v/10)) + string(rune('0'+v%10))
+}
+
+// TestServeSnapshotRoundTrip is the daemon-side round trip: download a
+// release's snapshot, import it under a new name, and require
+// bit-identical answers with the origin receipt carried over — the
+// import must spend zero fresh budget.
+func TestServeSnapshotRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	origin := createRelease(t, ts, `{"name":"origin","mechanism":"release","seed":7,"index":"ch"}`)
+
+	status, data, etag := fetchSnapshot(t, ts.URL+"/v1/releases/origin/snapshot")
+	if status != http.StatusOK {
+		t.Fatalf("snapshot download: status %d: %s", status, data)
+	}
+	if etag == "" {
+		t.Fatal("snapshot response carries no ETag")
+	}
+
+	// Re-download with If-None-Match: revalidation must 304.
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/releases/origin/snapshot", nil)
+	req.Header.Set("If-None-Match", etag)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("If-None-Match revalidation: status %d, want 304", resp.StatusCode)
+	}
+
+	// Downloads are deterministic: same bytes, same ETag.
+	status2, data2, etag2 := fetchSnapshot(t, ts.URL+"/v1/releases/origin/snapshot")
+	if status2 != http.StatusOK || !bytes.Equal(data, data2) || etag2 != etag {
+		t.Fatalf("second download differs: status %d, equal=%v, etag %s vs %s", status2, bytes.Equal(data, data2), etag2, etag)
+	}
+
+	status, body := importSnapshot(t, ts.URL, "replica", data)
+	if status != http.StatusCreated {
+		t.Fatalf("import: status %d: %s", status, body)
+	}
+	var imported releaseSummary
+	if err := json.Unmarshal(body, &imported); err != nil {
+		t.Fatalf("bad import response: %v\n%s", err, body)
+	}
+	if imported.Status != "ready" {
+		t.Fatalf("imported release status %q, want ready", imported.Status)
+	}
+	if imported.Index != "ch" {
+		t.Fatalf("imported release index %q, want ch", imported.Index)
+	}
+	// The receipt rides along: same mechanism, cost, and timestamp.
+	if imported.Receipt.Mechanism != origin.Receipt.Mechanism ||
+		imported.Receipt.Epsilon != origin.Receipt.Epsilon ||
+		!imported.Receipt.Time.Equal(origin.Receipt.Time) {
+		t.Fatalf("imported receipt %v, origin %v", imported.Receipt, origin.Receipt)
+	}
+
+	// Answers are bit-identical across the origin and the replica.
+	for s := 0; s < 16; s++ {
+		a := distanceOf(t, ts.URL, "origin", 0, s)
+		b := distanceOf(t, ts.URL, "replica", 0, s)
+		if math.Float64bits(a.Value) != math.Float64bits(b.Value) {
+			t.Fatalf("pair (0,%d): origin %v, replica %v", s, a.Value, b.Value)
+		}
+	}
+
+	// The replica's own snapshot is byte-identical to the origin's
+	// (deterministic sealing), so its ETag matches too.
+	status3, data3, etag3 := fetchSnapshot(t, ts.URL+"/v1/releases/replica/snapshot")
+	if status3 != http.StatusOK || !bytes.Equal(data, data3) {
+		t.Fatalf("replica snapshot differs from origin artifact (status %d)", status3)
+	}
+	if etag3 != etag {
+		t.Fatalf("replica ETag %s, origin %s", etag3, etag)
+	}
+}
+
+// TestServeSnapshotImportRejectsTamper flips bytes in a valid artifact
+// and requires the import to fail without registering anything.
+func TestServeSnapshotImportRejectsTamper(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	createRelease(t, ts, `{"name":"origin","mechanism":"release","seed":3}`)
+	status, data, _ := fetchSnapshot(t, ts.URL+"/v1/releases/origin/snapshot")
+	if status != http.StatusOK {
+		t.Fatalf("snapshot download: status %d", status)
+	}
+	for _, pos := range []int{9, 60, 200, len(data) - 10} {
+		mut := append([]byte(nil), data...)
+		mut[pos] ^= 0x20
+		status, body := importSnapshot(t, ts.URL, "bad", mut)
+		if status != http.StatusBadRequest {
+			t.Fatalf("tampered import at byte %d: status %d: %s", pos, status, body)
+		}
+	}
+	if status, _ := get(t, ts.URL+"/v1/releases/bad/distance?s=0&t=1"); status != http.StatusNotFound {
+		t.Fatalf("tampered import left a release behind (status %d)", status)
+	}
+	// Truncation too.
+	status, body := importSnapshot(t, ts.URL, "bad", data[:len(data)/2])
+	if status != http.StatusBadRequest {
+		t.Fatalf("truncated import: status %d: %s", status, body)
+	}
+}
+
+// TestServeSnapshotSigning: a server holding a signing key exports
+// verifiable artifacts; a server holding a verify key refuses
+// unsigned or wrongly-signed imports.
+func TestServeSnapshotSigning(t *testing.T) {
+	pub, priv, err := snapshot.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, signingTS := newTestServer(t, Config{SigningKey: priv})
+	createRelease(t, signingTS, `{"name":"origin","mechanism":"release","seed":5}`)
+	status, signed, _ := fetchSnapshot(t, signingTS.URL+"/v1/releases/origin/snapshot")
+	if status != http.StatusOK {
+		t.Fatalf("signed download: status %d", status)
+	}
+	if sealed, err := dpgraph.Unseal(bytes.NewReader(signed), dpgraph.WithVerifyKey(pub)); err != nil || !sealed.Verified() {
+		t.Fatalf("exported artifact does not verify: %v", err)
+	}
+
+	_, verifyingTS := newTestServer(t, Config{VerifyKey: pub})
+	if status, body := importSnapshot(t, verifyingTS.URL, "replica", signed); status != http.StatusCreated {
+		t.Fatalf("verified import: status %d: %s", status, body)
+	}
+
+	// Unsigned artifact refused by the verifying server.
+	_, plainTS := newTestServer(t, Config{})
+	createRelease(t, plainTS, `{"name":"origin","mechanism":"release","seed":5}`)
+	status, unsigned, _ := fetchSnapshot(t, plainTS.URL+"/v1/releases/origin/snapshot")
+	if status != http.StatusOK {
+		t.Fatal("unsigned download failed")
+	}
+	if status, body := importSnapshot(t, verifyingTS.URL, "intruder", unsigned); status != http.StatusBadRequest {
+		t.Fatalf("unsigned import on verifying server: status %d: %s", status, body)
+	}
+}
+
+// TestServeSnapshotNotSealable: lookup-backed releases answer 409, not
+// a broken artifact.
+func TestServeSnapshotNotSealable(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	createRelease(t, ts, `{"name":"table","mechanism":"apsd","seed":2}`)
+	status, body, _ := fetchSnapshot(t, ts.URL+"/v1/releases/table/snapshot")
+	if status != http.StatusConflict {
+		t.Fatalf("snapshot of a table release: status %d: %s", status, body)
+	}
+}
+
+// TestServeSnapshotImportValidation covers the import endpoint's
+// request-shape errors: bad verb suffix, bad name, name conflicts.
+func TestServeSnapshotImportValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	createRelease(t, ts, `{"name":"origin","mechanism":"release","seed":1}`)
+	_, data, _ := fetchSnapshot(t, ts.URL+"/v1/releases/origin/snapshot")
+
+	// POST to a release path without the :import verb is not a route.
+	resp, err := http.Post(ts.URL+"/v1/releases/origin", "application/octet-stream", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("POST without :import: status %d, want 404", resp.StatusCode)
+	}
+	// Conflict with an existing name.
+	if status, body := importSnapshot(t, ts.URL, "origin", data); status != http.StatusConflict {
+		t.Fatalf("import over an existing name: status %d: %s", status, body)
+	}
+	// Invalid name.
+	if status, _ := importSnapshot(t, ts.URL, "bad..name!", data); status != http.StatusBadRequest {
+		t.Fatalf("import under an invalid name: status %d", status)
+	}
+}
+
+// TestServeRestoreDir: artifacts dropped in a directory restore at
+// boot into ready releases with the origin receipts, no budget spent.
+func TestServeRestoreDir(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	createRelease(t, ts, `{"name":"a","mechanism":"release","seed":11,"index":"ch"}`)
+	createRelease(t, ts, `{"name":"b","mechanism":"release","seed":12,"index":"alt"}`)
+	dir := t.TempDir()
+	for _, name := range []string{"a", "b"} {
+		_, data, _ := fetchSnapshot(t, ts.URL+"/v1/releases/"+name+"/snapshot")
+		if err := os.WriteFile(filepath.Join(dir, name+".dpsnap"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An unrelated file is ignored.
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, freshTS := newTestServer(t, Config{})
+	n, err := fresh.RestoreDir(dir)
+	if err != nil {
+		t.Fatalf("RestoreDir: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("restored %d snapshots, want 2", n)
+	}
+	for _, name := range []string{"a", "b"} {
+		want := distanceOf(t, ts.URL, name, 0, 15)
+		got := distanceOf(t, freshTS.URL, name, 0, 15)
+		if math.Float64bits(want.Value) != math.Float64bits(got.Value) {
+			t.Fatalf("restored %q answers differently: %v vs %v", name, got.Value, want.Value)
+		}
+	}
+
+	// A corrupt artifact fails the whole restore.
+	if err := os.WriteFile(filepath.Join(dir, "c.dpsnap"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	another, _ := newTestServer(t, Config{})
+	if _, err := another.RestoreDir(dir); err == nil {
+		t.Fatal("RestoreDir accepted a corrupt artifact")
+	}
+}

@@ -1,0 +1,49 @@
+package snapshot
+
+import (
+	"runtime/debug"
+	"strings"
+)
+
+// WriterVersion identifies the running build for the snapshot header:
+// module path and version, plus the VCS revision (and a +dirty marker)
+// when the binary was built from a checkout. Purely forensic — readers
+// record it but never branch on it.
+func WriterVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	var b strings.Builder
+	b.WriteString(bi.Main.Path)
+	if bi.Main.Version != "" {
+		b.WriteString("@")
+		b.WriteString(bi.Main.Version)
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	// Module pseudo-versions already encode the revision (and go >= 1.22
+	// appends +dirty itself); only add what the version string lacks.
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if !strings.Contains(bi.Main.Version, rev) {
+			b.WriteString("+")
+			b.WriteString(rev)
+		}
+		if dirty != "" && !strings.Contains(bi.Main.Version, "dirty") {
+			b.WriteString(dirty)
+		}
+	}
+	return b.String()
+}

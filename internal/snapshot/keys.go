@@ -1,0 +1,100 @@
+package snapshot
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/x509"
+	"encoding/pem"
+	"fmt"
+	"os"
+)
+
+// Key handling for snapshot signing. Keys travel as PEM in the
+// standard x509 envelopes (PKCS#8 for private, PKIX for public), so
+// they interoperate with openssl-generated ed25519 keys:
+//
+//	openssl genpkey -algorithm ed25519 -out seal.key
+//	openssl pkey -in seal.key -pubout -out seal.pub
+
+// GenerateKey creates a fresh ed25519 signing key pair.
+func GenerateKey() (ed25519.PublicKey, ed25519.PrivateKey, error) {
+	return ed25519.GenerateKey(rand.Reader)
+}
+
+// MarshalPrivateKeyPEM renders a private key as a PKCS#8 PEM block.
+func MarshalPrivateKeyPEM(key ed25519.PrivateKey) ([]byte, error) {
+	der, err := x509.MarshalPKCS8PrivateKey(key)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: encoding private key: %w", err)
+	}
+	return pem.EncodeToMemory(&pem.Block{Type: "PRIVATE KEY", Bytes: der}), nil
+}
+
+// MarshalPublicKeyPEM renders a public key as a PKIX PEM block.
+func MarshalPublicKeyPEM(key ed25519.PublicKey) ([]byte, error) {
+	der, err := x509.MarshalPKIXPublicKey(key)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: encoding public key: %w", err)
+	}
+	return pem.EncodeToMemory(&pem.Block{Type: "PUBLIC KEY", Bytes: der}), nil
+}
+
+// ParsePrivateKeyPEM parses a PKCS#8 PEM block holding an ed25519
+// private key.
+func ParsePrivateKeyPEM(data []byte) (ed25519.PrivateKey, error) {
+	block, _ := pem.Decode(data)
+	if block == nil {
+		return nil, fmt.Errorf("snapshot: no PEM block in key data")
+	}
+	if block.Type != "PRIVATE KEY" {
+		return nil, fmt.Errorf("snapshot: PEM block is %q, want PRIVATE KEY", block.Type)
+	}
+	key, err := x509.ParsePKCS8PrivateKey(block.Bytes)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: parsing private key: %w", err)
+	}
+	ed, ok := key.(ed25519.PrivateKey)
+	if !ok {
+		return nil, fmt.Errorf("snapshot: private key is %T, want ed25519", key)
+	}
+	return ed, nil
+}
+
+// ParsePublicKeyPEM parses a PKIX PEM block holding an ed25519 public
+// key.
+func ParsePublicKeyPEM(data []byte) (ed25519.PublicKey, error) {
+	block, _ := pem.Decode(data)
+	if block == nil {
+		return nil, fmt.Errorf("snapshot: no PEM block in key data")
+	}
+	if block.Type != "PUBLIC KEY" {
+		return nil, fmt.Errorf("snapshot: PEM block is %q, want PUBLIC KEY", block.Type)
+	}
+	key, err := x509.ParsePKIXPublicKey(block.Bytes)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: parsing public key: %w", err)
+	}
+	ed, ok := key.(ed25519.PublicKey)
+	if !ok {
+		return nil, fmt.Errorf("snapshot: public key is %T, want ed25519", key)
+	}
+	return ed, nil
+}
+
+// LoadPrivateKey reads and parses a PEM private key file.
+func LoadPrivateKey(path string) (ed25519.PrivateKey, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: reading signing key: %w", err)
+	}
+	return ParsePrivateKeyPEM(data)
+}
+
+// LoadPublicKey reads and parses a PEM public key file.
+func LoadPublicKey(path string) (ed25519.PublicKey, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: reading verify key: %w", err)
+	}
+	return ParsePublicKeyPEM(data)
+}
