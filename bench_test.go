@@ -197,10 +197,11 @@ func BenchmarkOracleDistance(b *testing.B) {
 	})
 	// The indexed-serving group: one ≥100k-edge release (Grid(225) has
 	// 2*225*224 = 100,800 edges), served unindexed (per-query Dijkstra)
-	// versus through the contraction-hierarchy and landmark indexes.
-	// scripts/check_perf_guards.sh asserts the CH oracle is ≥10x faster
-	// than the unindexed one on this workload.
-	for _, mode := range []dpgraph.QueryIndexMode{dpgraph.IndexOff, dpgraph.IndexCH, dpgraph.IndexALT} {
+	// versus through the contraction-hierarchy, landmark, and hub-label
+	// indexes. scripts/check_perf_guards.sh asserts the CH oracle is
+	// ≥10x faster than the unindexed one and the hub-label oracle ≥5x
+	// faster than CH on this workload.
+	for _, mode := range []dpgraph.QueryIndexMode{dpgraph.IndexOff, dpgraph.IndexCH, dpgraph.IndexALT, dpgraph.IndexHL} {
 		name := "synthetic-100k"
 		if mode != dpgraph.IndexOff {
 			name += "-" + mode.String()

@@ -79,13 +79,16 @@ func runBenchServe(out *os.File, args []string) error {
 		lastError atomic.Value
 		wg        sync.WaitGroup
 	)
-	latencies := make([][]time.Duration, *c)
+	// Latencies are kept per (worker, release) so the report can break
+	// results down by release — and therefore by index mode — instead of
+	// folding differently indexed releases into one number.
+	latencies := make([][][]time.Duration, *c)
 	start := time.Now()
 	for wk := 0; wk < *c; wk++ {
 		wg.Add(1)
 		go func(wk int) {
 			defer wg.Done()
-			lat := make([]time.Duration, 0, *n / *c)
+			lat := make([][]time.Duration, len(targets))
 			for {
 				i := next.Add(1) - 1
 				if i >= int64(*n) {
@@ -111,7 +114,8 @@ func runBenchServe(out *os.File, args []string) error {
 					lastError.Store(err.Error())
 					continue
 				}
-				lat = append(lat, time.Since(t0))
+				tgt := int(i % pool % int64(len(targets)))
+				lat[tgt] = append(lat[tgt], time.Since(t0))
 			}
 			latencies[wk] = lat
 		}(wk)
@@ -120,18 +124,23 @@ func runBenchServe(out *os.File, args []string) error {
 	elapsed := time.Since(start)
 
 	var all []time.Duration
+	perRelease := make([][]time.Duration, len(targets))
 	for _, lat := range latencies {
-		all = append(all, lat...)
+		for tgt, l := range lat {
+			perRelease[tgt] = append(perRelease[tgt], l...)
+			all = append(all, l...)
+		}
 	}
 	if len(all) == 0 {
 		return fmt.Errorf("all %d requests failed (last error: %v)", *n, lastError.Load())
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	q := func(p float64) time.Duration { return all[int(p*float64(len(all)-1))] }
+	quantile := func(l []time.Duration, p float64) time.Duration { return l[int(p*float64(len(l)-1))] }
+	q := func(p float64) time.Duration { return quantile(all, p) }
 
 	var names []string
 	for _, tgt := range targets {
-		names = append(names, tgt.name)
+		names = append(names, tgt.label())
 	}
 	pairs := int64(len(all)) * int64(*batch)
 	fmt.Fprintf(out, "bench-serve: %d ok / %d failed requests against release(s) %s in %.2fs (%d workers, batch %d)\n",
@@ -139,17 +148,38 @@ func runBenchServe(out *os.File, args []string) error {
 	fmt.Fprintf(out, "throughput: %.1f requests/s, %.1f pairs/s\n",
 		float64(len(all))/elapsed.Seconds(), float64(pairs)/elapsed.Seconds())
 	fmt.Fprintf(out, "latency: p50 %s  p90 %s  p99 %s\n", q(0.50), q(0.90), q(0.99))
+	if len(targets) > 1 {
+		for tgt, l := range perRelease {
+			if len(l) == 0 {
+				continue
+			}
+			sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+			fmt.Fprintf(out, "  %s: %d requests, p50 %s  p90 %s  p99 %s\n",
+				targets[tgt].label(), len(l), quantile(l, 0.50), quantile(l, 0.90), quantile(l, 0.99))
+		}
+	}
 	if f := failures.Load(); f > 0 {
 		return fmt.Errorf("%d of %d requests failed (last error: %v)", f, *n, lastError.Load())
 	}
 	return nil
 }
 
-// benchRelease is one release the generator fires at: its name and the
-// vertex count pairs are drawn from.
+// benchRelease is one release the generator fires at: its name, the
+// vertex count pairs are drawn from, and the query-index mode it
+// serves with (so the report distinguishes ch from hl runs).
 type benchRelease struct {
-	name string
-	n    int
+	name  string
+	n     int
+	index string
+}
+
+// label renders the release with its index mode for report lines.
+func (r benchRelease) label() string {
+	idx := r.index
+	if idx == "" {
+		idx = "off"
+	}
+	return fmt.Sprintf("%s[index=%s]", r.name, idx)
 }
 
 // benchReleases asks the serving daemon for the benchable releases:
@@ -173,6 +203,7 @@ func benchReleases(baseURL, name string) ([]benchRelease, error) {
 			Name   string `json:"name"`
 			Status string `json:"status"`
 			N      int    `json:"n"`
+			Index  string `json:"index"`
 		} `json:"releases"`
 	}
 	if err := json.Unmarshal(data, &list); err != nil {
@@ -189,7 +220,7 @@ func benchReleases(baseURL, name string) ([]benchRelease, error) {
 			if rel.N < 2 {
 				return nil, fmt.Errorf("release %q serves %d vertices; need >= 2 to generate pairs", name, rel.N)
 			}
-			return []benchRelease{{name: rel.Name, n: rel.N}}, nil
+			return []benchRelease{{name: rel.Name, n: rel.N, index: rel.Index}}, nil
 		}
 		var names []string
 		for _, rel := range list.Releases {
@@ -200,7 +231,7 @@ func benchReleases(baseURL, name string) ([]benchRelease, error) {
 	var targets []benchRelease
 	for _, rel := range list.Releases {
 		if rel.Status == "ready" && rel.N >= 2 {
-			targets = append(targets, benchRelease{name: rel.Name, n: rel.N})
+			targets = append(targets, benchRelease{name: rel.Name, n: rel.N, index: rel.Index})
 		}
 	}
 	if len(targets) == 0 {

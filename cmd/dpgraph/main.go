@@ -26,11 +26,11 @@
 // Large pair batches can be answered in parallel with -workers N (0
 // uses GOMAXPROCS): oracles are goroutine-safe and queries spend no
 // budget, so sharding the batch is pure post-processing. For the
-// synthetic-graph release, -index MODE (auto, ch, alt) additionally
+// synthetic-graph release, -index MODE (auto, ch, alt, hl) additionally
 // builds a precomputed speedup index over the materialized release —
-// contraction hierarchy or landmark A* — so each worker answers its
-// pairs orders of magnitude faster than per-query Dijkstra; the two
-// flags multiply.
+// contraction hierarchy, landmark A*, or hub labels — so each worker
+// answers its pairs orders of magnitude faster than per-query Dijkstra;
+// the two flags multiply.
 //
 // Pairs are text lines "s t" or a JSON array ([[s,t], ...] or
 // [{"s":..,"t":..}, ...]); the format is sniffed from the input.
@@ -94,7 +94,7 @@ func run(out *os.File, in io.Reader, args []string) error {
 		seed      = fs.Int64("seed", 0, "deterministic noise seed (0: crypto-grade noise)")
 		jsonOut   = fs.Bool("json", false, "emit machine-readable JSON (value, error bound, receipt)")
 		workers   = fs.Int("workers", 1, "parallel workers answering query-mode pairs (0: GOMAXPROCS)")
-		indexMode = fs.String("index", "off", "query-mode speedup index over the release: off, auto, ch, alt")
+		indexMode = fs.String("index", "off", "query-mode speedup index over the release: off, auto, ch, alt, hl")
 	)
 	fs.Usage = func() { usage(fs) }
 	if err := fs.Parse(args); err != nil {
@@ -530,8 +530,8 @@ func usage(fs *flag.FlagSet) {
 	fmt.Fprintf(os.Stderr, "\nquery (release once, answer many): materializes one release, then\n"+
 		"answers every \"s t\" pair from stdin (text lines or JSON array) with\n"+
 		"zero extra budget; -workers N answers the batch in parallel, and\n"+
-		"-index MODE (auto, ch, alt) serves synthetic-graph releases from a\n"+
-		"precomputed contraction-hierarchy or landmark index.\n"+
+		"-index MODE (auto, ch, alt, hl) serves synthetic-graph releases from\n"+
+		"a precomputed contraction-hierarchy, landmark, or hub-label index.\n"+
 		"Oracle-capable mechanisms: %s\n", strings.Join(dpgraph.OracleMechanisms(), " "))
 	fmt.Fprintln(os.Stderr, "\nserve: long-running HTTP daemon over the same machinery — POST\n"+
 		"/v1/releases materializes named releases, GET/POST distance\n"+

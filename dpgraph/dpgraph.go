@@ -145,7 +145,7 @@ func New(topology *Graph, private Weights, opts ...Option) (*PrivateGraph, error
 	}
 	// Explicit index families need an undirected topology; catch the
 	// mismatch here instead of at the first Oracle call.
-	if (cfg.indexMode == IndexCH || cfg.indexMode == IndexALT) && topology.Directed() {
+	if (cfg.indexMode == IndexCH || cfg.indexMode == IndexALT || cfg.indexMode == IndexHL) && topology.Directed() {
 		return nil, fmt.Errorf("dpgraph: WithQueryIndex(%v) supports undirected topologies only (use %v, which serves directed graphs unindexed)", cfg.indexMode, IndexAuto)
 	}
 	pg := &PrivateGraph{

@@ -8,9 +8,9 @@ import (
 	"testing/quick"
 )
 
-// indexModes are the three index-building modes the property tests
-// sweep (IndexOff is the reference each is compared against).
-var indexModes = []QueryIndexMode{IndexAuto, IndexCH, IndexALT}
+// indexModes are the index-building modes the property tests sweep
+// (IndexOff is the reference each is compared against).
+var indexModes = []QueryIndexMode{IndexAuto, IndexCH, IndexALT, IndexHL}
 
 // indexDistEqual compares distances up to float summation order (an
 // indexed answer may sum the same path's weights in different order).
@@ -172,6 +172,42 @@ func TestOracleIndexedBatchMatchesPointQueries(t *testing.T) {
 	}
 }
 
+// TestOracleRepeatedSourceBatch drives the one-to-many sweep path: a
+// batch whose every pair shares one source and whose distinct-target
+// count far exceeds any MinSweepTargets threshold must agree with point
+// queries for every index mode, including the unindexed reference.
+func TestOracleRepeatedSourceBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	g := Grid(16) // 256 vertices: above the HL sweep threshold
+	w := UniformRandomWeights(g, 0.5, 3, rng)
+	n := g.N()
+	pairs := make([]VertexPair, 0, 2*n)
+	for v := 0; v < n; v++ {
+		pairs = append(pairs, VertexPair{S: 3, T: v})
+	}
+	// A second, smaller source-run rides along so the grouping loop
+	// handles mixed run sizes in one batch.
+	for v := 0; v < 8; v++ {
+		pairs = append(pairs, VertexPair{S: n - 1, T: v * 7 % n})
+	}
+	for _, mode := range append([]QueryIndexMode{IndexOff}, indexModes...) {
+		oracle := sessionOracle(t, "release", g, w, 29, mode)
+		got, err := oracle.Distances(pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range pairs {
+			want, err := oracle.Distance(p.S, p.T)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !indexDistEqual(got[i], want) {
+				t.Fatalf("mode %v: batch[%d] (%d,%d) = %g, point query %g", mode, i, p.S, p.T, got[i], want)
+			}
+		}
+	}
+}
+
 // TestOracleIndexedConcurrent hammers one indexed oracle (index plus
 // shared result cache) from many goroutines under -race.
 func TestOracleIndexedConcurrent(t *testing.T) {
@@ -179,7 +215,7 @@ func TestOracleIndexedConcurrent(t *testing.T) {
 	g := Grid(8)
 	w := UniformRandomWeights(g, 0.5, 2, rng)
 	n := g.N()
-	for _, mode := range []QueryIndexMode{IndexCH, IndexALT} {
+	for _, mode := range []QueryIndexMode{IndexCH, IndexALT, IndexHL} {
 		oracle := sessionOracle(t, "release", g, w, 11, mode)
 		want := make([]float64, n)
 		for v := 0; v < n; v++ {
@@ -220,7 +256,7 @@ func TestOracleIndexedSessionValidation(t *testing.T) {
 	dg.AddEdge(0, 1)
 	dg.AddEdge(1, 2)
 	w := []float64{1, 1}
-	for _, mode := range []QueryIndexMode{IndexCH, IndexALT} {
+	for _, mode := range []QueryIndexMode{IndexCH, IndexALT, IndexHL} {
 		if _, err := New(dg, PrivateWeights(w), WithQueryIndex(mode)); err == nil {
 			t.Fatalf("WithQueryIndex(%v) on a directed topology: expected error", mode)
 		}

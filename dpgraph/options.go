@@ -125,9 +125,13 @@ const (
 	IndexCH
 	// IndexALT forces the ALT landmark A* index.
 	IndexALT
+	// IndexHL forces hub labels computed from the contraction order:
+	// point queries become one linear label merge, and repeated-source
+	// batches run a single one-to-all sweep over the hierarchy.
+	IndexHL
 )
 
-// String returns the CLI spelling of the mode (off, auto, ch, alt).
+// String returns the CLI spelling of the mode (off, auto, ch, alt, hl).
 func (m QueryIndexMode) String() string {
 	switch m {
 	case IndexOff:
@@ -138,6 +142,8 @@ func (m QueryIndexMode) String() string {
 		return "ch"
 	case IndexALT:
 		return "alt"
+	case IndexHL:
+		return "hl"
 	}
 	return fmt.Sprintf("QueryIndexMode(%d)", int(m))
 }
@@ -151,12 +157,14 @@ func (m QueryIndexMode) indexMode() index.Mode {
 		return index.CH
 	case IndexALT:
 		return index.ALT
+	case IndexHL:
+		return index.HL
 	}
 	return index.Off
 }
 
-// ParseQueryIndexMode maps the CLI spellings (off, auto, ch, alt) onto
-// QueryIndexMode.
+// ParseQueryIndexMode maps the CLI spellings (off, auto, ch, alt, hl)
+// onto QueryIndexMode.
 func ParseQueryIndexMode(s string) (QueryIndexMode, error) {
 	switch s {
 	case "off":
@@ -167,8 +175,10 @@ func ParseQueryIndexMode(s string) (QueryIndexMode, error) {
 		return IndexCH, nil
 	case "alt":
 		return IndexALT, nil
+	case "hl":
+		return IndexHL, nil
 	}
-	return IndexOff, fmt.Errorf("dpgraph: unknown query-index mode %q (want off, auto, ch, or alt)", s)
+	return IndexOff, fmt.Errorf("dpgraph: unknown query-index mode %q (want off, auto, ch, alt, or hl)", s)
 }
 
 // WithQueryIndex makes the session's searching oracles (the
@@ -179,13 +189,15 @@ func ParseQueryIndexMode(s string) (QueryIndexMode, error) {
 // mode. Indexed oracles additionally share a lock-striped s-t result
 // cache, so repeated pairs are answered without any search at all.
 //
-// IndexCH and IndexALT require an undirected topology (rejected at New
-// otherwise); IndexAuto serves directed topologies unindexed. Default
-// IndexOff.
+// IndexCH, IndexALT, and IndexHL require an undirected topology
+// (rejected at New otherwise); IndexAuto serves directed topologies
+// unindexed. IndexAuto upgrades to hub labels automatically when the
+// label build fits its memory guard, so IndexHL is only needed to force
+// labels past the guard. Default IndexOff.
 func WithQueryIndex(mode QueryIndexMode) Option {
 	return func(c *config) error {
 		switch mode {
-		case IndexOff, IndexAuto, IndexCH, IndexALT:
+		case IndexOff, IndexAuto, IndexCH, IndexALT, IndexHL:
 		default:
 			return fmt.Errorf("dpgraph: invalid query-index mode %d", int(mode))
 		}

@@ -147,12 +147,14 @@ func (o *syntheticOracle) indexedDistance(s, t int) float64 {
 }
 
 // Distances answers a batch with shared work paid once: the batch is
-// ordered by (source, target) so each distinct source runs one
-// early-exit multi-target Dijkstra — duplicate sources reuse that one
-// settled workspace, and duplicate targets within a source are answered
-// from it without even re-marking. Indexed oracles instead route every
-// pair through the per-pair index, where the result cache deduplicates
-// repeats.
+// ordered by (source, target) so each distinct source's deduplicated
+// targets are answered together. Unindexed, a source-run costs one
+// early-exit multi-target Dijkstra. Indexed, small runs go through the
+// per-pair index plus the result cache; once a run's distinct-target
+// count reaches the index's own break-even (OneToAll.MinSweepTargets),
+// the whole run is answered by a single PHAST one-to-all sweep over the
+// hierarchy instead of per-pair searches. Indexes without a sweep (ALT)
+// always take the per-pair path.
 func (o *syntheticOracle) Distances(pairs []VertexPair) ([]float64, error) {
 	n := o.g.N()
 	for _, p := range pairs {
@@ -161,7 +163,8 @@ func (o *syntheticOracle) Distances(pairs []VertexPair) ([]float64, error) {
 		}
 	}
 	out := make([]float64, len(pairs))
-	if o.idx != nil {
+	sweeper, canSweep := o.idx.(index.OneToAll)
+	if o.idx != nil && !canSweep {
 		for i, p := range pairs {
 			out[i] = o.indexedDistance(p.S, p.T)
 		}
@@ -178,6 +181,10 @@ func (o *syntheticOracle) Distances(pairs []VertexPair) ([]float64, error) {
 		}
 		return pa.T < pb.T
 	})
+	minSweep := 0
+	if canSweep {
+		minSweep = sweeper.MinSweepTargets()
+	}
 	var targets []int
 	var buf []float64
 	for lo := 0; lo < len(order); {
@@ -198,8 +205,17 @@ func (o *syntheticOracle) Distances(pairs []VertexPair) ([]float64, error) {
 			buf = make([]float64, len(targets))
 		}
 		buf = buf[:len(targets)]
-		if err := graph.QueryDistancesFromTrusted(o.g, o.w, s, targets, buf); err != nil {
-			return nil, err
+		switch {
+		case canSweep && len(targets) >= minSweep:
+			sweeper.DistancesFrom(s, targets, buf)
+		case o.idx != nil:
+			for j, t := range targets {
+				buf[j] = o.indexedDistance(s, t)
+			}
+		default:
+			if err := graph.QueryDistancesFromTrusted(o.g, o.w, s, targets, buf); err != nil {
+				return nil, err
+			}
 		}
 		ti := 0
 		for k := lo; k < hi; k++ {

@@ -152,6 +152,7 @@ func Seal(w io.Writer, oracle DistanceOracle, result Result, opts ...SealOption)
 		art.Meta.Landmarks = flat.Landmarks
 		art.CHUpOff, art.CHUpTo, art.CHUpWt = flat.UpOff, flat.UpTo, flat.UpWt
 		art.ALTLandmarks = flat.LD
+		art.HLLabOff, art.HLLabHub, art.HLLabDist = flat.LabOff, flat.LabHub, flat.LabDist
 	}
 	return snapshot.Write(w, art, snapshot.WriteOptions{SigningKey: cfg.signingKey})
 }
@@ -194,7 +195,8 @@ func (s *Sealed) Summary() string {
 		s.Mechanism, s.meta.N, s.meta.M, idx, s.NoiseScale)
 }
 
-// IndexKind reports the embedded query index: "", "ch", or "alt".
+// IndexKind reports the embedded query index: "", "ch", "alt", or
+// "hl".
 func (s *Sealed) IndexKind() string { return s.meta.Index }
 
 // Vertices and Edges report the size of the restored release.
@@ -279,6 +281,9 @@ func Unseal(r io.Reader, opts ...UnsealOption) (*Sealed, error) {
 			UpWt:      art.CHUpWt,
 			Landmarks: meta.Landmarks,
 			LD:        art.ALTLandmarks,
+			LabOff:    art.HLLabOff,
+			LabHub:    art.HLLabHub,
+			LabDist:   art.HLLabDist,
 		}
 		idx, err := index.Rehydrate(g, o.w, flat)
 		if err != nil {

@@ -41,7 +41,7 @@ func sealedRelease(t testing.TB, side int, seed int64, mode QueryIndexMode, opts
 // origin release across the point, batch, and indexed query paths, and
 // carry the origin receipt without re-charging.
 func TestSealUnsealEquivalence(t *testing.T) {
-	for _, mode := range []QueryIndexMode{IndexOff, IndexCH, IndexALT} {
+	for _, mode := range []QueryIndexMode{IndexOff, IndexCH, IndexALT, IndexHL} {
 		t.Run(mode.String(), func(t *testing.T) {
 			origin, rel, data := sealedRelease(t, 20, 17, mode)
 			sealed, err := Unseal(bytes.NewReader(data))
@@ -52,7 +52,7 @@ func TestSealUnsealEquivalence(t *testing.T) {
 			if restored.N() != origin.N() {
 				t.Fatalf("restored N = %d, origin %d", restored.N(), origin.N())
 			}
-			wantKind := map[QueryIndexMode]string{IndexOff: "", IndexCH: "ch", IndexALT: "alt"}[mode]
+			wantKind := map[QueryIndexMode]string{IndexOff: "", IndexCH: "ch", IndexALT: "alt", IndexHL: "hl"}[mode]
 			if sealed.IndexKind() != wantKind {
 				t.Fatalf("IndexKind = %q, want %q", sealed.IndexKind(), wantKind)
 			}
@@ -114,7 +114,7 @@ func TestSealUnsealEquivalence(t *testing.T) {
 // many goroutines under -race: the rehydrated index and its fresh
 // result cache must serve concurrently, agreeing with the origin.
 func TestUnsealedOracleConcurrent(t *testing.T) {
-	for _, mode := range []QueryIndexMode{IndexCH, IndexALT} {
+	for _, mode := range []QueryIndexMode{IndexCH, IndexALT, IndexHL} {
 		origin, _, data := sealedRelease(t, 12, 23, mode)
 		sealed, err := Unseal(bytes.NewReader(data))
 		if err != nil {
@@ -262,7 +262,7 @@ func TestUnsealRejectsForgedReceipt(t *testing.T) {
 // only — no panics, and never a partial oracle.
 func FuzzUnseal(f *testing.F) {
 	seeds := make([][]byte, 0, 8)
-	for _, mode := range []QueryIndexMode{IndexOff, IndexCH, IndexALT} {
+	for _, mode := range []QueryIndexMode{IndexOff, IndexCH, IndexALT, IndexHL} {
 		_, _, data := sealedRelease(f, 5, int64(mode)+1, mode)
 		seeds = append(seeds, data)
 	}

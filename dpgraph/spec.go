@@ -36,8 +36,8 @@ type ReleaseSpec struct {
 	Seed int64 `json:"seed,omitempty"`
 
 	// Index selects the query-speedup index over the materialized
-	// release: "", "off", "auto", "ch", or "alt" (ParseQueryIndexMode
-	// spellings; empty means off).
+	// release: "", "off", "auto", "ch", "alt", or "hl"
+	// (ParseQueryIndexMode spellings; empty means off).
 	Index string `json:"index,omitempty"`
 }
 

@@ -29,7 +29,14 @@ type chIndex struct {
 	upTo  []int32
 	upWt  []float64
 
-	pool sync.Pool // *chWorkspace
+	// order lists every vertex before all vertices with upward edges
+	// into it (descending contraction rank at build time, a topological
+	// order of the upward DAG after rehydration) — the scan order of the
+	// PHAST downward phase and of label generation.
+	order []int32
+
+	pool      sync.Pool // *chWorkspace
+	sweepPool sync.Pool // *sweepState
 }
 
 type chWorkspace struct {
@@ -400,9 +407,14 @@ func (b *chBuilder) freeze() *chIndex {
 		lo, hi := c.upOff[v], c.upOff[v+1]
 		sortUpEdges(c.upTo[lo:hi], c.upWt[lo:hi])
 	}
+	c.order = make([]int32, n)
+	for v := 0; v < n; v++ {
+		c.order[int32(n)-1-b.rank[v]] = int32(v)
+	}
 	c.pool.New = func() any {
 		return &chWorkspace{f: newSearchState(n), b: newSearchState(n)}
 	}
+	c.initSweep()
 	return c
 }
 

@@ -12,10 +12,12 @@ import (
 // index exports its query-ready flat arrays, and those arrays rebuild
 // an equivalent index over the same (topology, weights) pair without
 // repeating construction. Only the expensive, non-derivable state is
-// exported — the CH upward graph (the product of contraction) and the
-// ALT landmark distance rows (k full Dijkstras). Everything cheaply
+// exported — the CH upward graph (the product of contraction), the HL
+// label arena (one pruned upward search per vertex), and the ALT
+// landmark distance rows (k full Dijkstras). Everything cheaply
 // derivable from the topology and released weights (the simplified CSR,
-// component labels) is recomputed at rehydration instead, which both
+// component labels, a sweep order for the upward DAG) is recomputed at
+// rehydration instead, which both
 // shrinks snapshots and removes those arrays as a tamper surface:
 // a rehydrated index can never disagree with its own topology about
 // adjacency or connectivity.
@@ -25,15 +27,22 @@ import (
 // belong to; the unused family's fields are nil. The slices returned by
 // Export alias the live index — callers must treat them as read-only.
 type FlatIndex struct {
-	// Kind is "ch" or "alt" (Index.Kind spellings).
+	// Kind is "ch", "alt", or "hl" (Index.Kind spellings).
 	Kind string
 
 	// Contraction hierarchy: the frozen upward CSR. UpOff has N+1
 	// entries; UpTo/UpWt hold one entry per upward edge (original or
-	// shortcut).
+	// shortcut). Kind "hl" carries these too — the hierarchy backs the
+	// one-to-many sweep and is what the labels were generated from.
 	UpOff []int32
 	UpTo  []int32
 	UpWt  []float64
+
+	// Hub labels: vertex v's label occupies
+	// LabHub/LabDist[LabOff[v]:LabOff[v+1]], sorted by ascending hub id.
+	LabOff  []int64
+	LabHub  []int32
+	LabDist []float64
 
 	// ALT: Landmarks distance rows, row l occupying LD[l*N : (l+1)*N]
 	// (+Inf where the landmark cannot reach the vertex).
@@ -48,6 +57,12 @@ func Export(idx Index) (*FlatIndex, error) {
 	switch c := idx.(type) {
 	case *chIndex:
 		return &FlatIndex{Kind: "ch", UpOff: c.upOff, UpTo: c.upTo, UpWt: c.upWt}, nil
+	case *hlIndex:
+		return &FlatIndex{
+			Kind:  "hl",
+			UpOff: c.ch.upOff, UpTo: c.ch.upTo, UpWt: c.ch.upWt,
+			LabOff: c.labOff, LabHub: c.labHub, LabDist: c.labDist,
+		}, nil
 	case *altIndex:
 		return &FlatIndex{Kind: "alt", Landmarks: c.k, LD: c.ld}, nil
 	}
@@ -78,7 +93,13 @@ func Rehydrate(g *graph.Graph, w []float64, f *FlatIndex) (Index, error) {
 	p := prepare(g, w)
 	switch f.Kind {
 	case "ch":
-		return rehydrateCH(p, f)
+		c, err := rehydrateCH(p, f)
+		if err != nil {
+			return nil, err // explicit nil: a typed-nil *chIndex is not a nil Index
+		}
+		return c, nil
+	case "hl":
+		return rehydrateHL(p, f)
 	case "alt":
 		return rehydrateALT(p, f)
 	}
@@ -87,7 +108,7 @@ func Rehydrate(g *graph.Graph, w []float64, f *FlatIndex) (Index, error) {
 
 // rehydrateCH validates the upward-CSR invariants and freezes the
 // query structure around them.
-func rehydrateCH(p *prepared, f *FlatIndex) (Index, error) {
+func rehydrateCH(p *prepared, f *FlatIndex) (*chIndex, error) {
 	n := p.n
 	if len(f.UpOff) != n+1 {
 		return nil, fmt.Errorf("index: CH upward offsets have %d entries for %d vertices (want %d)", len(f.UpOff), n, n+1)
@@ -114,11 +135,66 @@ func rehydrateCH(p *prepared, f *FlatIndex) (Index, error) {
 			return nil, fmt.Errorf("index: CH upward edge %d has weight %g; want nonnegative", i, x)
 		}
 	}
-	c := &chIndex{n: n, comp: p.comp, upOff: f.UpOff, upTo: f.UpTo, upWt: f.UpWt}
+	// Contraction ranks are not serialized; any topological order of
+	// the upward DAG serves the sweep equally well, and its existence
+	// doubles as an acyclicity check on the claimed hierarchy.
+	order, ok := topoOrder(n, f.UpOff, f.UpTo)
+	if !ok {
+		return nil, fmt.Errorf("index: CH upward graph is cyclic; not a contraction hierarchy")
+	}
+	c := &chIndex{n: n, comp: p.comp, upOff: f.UpOff, upTo: f.UpTo, upWt: f.UpWt, order: order}
 	c.pool.New = func() any {
 		return &chWorkspace{f: newSearchState(n), b: newSearchState(n)}
 	}
+	c.initSweep()
 	return c, nil
+}
+
+// rehydrateHL validates the label arena on top of the hierarchy checks
+// and rebuilds the merge-ready labeling.
+func rehydrateHL(p *prepared, f *FlatIndex) (Index, error) {
+	ch, err := rehydrateCH(p, f)
+	if err != nil {
+		return nil, err
+	}
+	n := p.n
+	if len(f.LabOff) != n+1 {
+		return nil, fmt.Errorf("index: HL label offsets have %d entries for %d vertices (want %d)", len(f.LabOff), n, n+1)
+	}
+	if f.LabOff[0] != 0 {
+		return nil, fmt.Errorf("index: HL label offsets must start at 0, got %d", f.LabOff[0])
+	}
+	for v := 0; v < n; v++ {
+		if f.LabOff[v+1] < f.LabOff[v] {
+			return nil, fmt.Errorf("index: HL label offsets decrease at vertex %d", v)
+		}
+	}
+	total := f.LabOff[n]
+	if int64(len(f.LabHub)) != total || int64(len(f.LabDist)) != total {
+		return nil, fmt.Errorf("index: HL label arena has %d hubs / %d distances for %d offset entries", len(f.LabHub), len(f.LabDist), total)
+	}
+	for v := 0; v < n; v++ {
+		for i := f.LabOff[v]; i < f.LabOff[v+1]; i++ {
+			h := f.LabHub[i]
+			if h < 0 || int(h) >= n {
+				return nil, fmt.Errorf("index: vertex %d label entry names hub %d outside [0, %d)", v, h, n)
+			}
+			// Strict ascending hub order per vertex is what the query
+			// merge walks; it also rules out duplicate hubs.
+			if i > f.LabOff[v] && h <= f.LabHub[i-1] {
+				return nil, fmt.Errorf("index: vertex %d label hubs not strictly ascending at entry %d", v, i-f.LabOff[v])
+			}
+		}
+	}
+	for i, x := range f.LabDist {
+		if !(x >= 0) || math.IsInf(x, 1) {
+			return nil, fmt.Errorf("index: HL label distance %d is %g; want finite nonnegative", i, x)
+		}
+	}
+	return &hlIndex{
+		n: n, comp: p.comp, ch: ch,
+		labOff: f.LabOff, labHub: f.LabHub, labDist: f.LabDist,
+	}, nil
 }
 
 // rehydrateALT validates the landmark rows and rebuilds the A* index

@@ -36,7 +36,7 @@ func exportGrid(side int) (*graph.Graph, []float64) {
 // index across a query sweep.
 func TestExportRehydrateEquivalence(t *testing.T) {
 	g, w := exportGrid(12)
-	for _, mode := range []Mode{CH, ALT} {
+	for _, mode := range []Mode{CH, ALT, HL} {
 		t.Run(mode.String(), func(t *testing.T) {
 			orig, err := Build(g, w, Options{Mode: mode})
 			if err != nil {
@@ -101,6 +101,25 @@ func TestRehydrateRejectsMalformed(t *testing.T) {
 			LD:        append([]float64(nil), f.LD...),
 		}
 	}
+	hlFlat := func() *FlatIndex {
+		idx, err := Build(g, w, Options{Mode: HL})
+		if err != nil {
+			t.Fatalf("Build hl: %v", err)
+		}
+		f, err := Export(idx)
+		if err != nil {
+			t.Fatalf("Export hl: %v", err)
+		}
+		return &FlatIndex{
+			Kind:    f.Kind,
+			UpOff:   append([]int32(nil), f.UpOff...),
+			UpTo:    append([]int32(nil), f.UpTo...),
+			UpWt:    append([]float64(nil), f.UpWt...),
+			LabOff:  append([]int64(nil), f.LabOff...),
+			LabHub:  append([]int32(nil), f.LabHub...),
+			LabDist: append([]float64(nil), f.LabDist...),
+		}
+	}
 	cases := map[string]func() *FlatIndex{
 		"unknown-kind":      func() *FlatIndex { f := chFlat(); f.Kind = "quadtree"; return f },
 		"short-offsets":     func() *FlatIndex { f := chFlat(); f.UpOff = f.UpOff[:3]; return f },
@@ -114,9 +133,44 @@ func TestRehydrateRejectsMalformed(t *testing.T) {
 			f.Landmarks = maxLandmarks + 1
 			return f
 		},
-		"short-ld-rows": func() *FlatIndex { f := altFlat(); f.LD = f.LD[:len(f.LD)-1]; return f },
-		"negative-ld":   func() *FlatIndex { f := altFlat(); f.LD[0] = -1; return f },
-		"nan-ld":        func() *FlatIndex { f := altFlat(); f.LD[0] = math.NaN(); return f },
+		"short-ld-rows":            func() *FlatIndex { f := altFlat(); f.LD = f.LD[:len(f.LD)-1]; return f },
+		"negative-ld":              func() *FlatIndex { f := altFlat(); f.LD[0] = -1; return f },
+		"nan-ld":                   func() *FlatIndex { f := altFlat(); f.LD[0] = math.NaN(); return f },
+		"hl-short-lab-off":         func() *FlatIndex { f := hlFlat(); f.LabOff = f.LabOff[:3]; return f },
+		"hl-nonzero-first-lab-off": func() *FlatIndex { f := hlFlat(); f.LabOff[0] = 1; return f },
+		"hl-decreasing-lab-off": func() *FlatIndex {
+			f := hlFlat()
+			f.LabOff[1] = f.LabOff[len(f.LabOff)-1] + 5
+			return f
+		},
+		"hl-short-arena": func() *FlatIndex { f := hlFlat(); f.LabHub = f.LabHub[:len(f.LabHub)-1]; return f },
+		"hl-hub-oob":     func() *FlatIndex { f := hlFlat(); f.LabHub[0] = int32(g.N()); return f },
+		"hl-unsorted-hubs": func() *FlatIndex {
+			f := hlFlat()
+			// Find a vertex with >= 2 entries and swap its first two hubs.
+			for v := 0; v < g.N(); v++ {
+				if f.LabOff[v+1]-f.LabOff[v] >= 2 {
+					i := f.LabOff[v]
+					f.LabHub[i], f.LabHub[i+1] = f.LabHub[i+1], f.LabHub[i]
+					return f
+				}
+			}
+			t.Fatal("no vertex with a 2-entry label")
+			return f
+		},
+		"hl-negative-dist": func() *FlatIndex { f := hlFlat(); f.LabDist[0] = -1; return f },
+		"hl-nan-dist":      func() *FlatIndex { f := hlFlat(); f.LabDist[0] = math.NaN(); return f },
+		"hl-inf-dist":      func() *FlatIndex { f := hlFlat(); f.LabDist[0] = math.Inf(1); return f },
+		"hl-cyclic-up": func() *FlatIndex {
+			f := hlFlat()
+			// Redirect vertex 0's first upward edge back at itself: a
+			// self-loop is the smallest cycle the sweep order must refuse.
+			if f.UpOff[1] == f.UpOff[0] {
+				t.Fatal("vertex 0 has no upward edge")
+			}
+			f.UpTo[f.UpOff[0]] = 0
+			return f
+		},
 	}
 	for name, build := range cases {
 		t.Run(name, func(t *testing.T) {

@@ -1,0 +1,280 @@
+package index
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the hub-labeling index: a 2-hop labeling computed
+// from the contraction order of an already-built hierarchy. Every vertex
+// v carries a label L(v) — a sorted flat array of (hub, dist) pairs over
+// the vertices of v's stall-pruned upward search space — and a point
+// query is a single linear merge of L(s) and L(t): no heap, no graph
+// traversal, no per-query state at all. On hierarchical topologies
+// labels run tens-to-hundreds of entries, putting point queries in the
+// single-digit-microsecond range, an order of magnitude under the
+// bidirectional CH search.
+//
+// Correctness inherits from the hierarchy: every shortest s-t path has
+// an up-down form whose peak (maximum-rank) vertex appears in both
+// upward search spaces with its exact distance and is never stalled or
+// pruned, so the merge minimum over common hubs equals the CH query
+// answer. Entries whose upward distance overestimates the true distance
+// are redundant but harmless (every merge candidate is the length of a
+// real walk); label pruning removes most of them: an entry (h, d) is
+// dropped when some higher hub h' already proves a strictly shorter
+// v-h connection, which can never hold for a peak vertex.
+//
+// Labels are pure post-processing of the released weights — exactly
+// like the hierarchy they are computed from, they touch nothing private
+// and carry zero additional privacy cost.
+
+// hlIndex is the frozen, query-ready labeling. The label arena is three
+// parallel flat arrays: vertex v's label occupies
+// labHub/labDist[labOff[v]:labOff[v+1]], sorted by ascending hub id
+// (the merge order). The building hierarchy is retained for PHAST
+// one-to-all sweeps (DistancesFrom) and for export.
+type hlIndex struct {
+	n    int
+	comp []int32
+
+	labOff  []int64
+	labHub  []int32
+	labDist []float64
+
+	ch *chIndex
+}
+
+func (x *hlIndex) N() int       { return x.n }
+func (x *hlIndex) Kind() string { return "hl" }
+
+// Distance merges the two sorted labels and returns the minimum
+// hub-distance sum. No scratch state: the merge reads only the shared
+// immutable arena, so queries are allocation-free and trivially
+// concurrent.
+func (x *hlIndex) Distance(s, t int) float64 {
+	if s == t {
+		return 0
+	}
+	if x.comp[s] != x.comp[t] {
+		return math.Inf(1)
+	}
+	i, iEnd := x.labOff[s], x.labOff[s+1]
+	j, jEnd := x.labOff[t], x.labOff[t+1]
+	best := math.Inf(1)
+	for i < iEnd && j < jEnd {
+		hi, hj := x.labHub[i], x.labHub[j]
+		switch {
+		case hi == hj:
+			if d := x.labDist[i] + x.labDist[j]; d < best {
+				best = d
+			}
+			i++
+			j++
+		case hi < hj:
+			i++
+		default:
+			j++
+		}
+	}
+	return best
+}
+
+// DistancesFrom answers a one-to-many batch with a single PHAST sweep
+// over the retained hierarchy (see phast.go).
+func (x *hlIndex) DistancesFrom(s int, targets []int, out []float64) {
+	x.ch.DistancesFrom(s, targets, out)
+}
+
+// MinSweepTargets reports the per-source batch size above which one
+// sweep beats per-pair label merges. Merges are so cheap that the
+// O(n + m) sweep only wins on much larger fan-outs than it does for CH.
+func (x *hlIndex) MinSweepTargets() int { return 64 + x.n/64 }
+
+// hlWork is one label-generation worker's scratch: an upward search
+// state (doubling as the candidate-distance lookup during pruning) and
+// the candidate hub buffer.
+type hlWork struct {
+	st    *searchState
+	cands []int32
+}
+
+// buildHL computes the labeling from a built hierarchy. With guarded
+// true (Auto mode) it aborts with errLabelsTooBig once the total kept
+// entries pass MaxAvgLabel * n — the caller then serves from the
+// hierarchy alone; an explicit HL request always completes.
+//
+// Vertices are processed top-down in contraction order, parallel within
+// levels of equal up-DAG depth: pruning vertex v reads only labels of
+// vertices in v's upward search space, all of strictly smaller depth,
+// so every read happens after the barrier that completed that level.
+func buildHL(ch *chIndex, opt Options, guarded bool) (*hlIndex, error) {
+	n := ch.n
+
+	// Up-DAG depth per vertex: 0 at maximal vertices, 1 + max over
+	// upward neighbors below. ch.order is descending rank, so every
+	// upward neighbor is finalized before its source.
+	depth := make([]int32, n)
+	var maxDepth int32
+	for _, v := range ch.order {
+		var d int32
+		for i := ch.upOff[v]; i < ch.upOff[v+1]; i++ {
+			if nd := depth[ch.upTo[i]] + 1; nd > d {
+				d = nd
+			}
+		}
+		depth[v] = d
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	levels := make([][]int32, maxDepth+1)
+	for v := int32(0); v < int32(n); v++ {
+		levels[depth[v]] = append(levels[depth[v]], v)
+	}
+
+	hubs := make([][]int32, n)
+	dists := make([][]float64, n)
+	guard := int64(-1)
+	if guarded {
+		guard = int64(opt.MaxAvgLabel) * int64(n)
+	}
+	var total atomic.Int64
+	var aborted atomic.Bool
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 1 {
+		workers = 1
+	}
+	works := make([]*hlWork, workers)
+	for i := range works {
+		works[i] = &hlWork{st: newSearchState(n)}
+	}
+	for _, level := range levels {
+		if aborted.Load() {
+			break
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wk := workers
+		if wk > len(level) {
+			wk = len(level)
+		}
+		for w := 0; w < wk; w++ {
+			wg.Add(1)
+			go func(work *hlWork) {
+				defer wg.Done()
+				for {
+					i := next.Add(1) - 1
+					if int(i) >= len(level) || aborted.Load() {
+						return
+					}
+					v := level[i]
+					kept := labelVertex(ch, v, work, hubs, dists)
+					if guard >= 0 && total.Add(int64(kept)) > guard {
+						aborted.Store(true)
+						return
+					}
+				}
+			}(works[w])
+		}
+		wg.Wait()
+	}
+	if aborted.Load() {
+		return nil, errLabelsTooBig
+	}
+
+	x := &hlIndex{n: n, comp: ch.comp, ch: ch, labOff: make([]int64, n+1)}
+	for v := 0; v < n; v++ {
+		x.labOff[v+1] = x.labOff[v] + int64(len(hubs[v]))
+	}
+	x.labHub = make([]int32, x.labOff[n])
+	x.labDist = make([]float64, x.labOff[n])
+	for v := 0; v < n; v++ {
+		copy(x.labHub[x.labOff[v]:], hubs[v])
+		copy(x.labDist[x.labOff[v]:], dists[v])
+	}
+	return x, nil
+}
+
+// labelVertex runs the stall-pruned upward search from v, prunes the
+// candidates through the already-computed labels of higher vertices,
+// and stores the kept (hub, dist) pairs sorted by hub id.
+func labelVertex(ch *chIndex, v int32, work *hlWork, hubs [][]int32, dists [][]float64) int {
+	st := work.st
+	st.begin()
+	st.update(v, 0, 0)
+	cands := work.cands[:0]
+	for !st.empty() {
+		x := st.pop()
+		st.settled[x] = true
+		d := st.dist[x]
+		// Stall-on-demand: a vertex whose upward label is dominated via a
+		// higher, already-labeled neighbor cannot be the peak of any
+		// shortest up-down path — drop it from the candidate set and skip
+		// its expansion. Its (overestimated) distance stays readable in
+		// st for the pruning pass, where upper bounds are all it needs.
+		stalled := false
+		for i := ch.upOff[x]; i < ch.upOff[x+1]; i++ {
+			u := ch.upTo[i]
+			if st.labeled(u) && st.dist[u]+ch.upWt[i] < d {
+				stalled = true
+				break
+			}
+		}
+		if stalled {
+			continue
+		}
+		cands = append(cands, x)
+		for i := ch.upOff[x]; i < ch.upOff[x+1]; i++ {
+			u := ch.upTo[i]
+			if st.labeled(u) && st.settled[u] {
+				continue
+			}
+			if nd := d + ch.upWt[i]; nd < st.distance(u) {
+				st.update(u, nd, nd)
+			}
+		}
+	}
+	sort.Sort(int32Slice(cands))
+	work.cands = cands
+
+	kh := make([]int32, 0, len(cands))
+	kd := make([]float64, 0, len(cands))
+	for _, h := range cands {
+		d := st.dist[h]
+		if h != v && prunedVia(st, hubs[h], dists[h], d) {
+			continue
+		}
+		kh = append(kh, h)
+		kd = append(kd, d)
+	}
+	hubs[v], dists[v] = kh, kd
+	return len(kh)
+}
+
+// prunedVia reports whether some hub h' of the candidate hub's label
+// proves a strictly shorter connection than the candidate entry's
+// distance d: dist(v, h') + dist(h', h) < d, with dist(v, h') read as
+// the upward-search upper bound. Strictness is what makes pruning safe:
+// a peak vertex carries its exact distance, for which no strictly
+// shorter two-hop bound can exist.
+func prunedVia(st *searchState, labHubs []int32, labDists []float64, d float64) bool {
+	for j, h2 := range labHubs {
+		if st.labeled(h2) && st.dist[h2]+labDists[j] < d {
+			return true
+		}
+	}
+	return false
+}
+
+// int32Slice implements sort.Interface without the per-call closure
+// allocations of sort.Slice (label generation sorts once per vertex).
+type int32Slice []int32
+
+func (s int32Slice) Len() int           { return len(s) }
+func (s int32Slice) Less(i, j int) bool { return s[i] < s[j] }
+func (s int32Slice) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }

@@ -5,22 +5,31 @@
 // -released values, so it carries no additional privacy cost, and it
 // exists purely to make Distance(s, t) serving fast.
 //
-// Two index families are provided:
+// Three index families are provided:
 //
 //   - CH: a contraction hierarchy (bottom-up node ordering by
 //     edge-difference, witness-limited shortcut insertion, bidirectional
 //     upward search with stall-on-demand). Queries settle a few hundred
 //     vertices on road-like and grid-like graphs regardless of size.
+//   - HL: 2-hop hub labels computed from the CH contraction order. A
+//     point query is one linear merge of two sorted label arrays —
+//     another order of magnitude under the CH search — at the cost of
+//     label storage and build time on top of the hierarchy.
 //   - ALT: landmark-based A* (triangle-inequality lower bounds from a
 //     small set of farthest-point landmarks). Slower than CH but immune
 //     to contraction degeneracy on dense or highly non-hierarchical
 //     graphs.
 //
-// Build(Auto) tries CH first and falls back to ALT when contraction
-// degenerates (shortcut growth past a guard factor). Indexes answer the
-// exact same distances as Dijkstra over the same weights, up to
-// floating-point summation order; equivalence is enforced by the tests
-// in this package.
+// CH and HL additionally implement OneToAll: a PHAST-style one-to-many
+// sweep that answers a repeated-source batch with a single upward
+// search plus one linear downward scan.
+//
+// Build(Auto) tries CH first, falls back to ALT when contraction
+// degenerates (shortcut growth past a guard factor), and upgrades the
+// hierarchy to hub labels when the label build stays within the
+// MaxAvgLabel memory guard. Indexes answer the exact same distances as
+// Dijkstra over the same weights, up to floating-point summation order;
+// equivalence is enforced by the tests in this package.
 //
 // All indexes are safe for concurrent use: per-query state lives in
 // sync.Pool-recycled, version-stamped workspaces, so steady-state
@@ -49,6 +58,8 @@ const (
 	CH
 	// ALT forces the landmark A* index.
 	ALT
+	// HL forces hub labels on top of a contraction hierarchy.
+	HL
 )
 
 // String returns the CLI spelling of the mode.
@@ -62,11 +73,13 @@ func (m Mode) String() string {
 		return "ch"
 	case ALT:
 		return "alt"
+	case HL:
+		return "hl"
 	}
 	return fmt.Sprintf("Mode(%d)", int(m))
 }
 
-// ParseMode maps the CLI spellings (off, auto, ch, alt) onto Mode.
+// ParseMode maps the CLI spellings (off, auto, ch, alt, hl) onto Mode.
 func ParseMode(s string) (Mode, error) {
 	switch s {
 	case "off":
@@ -77,8 +90,10 @@ func ParseMode(s string) (Mode, error) {
 		return CH, nil
 	case "alt":
 		return ALT, nil
+	case "hl":
+		return HL, nil
 	}
-	return Off, fmt.Errorf("index: unknown mode %q (want off, auto, ch, or alt)", s)
+	return Off, fmt.Errorf("index: unknown mode %q (want off, auto, ch, alt, or hl)", s)
 }
 
 // Index answers exact s-t distance queries over the weights it was
@@ -91,8 +106,8 @@ type Index interface {
 	Distance(s, t int) float64
 	// N returns the number of vertices served.
 	N() int
-	// Kind names the index family actually built ("ch" or "alt"),
-	// which under Auto may differ from the requested mode.
+	// Kind names the index family actually built ("ch", "alt", or
+	// "hl"), which under Auto may differ from the requested mode.
 	Kind() string
 }
 
@@ -113,6 +128,11 @@ type Options struct {
 	// factor * M shortcuts exist (default 4). Under Auto the abort
 	// falls back to ALT; an explicit CH request disables the guard.
 	MaxShortcutFactor float64
+	// MaxAvgLabel aborts the hub-label build once the total kept label
+	// entries pass MaxAvgLabel * N (default 128). Under Auto the abort
+	// keeps serving from the hierarchy alone; an explicit HL request
+	// disables the guard.
+	MaxAvgLabel int
 }
 
 func (o Options) withDefaults() Options {
@@ -125,12 +145,19 @@ func (o Options) withDefaults() Options {
 	if o.MaxShortcutFactor <= 0 {
 		o.MaxShortcutFactor = 4
 	}
+	if o.MaxAvgLabel <= 0 {
+		o.MaxAvgLabel = 128
+	}
 	return o
 }
 
 // errDegenerate reports that CH contraction blew past the shortcut
 // guard; Auto catches it and falls back to ALT.
 var errDegenerate = errors.New("index: contraction degenerated (shortcut guard exceeded)")
+
+// errLabelsTooBig reports that the hub-label build blew past the
+// MaxAvgLabel guard; Auto catches it and serves from the hierarchy.
+var errLabelsTooBig = errors.New("index: hub labels exceeded the size guard")
 
 // Build constructs the index requested by opt over the released
 // weights. It returns (nil, nil) for Mode Off, and under Auto also for
@@ -167,15 +194,28 @@ func Build(g *graph.Graph, w []float64, opt Options) (Index, error) {
 			return nil, err
 		}
 		return idx, nil
-	case Auto:
-		idx, err := buildCH(p, opt, true)
-		if err == nil {
-			return idx, nil
-		}
-		if !errors.Is(err, errDegenerate) {
+	case HL:
+		ch, err := buildCH(p, opt, false)
+		if err != nil {
 			return nil, err
 		}
-		return buildALT(p, opt), nil
+		return buildHL(ch, opt, false)
+	case Auto:
+		ch, err := buildCH(p, opt, true)
+		if err != nil {
+			if !errors.Is(err, errDegenerate) {
+				return nil, err
+			}
+			return buildALT(p, opt), nil
+		}
+		hl, err := buildHL(ch, opt, true)
+		if err != nil {
+			if !errors.Is(err, errLabelsTooBig) {
+				return nil, err
+			}
+			return ch, nil // labels blew the memory guard: the hierarchy still serves
+		}
+		return hl, nil
 	}
 	return nil, fmt.Errorf("index: unknown mode %v", opt.Mode)
 }

@@ -39,38 +39,44 @@ func benchServer(b *testing.B, side int, index string) (http.Handler, dpgraph.Di
 
 // BenchmarkServeDistance compares a point distance query answered
 // through the HTTP handler (request parse + admission + JSON response)
-// against the same oracle called directly. The gap is the serving
-// overhead scripts/check_perf_guards.sh gate #5 bounds.
+// against the same oracle called directly, once per index mode so the
+// benchmark report distinguishes unindexed, CH, and hub-label serving.
+// The direct/http gap on the unindexed oracle is the serving overhead
+// scripts/check_perf_guards.sh gate #5 bounds.
 func BenchmarkServeDistance(b *testing.B) {
 	const side = 60 // 3,600 vertices: a query costs enough to dominate transport
-	handler, oracle, n := benchServer(b, side, "")
+	for _, mode := range []string{"off", "ch", "hl"} {
+		b.Run(mode, func(b *testing.B) {
+			handler, oracle, n := benchServer(b, side, mode)
 
-	pairs := make([][2]int, 64)
-	for i := range pairs {
-		pairs[i] = [2]int{(i * 131) % n, (i*257 + n/2) % n}
+			pairs := make([][2]int, 64)
+			for i := range pairs {
+				pairs[i] = [2]int{(i * 131) % n, (i*257 + n/2) % n}
+			}
+
+			b.Run("direct", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					p := pairs[i%len(pairs)]
+					if _, err := oracle.Distance(p[0], p[1]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run("http", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					p := pairs[i%len(pairs)]
+					req := httptest.NewRequest("GET", fmt.Sprintf("/v1/releases/bench/distance?s=%d&t=%d", p[0], p[1]), nil)
+					rec := httptest.NewRecorder()
+					handler.ServeHTTP(rec, req)
+					if rec.Code != http.StatusOK {
+						b.Fatalf("status %d: %s", rec.Code, rec.Body)
+					}
+				}
+			})
+		})
 	}
-
-	b.Run("direct", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			p := pairs[i%len(pairs)]
-			if _, err := oracle.Distance(p[0], p[1]); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
-	b.Run("http", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			p := pairs[i%len(pairs)]
-			req := httptest.NewRequest("GET", fmt.Sprintf("/v1/releases/bench/distance?s=%d&t=%d", p[0], p[1]), nil)
-			rec := httptest.NewRecorder()
-			handler.ServeHTTP(rec, req)
-			if rec.Code != http.StatusOK {
-				b.Fatalf("status %d: %s", rec.Code, rec.Body)
-			}
-		}
-	})
 }
 
 // BenchmarkServeBatch measures the batch endpoint's per-pair cost with

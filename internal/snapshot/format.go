@@ -1,7 +1,8 @@
 // Package snapshot implements the sealed release container: a
 // versioned binary artifact that carries one materialized release —
 // flat little-endian CSR arrays, the released weight vector, the
-// query-index arrays (CH upward graph or ALT landmark rows), and the
+// query-index arrays (CH upward graph, hub-label arena, or ALT
+// landmark rows), and the
 // JSON privacy receipt — between processes and machines. The container
 // is what makes a release shippable: materializing spends privacy
 // budget and runs contraction once, and every replica that unseals the
@@ -49,9 +50,14 @@ import (
 const (
 	magic = "DPGSNAP\x01"
 
-	// FormatVersion is the container version this package writes and
-	// the only one it reads.
-	FormatVersion = 1
+	// FormatVersion is the container version this package writes by
+	// default. Version 2 added the hub-label sections; the reader still
+	// accepts every version down to MinFormatVersion, so version-1
+	// artifacts (CH/ALT/no index) keep unsealing unchanged.
+	FormatVersion = 2
+
+	// MinFormatVersion is the oldest container version Read accepts.
+	MinFormatVersion = 1
 
 	headerSize     = 48
 	tableEntrySize = 56
@@ -81,6 +87,13 @@ const (
 	sectionCHUpTo       = 6 // int32 per upward edge: CH target
 	sectionCHUpWt       = 7 // float64 per upward edge: CH weight
 	sectionALTLandmarks = 8 // float64 x (landmarks*N): ALT distance rows
+
+	// Hub-label sections (format version 2+). An "hl" artifact carries
+	// the CH sections too — the hierarchy backs the one-to-many sweep
+	// and is what the labels were generated from.
+	sectionHLLabOff  = 9  // int64 x (N+1): label arena offsets
+	sectionHLLabHub  = 10 // int32 per label entry: hub vertex
+	sectionHLLabDist = 11 // float64 per label entry: hub distance
 )
 
 // sectionName maps a kind to its manifest name; unknown kinds have no
@@ -103,6 +116,12 @@ func sectionName(kind uint32) string {
 		return "ch_up_wt"
 	case sectionALTLandmarks:
 		return "alt_landmarks"
+	case sectionHLLabOff:
+		return "hl_lab_off"
+	case sectionHLLabHub:
+		return "hl_lab_hub"
+	case sectionHLLabDist:
+		return "hl_lab_dist"
 	}
 	return ""
 }
@@ -164,8 +183,9 @@ type Meta struct {
 	// require undirected).
 	Directed bool `json:"directed,omitempty"`
 
-	// Index is the embedded query index kind: "" (none), "ch", or
-	// "alt". It dictates which index sections must be present.
+	// Index is the embedded query index kind: "" (none), "ch", "alt",
+	// or "hl" (format version 2+). It dictates which index sections
+	// must be present.
 	Index string `json:"index,omitempty"`
 	// Landmarks is the ALT row count (0 unless Index == "alt").
 	Landmarks int `json:"landmarks,omitempty"`
@@ -197,6 +217,13 @@ type Artifact struct {
 	// ALTLandmarks holds Meta.Landmarks rows of N landmark distances
 	// (present iff Meta.Index == "alt").
 	ALTLandmarks []float64
+
+	// HLLabOff/HLLabHub/HLLabDist are the hub-label arena (present iff
+	// Meta.Index == "hl", alongside the CH arrays): vertex v's label is
+	// HLLabHub/HLLabDist[HLLabOff[v]:HLLabOff[v+1]], hubs ascending.
+	HLLabOff  []int64
+	HLLabHub  []int32
+	HLLabDist []float64
 }
 
 // SectionInfo describes one section as recorded in the container.

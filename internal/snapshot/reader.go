@@ -48,8 +48,8 @@ func Read(r io.Reader, opts ReadOptions) (*Artifact, *Info, error) {
 		return nil, nil, err
 	}
 	version := binary.LittleEndian.Uint32(hdr[0:])
-	if version != FormatVersion {
-		return nil, nil, fmt.Errorf("%w: %w %d (this reader handles %d)", ErrInvalid, ErrUnknownVersion, version, FormatVersion)
+	if version < MinFormatVersion || version > FormatVersion {
+		return nil, nil, fmt.Errorf("%w: %w %d (this reader handles %d..%d)", ErrInvalid, ErrUnknownVersion, version, MinFormatVersion, FormatVersion)
 	}
 	sectionCount := binary.LittleEndian.Uint32(hdr[4:])
 	manifestOff := binary.LittleEndian.Uint64(hdr[8:])
@@ -143,7 +143,7 @@ func Read(r io.Reader, opts ReadOptions) (*Artifact, *Info, error) {
 			if err := dec.Decode(&art.Meta); err != nil {
 				return nil, nil, invalidf("meta section: %v", err)
 			}
-			if err := checkMeta(&art.Meta); err != nil {
+			if err := checkMeta(&art.Meta, version); err != nil {
 				return nil, nil, err
 			}
 		} else {
@@ -184,8 +184,8 @@ func Read(r io.Reader, opts ReadOptions) (*Artifact, *Info, error) {
 	if err := mdec.Decode(&man); err != nil {
 		return nil, nil, invalidf("manifest: %v", err)
 	}
-	if man.FormatVersion != FormatVersion {
-		return nil, nil, fmt.Errorf("%w: %w %d in manifest", ErrInvalid, ErrUnknownVersion, man.FormatVersion)
+	if man.FormatVersion != version {
+		return nil, nil, invalidf("manifest declares format version %d, header says %d", man.FormatVersion, version)
 	}
 	if len(man.Sections) != len(table) {
 		return nil, nil, invalidf("manifest lists %d sections, table has %d", len(man.Sections), len(table))
@@ -235,11 +235,12 @@ func Read(r io.Reader, opts ReadOptions) (*Artifact, *Info, error) {
 }
 
 // checkMeta validates the meta document on its own: counts in range,
-// a known index kind, a receipt present. Cross-checks against the
-// arrays happen in checkSections once they are decoded.
-func checkMeta(m *Meta) error {
-	if m.FormatVersion != FormatVersion {
-		return fmt.Errorf("%w: %w %d in meta", ErrInvalid, ErrUnknownVersion, m.FormatVersion)
+// a known index kind for the container version, a receipt present.
+// Cross-checks against the arrays happen in checkSections once they
+// are decoded.
+func checkMeta(m *Meta, version uint32) error {
+	if m.FormatVersion != int(version) {
+		return invalidf("meta declares format version %d, header says %d", m.FormatVersion, version)
 	}
 	if m.N < 0 || uint64(m.N) > math.MaxUint32 {
 		return invalidf("meta vertex count %d outside [0, 2^32)", m.N)
@@ -258,6 +259,16 @@ func checkMeta(m *Meta) error {
 		}
 		if m.Landmarks != 0 {
 			return invalidf("meta declares %d landmarks alongside a CH index", m.Landmarks)
+		}
+	case "hl":
+		if version < 2 {
+			return invalidf("meta declares an HL index in a version-%d container (hub labels need version 2)", version)
+		}
+		if m.Directed {
+			return invalidf("meta declares an HL index on a directed topology")
+		}
+		if m.Landmarks != 0 {
+			return invalidf("meta declares %d landmarks alongside an HL index", m.Landmarks)
 		}
 	case "alt":
 		if m.Directed {
@@ -294,9 +305,9 @@ func expectedLength(m *Meta, kind uint32, art *Artifact) (length uint64, ok bool
 	case sectionWeights:
 		return 8 * uint64(m.M), true
 	case sectionCHUpOff:
-		return 4 * (uint64(m.N) + 1), m.Index == "ch"
+		return 4 * (uint64(m.N) + 1), m.Index == "ch" || m.Index == "hl"
 	case sectionCHUpTo, sectionCHUpWt:
-		if m.Index != "ch" || len(art.CHUpOff) != m.N+1 {
+		if (m.Index != "ch" && m.Index != "hl") || len(art.CHUpOff) != m.N+1 {
 			return 0, false
 		}
 		last := art.CHUpOff[m.N]
@@ -309,6 +320,20 @@ func expectedLength(m *Meta, kind uint32, art *Artifact) (length uint64, ok bool
 		return 8 * uint64(last), true
 	case sectionALTLandmarks:
 		return 8 * uint64(m.Landmarks) * uint64(m.N), m.Index == "alt"
+	case sectionHLLabOff:
+		return 8 * (uint64(m.N) + 1), m.Index == "hl"
+	case sectionHLLabHub, sectionHLLabDist:
+		if m.Index != "hl" || len(art.HLLabOff) != m.N+1 {
+			return 0, false
+		}
+		last := art.HLLabOff[m.N]
+		if last < 0 {
+			return 0, false
+		}
+		if kind == sectionHLLabHub {
+			return 4 * uint64(last), true
+		}
+		return 8 * uint64(last), true
 	}
 	return 0, false
 }
@@ -332,6 +357,12 @@ func decodeSection(r io.Reader, kind uint32, length uint64, art *Artifact) error
 		art.CHUpWt, err = decodeF64(r, length/8)
 	case sectionALTLandmarks:
 		art.ALTLandmarks, err = decodeF64(r, length/8)
+	case sectionHLLabOff:
+		art.HLLabOff, err = decodeI64(r, length/8)
+	case sectionHLLabHub:
+		art.HLLabHub, err = decodeI32(r, length/4)
+	case sectionHLLabDist:
+		art.HLLabDist, err = decodeF64(r, length/8)
 	default:
 		err = invalidf("undecodable section kind %d", kind)
 	}
@@ -356,6 +387,9 @@ func checkSections(art *Artifact, table []SectionInfo) error {
 	switch art.Meta.Index {
 	case "ch":
 		required = append(required, sectionCHUpOff, sectionCHUpTo, sectionCHUpWt)
+	case "hl":
+		required = append(required, sectionCHUpOff, sectionCHUpTo, sectionCHUpWt,
+			sectionHLLabOff, sectionHLLabHub, sectionHLLabDist)
 	case "alt":
 		required = append(required, sectionALTLandmarks)
 	}
@@ -473,6 +507,25 @@ func decodeI32(r io.Reader, count uint64) ([]int32, error) {
 		}
 		for i := uint64(0); i < k; i++ {
 			out = append(out, int32(binary.LittleEndian.Uint32(buf[i*4:])))
+		}
+		remaining -= k
+	}
+	return out, nil
+}
+
+func decodeI64(r io.Reader, count uint64) ([]int64, error) {
+	out := make([]int64, 0, initCap(count))
+	buf := make([]byte, chunkBytes)
+	for remaining := count; remaining > 0; {
+		k := uint64(len(buf) / 8)
+		if k > remaining {
+			k = remaining
+		}
+		if err := readFull(r, buf[:k*8], "array payload"); err != nil {
+			return nil, err
+		}
+		for i := uint64(0); i < k; i++ {
+			out = append(out, int64(binary.LittleEndian.Uint64(buf[i*8:])))
 		}
 		remaining -= k
 	}

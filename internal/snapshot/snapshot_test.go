@@ -38,6 +38,13 @@ func testArtifact(index string) *Artifact {
 	case "alt":
 		art.Meta.Landmarks = 2
 		art.ALTLandmarks = []float64{0, 1, 3.5, 0, 1, 0, 2.5, 1}
+	case "hl":
+		art.CHUpOff = []int32{0, 2, 3, 4, 4}
+		art.CHUpTo = []int32{1, 3, 2, 3}
+		art.CHUpWt = []float64{1, 0, 2.5, 3}
+		art.HLLabOff = []int64{0, 2, 3, 4, 5}
+		art.HLLabHub = []int32{1, 3, 2, 3, 3}
+		art.HLLabDist = []float64{0, 1, 0, 0, 0}
 	}
 	return art
 }
@@ -52,7 +59,7 @@ func seal(t *testing.T, art *Artifact, opts WriteOptions) []byte {
 }
 
 func TestRoundTrip(t *testing.T) {
-	for _, index := range []string{"", "ch", "alt"} {
+	for _, index := range []string{"", "ch", "alt", "hl"} {
 		name := index
 		if name == "" {
 			name = "none"
@@ -112,6 +119,16 @@ func checkEqualArtifacts(t *testing.T, want, got *Artifact) {
 			}
 		}
 	}
+	eqI64 := func(name string, a, b []int64) {
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d entries, want %d", name, len(b), len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s[%d] = %d, want %d", name, i, b[i], a[i])
+			}
+		}
+	}
 	eqU32("EdgeFrom", want.EdgeFrom, got.EdgeFrom)
 	eqU32("EdgeTo", want.EdgeTo, got.EdgeTo)
 	eqF64("Weights", want.Weights, got.Weights)
@@ -119,6 +136,9 @@ func checkEqualArtifacts(t *testing.T, want, got *Artifact) {
 	eqI32("CHUpTo", want.CHUpTo, got.CHUpTo)
 	eqF64("CHUpWt", want.CHUpWt, got.CHUpWt)
 	eqF64("ALTLandmarks", want.ALTLandmarks, got.ALTLandmarks)
+	eqI64("HLLabOff", want.HLLabOff, got.HLLabOff)
+	eqI32("HLLabHub", want.HLLabHub, got.HLLabHub)
+	eqF64("HLLabDist", want.HLLabDist, got.HLLabDist)
 }
 
 func TestSectionAlignment(t *testing.T) {
@@ -233,6 +253,54 @@ func TestUnknownVersionRejected(t *testing.T) {
 	}
 }
 
+// TestFormatVersion1RoundTrip pins backward compatibility: artifacts
+// written at format version 1 (everything but hub labels) must keep
+// reading under the version-2 reader, bit for bit.
+func TestFormatVersion1RoundTrip(t *testing.T) {
+	for _, index := range []string{"", "ch", "alt"} {
+		name := index
+		if name == "" {
+			name = "none"
+		}
+		t.Run(name, func(t *testing.T) {
+			want := testArtifact(index)
+			want.Meta.FormatVersion = 1
+			data := seal(t, want, WriteOptions{FormatVersion: 1})
+			got, info, err := Read(bytes.NewReader(data), ReadOptions{})
+			if err != nil {
+				t.Fatalf("Read: %v", err)
+			}
+			if info.FormatVersion != 1 {
+				t.Fatalf("info reports version %d, want 1", info.FormatVersion)
+			}
+			checkEqualArtifacts(t, want, got)
+		})
+	}
+}
+
+// TestFormatVersion1RejectsHubLabels: version 1 has no hub-label
+// sections, so asking the writer to downlevel an "hl" artifact is an
+// error, not silent data loss.
+func TestFormatVersion1RejectsHubLabels(t *testing.T) {
+	art := testArtifact("hl")
+	art.Meta.FormatVersion = 1
+	if err := Write(io.Discard, art, WriteOptions{FormatVersion: 1}); err == nil {
+		t.Fatal("Write emitted hub labels into a version-1 container")
+	}
+}
+
+// TestWriteRejectsVersionSkew: the meta document restates the container
+// version inside the signed payload chain, so the two must agree.
+func TestWriteRejectsVersionSkew(t *testing.T) {
+	art := testArtifact("")
+	if err := Write(io.Discard, art, WriteOptions{FormatVersion: 1}); err == nil {
+		t.Fatal("Write accepted meta version 2 in a version-1 container")
+	}
+	if err := Write(io.Discard, art, WriteOptions{FormatVersion: 7}); err == nil {
+		t.Fatal("Write accepted an unsupported container version")
+	}
+}
+
 func TestLengthLyingDoesNotAllocate(t *testing.T) {
 	// A header claiming a multi-gigabyte weights section backed by a
 	// short stream must fail on truncation, cheaply, instead of
@@ -262,10 +330,27 @@ func TestWriterRejectsInconsistentArtifact(t *testing.T) {
 		"no-receipt":      func(a *Artifact) { a.Meta.Receipt = nil },
 		"bad-index":       func(a *Artifact) { a.Meta.Index = "btree" },
 		"stray-alt-rows":  func(a *Artifact) { a.ALTLandmarks = []float64{1} },
+		"stray-hl-arena":  func(a *Artifact) { a.HLLabHub = []int32{0} },
 	}
 	for name, mutate := range cases {
 		t.Run(name, func(t *testing.T) {
 			art := testArtifact("")
+			mutate(art)
+			if err := Write(io.Discard, art, WriteOptions{}); err == nil {
+				t.Fatal("Write accepted an inconsistent artifact")
+			}
+		})
+	}
+	hlCases := map[string]func(*Artifact){
+		"hl-short-lab-off":     func(a *Artifact) { a.HLLabOff = a.HLLabOff[:3] },
+		"hl-arena-mismatch":    func(a *Artifact) { a.HLLabDist = a.HLLabDist[:len(a.HLLabDist)-1] },
+		"hl-off-past-arena":    func(a *Artifact) { a.HLLabOff[len(a.HLLabOff)-1]++ },
+		"hl-alt-rows":          func(a *Artifact) { a.ALTLandmarks = []float64{1} },
+		"hl-missing-ch-arrays": func(a *Artifact) { a.CHUpOff = nil },
+	}
+	for name, mutate := range hlCases {
+		t.Run(name, func(t *testing.T) {
+			art := testArtifact("hl")
 			mutate(art)
 			if err := Write(io.Discard, art, WriteOptions{}); err == nil {
 				t.Fatal("Write accepted an inconsistent artifact")

@@ -18,6 +18,13 @@ type WriteOptions struct {
 	// Signing is deterministic, so re-sealing the same release yields
 	// byte-identical artifacts.
 	SigningKey ed25519.PrivateKey
+
+	// FormatVersion selects the container version to emit; 0 means the
+	// current FormatVersion. Older versions exist for compatibility
+	// testing and for consumers pinned to old readers — an artifact
+	// whose index kind the requested version cannot express (hub labels
+	// before version 2) is an error.
+	FormatVersion uint32
 }
 
 // chunkBytes sizes the encode/decode scratch buffer: large enough to
@@ -33,6 +40,19 @@ const chunkBytes = 64 * 1024
 // artifact's internal consistency first so a malformed artifact is an
 // error here, not a time bomb for readers.
 func Write(w io.Writer, art *Artifact, opts WriteOptions) error {
+	version := opts.FormatVersion
+	if version == 0 {
+		version = FormatVersion
+	}
+	if version < MinFormatVersion || version > FormatVersion {
+		return fmt.Errorf("snapshot: cannot write format version %d (supported: %d..%d)", version, MinFormatVersion, FormatVersion)
+	}
+	if version < 2 && art.Meta.Index == "hl" {
+		return fmt.Errorf("snapshot: format version %d cannot carry hub labels (need >= 2)", version)
+	}
+	if art.Meta.FormatVersion != int(version) {
+		return fmt.Errorf("snapshot: meta declares format version %d, writing %d", art.Meta.FormatVersion, version)
+	}
 	if err := validateArtifact(art); err != nil {
 		return err
 	}
@@ -61,6 +81,15 @@ func Write(w io.Writer, art *Artifact, opts WriteOptions) error {
 		secs = append(secs,
 			section{kind: sectionALTLandmarks, length: 8 * uint64(len(art.ALTLandmarks)), encode: encodeF64(art.ALTLandmarks)},
 		)
+	case "hl":
+		secs = append(secs,
+			section{kind: sectionCHUpOff, length: 4 * uint64(len(art.CHUpOff)), encode: encodeI32(art.CHUpOff)},
+			section{kind: sectionCHUpTo, length: 4 * uint64(len(art.CHUpTo)), encode: encodeI32(art.CHUpTo)},
+			section{kind: sectionCHUpWt, length: 8 * uint64(len(art.CHUpWt)), encode: encodeF64(art.CHUpWt)},
+			section{kind: sectionHLLabOff, length: 8 * uint64(len(art.HLLabOff)), encode: encodeI64(art.HLLabOff)},
+			section{kind: sectionHLLabHub, length: 4 * uint64(len(art.HLLabHub)), encode: encodeI32(art.HLLabHub)},
+			section{kind: sectionHLLabDist, length: 8 * uint64(len(art.HLLabDist)), encode: encodeF64(art.HLLabDist)},
+		)
 	}
 
 	// Fix the layout: sections start 64-byte-aligned after the table,
@@ -83,7 +112,7 @@ func Write(w io.Writer, art *Artifact, opts WriteOptions) error {
 		h.Sum(secs[i].digest[:0])
 	}
 
-	man := manifest{FormatVersion: FormatVersion, Writer: art.Meta.Writer}
+	man := manifest{FormatVersion: version, Writer: art.Meta.Writer}
 	for _, s := range secs {
 		man.Sections = append(man.Sections, SectionInfo{
 			Kind:   s.kind,
@@ -116,7 +145,7 @@ func Write(w io.Writer, art *Artifact, opts WriteOptions) error {
 		return err
 	}
 	var hdr [headerSize]byte
-	binary.LittleEndian.PutUint32(hdr[0:], FormatVersion)
+	binary.LittleEndian.PutUint32(hdr[0:], version)
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(secs)))
 	binary.LittleEndian.PutUint64(hdr[8:], manifestOff)
 	binary.LittleEndian.PutUint64(hdr[16:], uint64(len(manifestJSON)))
@@ -188,9 +217,10 @@ func validateArtifact(art *Artifact) error {
 			return fmt.Errorf("snapshot: released weight %d is %g; sealed weights are clamped nonnegative", i, w)
 		}
 	}
+	hlLen := len(art.HLLabOff) + len(art.HLLabHub) + len(art.HLLabDist)
 	switch m.Index {
 	case "":
-		if len(art.CHUpOff) != 0 || len(art.CHUpTo) != 0 || len(art.CHUpWt) != 0 || len(art.ALTLandmarks) != 0 {
+		if len(art.CHUpOff) != 0 || len(art.CHUpTo) != 0 || len(art.CHUpWt) != 0 || len(art.ALTLandmarks) != 0 || hlLen != 0 {
 			return fmt.Errorf("snapshot: index arrays present without a declared index kind")
 		}
 	case "ch":
@@ -206,6 +236,31 @@ func validateArtifact(art *Artifact) error {
 		if len(art.ALTLandmarks) != 0 {
 			return fmt.Errorf("snapshot: ALT rows present alongside a CH index")
 		}
+		if hlLen != 0 {
+			return fmt.Errorf("snapshot: hub-label arrays present alongside a plain CH index")
+		}
+	case "hl":
+		if m.Directed {
+			return fmt.Errorf("snapshot: HL index on a directed topology")
+		}
+		if len(art.CHUpOff) != m.N+1 {
+			return fmt.Errorf("snapshot: CH offsets have %d entries for %d vertices (want %d)", len(art.CHUpOff), m.N, m.N+1)
+		}
+		if len(art.CHUpTo) != len(art.CHUpWt) {
+			return fmt.Errorf("snapshot: CH upward arrays disagree: %d targets, %d weights", len(art.CHUpTo), len(art.CHUpWt))
+		}
+		if len(art.HLLabOff) != m.N+1 {
+			return fmt.Errorf("snapshot: HL label offsets have %d entries for %d vertices (want %d)", len(art.HLLabOff), m.N, m.N+1)
+		}
+		if len(art.HLLabHub) != len(art.HLLabDist) {
+			return fmt.Errorf("snapshot: HL label arena disagrees: %d hubs, %d distances", len(art.HLLabHub), len(art.HLLabDist))
+		}
+		if last := art.HLLabOff[m.N]; last < 0 || last != int64(len(art.HLLabHub)) {
+			return fmt.Errorf("snapshot: HL label offsets end at %d for %d arena entries", last, len(art.HLLabHub))
+		}
+		if len(art.ALTLandmarks) != 0 {
+			return fmt.Errorf("snapshot: ALT rows present alongside an HL index")
+		}
 	case "alt":
 		if m.Directed {
 			return fmt.Errorf("snapshot: ALT index on a directed topology")
@@ -216,8 +271,8 @@ func validateArtifact(art *Artifact) error {
 		if len(art.ALTLandmarks) != m.Landmarks*m.N {
 			return fmt.Errorf("snapshot: ALT rows have %d entries for %d landmarks x %d vertices", len(art.ALTLandmarks), m.Landmarks, m.N)
 		}
-		if len(art.CHUpOff) != 0 || len(art.CHUpTo) != 0 || len(art.CHUpWt) != 0 {
-			return fmt.Errorf("snapshot: CH arrays present alongside an ALT index")
+		if len(art.CHUpOff) != 0 || len(art.CHUpTo) != 0 || len(art.CHUpWt) != 0 || hlLen != 0 {
+			return fmt.Errorf("snapshot: CH or HL arrays present alongside an ALT index")
 		}
 	default:
 		return fmt.Errorf("snapshot: unknown index kind %q", m.Index)
@@ -315,6 +370,24 @@ func encodeI32(vals []int32) func(io.Writer) error {
 			for i < len(vals) && n+4 <= len(buf) {
 				binary.LittleEndian.PutUint32(buf[n:], uint32(vals[i]))
 				n += 4
+				i++
+			}
+			if _, err := w.Write(buf[:n]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+func encodeI64(vals []int64) func(io.Writer) error {
+	return func(w io.Writer) error {
+		buf := make([]byte, chunkBytes)
+		for i := 0; i < len(vals); {
+			n := 0
+			for i < len(vals) && n+8 <= len(buf) {
+				binary.LittleEndian.PutUint64(buf[n:], uint64(vals[i]))
+				n += 8
 				i++
 			}
 			if _, err := w.Write(buf[:n]); err != nil {
