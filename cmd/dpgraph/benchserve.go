@@ -1,14 +1,18 @@
 package main
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
+	"net/http/httptrace"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -19,8 +23,11 @@ import (
 // daemon: it discovers ready releases from the listing endpoint (all of
 // them, or just -release when given), fires n point or batch requests
 // from c concurrent workers over keep-alive connections, and reports
-// throughput and latency quantiles — the numbers behind
-// EXPERIMENTS.md E21.
+// throughput, latency quantiles, and connection reuse — the numbers
+// behind EXPERIMENTS.md E21/E24. With -source it queries distinct
+// targets from one fixed source (the shape the daemon's sweep coalescer
+// merges); with -stream it pipelines NDJSON point queries over c
+// streaming requests instead of one HTTP round trip per query.
 func runBenchServe(out *os.File, args []string) error {
 	fs := flag.NewFlagSet("dpgraph bench-serve", flag.ContinueOnError)
 	var (
@@ -30,6 +37,8 @@ func runBenchServe(out *os.File, args []string) error {
 		c       = fs.Int("c", 8, "concurrent client workers")
 		batch   = fs.Int("batch", 1, "pairs per request (1: point endpoint, >1: batch endpoint)")
 		seed    = fs.Int64("seed", 1, "pair-generation seed")
+		source  = fs.Int("source", -1, "query distinct targets from this fixed source vertex (-1: random pairs)")
+		stream  = fs.Bool("stream", false, "pipeline point queries over the NDJSON distances:stream endpoint")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -40,39 +49,80 @@ func runBenchServe(out *os.File, args []string) error {
 	if *n < 1 || *c < 1 || *batch < 1 {
 		return fmt.Errorf("-n, -c, and -batch must be >= 1")
 	}
+	if *stream && *batch != 1 {
+		return fmt.Errorf("-stream pipelines point queries; drop -batch (each line is one pair)")
+	}
 
 	targets, err := benchReleases(*baseURL, *release)
 	if err != nil {
 		return err
 	}
+	if *source >= 0 {
+		for _, tgt := range targets {
+			if *source >= tgt.n {
+				return fmt.Errorf("-source %d is out of range for release %s (n=%d)", *source, tgt.name, tgt.n)
+			}
+		}
+	}
+
+	// The default transport caps idle conns per host at 2: past a
+	// handful of workers every request races for a keep-alive slot,
+	// loses, and re-dials — the benchmark measures connection churn, not
+	// the daemon. Size the pools to the worker count so each worker owns
+	// a persistent connection, and count dials vs reuses to prove it.
+	transport := &http.Transport{
+		MaxIdleConns:        *c + 16,
+		MaxIdleConnsPerHost: *c,
+		MaxConnsPerHost:     *c,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	client := &http.Client{Transport: transport}
+	var dialed, reused atomic.Int64
+	ctx := httptrace.WithClientTrace(context.Background(), &httptrace.ClientTrace{
+		GotConn: func(info httptrace.GotConnInfo) {
+			if info.Reused {
+				reused.Add(1)
+			} else {
+				dialed.Add(1)
+			}
+		},
+	})
+
+	if *stream {
+		return runBenchServeStream(out, ctx, client, *baseURL, targets, *n, *c, *seed, *source, &dialed, &reused)
+	}
 
 	// Pregenerate a shared pool of request targets (and batch bodies),
 	// spreading pool slots across the benched releases, so workers spend
-	// their time on requests, not on formatting.
+	// their time on requests, not on formatting. Fixed-source runs build
+	// each request on the fly instead: their point is a fresh target
+	// every time (repeats would hit the daemon's result cache and
+	// measure memoization, not serving).
 	rng := rand.New(rand.NewSource(*seed))
 	const pool = 1024
 	urls := make([]string, pool)
 	bodies := make([]string, pool)
-	for i := range urls {
-		tgt := targets[i%len(targets)]
-		if *batch == 1 {
-			urls[i] = fmt.Sprintf("%s/v1/releases/%s/distance?s=%d&t=%d", *baseURL, tgt.name, rng.Intn(tgt.n), rng.Intn(tgt.n))
-			continue
-		}
-		urls[i] = fmt.Sprintf("%s/v1/releases/%s/distances", *baseURL, tgt.name)
-		var b strings.Builder
-		b.WriteString("[")
-		for k := 0; k < *batch; k++ {
-			if k > 0 {
-				b.WriteString(",")
+	if *source < 0 {
+		for i := range urls {
+			tgt := targets[i%len(targets)]
+			if *batch == 1 {
+				urls[i] = fmt.Sprintf("%s/v1/releases/%s/distance?s=%d&t=%d", *baseURL, tgt.name, rng.Intn(tgt.n), rng.Intn(tgt.n))
+				continue
 			}
-			fmt.Fprintf(&b, "[%d,%d]", rng.Intn(tgt.n), rng.Intn(tgt.n))
+			urls[i] = fmt.Sprintf("%s/v1/releases/%s/distances", *baseURL, tgt.name)
+			var b strings.Builder
+			b.WriteString("[")
+			for k := 0; k < *batch; k++ {
+				if k > 0 {
+					b.WriteString(",")
+				}
+				fmt.Fprintf(&b, "[%d,%d]", rng.Intn(tgt.n), rng.Intn(tgt.n))
+			}
+			b.WriteString("]")
+			bodies[i] = b.String()
 		}
-		b.WriteString("]")
-		bodies[i] = b.String()
 	}
 
-	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *c}}
 	var (
 		next      atomic.Int64 // request tickets
 		failures  atomic.Int64
@@ -94,13 +144,45 @@ func runBenchServe(out *os.File, args []string) error {
 				if i >= int64(*n) {
 					break
 				}
+				ti := int(i % int64(len(targets)))
+				tgt := targets[ti]
+				var reqURL, body string
+				if *source >= 0 {
+					if *batch == 1 {
+						reqURL = fmt.Sprintf("%s/v1/releases/%s/distance?s=%d&t=%d",
+							*baseURL, tgt.name, *source, benchTargetVertex(*source, tgt.n, i))
+					} else {
+						reqURL = fmt.Sprintf("%s/v1/releases/%s/distances", *baseURL, tgt.name)
+						var b strings.Builder
+						b.WriteString("[")
+						for k := 0; k < *batch; k++ {
+							if k > 0 {
+								b.WriteString(",")
+							}
+							fmt.Fprintf(&b, "[%d,%d]", *source, benchTargetVertex(*source, tgt.n, i*int64(*batch)+int64(k)))
+						}
+						b.WriteString("]")
+						body = b.String()
+					}
+				} else {
+					reqURL = urls[i%pool]
+					body = bodies[i%pool]
+					ti = int(i % pool % int64(len(targets)))
+				}
 				t0 := time.Now()
 				var resp *http.Response
 				var err error
 				if *batch == 1 {
-					resp, err = client.Get(urls[i%pool])
+					var req *http.Request
+					if req, err = http.NewRequestWithContext(ctx, http.MethodGet, reqURL, nil); err == nil {
+						resp, err = client.Do(req)
+					}
 				} else {
-					resp, err = client.Post(urls[i%pool], "application/json", strings.NewReader(bodies[i%pool]))
+					var req *http.Request
+					if req, err = http.NewRequestWithContext(ctx, http.MethodPost, reqURL, strings.NewReader(body)); err == nil {
+						req.Header.Set("Content-Type", "application/json")
+						resp, err = client.Do(req)
+					}
 				}
 				if err == nil {
 					_, _ = io.Copy(io.Discard, resp.Body)
@@ -114,8 +196,7 @@ func runBenchServe(out *os.File, args []string) error {
 					lastError.Store(err.Error())
 					continue
 				}
-				tgt := int(i % pool % int64(len(targets)))
-				lat[tgt] = append(lat[tgt], time.Since(t0))
+				lat[ti] = append(lat[ti], time.Since(t0))
 			}
 			latencies[wk] = lat
 		}(wk)
@@ -148,6 +229,7 @@ func runBenchServe(out *os.File, args []string) error {
 	fmt.Fprintf(out, "throughput: %.1f requests/s, %.1f pairs/s\n",
 		float64(len(all))/elapsed.Seconds(), float64(pairs)/elapsed.Seconds())
 	fmt.Fprintf(out, "latency: p50 %s  p90 %s  p99 %s\n", q(0.50), q(0.90), q(0.99))
+	fmt.Fprintf(out, "connections: %d dialed, %d reused\n", dialed.Load(), reused.Load())
 	if len(targets) > 1 {
 		for tgt, l := range perRelease {
 			if len(l) == 0 {
@@ -160,6 +242,131 @@ func runBenchServe(out *os.File, args []string) error {
 	}
 	if f := failures.Load(); f > 0 {
 		return fmt.Errorf("%d of %d requests failed (last error: %v)", f, *n, lastError.Load())
+	}
+	return nil
+}
+
+// benchTargetVertex spreads ticket i over the n-1 vertices other than
+// src, cycling so consecutive tickets query distinct targets.
+func benchTargetVertex(src, n int, i int64) int {
+	return (src + 1 + int(i%int64(n-1))) % n
+}
+
+// runBenchServeStream drives the pipelined NDJSON endpoint: each of c
+// workers opens one distances:stream request and pours its share of the
+// n queries down it while reading answers back, so the wire carries no
+// per-query HTTP overhead. Throughput is answers per second across all
+// streams.
+func runBenchServeStream(out *os.File, ctx context.Context, client *http.Client, baseURL string, targets []benchRelease, n, c int, seed int64, source int, dialed, reused *atomic.Int64) error {
+	var (
+		answered  atomic.Int64
+		failures  atomic.Int64
+		lastError atomic.Value
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+	for wk := 0; wk < c; wk++ {
+		quota := n / c
+		if wk < n%c {
+			quota++
+		}
+		if quota == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(wk, quota int) {
+			defer wg.Done()
+			tgt := targets[wk%len(targets)]
+			pr, pw := io.Pipe()
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/releases/"+tgt.name+"/distances:stream", pr)
+			if err != nil {
+				failures.Add(int64(quota))
+				lastError.Store(err.Error())
+				return
+			}
+			req.Header.Set("Content-Type", "text/plain")
+			go func() {
+				rng := rand.New(rand.NewSource(seed + int64(wk)))
+				buf := make([]byte, 0, 64<<10)
+				base := int64(wk) * int64(quota)
+				for i := 0; i < quota; i++ {
+					var s, t int
+					if source >= 0 {
+						s, t = source, benchTargetVertex(source, tgt.n, base+int64(i))
+					} else {
+						s, t = rng.Intn(tgt.n), rng.Intn(tgt.n)
+					}
+					buf = strconv.AppendInt(buf, int64(s), 10)
+					buf = append(buf, ' ')
+					buf = strconv.AppendInt(buf, int64(t), 10)
+					buf = append(buf, '\n')
+					if len(buf) >= 32<<10 {
+						if _, err := pw.Write(buf); err != nil {
+							return // reader side failed; it reports the error
+						}
+						buf = buf[:0]
+					}
+				}
+				if len(buf) > 0 {
+					pw.Write(buf) //nolint:errcheck // reader side reports failures
+				}
+				pw.Close()
+			}()
+			resp, err := client.Do(req)
+			if err != nil {
+				pr.CloseWithError(err)
+				failures.Add(int64(quota))
+				lastError.Store(err.Error())
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+				pr.CloseWithError(fmt.Errorf("status %s", resp.Status))
+				failures.Add(int64(quota))
+				lastError.Store(fmt.Sprintf("status %s: %s", resp.Status, strings.TrimSpace(string(body))))
+				return
+			}
+			br := bufio.NewReaderSize(resp.Body, 64<<10)
+			got := 0
+			for {
+				line, err := br.ReadSlice('\n')
+				if len(line) >= 3 && line[0] == '{' {
+					if line[1] == '"' && line[2] == 'e' { // {"error":...} terminates the stream
+						failures.Add(int64(quota - got))
+						lastError.Store(strings.TrimSpace(string(line)))
+						pr.CloseWithError(fmt.Errorf("server error"))
+						return
+					}
+					got++
+				}
+				if err != nil {
+					break
+				}
+			}
+			answered.Add(int64(got))
+			if got != quota {
+				failures.Add(int64(quota - got))
+				lastError.Store(fmt.Sprintf("stream answered %d of %d queries", got, quota))
+			}
+		}(wk, quota)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	ok := answered.Load()
+	if ok == 0 {
+		return fmt.Errorf("all %d stream queries failed (last error: %v)", n, lastError.Load())
+	}
+	var names []string
+	for _, tgt := range targets {
+		names = append(names, tgt.label())
+	}
+	fmt.Fprintf(out, "bench-serve: %d ok / %d failed stream queries against release(s) %s in %.2fs (%d streams)\n",
+		ok, failures.Load(), strings.Join(names, " "), elapsed.Seconds(), c)
+	fmt.Fprintf(out, "throughput: %.1f pairs/s pipelined\n", float64(ok)/elapsed.Seconds())
+	fmt.Fprintf(out, "connections: %d dialed, %d reused\n", dialed.Load(), reused.Load())
+	if f := failures.Load(); f > 0 {
+		return fmt.Errorf("%d of %d stream queries failed (last error: %v)", f, n, lastError.Load())
 	}
 	return nil
 }

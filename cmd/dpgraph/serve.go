@@ -35,6 +35,8 @@ func runServe(out *os.File, g *dpgraph.Graph, w []float64, args []string) error 
 		snapDir     = fs.String("snapshot-dir", "", "restore every *.dpsnap sealed release in this directory at boot")
 		snapKey     = fs.String("snapshot-key", "", "ed25519 private key (PEM) used to sign exported snapshots")
 		snapVerify  = fs.String("snapshot-verify", "", "ed25519 public key (PEM); imported and restored snapshots must verify against it")
+		coWindow    = fs.Duration("coalesce-window", 0, "collect concurrent point queries for up to this long and answer them through one shared sweep (0: off)")
+		coMax       = fs.Int("coalesce-max", 0, "flush a coalesced batch once this many pairs wait (0: default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -48,12 +50,20 @@ func runServe(out *os.File, g *dpgraph.Graph, w []float64, args []string) error 
 	if *maxReleases < 1 {
 		return fmt.Errorf("-max-releases must be >= 1, got %d", *maxReleases)
 	}
+	if *coWindow < 0 {
+		return fmt.Errorf("-coalesce-window must be >= 0, got %v", *coWindow)
+	}
+	if *coMax < 0 {
+		return fmt.Errorf("-coalesce-max must be >= 0, got %d", *coMax)
+	}
 
 	cfg := serve.Config{
-		MaxBodyBytes: *maxBody,
-		MaxInflight:  *maxInflight,
-		MaxReleases:  *maxReleases,
-		AllowSeeded:  *allowSeeded,
+		MaxBodyBytes:       *maxBody,
+		MaxInflight:        *maxInflight,
+		MaxReleases:        *maxReleases,
+		AllowSeeded:        *allowSeeded,
+		CoalesceWindow:     *coWindow,
+		CoalesceMaxPending: *coMax,
 	}
 	if *snapKey != "" {
 		key, err := snapshot.LoadPrivateKey(*snapKey)
@@ -110,6 +120,7 @@ func runServe(out *os.File, g *dpgraph.Graph, w []float64, args []string) error 
 	}
 	stop() // restore default signal handling: a second SIGINT kills hard
 	fmt.Fprintln(out, "dpgraph: signal received, draining in-flight requests")
+	srv.Drain() // flush coalesced batches so no waiter outlives the drain window
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {

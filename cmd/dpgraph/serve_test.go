@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -173,14 +174,70 @@ func TestRunBenchServeFanOut(t *testing.T) {
 	}
 }
 
+// TestRunBenchServeStream pipelines point queries over the NDJSON
+// stream endpoint, random-pair and fixed-source shapes both.
+func TestRunBenchServeStream(t *testing.T) {
+	ts := benchTarget(t)
+	for _, extra := range [][]string{nil, {"-source", "0"}} {
+		args := append([]string{"bench-serve", "-url", ts.URL, "-release", "main",
+			"-n", "40", "-c", "3", "-stream"}, extra...)
+		out, err := capture(t, args)
+		if err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		for _, want := range []string{"40 ok / 0 failed stream queries", "pairs/s pipelined", "connections:"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%v output missing %q:\n%s", args, want, out)
+			}
+		}
+	}
+}
+
+// TestRunBenchServeStreamLong pours far more queries down one stream
+// than fit in the transport buffers, so the client is still writing its
+// pipe-fed chunked body while answers flow back. Without the handler's
+// EnableFullDuplex call the HTTP/1 server drains the unread body at the
+// first response flush and silently truncates the stream.
+func TestRunBenchServeStreamLong(t *testing.T) {
+	ts := benchTarget(t)
+	out, err := capture(t, []string{"bench-serve", "-url", ts.URL, "-release", "main",
+		"-n", "30000", "-c", "2", "-stream"})
+	if err != nil {
+		t.Fatalf("long stream: %v", err)
+	}
+	if !strings.Contains(out, "30000 ok / 0 failed stream queries") {
+		t.Errorf("long stream truncated:\n%s", out)
+	}
+}
+
+// TestRunBenchServeFixedSource drives the coalescer-shaped load: every
+// request queries a distinct target from one fixed source.
+func TestRunBenchServeFixedSource(t *testing.T) {
+	ts := benchTarget(t)
+	for _, batch := range []string{"1", "4"} {
+		out, err := capture(t, []string{"bench-serve", "-url", ts.URL, "-release", "main",
+			"-n", "40", "-c", "4", "-batch", batch, "-source", "0"})
+		if err != nil {
+			t.Fatalf("batch=%s: %v", batch, err)
+		}
+		for _, want := range []string{"40 ok / 0 failed", "connections:"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("batch=%s output missing %q:\n%s", batch, want, out)
+			}
+		}
+	}
+}
+
 func TestRunBenchServeErrors(t *testing.T) {
 	ts := benchTarget(t)
 	cases := [][]string{
-		{"bench-serve", "-release", "nope", "-url", ts.URL},                          // unknown release
-		{"bench-serve", "-release", "main", "-url", ts.URL, "-n", "0"},               // bad counts
-		{"bench-serve", "-release", "main", "-url", "http://127.0.0.1:1", "-n", "4"}, // unreachable server
-		{"-graph", "g.txt", "bench-serve", "-release", "main"},                       // global flags rejected
-		{"bench-serve", "-release", "main", "-url", ts.URL, "extra"},                 // positional args
+		{"bench-serve", "-release", "nope", "-url", ts.URL},                           // unknown release
+		{"bench-serve", "-release", "main", "-url", ts.URL, "-n", "0"},                // bad counts
+		{"bench-serve", "-release", "main", "-url", "http://127.0.0.1:1", "-n", "4"},  // unreachable server
+		{"-graph", "g.txt", "bench-serve", "-release", "main"},                        // global flags rejected
+		{"bench-serve", "-release", "main", "-url", ts.URL, "extra"},                  // positional args
+		{"bench-serve", "-release", "main", "-url", ts.URL, "-stream", "-batch", "8"}, // stream is point-only
+		{"bench-serve", "-release", "main", "-url", ts.URL, "-source", "99"},          // source out of range
 	}
 	for _, args := range cases {
 		if _, err := capture(t, args); err == nil {
@@ -199,11 +256,111 @@ func TestRunServeFlagErrors(t *testing.T) {
 		{"-graph", path, "serve", "-max-inflight", "-1"},
 		{"-graph", path, "serve", "-max-releases", "0"},
 		{"-graph", path, "serve", "-addr", "not an address"},
+		{"-graph", path, "serve", "-coalesce-window", "-1ms"},
+		{"-graph", path, "serve", "-coalesce-max", "-1"},
 	}
 	for _, args := range cases {
 		if _, err := capture(t, args); err == nil {
 			t.Errorf("%v accepted", args)
 		}
+	}
+}
+
+// TestServeCLICoalesce boots the daemon with a coalescing window,
+// fires concurrent same-source queries at a sweep-capable release,
+// checks the metrics attribute them to shared batches, and requires a
+// clean drain on SIGINT (no waiter may be stranded on a window timer).
+func TestServeCLICoalesce(t *testing.T) {
+	path := writeFile(t, "g.txt", pathGraph)
+	ready := make(chan string, 1)
+	serveListening = ready
+	defer func() { serveListening = nil }()
+
+	outFile, err := os.CreateTemp(t.TempDir(), "serveout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer outFile.Close()
+	done := make(chan error, 1)
+	go func() {
+		done <- run(outFile, strings.NewReader(""), []string{"-graph", path, "serve",
+			"-addr", "127.0.0.1:0", "-allow-seeded", "-coalesce-window", "5ms", "-coalesce-max", "64"})
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("serve exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve never started listening")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Post(base+"/v1/releases", "application/json",
+		strings.NewReader(`{"name":"main","mechanism":"release","epsilon":2,"seed":7,"index":"ch"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create release: status %d", resp.StatusCode)
+	}
+
+	const queries = 8
+	errc := make(chan error, queries)
+	for i := 0; i < queries; i++ {
+		go func(i int) {
+			resp, err := http.Get(fmt.Sprintf("%s/v1/releases/main/distance?s=0&t=%d", base, i%4))
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					err = fmt.Errorf("status %d", resp.StatusCode)
+				}
+			}
+			errc <- err
+		}(i)
+	}
+	for i := 0; i < queries; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var metrics struct {
+		Releases map[string]struct {
+			Coalesce struct {
+				Batches       uint64 `json:"batches"`
+				SharedQueries uint64 `json:"shared_queries"`
+				SoloQueries   uint64 `json:"solo_queries"`
+			} `json:"coalesce"`
+		} `json:"releases"`
+	}
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	co := metrics.Releases["main"].Coalesce
+	if co.Batches == 0 {
+		t.Error("coalescer ran zero batches")
+	}
+	if co.SharedQueries+co.SoloQueries != queries {
+		t.Errorf("shared+solo = %d+%d, want %d", co.SharedQueries, co.SoloQueries, queries)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve exited with %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve did not shut down on SIGINT")
 	}
 }
 

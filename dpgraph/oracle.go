@@ -3,6 +3,7 @@ package dpgraph
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/graph/index"
@@ -48,6 +49,19 @@ type DistanceOracle interface {
 	N() int
 }
 
+// BatchOracle is the allocation-free batch entry point. All oracles
+// returned by this package implement it; callers that serve high query
+// rates (the HTTP daemon, the sweep coalescer) use DistancesInto to
+// answer batches into buffers they own and reuse, so the steady-state
+// query path performs no heap allocation on either side of the
+// interface.
+type BatchOracle interface {
+	DistanceOracle
+	// DistancesInto answers pairs[i] into out[i]. out must have exactly
+	// len(pairs) elements; the call allocates nothing in steady state.
+	DistancesInto(pairs []VertexPair, out []float64) error
+}
+
 // checkOracleVertices validates query endpoints against the oracle's
 // vertex range.
 func checkOracleVertices(n, s, t int) error {
@@ -57,18 +71,20 @@ func checkOracleVertices(n, s, t int) error {
 	return nil
 }
 
-// batchDistances is the generic batch implementation: one Distance call
-// per pair, failing fast on the first invalid pair.
-func batchDistances(o DistanceOracle, pairs []VertexPair) ([]float64, error) {
-	out := make([]float64, len(pairs))
+// batchDistancesInto is the generic batch implementation: one Distance
+// call per pair, failing fast on the first invalid pair.
+func batchDistancesInto(o DistanceOracle, pairs []VertexPair, out []float64) error {
+	if len(out) != len(pairs) {
+		return fmt.Errorf("dpgraph: DistancesInto: %d result slots for %d pairs", len(out), len(pairs))
+	}
 	for i, p := range pairs {
 		d, err := o.Distance(p.S, p.T)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		out[i] = d
 	}
-	return out, nil
+	return nil
 }
 
 // lookupOracle adapts any O(1)-ish released lookup structure (tree SSSP +
@@ -94,7 +110,15 @@ func (o *lookupOracle) Distance(s, t int) (float64, error) {
 }
 
 func (o *lookupOracle) Distances(pairs []VertexPair) ([]float64, error) {
-	return batchDistances(o, pairs)
+	out := make([]float64, len(pairs))
+	if err := o.DistancesInto(pairs, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (o *lookupOracle) DistancesInto(pairs []VertexPair, out []float64) error {
+	return batchDistancesInto(o, pairs, out)
 }
 
 func (o *lookupOracle) Bound(gamma float64) float64 { return o.bound(gamma) }
@@ -146,7 +170,46 @@ func (o *syntheticOracle) indexedDistance(s, t int) float64 {
 	return d
 }
 
-// Distances answers a batch with shared work paid once: the batch is
+// pairSorter orders a batch's index permutation by (source, target). It
+// is a concrete sort.Interface so the batch path can sort through a
+// pooled value without the closure allocation sort.Slice would cost.
+type pairSorter struct {
+	order []int
+	pairs []VertexPair
+}
+
+func (ps *pairSorter) Len() int      { return len(ps.order) }
+func (ps *pairSorter) Swap(i, j int) { ps.order[i], ps.order[j] = ps.order[j], ps.order[i] }
+func (ps *pairSorter) Less(i, j int) bool {
+	pa, pb := ps.pairs[ps.order[i]], ps.pairs[ps.order[j]]
+	if pa.S != pb.S {
+		return pa.S < pb.S
+	}
+	return pa.T < pb.T
+}
+
+// batchScratch is the reusable workspace of one synthetic-oracle batch:
+// the (source, target) permutation, the per-run deduplicated target
+// list, and the per-run result buffer. Pooled so steady-state batches
+// allocate nothing.
+type batchScratch struct {
+	sorter  pairSorter
+	targets []int
+	buf     []float64
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// Distances answers a batch into a fresh slice; see DistancesInto.
+func (o *syntheticOracle) Distances(pairs []VertexPair) ([]float64, error) {
+	out := make([]float64, len(pairs))
+	if err := o.DistancesInto(pairs, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DistancesInto answers a batch with shared work paid once: the batch is
 // ordered by (source, target) so each distinct source's deduplicated
 // targets are answered together. Unindexed, a source-run costs one
 // early-exit multi-target Dijkstra. Indexed, small runs go through the
@@ -155,38 +218,37 @@ func (o *syntheticOracle) indexedDistance(s, t int) float64 {
 // the whole run is answered by a single PHAST one-to-all sweep over the
 // hierarchy instead of per-pair searches. Indexes without a sweep (ALT)
 // always take the per-pair path.
-func (o *syntheticOracle) Distances(pairs []VertexPair) ([]float64, error) {
+func (o *syntheticOracle) DistancesInto(pairs []VertexPair, out []float64) error {
+	if len(out) != len(pairs) {
+		return fmt.Errorf("dpgraph: DistancesInto: %d result slots for %d pairs", len(out), len(pairs))
+	}
 	n := o.g.N()
 	for _, p := range pairs {
 		if err := checkOracleVertices(n, p.S, p.T); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	out := make([]float64, len(pairs))
 	sweeper, canSweep := o.idx.(index.OneToAll)
 	if o.idx != nil && !canSweep {
 		for i, p := range pairs {
 			out[i] = o.indexedDistance(p.S, p.T)
 		}
-		return out, nil
+		return nil
 	}
-	order := make([]int, len(pairs))
-	for i := range order {
-		order[i] = i
+	ws := batchScratchPool.Get().(*batchScratch)
+	order := ws.sorter.order[:0]
+	for i := range pairs {
+		order = append(order, i)
 	}
-	sort.Slice(order, func(a, b int) bool {
-		pa, pb := pairs[order[a]], pairs[order[b]]
-		if pa.S != pb.S {
-			return pa.S < pb.S
-		}
-		return pa.T < pb.T
-	})
+	ws.sorter.order, ws.sorter.pairs = order, pairs
+	sort.Sort(&ws.sorter)
 	minSweep := 0
 	if canSweep {
 		minSweep = sweeper.MinSweepTargets()
 	}
-	var targets []int
-	var buf []float64
+	targets := ws.targets
+	buf := ws.buf
+	var retErr error
 	for lo := 0; lo < len(order); {
 		s := pairs[order[lo]].S
 		hi := lo
@@ -213,9 +275,10 @@ func (o *syntheticOracle) Distances(pairs []VertexPair) ([]float64, error) {
 				buf[j] = o.indexedDistance(s, t)
 			}
 		default:
-			if err := graph.QueryDistancesFromTrusted(o.g, o.w, s, targets, buf); err != nil {
-				return nil, err
-			}
+			retErr = graph.QueryDistancesFromTrusted(o.g, o.w, s, targets, buf)
+		}
+		if retErr != nil {
+			break
 		}
 		ti := 0
 		for k := lo; k < hi; k++ {
@@ -226,7 +289,24 @@ func (o *syntheticOracle) Distances(pairs []VertexPair) ([]float64, error) {
 		}
 		lo = hi
 	}
-	return out, nil
+	// Drop the caller's pairs before pooling so the workspace retains
+	// only its own buffers.
+	ws.sorter.pairs = nil
+	ws.targets, ws.buf = targets, buf
+	batchScratchPool.Put(ws)
+	return retErr
+}
+
+// MinSweepTargets reports the break-even batch width of the oracle's
+// one-to-all sweep — the smallest number of distinct same-source targets
+// the index answers faster in one linear pass than per pair. It is 0
+// when the oracle has no sweep (unindexed or ALT serving), which callers
+// such as the serving layer's coalescer read as "do not coalesce".
+func (o *syntheticOracle) MinSweepTargets() int {
+	if sweeper, ok := o.idx.(index.OneToAll); ok {
+		return sweeper.MinSweepTargets()
+	}
+	return 0
 }
 
 func (o *syntheticOracle) Bound(gamma float64) float64 { return o.bound(gamma) }

@@ -1,0 +1,8 @@
+//go:build race
+
+package dpgraph
+
+// raceEnabled reports whether the race detector is active; allocation
+// assertions are skipped under -race because sync.Pool does not cache
+// there and instrumentation itself allocates.
+const raceEnabled = true

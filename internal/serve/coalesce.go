@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/dpgraph"
+)
+
+// DefaultCoalesceMaxPending flushes a shared batch once this many pairs
+// are waiting, regardless of the window. It is sized a little above the
+// CH sweep break-even on mid-size graphs so a full flush usually rides
+// one PHAST pass.
+const DefaultCoalesceMaxPending = 256
+
+// coalesceSmallBatch is the largest client batch the coalescer will
+// absorb into a shared sweep; bigger batches already amortize well on
+// their own and would only add latency to co-batched point queries.
+const coalesceSmallBatch = 16
+
+// coalescer merges concurrent in-flight queries against one release
+// into shared oracle batches. Submitters append their pairs to the
+// current open batch; the batch runs when either the window elapses or
+// maxPending pairs are waiting, whichever first. The oracle's own batch
+// path then groups the merged pairs by source, so K point queries for
+// the same source become one PHAST one-to-all sweep instead of K
+// independent searches — and a lone query is never worse off than the
+// window plus one direct query.
+//
+// Correctness note: every submitted pair must already be range-checked.
+// The oracle's batch entry fails whole batches on the first invalid
+// pair, so an unvalidated query could poison the answers of the
+// strangers it shares a batch with.
+type coalescer struct {
+	answer     func(pairs []dpgraph.VertexPair, out []float64) error
+	window     time.Duration
+	maxPending int
+	metrics    *releaseMetrics
+
+	mu      sync.Mutex
+	cur     *cobatch
+	stopped bool
+}
+
+// cobatch is one shared in-flight batch: the merged pairs, the answers
+// (filled by whichever goroutine runs the batch), and the completion
+// signal every submitter waits on.
+type cobatch struct {
+	pairs   []dpgraph.VertexPair
+	vals    []float64
+	waiters int
+	err     error
+	done    chan struct{}
+	timer   *time.Timer
+}
+
+func newCoalescer(answer func([]dpgraph.VertexPair, []float64) error, window time.Duration, maxPending int, m *releaseMetrics) *coalescer {
+	if maxPending <= 0 {
+		maxPending = DefaultCoalesceMaxPending
+	}
+	return &coalescer{answer: answer, window: window, maxPending: maxPending, metrics: m}
+}
+
+// distance answers one point query through the shared batch.
+func (c *coalescer) distance(s, t int) (float64, error) {
+	var pair [1]dpgraph.VertexPair
+	var val [1]float64
+	pair[0] = dpgraph.VertexPair{S: s, T: t}
+	if err := c.submit(pair[:], val[:]); err != nil {
+		return 0, err
+	}
+	return val[0], nil
+}
+
+// submit appends pairs to the open batch, waits for it to run, and
+// copies this caller's answers into out (len(out) == len(pairs)).
+func (c *coalescer) submit(pairs []dpgraph.VertexPair, out []float64) error {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return c.answer(pairs, out)
+	}
+	b := c.cur
+	if b == nil {
+		b = &cobatch{done: make(chan struct{})}
+		c.cur = b
+		b.timer = time.AfterFunc(c.window, func() { c.flushTimer(b) })
+	}
+	lo := len(b.pairs)
+	b.pairs = append(b.pairs, pairs...)
+	b.waiters++
+	full := len(b.pairs) >= c.maxPending
+	if full {
+		c.cur = nil // detach: later submitters open a fresh batch
+	}
+	c.mu.Unlock()
+	if full {
+		b.timer.Stop()
+		c.run(b, &c.metrics.coalesceFull)
+	}
+	<-b.done
+	if b.err != nil {
+		return b.err
+	}
+	copy(out, b.vals[lo:lo+len(pairs)])
+	return nil
+}
+
+// flushTimer is the window expiry: detach the batch if it is still the
+// open one (the full path may have detached it already) and run it.
+func (c *coalescer) flushTimer(b *cobatch) {
+	c.mu.Lock()
+	if c.cur != b {
+		c.mu.Unlock()
+		return
+	}
+	c.cur = nil
+	c.mu.Unlock()
+	c.run(b, &c.metrics.coalesceTimer)
+}
+
+// run answers a detached batch and wakes its waiters. Exactly one
+// goroutine reaches run per batch (whoever detached it under the lock).
+func (c *coalescer) run(b *cobatch, cause *atomic.Uint64) {
+	b.vals = make([]float64, len(b.pairs))
+	b.err = c.answer(b.pairs, b.vals)
+	if m := c.metrics; m != nil {
+		m.coalesceBatches.Add(1)
+		cause.Add(1)
+		if b.waiters > 1 {
+			m.coalesceShared.Add(uint64(len(b.pairs)))
+		} else {
+			m.coalesceSolo.Add(uint64(len(b.pairs)))
+		}
+	}
+	close(b.done)
+}
+
+// stop drains the coalescer: the pending batch (if any) runs
+// immediately, and every later submit answers directly. Used when the
+// release is deleted or the server shuts down so no waiter is stranded
+// on a timer that raced the teardown.
+func (c *coalescer) stop() {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	c.stopped = true
+	b := c.cur
+	c.cur = nil
+	c.mu.Unlock()
+	if b != nil {
+		b.timer.Stop()
+		c.run(b, &c.metrics.coalesceTimer)
+	}
+}

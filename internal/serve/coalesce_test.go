@@ -1,0 +1,425 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/dpgraph"
+)
+
+// fakeAnswer computes a recognizable deterministic value per pair so
+// coalescer tests can verify that every waiter got exactly its own
+// answers back out of a shared batch.
+func fakeAnswer(pairs []dpgraph.VertexPair, out []float64) error {
+	for i, p := range pairs {
+		out[i] = float64(p.S)*1e6 + float64(p.T)
+	}
+	return nil
+}
+
+// pendingPairs reports how many pairs sit in the open batch, for tests
+// that need to observe the window without racing it.
+func (c *coalescer) pendingPairs() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cur == nil {
+		return 0
+	}
+	return len(c.cur.pairs)
+}
+
+func waitPending(t *testing.T, c *coalescer, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.pendingPairs() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("batch never reached %d pending pairs (have %d)", want, c.pendingPairs())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestServeCoalesceEquivalence: under arbitrary concurrent mixes of
+// point and small-batch submissions, every caller receives exactly the
+// answers a direct oracle call would have produced. Runs under -race in
+// CI, which also exercises the batch hand-off for data races.
+func TestServeCoalesceEquivalence(t *testing.T) {
+	f := func(seed int64, nWorkers, nQueries uint8) bool {
+		m := &releaseMetrics{}
+		c := newCoalescer(fakeAnswer, 200*time.Microsecond, 32, m)
+		defer c.stop()
+		workers := int(nWorkers%8) + 1
+		queries := int(nQueries%16) + 1
+		var wg sync.WaitGroup
+		var bad atomic.Int64
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed + int64(w)))
+				for q := 0; q < queries; q++ {
+					if rng.Intn(2) == 0 {
+						s, tt := rng.Intn(100), rng.Intn(100)
+						v, err := c.distance(s, tt)
+						if err != nil || v != float64(s)*1e6+float64(tt) {
+							bad.Add(1)
+						}
+						continue
+					}
+					k := rng.Intn(5) + 1
+					pairs := make([]dpgraph.VertexPair, k)
+					for i := range pairs {
+						pairs[i] = dpgraph.VertexPair{S: rng.Intn(100), T: rng.Intn(100)}
+					}
+					out := make([]float64, k)
+					if err := c.submit(pairs, out); err != nil {
+						bad.Add(int64(k))
+						continue
+					}
+					for i, p := range pairs {
+						if out[i] != float64(p.S)*1e6+float64(p.T) {
+							bad.Add(1)
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		return bad.Load() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestServeCoalesceWindowExpiry: a lone query is answered by the timer
+// flush after the window, counted as a solo batch.
+func TestServeCoalesceWindowExpiry(t *testing.T) {
+	m := &releaseMetrics{}
+	c := newCoalescer(fakeAnswer, time.Millisecond, 1000, m)
+	defer c.stop()
+	v, err := c.distance(3, 4)
+	if err != nil || v != 3e6+4 {
+		t.Fatalf("distance = (%v, %v), want 3000004", v, err)
+	}
+	if got := m.coalesceTimer.Load(); got != 1 {
+		t.Errorf("timer flushes = %d, want 1", got)
+	}
+	if got := m.coalesceFull.Load(); got != 0 {
+		t.Errorf("full flushes = %d, want 0", got)
+	}
+	if solo, shared := m.coalesceSolo.Load(), m.coalesceShared.Load(); solo != 1 || shared != 0 {
+		t.Errorf("solo/shared = %d/%d, want 1/0", solo, shared)
+	}
+}
+
+// TestServeCoalesceFullFlush: hitting maxPending flushes immediately
+// without waiting out the window, and the batch counts as shared.
+func TestServeCoalesceFullFlush(t *testing.T) {
+	m := &releaseMetrics{}
+	c := newCoalescer(fakeAnswer, time.Hour, 8, m) // window long enough to never fire
+	defer c.stop()
+
+	firstDone := make(chan error, 1)
+	go func() {
+		pairs := make([]dpgraph.VertexPair, 7)
+		out := make([]float64, 7)
+		for i := range pairs {
+			pairs[i] = dpgraph.VertexPair{S: 1, T: i}
+		}
+		if err := c.submit(pairs, out); err != nil {
+			firstDone <- err
+			return
+		}
+		for i := range out {
+			if out[i] != 1e6+float64(i) {
+				firstDone <- fmt.Errorf("out[%d] = %v", i, out[i])
+				return
+			}
+		}
+		firstDone <- nil
+	}()
+	waitPending(t, c, 7)
+
+	// The 8th pair fills the batch: both callers return now, not in an hour.
+	v, err := c.distance(2, 9)
+	if err != nil || v != 2e6+9 {
+		t.Fatalf("filling distance = (%v, %v)", v, err)
+	}
+	if err := <-firstDone; err != nil {
+		t.Fatal(err)
+	}
+	if got := m.coalesceFull.Load(); got != 1 {
+		t.Errorf("full flushes = %d, want 1", got)
+	}
+	if got := m.coalesceTimer.Load(); got != 0 {
+		t.Errorf("timer flushes = %d, want 0", got)
+	}
+	if got := m.coalesceShared.Load(); got != 8 {
+		t.Errorf("shared queries = %d, want 8", got)
+	}
+	if got := m.coalesceBatches.Load(); got != 1 {
+		t.Errorf("batches = %d, want 1", got)
+	}
+}
+
+// TestServeCoalesceStop: stop() releases a parked waiter immediately
+// and downgrades later submissions to direct answers.
+func TestServeCoalesceStop(t *testing.T) {
+	m := &releaseMetrics{}
+	c := newCoalescer(fakeAnswer, time.Hour, 1000, m)
+
+	res := make(chan error, 1)
+	go func() {
+		v, err := c.distance(5, 6)
+		if err == nil && v != 5e6+6 {
+			err = fmt.Errorf("v = %v", v)
+		}
+		res <- err
+	}()
+	waitPending(t, c, 1)
+	c.stop()
+	select {
+	case err := <-res:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter still parked after stop()")
+	}
+	if got := m.coalesceBatches.Load(); got != 1 {
+		t.Errorf("batches = %d, want 1", got)
+	}
+
+	// After stop, queries answer directly: no new batch, no waiting.
+	start := time.Now()
+	v, err := c.distance(7, 8)
+	if err != nil || v != 7e6+8 {
+		t.Fatalf("post-stop distance = (%v, %v)", v, err)
+	}
+	if time.Since(start) > time.Minute/2 {
+		t.Error("post-stop distance waited on a window")
+	}
+	if got := m.coalesceBatches.Load(); got != 1 {
+		t.Errorf("batches after direct answer = %d, want still 1", got)
+	}
+	c.stop() // second stop is a no-op
+}
+
+// TestServeCoalesceErrorPropagates: an oracle failure reaches every
+// waiter of the shared batch.
+func TestServeCoalesceErrorPropagates(t *testing.T) {
+	boom := errors.New("oracle down")
+	m := &releaseMetrics{}
+	c := newCoalescer(func([]dpgraph.VertexPair, []float64) error { return boom }, time.Millisecond, 2, m)
+	defer c.stop()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.distance(0, 1); !errors.Is(err, boom) {
+				t.Errorf("distance err = %v, want %v", err, boom)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestServeCoalescedEndToEnd drives coalescing through real HTTP:
+// concurrent point queries against a sweep-capable release produce the
+// same answers as an opted-out twin of the same seeded spec, and the
+// metrics attribute the traffic to coalesced batches.
+func TestServeCoalescedEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Config{CoalesceWindow: 2 * time.Millisecond, CoalesceMaxPending: 8})
+	createRelease(t, ts, `{"name":"co","mechanism":"release","epsilon":2,"seed":7,"index":"ch"}`)
+	createRelease(t, ts, `{"name":"plain","mechanism":"release","epsilon":2,"seed":7,"index":"ch","coalesce":false}`)
+
+	const n = 16
+	want := make([]float64, n)
+	for i := 0; i < n; i++ {
+		status, data := get(t, fmt.Sprintf("%s/v1/releases/plain/distance?s=0&t=%d", ts.URL, i))
+		if status != http.StatusOK {
+			t.Fatalf("plain distance t=%d: status %d: %s", i, status, data)
+		}
+		var ans PairAnswer
+		if err := json.Unmarshal(data, &ans); err != nil {
+			t.Fatalf("plain distance t=%d: %v\n%s", i, err, data)
+		}
+		want[i] = ans.Value
+	}
+
+	var wg sync.WaitGroup
+	got := make([]float64, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(fmt.Sprintf("%s/v1/releases/co/distance?s=0&t=%d", ts.URL, i))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			buf := new(bytes.Buffer)
+			if _, err := buf.ReadFrom(resp.Body); err != nil {
+				errs[i] = err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d: %s", resp.StatusCode, buf.Bytes())
+				return
+			}
+			var ans PairAnswer
+			if err := json.Unmarshal(buf.Bytes(), &ans); err != nil {
+				errs[i] = fmt.Errorf("%v: %s", err, buf.Bytes())
+				return
+			}
+			got[i] = ans.Value
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("coalesced distance t=%d: %v", i, errs[i])
+		}
+		// Same seed, same spec: identical distances up to float summation
+		// order (a coalesced answer may ride a sweep instead of a point
+		// query, which can reorder the same path's additions).
+		if diff := math.Abs(got[i] - want[i]); diff > 1e-9 && diff > 1e-9*math.Abs(want[i]) {
+			t.Errorf("coalesced answer t=%d = %g, plain = %g", i, got[i], want[i])
+		}
+	}
+
+	status, data := get(t, ts.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("metrics: status %d", status)
+	}
+	var metrics struct {
+		Totals struct {
+			CoalescedShared uint64 `json:"coalesced_shared"`
+		} `json:"totals"`
+		BufferPool struct {
+			Gets uint64 `json:"gets"`
+			News uint64 `json:"news"`
+		} `json:"buffer_pool"`
+		Releases map[string]metricsSnapshot `json:"releases"`
+	}
+	if err := json.Unmarshal(data, &metrics); err != nil {
+		t.Fatalf("bad metrics: %v\n%s", err, data)
+	}
+	co := metrics.Releases["co"].Coalesce
+	if co.Batches == 0 {
+		t.Error("coalesced release ran zero batches")
+	}
+	if co.SharedQueries+co.SoloQueries != n {
+		t.Errorf("shared+solo = %d+%d, want %d", co.SharedQueries, co.SoloQueries, n)
+	}
+	if plain := metrics.Releases["plain"].Coalesce; plain.Batches != 0 {
+		t.Errorf("opted-out release ran %d coalesced batches, want 0", plain.Batches)
+	}
+	if metrics.BufferPool.Gets == 0 {
+		t.Error("buffer pool saw no checkouts")
+	}
+}
+
+// TestServeStreamEndpoint: the pipelined NDJSON endpoint answers each
+// line byte-identically to the point endpoint, skips blanks and
+// comments, and terminates with one error line on a malformed query.
+func TestServeStreamEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	createRelease(t, ts, `{"name":"main","mechanism":"release","epsilon":2,"seed":7}`)
+
+	queries := [][2]int{{0, 15}, {1, 2}, {3, 3}, {15, 0}}
+	var want []string
+	for _, q := range queries {
+		status, data := get(t, fmt.Sprintf("%s/v1/releases/main/distance?s=%d&t=%d", ts.URL, q[0], q[1]))
+		if status != http.StatusOK {
+			t.Fatalf("point %v: status %d: %s", q, status, data)
+		}
+		want = append(want, string(data))
+	}
+
+	body := "0 15\n\n# comment\n1 2\n  3 3 \n15 0\n"
+	resp, err := http.Post(ts.URL+"/v1/releases/main/distances:stream", "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream Content-Type = %q, want application/x-ndjson", ct)
+	}
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("stream answered %d lines, want %d: %q", len(lines), len(want), lines)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("stream line %d = %s, point answer = %s", i, lines[i], want[i])
+		}
+	}
+}
+
+// TestServeStreamBadLine: answers already queued are delivered before
+// the error line, and the stream ends there.
+func TestServeStreamBadLine(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	createRelease(t, ts, `{"name":"main","mechanism":"release","epsilon":2,"seed":7}`)
+
+	for _, tc := range []struct {
+		body        string
+		wantAnswers int
+	}{
+		{"0 15\nbogus line\n1 2\n", 1}, // malformed second line
+		{"0 99\n", 0},                  // out of range
+		{"0 1 2\n", 0},                 // three fields
+	} {
+		resp, err := http.Post(ts.URL+"/v1/releases/main/distances:stream", "text/plain", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var lines []string
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			lines = append(lines, sc.Text())
+		}
+		resp.Body.Close()
+		if len(lines) != tc.wantAnswers+1 {
+			t.Fatalf("stream %q: %d lines, want %d answers + 1 error: %q", tc.body, len(lines), tc.wantAnswers, lines)
+		}
+		for i := 0; i < tc.wantAnswers; i++ {
+			var ans PairAnswer
+			if err := json.Unmarshal([]byte(lines[i]), &ans); err != nil {
+				t.Errorf("stream %q line %d: not an answer: %s", tc.body, i, lines[i])
+			}
+		}
+		var env errorEnvelope
+		last := lines[len(lines)-1]
+		if err := json.Unmarshal([]byte(last), &env); err != nil || env.Error == "" {
+			t.Errorf("stream %q final line = %s, want an error envelope", tc.body, last)
+		}
+	}
+}

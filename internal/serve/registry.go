@@ -1,8 +1,10 @@
 package serve
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -28,11 +30,95 @@ type release struct {
 	oracle dpgraph.DistanceOracle
 	result dpgraph.Result
 
+	// into is the allocation-free batch entry: the oracle's own
+	// DistancesInto when it implements dpgraph.BatchOracle, an
+	// allocating adapter otherwise. Set by Server.publish; nil only for
+	// releases wired up directly in tests, which batchInto tolerates.
+	into func(pairs []dpgraph.VertexPair, out []float64) error
+
+	// co coalesces concurrent queries into shared sweeps; nil when
+	// coalescing is off for this release.
+	co *coalescer
+
+	// envOnce guards the lazily built batch-envelope chunks: the
+	// constant JSON prefix up to "count": and the constant middle from
+	// there through `"results":[`. Everything per-request is appended
+	// between and after them.
+	envOnce sync.Once
+	envHead []byte
+	envMid  []byte
+
 	// inflight holds one token per admitted in-flight request; nil
 	// means unlimited.
 	inflight chan struct{}
 
 	metrics releaseMetrics
+}
+
+// batchInto answers pairs into out through the fastest batch entry the
+// release has.
+func (rel *release) batchInto(pairs []dpgraph.VertexPair, out []float64) error {
+	if rel.into != nil {
+		return rel.into(pairs, out)
+	}
+	vals, err := rel.oracle.Distances(pairs)
+	if err != nil {
+		return err
+	}
+	copy(out, vals)
+	return nil
+}
+
+// inRange reports whether both endpoints are valid vertices — the
+// pre-validation required before handing a query to the coalescer,
+// where an invalid pair would fail the whole shared batch.
+func (rel *release) inRange(s, t int) bool {
+	n := rel.oracle.N()
+	return s >= 0 && s < n && t >= 0 && t < n
+}
+
+func (rel *release) pairsInRange(pairs []dpgraph.VertexPair) bool {
+	for _, p := range pairs {
+		if !rel.inRange(p.S, p.T) {
+			return false
+		}
+	}
+	return true
+}
+
+// envelopeChunks returns the constant prefix/middle of the compact
+// batch envelope. Mechanism, bound, gamma, and receipt are fixed once
+// the release materializes, so they are rendered exactly once.
+func (rel *release) envelopeChunks() (head, mid []byte) {
+	rel.envOnce.Do(func() {
+		gamma := gammaOf(rel.spec)
+		mech, err := json.Marshal(rel.spec.Mechanism)
+		if err != nil {
+			mech = []byte(`""`)
+		}
+		receipt := []byte("null")
+		if rel.result != nil {
+			if enc, err := json.Marshal(rel.result.Info().Receipt); err == nil {
+				receipt = enc
+			}
+		}
+		head = append(head, `{"mechanism":`...)
+		head = append(head, mech...)
+		head = append(head, `,"count":`...)
+		mid = append(mid, `,"bound":`...)
+		if b := rel.oracle.Bound(gamma); math.IsInf(b, 0) || math.IsNaN(b) {
+			mid = append(mid, `null`...)
+		} else {
+			mid = appendJSONFloat(mid, b)
+		}
+		mid = append(mid, `,"gamma":`...)
+		mid = appendJSONFloat(mid, gamma)
+		mid = append(mid, `,"receipt":`...)
+		mid = append(mid, receipt...)
+		mid = append(mid, `,"results":[`...)
+		rel.envHead, rel.envMid = head, mid
+	})
+	return rel.envHead, rel.envMid
 }
 
 // admit claims an in-flight slot, reporting false when the release is

@@ -14,6 +14,7 @@
 //	GET    /v1/releases/{name}/distance    one s-t query (?s=&t=)
 //	POST   /v1/releases/{name}/distance    one s-t query ({"s":..,"t":..})
 //	POST   /v1/releases/{name}/distances   batch query (text lines or JSON array of pairs)
+//	POST   /v1/releases/{name}/distances:stream  pipelined NDJSON: text "s t" lines in, one answer object per line out
 //	GET    /v1/releases/{name}/snapshot    download the sealed snapshot artifact (receipt-hash ETag)
 //	POST   /v1/releases/{name}:import      register a release from an uploaded snapshot (zero budget)
 //	GET    /healthz                        liveness
@@ -33,6 +34,7 @@
 package serve
 
 import (
+	"bytes"
 	"crypto/ed25519"
 	"encoding/json"
 	"errors"
@@ -75,6 +77,17 @@ type Config struct {
 	// VerifyKey, when set, requires every imported or boot-restored
 	// snapshot to carry a signature verifying against it.
 	VerifyKey ed25519.PublicKey
+	// CoalesceWindow turns on cross-request sweep coalescing: concurrent
+	// point queries (and batches up to coalesceSmallBatch pairs) against
+	// a sweep-capable release are collected for at most this long and
+	// answered through one shared oracle batch, so same-source queries
+	// ride a single PHAST one-to-all pass. 0 (the default) disables
+	// coalescing; a lone query's latency is never worse than the window
+	// plus one direct query.
+	CoalesceWindow time.Duration
+	// CoalesceMaxPending flushes a shared batch early once this many
+	// pairs are waiting; <= 0 takes DefaultCoalesceMaxPending.
+	CoalesceMaxPending int
 }
 
 // DefaultMaxBodyBytes bounds request bodies when Config leaves
@@ -126,6 +139,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/releases/{name}/distance", s.handleDistance)
 	mux.HandleFunc("POST /v1/releases/{name}/distance", s.handleDistance)
 	mux.HandleFunc("POST /v1/releases/{name}/distances", s.handleDistances)
+	mux.HandleFunc("POST /v1/releases/{name}/distances:stream", s.handleStream)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no such endpoint %s", r.URL.Path)
 	})
@@ -156,6 +170,12 @@ type createRequest struct {
 	// MaxInflight overrides the server's default per-release admission
 	// cap; 0 means unlimited, nil takes the default.
 	MaxInflight *int `json:"max_inflight,omitempty"`
+	// Coalesce overrides the per-release coalescing decision when the
+	// server has a CoalesceWindow: false opts out, true forces it on
+	// even for oracles without a sweep (their batch path still dedups
+	// shared sources), and nil enables it exactly for sweep-capable
+	// oracles. Ignored (no coalescing) when the window is 0.
+	Coalesce *bool `json:"coalesce,omitempty"`
 	dpgraph.ReleaseSpec
 }
 
@@ -265,9 +285,36 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "materializing %q: %v", rel.name, err)
 		return
 	}
-	rel.oracle, rel.result = oracle, result
-	close(rel.ready)
+	s.publish(rel, oracle, result, req.Coalesce)
 	writeJSON(w, http.StatusCreated, s.summarize(rel))
+}
+
+// publish makes a reserved release servable: it wires the
+// allocation-free batch entry, decides coalescing, and closes ready.
+// The single publication path for created, imported, and boot-restored
+// releases.
+func (s *Server) publish(rel *release, oracle dpgraph.DistanceOracle, result dpgraph.Result, coalesce *bool) {
+	rel.oracle, rel.result = oracle, result
+	if bo, ok := oracle.(dpgraph.BatchOracle); ok {
+		rel.into = bo.DistancesInto
+	}
+	if s.cfg.CoalesceWindow > 0 {
+		on := false
+		switch {
+		case coalesce != nil:
+			on = *coalesce
+		default:
+			// Auto: coalesce exactly when merged same-source queries can
+			// ride a one-to-all sweep.
+			if mst, ok := oracle.(interface{ MinSweepTargets() int }); ok {
+				on = mst.MinSweepTargets() > 0
+			}
+		}
+		if on {
+			rel.co = newCoalescer(rel.batchInto, s.cfg.CoalesceWindow, s.cfg.CoalesceMaxPending, &rel.metrics)
+		}
+	}
+	close(rel.ready)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -301,9 +348,23 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.reg.remove(rel)
+	if rel.co != nil {
+		rel.co.stop() // flush waiters instead of stranding them on a dead release
+	}
 	writeJSON(w, http.StatusOK, struct {
 		Deleted string `json:"deleted"`
 	}{Deleted: name})
+}
+
+// Drain flushes every release's coalescer so in-flight waiters get
+// their answers immediately; queries submitted afterwards bypass the
+// shared batches. Call before shutting the HTTP server down.
+func (s *Server) Drain() {
+	for _, rel := range s.reg.list() {
+		if rel.co != nil {
+			rel.co.stop()
+		}
+	}
 }
 
 // resolve returns the named, ready release for a query handler,
@@ -349,12 +410,23 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	ws := getWorkspace()
+	defer putWorkspace(ws)
 	var sv, tv int
 	var err error
 	if r.Method == http.MethodGet {
-		sv, tv, err = pairFromQuery(r)
+		var fast bool
+		if sv, tv, fast = scanQueryPair(r.URL.RawQuery); !fast {
+			sv, tv, err = pairFromQuery(r)
+		}
 	} else {
-		sv, tv, err = pairFromBody(w, r, s.cfg.MaxBodyBytes)
+		ws.body, err = readBodyLimit(ws.body[:0], r.Body, s.cfg.MaxBodyBytes)
+		if err == nil {
+			var fast bool
+			if sv, tv, fast = parsePointBodyFast(ws.body); !fast {
+				sv, tv, err = pairFromBytes(ws.body)
+			}
+		}
 	}
 	if err != nil {
 		rel.metrics.errors.Add(1)
@@ -366,14 +438,22 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 	}
 	defer rel.done()
 	start := time.Now()
-	d, err := rel.oracle.Distance(sv, tv)
+	var d float64
+	if rel.co != nil && rel.inRange(sv, tv) {
+		d, err = rel.co.distance(sv, tv)
+	} else {
+		d, err = rel.oracle.Distance(sv, tv)
+	}
 	if err != nil {
 		rel.metrics.errors.Add(1)
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	rel.metrics.observe(1, time.Since(start))
-	writeJSON(w, http.StatusOK, PairAnswer{S: sv, T: tv, Value: d})
+	ws.buf = appendPairAnswer(ws.buf[:0], sv, tv, d)
+	setContentTypeJSON(w.Header())
+	w.WriteHeader(http.StatusOK)
+	w.Write(ws.buf) //nolint:errcheck // the response is already committed
 }
 
 // batchEnvelope mirrors the CLI query subcommand's -json envelope: one
@@ -392,15 +472,24 @@ func (s *Server) handleDistances(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	ws := getWorkspace()
+	defer putWorkspace(ws)
 	// Read and parse before admission: a client trickling a large body
 	// holds no serving slot while doing so.
-	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	var err error
+	ws.body, err = readBodyLimit(ws.body[:0], r.Body, s.cfg.MaxBodyBytes)
 	if err != nil {
 		rel.metrics.errors.Add(1)
 		writeBodyError(w, err)
 		return
 	}
-	pairs, err := ParsePairs(data)
+	var pairs []dpgraph.VertexPair
+	var fast bool
+	if ws.pairs, fast = parsePairsFast(ws.pairs[:0], ws.body); fast {
+		pairs = ws.pairs
+	} else {
+		pairs, err = ParsePairs(ws.body)
+	}
 	if err == nil && len(pairs) == 0 {
 		err = ErrNoPairs
 	}
@@ -414,26 +503,39 @@ func (s *Server) handleDistances(w http.ResponseWriter, r *http.Request) {
 	}
 	defer rel.done()
 	start := time.Now()
-	values, err := rel.oracle.Distances(pairs)
+	if cap(ws.vals) < len(pairs) {
+		ws.vals = make([]float64, len(pairs))
+	}
+	values := ws.vals[:len(pairs)]
+	// Small batches join the coalescer's shared sweeps alongside point
+	// queries; larger ones amortize on their own through the release's
+	// direct batch entry.
+	if rel.co != nil && len(pairs) <= coalesceSmallBatch && rel.pairsInRange(pairs) {
+		err = rel.co.submit(pairs, values)
+	} else {
+		err = rel.batchInto(pairs, values)
+	}
 	if err != nil {
 		rel.metrics.errors.Add(1)
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	rel.metrics.observe(len(pairs), time.Since(start))
-	gamma := gammaOf(rel.spec)
-	out := batchEnvelope{
-		Mechanism: rel.spec.Mechanism,
-		Count:     len(pairs),
-		Bound:     rel.oracle.Bound(gamma),
-		Gamma:     gamma,
-		Receipt:   rel.result.Info().Receipt,
-		Results:   make([]PairAnswer, len(pairs)),
-	}
+	head, mid := rel.envelopeChunks()
+	buf := append(ws.buf[:0], head...)
+	buf = strconv.AppendInt(buf, int64(len(pairs)), 10)
+	buf = append(buf, mid...)
 	for i, p := range pairs {
-		out.Results[i] = PairAnswer{S: p.S, T: p.T, Value: values[i]}
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = appendPairAnswer(buf, p.S, p.T, values[i])
 	}
-	writeJSON(w, http.StatusOK, out)
+	buf = append(buf, ']', '}')
+	ws.buf = buf
+	setContentTypeJSON(w.Header())
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf) //nolint:errcheck // the response is already committed
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -452,17 +554,28 @@ type metricsTotals struct {
 	Rejected429 uint64 `json:"rejected_429"`
 	CacheHits   uint64 `json:"cache_hits"`
 	CacheMisses uint64 `json:"cache_misses"`
+	// CoalescedShared counts pairs answered through shared (multi-
+	// request) coalesced batches across all releases.
+	CoalescedShared uint64 `json:"coalesced_shared"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	out := struct {
-		UptimeSeconds float64                    `json:"uptime_seconds"`
-		Totals        metricsTotals              `json:"totals"`
-		Releases      map[string]metricsSnapshot `json:"releases"`
+		UptimeSeconds float64       `json:"uptime_seconds"`
+		Totals        metricsTotals `json:"totals"`
+		// BufferPool tracks the shared request-workspace pool: gets are
+		// checkouts, news are checkouts the pool could not serve from
+		// cache (each news is one workspace allocation).
+		BufferPool struct {
+			Gets uint64 `json:"gets"`
+			News uint64 `json:"news"`
+		} `json:"buffer_pool"`
+		Releases map[string]metricsSnapshot `json:"releases"`
 	}{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Releases:      map[string]metricsSnapshot{},
 	}
+	out.BufferPool.Gets, out.BufferPool.News = workspaceCounters()
 	for _, rel := range s.reg.list() {
 		snap := rel.metrics.snapshot(rel.cacheStats())
 		out.Releases[rel.name] = snap
@@ -472,6 +585,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		out.Totals.Rejected429 += snap.Rejected429
 		out.Totals.CacheHits += snap.CacheHits
 		out.Totals.CacheMisses += snap.CacheMisses
+		out.Totals.CoalescedShared += snap.Coalesce.SharedQueries
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -487,11 +601,13 @@ func pairFromQuery(r *http.Request) (s, t int, err error) {
 	return s, t, nil
 }
 
-// pairFromBody reads one {"s":..,"t":..} object from the request body.
-// Both keys must be present: an omitted endpoint would otherwise
-// silently default to vertex 0 and answer the wrong query.
-func pairFromBody(w http.ResponseWriter, r *http.Request, limit int64) (s, t int, err error) {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
+// pairFromBytes reads one {"s":..,"t":..} object from an already-read
+// request body — the strict fallback behind parsePointBodyFast, owning
+// all error reporting. Both keys must be present: an omitted endpoint
+// would otherwise silently default to vertex 0 and answer the wrong
+// query.
+func pairFromBytes(data []byte) (s, t int, err error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	var p struct {
 		S *int `json:"s"`
@@ -515,6 +631,11 @@ func writeBodyError(w http.ResponseWriter, err error) {
 	var tooLarge *http.MaxBytesError
 	if errors.As(err, &tooLarge) {
 		writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
+		return
+	}
+	var overLimit *bodyTooLargeError
+	if errors.As(err, &overLimit) {
+		writeError(w, http.StatusRequestEntityTooLarge, "%v", overLimit)
 		return
 	}
 	writeError(w, http.StatusBadRequest, "%v", err)

@@ -164,8 +164,7 @@ func (s *Server) publishSealed(name string, sealed *dpgraph.Sealed) (*release, e
 	if err != nil {
 		return nil, err
 	}
-	rel.oracle, rel.result = sealed.Oracle(), sealed
-	close(rel.ready)
+	s.publish(rel, sealed.Oracle(), sealed, nil)
 	return rel, nil
 }
 

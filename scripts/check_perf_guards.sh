@@ -25,6 +25,12 @@
 #    point query must beat the CH bidirectional search >= 5x, a PHAST
 #    one-to-all sweep must beat per-pair CH queries >= 3x on a
 #    repeated-source batch, and both hot paths must be allocation-free.
+# 8. Zero-allocation serving + sweep coalescing: the point and batch
+#    HTTP handlers must report 0 allocs/op steady-state; a real daemon
+#    over the 100,800-edge grid must push >= 100k pairs/s through the
+#    pipelined NDJSON stream endpoint on a hub-label release; and with
+#    the cross-request coalescer on, 256 concurrent same-source clients
+#    against a CH release must see >= 2x the uncoalesced throughput.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -191,6 +197,107 @@ if [ -n "$bad" ]; then
     fail=1
 else
     echo "OK: hub-label point queries and PHAST sweeps report 0 allocs/op"
+fi
+
+# --- 8: zero-allocation serving + sweep coalescing ---------------------
+# (a) The handler-level claim at its strongest: testing.AllocsPerRun
+# over the real handlers must count exactly zero allocations.
+if go test -run 'TestServeDistanceZeroAlloc|TestServeDistancesZeroAlloc' -count=1 ./internal/serve; then
+    echo "OK: point and batch serve handlers allocate nothing steady-state"
+else
+    echo "FAIL: serve handlers are no longer allocation-free" >&2
+    fail=1
+fi
+
+# (b) End to end over real HTTP: build the CLI, seal hub-label and CH
+# releases of the 100,800-edge grid, and boot two daemons from the
+# snapshots — one plain, one with the sweep coalescer on.
+workdir=$(mktemp -d)
+pids=""
+cleanup() {
+    for pid in $pids; do kill "$pid" 2>/dev/null || true; done
+    for pid in $pids; do wait "$pid" 2>/dev/null || true; done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/dpgraph" ./cmd/dpgraph
+awk 'BEGIN {
+    side = 225
+    print "graph", side * side
+    for (r = 0; r < side; r++)
+        for (c = 0; c < side; c++) {
+            v = r * side + c
+            if (c + 1 < side) print "edge", v, v + 1, 1 + v % 7
+            if (r + 1 < side) print "edge", v, v + side, 1 + (v + 3) % 7
+        }
+}' > "$workdir/grid.txt"
+mkdir -p "$workdir/snapA" "$workdir/snapB"
+"$workdir/dpgraph" -graph "$workdir/grid.txt" -eps 1 -seed 42 -index hl seal release -out "$workdir/snapA/hl.dpsnap"
+"$workdir/dpgraph" -graph "$workdir/grid.txt" -eps 1 -seed 42 -index ch seal release -out "$workdir/snapA/ch.dpsnap"
+cp "$workdir/snapA/ch.dpsnap" "$workdir/snapB/ch.dpsnap"
+
+# wait_url polls a daemon log for the listen announcement, which is
+# printed only after the snapshot dir has been restored.
+wait_url() { # logfile
+    local url=""
+    for _ in $(seq 1 150); do
+        url=$(awk '/serving .* on http/ {print $NF; exit}' "$1" 2>/dev/null || true)
+        [ -n "$url" ] && break
+        sleep 0.1
+    done
+    if [ -z "$url" ]; then
+        echo "FAIL: daemon never started listening ($1):" >&2
+        cat "$1" >&2
+        return 1
+    fi
+    echo "$url"
+}
+"$workdir/dpgraph" -graph "$workdir/grid.txt" serve -addr 127.0.0.1:0 -max-inflight 0 \
+    -snapshot-dir "$workdir/snapA" > "$workdir/a.log" 2>&1 &
+pids="$pids $!"
+"$workdir/dpgraph" -graph "$workdir/grid.txt" serve -addr 127.0.0.1:0 -max-inflight 0 \
+    -snapshot-dir "$workdir/snapB" -coalesce-window 20ms -coalesce-max 128 > "$workdir/b.log" 2>&1 &
+pids="$pids $!"
+urlA=$(wait_url "$workdir/a.log") || exit 1
+urlB=$(wait_url "$workdir/b.log") || exit 1
+
+# Pipelined stream throughput on the hub-label release.
+out=$("$workdir/dpgraph" bench-serve -url "$urlA" -release hl -n 200000 -c 4 -stream)
+echo "$out"
+streamqps=$(echo "$out" | awk '/pairs\/s pipelined/ {print $2}')
+if [ -z "$streamqps" ]; then
+    echo "FAIL: could not parse the stream bench output" >&2
+    fail=1
+elif awk -v x="$streamqps" 'BEGIN {exit !(x < 100000)}'; then
+    echo "FAIL: pipelined stream throughput ${streamqps} pairs/s < 100k" >&2
+    fail=1
+else
+    echo "OK: pipelined NDJSON stream serves ${streamqps} pairs/s (>= 100k)"
+fi
+
+# Coalesced vs uncoalesced same-source throughput on the CH release:
+# 256 concurrent clients, every request a distinct target from vertex
+# 0, so the only difference is whether the daemon merges them into
+# shared PHAST sweeps.
+outA=$("$workdir/dpgraph" bench-serve -url "$urlA" -release ch -n 4096 -c 256 -source 0)
+echo "$outA"
+outB=$("$workdir/dpgraph" bench-serve -url "$urlB" -release ch -n 4096 -c 256 -source 0)
+echo "$outB"
+qpsA=$(echo "$outA" | awk '/requests\/s/ {print $2}')
+qpsB=$(echo "$outB" | awk '/requests\/s/ {print $2}')
+if [ -z "$qpsA" ] || [ -z "$qpsB" ]; then
+    echo "FAIL: could not parse the coalescing bench output" >&2
+    fail=1
+else
+    ratio=$(awk -v a="$qpsA" -v b="$qpsB" 'BEGIN {printf "%.2f", b / a}')
+    echo "coalesced same-source speedup: ${ratio}x (${qpsB} vs ${qpsA} requests/s)"
+    if awk -v x="$ratio" 'BEGIN {exit !(x < 2)}'; then
+        echo "FAIL: coalesced same-source throughput ${ratio}x < 2x uncoalesced" >&2
+        fail=1
+    else
+        echo "OK: sweep coalescing >= 2x on 256 concurrent same-source clients"
+    fi
 fi
 
 exit "$fail"
