@@ -39,6 +39,8 @@ func runBenchServe(out *os.File, args []string) error {
 		seed    = fs.Int64("seed", 1, "pair-generation seed")
 		source  = fs.Int("source", -1, "query distinct targets from this fixed source vertex (-1: random pairs)")
 		stream  = fs.Bool("stream", false, "pipeline point queries over the NDJSON distances:stream endpoint")
+		timeout = fs.Duration("timeout", 0, "per-request deadline; timed-out requests count as failures (0: none)")
+		maxErr  = fs.Float64("max-error-rate", 0, "error budget: exit nonzero only when more than this fraction of requests fail (0: any failure fails the run)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,6 +53,15 @@ func runBenchServe(out *os.File, args []string) error {
 	}
 	if *stream && *batch != 1 {
 		return fmt.Errorf("-stream pipelines point queries; drop -batch (each line is one pair)")
+	}
+	if *stream && *timeout > 0 {
+		return fmt.Errorf("-timeout bounds one HTTP request; a pipelined stream is one long request, drop -timeout")
+	}
+	if *timeout < 0 {
+		return fmt.Errorf("-timeout must be >= 0, got %v", *timeout)
+	}
+	if *maxErr < 0 || *maxErr >= 1 {
+		return fmt.Errorf("-max-error-rate must be in [0, 1), got %v", *maxErr)
 	}
 
 	targets, err := benchReleases(*baseURL, *release)
@@ -76,7 +87,9 @@ func runBenchServe(out *os.File, args []string) error {
 		MaxConnsPerHost:     *c,
 		IdleConnTimeout:     90 * time.Second,
 	}
-	client := &http.Client{Transport: transport}
+	// Per-request deadline via the client so it covers dial, headers,
+	// and body; a request that exceeds it surfaces as a failure.
+	client := &http.Client{Transport: transport, Timeout: *timeout}
 	var dialed, reused atomic.Int64
 	ctx := httptrace.WithClientTrace(context.Background(), &httptrace.ClientTrace{
 		GotConn: func(info httptrace.GotConnInfo) {
@@ -89,7 +102,7 @@ func runBenchServe(out *os.File, args []string) error {
 	})
 
 	if *stream {
-		return runBenchServeStream(out, ctx, client, *baseURL, targets, *n, *c, *seed, *source, &dialed, &reused)
+		return runBenchServeStream(out, ctx, client, *baseURL, targets, *n, *c, *seed, *source, *maxErr, &dialed, &reused)
 	}
 
 	// Pregenerate a shared pool of request targets (and batch bodies),
@@ -240,9 +253,22 @@ func runBenchServe(out *os.File, args []string) error {
 				targets[tgt].label(), len(l), quantile(l, 0.50), quantile(l, 0.90), quantile(l, 0.99))
 		}
 	}
-	if f := failures.Load(); f > 0 {
-		return fmt.Errorf("%d of %d requests failed (last error: %v)", f, *n, lastError.Load())
+	return benchErrorBudget(out, "requests", failures.Load(), int64(*n), *maxErr, lastError.Load())
+}
+
+// benchErrorBudget applies the -max-error-rate error budget: a failure
+// rate within the budget reports and passes, anything above it (or any
+// failure with a zero budget) fails the run.
+func benchErrorBudget(out *os.File, what string, failed, total int64, budget float64, lastErr any) error {
+	if failed == 0 {
+		return nil
 	}
+	rate := float64(failed) / float64(total)
+	if rate > budget {
+		return fmt.Errorf("error rate %.4f (%d of %d %s) exceeds budget %g (last error: %v)",
+			rate, failed, total, what, budget, lastErr)
+	}
+	fmt.Fprintf(out, "error rate %.4f (%d of %d %s) within budget %g\n", rate, failed, total, what, budget)
 	return nil
 }
 
@@ -257,7 +283,7 @@ func benchTargetVertex(src, n int, i int64) int {
 // n queries down it while reading answers back, so the wire carries no
 // per-query HTTP overhead. Throughput is answers per second across all
 // streams.
-func runBenchServeStream(out *os.File, ctx context.Context, client *http.Client, baseURL string, targets []benchRelease, n, c int, seed int64, source int, dialed, reused *atomic.Int64) error {
+func runBenchServeStream(out *os.File, ctx context.Context, client *http.Client, baseURL string, targets []benchRelease, n, c int, seed int64, source int, maxErr float64, dialed, reused *atomic.Int64) error {
 	var (
 		answered  atomic.Int64
 		failures  atomic.Int64
@@ -365,10 +391,7 @@ func runBenchServeStream(out *os.File, ctx context.Context, client *http.Client,
 		ok, failures.Load(), strings.Join(names, " "), elapsed.Seconds(), c)
 	fmt.Fprintf(out, "throughput: %.1f pairs/s pipelined\n", float64(ok)/elapsed.Seconds())
 	fmt.Fprintf(out, "connections: %d dialed, %d reused\n", dialed.Load(), reused.Load())
-	if f := failures.Load(); f > 0 {
-		return fmt.Errorf("%d of %d stream queries failed (last error: %v)", f, n, lastError.Load())
-	}
-	return nil
+	return benchErrorBudget(out, "stream queries", failures.Load(), int64(n), maxErr, lastError.Load())
 }
 
 // benchRelease is one release the generator fires at: its name, the

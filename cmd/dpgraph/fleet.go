@@ -1,0 +1,308 @@
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/dpgraph"
+)
+
+// runFleet is the multi-process scaling and fault-tolerance bench: it
+// seals one seeded release from -graph, boots -n real `dpgraph serve`
+// replica processes from that snapshot plus one `dpgraph route`
+// coordinator process, then drives `dpgraph bench-serve` through the
+// coordinator at every scale from 1 replica to all -n (replicas join
+// the pool live over POST /v1/replicas), reporting aggregate
+// throughput per scale — the numbers behind EXPERIMENTS.md E25. Every
+// replica runs under GOMAXPROCS=-procs so scaling is visible even on
+// a small machine where one unrestricted replica would saturate every
+// core by itself.
+func runFleet(out *os.File, args []string) error {
+	fs := flag.NewFlagSet("dpgraph fleet", flag.ContinueOnError)
+	var (
+		graphPath = fs.String("graph", "", "graph file the benched release is sealed from (required)")
+		nReplicas = fs.Int("n", 3, "replica processes to boot")
+		procs     = fs.Int("procs", 1, "GOMAXPROCS per replica (0: unrestricted)")
+		requests  = fs.Int("requests", 20000, "bench requests per scale")
+		workers   = fs.Int("c", 16, "concurrent bench workers")
+		indexMode = fs.String("index", "off", "query index sealed into the benched release: off, auto, ch, alt, hl")
+		seed      = fs.Int64("seed", 7, "deterministic release seed (replicas must serve identical values)")
+		probeIv   = fs.Duration("probe-interval", 250*time.Millisecond, "coordinator health-probe period")
+		timeout   = fs.Duration("timeout", 5*time.Second, "per-request bench deadline")
+		keepDir   = fs.String("dir", "", "working directory for the snapshot and logs (default: a temp dir, removed afterwards)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("fleet takes no positional arguments, got %q", fs.Args())
+	}
+	if *graphPath == "" {
+		return fmt.Errorf("fleet needs -graph FILE to seal the benched release from")
+	}
+	if *nReplicas < 1 {
+		return fmt.Errorf("-n must be >= 1, got %d", *nReplicas)
+	}
+	if *procs < 0 {
+		return fmt.Errorf("-procs must be >= 0, got %d", *procs)
+	}
+	if *requests < 1 || *workers < 1 {
+		return fmt.Errorf("-requests and -c must be >= 1")
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("locating own binary: %w", err)
+	}
+	dir := *keepDir
+	if dir == "" {
+		dir, err = os.MkdirTemp("", "dpgraph-fleet-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+
+	// Seal the benched release once, in-process: every replica restores
+	// the same artifact, so any of them answers any query identically.
+	snapPath := filepath.Join(dir, "bench.dpsnap")
+	if err := fleetSeal(*graphPath, snapPath, *indexMode, *seed); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "fleet: sealed benched release to %s (seed %d, index %s)\n", snapPath, *seed, orNone(*indexMode))
+
+	// Boot all N replicas up front; they join the coordinator one scale
+	// at a time.
+	procsEnv := ""
+	if *procs > 0 {
+		procsEnv = fmt.Sprintf("GOMAXPROCS=%d", *procs)
+	}
+	replicas := make([]*fleetProc, 0, *nReplicas)
+	defer func() {
+		for _, p := range replicas {
+			p.kill()
+		}
+	}()
+	for i := 0; i < *nReplicas; i++ {
+		p, err := startFleetProc(exe, []string{
+			"-graph", *graphPath, "serve",
+			"-addr", "127.0.0.1:0",
+			"-snapshot-dir", dir,
+			"-drain-grace", "0s",
+		}, procsEnv)
+		if err != nil {
+			return fmt.Errorf("booting replica %d: %w", i, err)
+		}
+		replicas = append(replicas, p)
+	}
+	for i, p := range replicas {
+		if err := fleetWaitReady("http://"+p.addr, 10*time.Second); err != nil {
+			return fmt.Errorf("replica %d (%s) never became ready: %w", i, p.addr, err)
+		}
+	}
+	fmt.Fprintf(out, "fleet: %d replica(s) ready (GOMAXPROCS=%d each)\n", len(replicas), *procs)
+
+	coord, err := startFleetProc(exe, []string{
+		"route",
+		"-addr", "127.0.0.1:0",
+		"-replicas", "http://" + replicas[0].addr,
+		"-probe-interval", probeIv.String(),
+		"-drain-grace", "0s",
+	}, "")
+	if err != nil {
+		return fmt.Errorf("booting coordinator: %w", err)
+	}
+	defer coord.kill()
+	coordURL := "http://" + coord.addr
+	if err := fleetWaitReady(coordURL, 10*time.Second); err != nil {
+		return fmt.Errorf("coordinator never became ready: %w", err)
+	}
+	fmt.Fprintf(out, "fleet: coordinator on %s (probe interval %v)\n", coordURL, *probeIv)
+
+	// Bench every scale; replica i joins the pool right before scale
+	// i+1 runs, exercising live registration on the way.
+	type scaleResult struct {
+		scale int
+		qps   float64
+	}
+	results := make([]scaleResult, 0, *nReplicas)
+	for scale := 1; scale <= *nReplicas; scale++ {
+		if scale > 1 {
+			if err := fleetRegister(coordURL, "http://"+replicas[scale-1].addr); err != nil {
+				return fmt.Errorf("registering replica %d: %w", scale-1, err)
+			}
+		}
+		qps, benchOut, err := fleetBench(exe, coordURL, *requests, *workers, *timeout)
+		if err != nil {
+			return fmt.Errorf("bench at scale %d: %w\n%s", scale, err, benchOut)
+		}
+		results = append(results, scaleResult{scale, qps})
+		fmt.Fprintf(out, "fleet: scale %d -> %.1f requests/s\n", scale, qps)
+	}
+
+	fmt.Fprintf(out, "\nfleet scaling (%d requests x %d workers per scale, release seed %d):\n", *requests, *workers, *seed)
+	fmt.Fprintf(out, "%-10s %14s %10s\n", "replicas", "aggregate qps", "vs 1")
+	for _, r := range results {
+		fmt.Fprintf(out, "%-10d %14.1f %9.2fx\n", r.scale, r.qps, r.qps/results[0].qps)
+	}
+	return nil
+}
+
+// fleetSeal materializes one seeded release from the graph file and
+// seals it to path — the artifact every fleet replica boots from.
+func fleetSeal(graphPath, path, indexMode string, seed int64) error {
+	g, w, err := loadGraph(graphPath)
+	if err != nil {
+		return err
+	}
+	if _, err := dpgraph.ParseQueryIndexMode(indexMode); err != nil {
+		return err
+	}
+	spec := dpgraph.ReleaseSpec{Mechanism: "release", Epsilon: 1, Seed: seed, Index: indexMode}
+	oracle, res, err := spec.Materialize(g, dpgraph.PrivateWeights(w))
+	if err != nil {
+		return err
+	}
+	if !dpgraph.Sealable(oracle) {
+		return fmt.Errorf("release oracle is not sealable: %w", dpgraph.ErrNotSealable)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := dpgraph.Seal(f, oracle, res); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// fleetProc is one spawned daemon (replica or coordinator): its
+// process, the listen address parsed from its banner line, and a
+// drained stdout so the pipe never backpressures the child.
+type fleetProc struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// startFleetProc launches the dpgraph binary with args, waits for its
+// "... on http://ADDR" banner, and keeps draining its output.
+func startFleetProc(exe string, args []string, extraEnv string) (*fleetProc, error) {
+	cmd := exec.Command(exe, args...)
+	cmd.Env = os.Environ()
+	if extraEnv != "" {
+		cmd.Env = append(cmd.Env, extraEnv)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = cmd.Stdout // daemons report errors on stderr too
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "on http://"); i >= 0 {
+				select {
+				case addrc <- strings.TrimSpace(line[i+len("on http://"):]):
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrc:
+		return &fleetProc{cmd: cmd, addr: addr}, nil
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("no listen banner within 15s")
+	}
+}
+
+func (p *fleetProc) kill() {
+	if p == nil || p.cmd == nil || p.cmd.Process == nil {
+		return
+	}
+	p.cmd.Process.Kill()
+	p.cmd.Wait()
+}
+
+// fleetWaitReady polls a daemon's /readyz until it answers 200.
+func fleetWaitReady(baseURL string, within time.Duration) error {
+	deadline := time.Now().Add(within)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(baseURL + "/readyz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			lastErr = fmt.Errorf("readyz status %s", resp.Status)
+		} else {
+			lastErr = err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return lastErr
+}
+
+// fleetRegister adds a replica to the coordinator's pool and waits for
+// it to show up healthy.
+func fleetRegister(coordURL, replicaURL string) error {
+	body := strings.NewReader(fmt.Sprintf(`{"url":%q}`, replicaURL))
+	resp, err := http.Post(coordURL+"/v1/replicas", "application/json", body)
+	if err != nil {
+		return err
+	}
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("status %s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	if !strings.Contains(string(data), `"state": "healthy"`) {
+		return fmt.Errorf("replica registered but not healthy: %s", strings.TrimSpace(string(data)))
+	}
+	return nil
+}
+
+// fleetBench shells out to bench-serve against the coordinator and
+// parses the aggregate requests/s from its report.
+func fleetBench(exe, coordURL string, requests, workers int, timeout time.Duration) (qps float64, output string, err error) {
+	cmd := exec.Command(exe, "bench-serve",
+		"-url", coordURL,
+		"-release", "bench",
+		"-n", fmt.Sprint(requests),
+		"-c", fmt.Sprint(workers),
+		"-timeout", timeout.String(),
+	)
+	outBytes, err := cmd.CombinedOutput()
+	output = string(outBytes)
+	if err != nil {
+		return 0, output, err
+	}
+	for _, line := range strings.Split(output, "\n") {
+		if strings.HasPrefix(line, "throughput: ") {
+			if _, err := fmt.Sscanf(line, "throughput: %f requests/s", &qps); err == nil {
+				return qps, output, nil
+			}
+		}
+	}
+	return 0, output, fmt.Errorf("no throughput line in bench output")
+}

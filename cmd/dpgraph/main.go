@@ -105,7 +105,7 @@ func run(out *os.File, in io.Reader, args []string) error {
 	// dispatch before the -graph requirement.
 	if fs.NArg() >= 1 {
 		switch fs.Arg(0) {
-		case "bench-serve", "version", "keygen", "unseal":
+		case "bench-serve", "route", "fleet", "version", "keygen", "unseal":
 			if err := rejectGlobalFlags(fs, fs.Arg(0), nil); err != nil {
 				return err
 			}
@@ -113,6 +113,10 @@ func run(out *os.File, in io.Reader, args []string) error {
 			switch fs.Arg(0) {
 			case "bench-serve":
 				return runBenchServe(out, rest)
+			case "route":
+				return runRoute(out, rest)
+			case "fleet":
+				return runFleet(out, rest)
 			case "version":
 				return runVersion(out, rest)
 			case "keygen":
@@ -503,6 +507,8 @@ func usage(fs *flag.FlagSet) {
 	fmt.Fprintln(os.Stderr, "       dpgraph unseal [-in FILE] [-verify PEM] [-json] [-query < pairs]")
 	fmt.Fprintln(os.Stderr, "       dpgraph -graph FILE serve [-addr HOST:PORT] [serve flags]")
 	fmt.Fprintln(os.Stderr, "       dpgraph bench-serve [-release NAME] [bench flags]")
+	fmt.Fprintln(os.Stderr, "       dpgraph route [-replicas URL,URL,...] [route flags]")
+	fmt.Fprintln(os.Stderr, "       dpgraph fleet -graph FILE [-n N] [fleet flags]")
 	fmt.Fprintln(os.Stderr, "       dpgraph keygen [-out KEY] [-pub PUB] | dpgraph version [-json]")
 	fmt.Fprintln(os.Stderr, "\nflags:")
 	fs.PrintDefaults()

@@ -37,6 +37,7 @@ func runServe(out *os.File, g *dpgraph.Graph, w []float64, args []string) error 
 		snapVerify  = fs.String("snapshot-verify", "", "ed25519 public key (PEM); imported and restored snapshots must verify against it")
 		coWindow    = fs.Duration("coalesce-window", 0, "collect concurrent point queries for up to this long and answer them through one shared sweep (0: off)")
 		coMax       = fs.Int("coalesce-max", 0, "flush a coalesced batch once this many pairs wait (0: default)")
+		drainGrace  = fs.Duration("drain-grace", 500*time.Millisecond, "after SIGINT/SIGTERM, keep the listener open this long answering 503s (readyz already not-ready) so health-probed load balancers stop sending before connections close")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,6 +56,9 @@ func runServe(out *os.File, g *dpgraph.Graph, w []float64, args []string) error 
 	}
 	if *coMax < 0 {
 		return fmt.Errorf("-coalesce-max must be >= 0, got %d", *coMax)
+	}
+	if *drainGrace < 0 {
+		return fmt.Errorf("-drain-grace must be >= 0, got %v", *drainGrace)
 	}
 
 	cfg := serve.Config{
@@ -120,6 +124,16 @@ func runServe(out *os.File, g *dpgraph.Graph, w []float64, args []string) error 
 	}
 	stop() // restore default signal handling: a second SIGINT kills hard
 	fmt.Fprintln(out, "dpgraph: signal received, draining in-flight requests")
+	// Drain sequence: flip /readyz (and start refusing new work with
+	// retryable 503s) first, hold the listener open for the grace period
+	// so probing load balancers observe the flip and stop sending, then
+	// flush coalesced batches and close the listener.
+	srv.StartDrain()
+	select {
+	case <-time.After(*drainGrace):
+	case err := <-errc:
+		return err
+	}
 	srv.Drain() // flush coalesced batches so no waiter outlives the drain window
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()

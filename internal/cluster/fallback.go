@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/dpgraph"
+)
+
+// fallbackRelease is one locally unsealed snapshot the coordinator can
+// answer from when every replica holding the release is out. It is the
+// graceful-degradation tier: slower than the fleet (no index of
+// replicas behind it, one process), but correct — a snapshot holds the
+// exact released values, so fallback answers equal replica answers bit
+// for bit.
+type fallbackRelease struct {
+	oracle dpgraph.DistanceOracle
+	info   dpgraph.ReleaseInfo
+	bound  float64
+}
+
+// loadFallback unseals every *.dpsnap artifact in dir into the
+// fallback table, keyed by file basename like serve's RestoreDir, and
+// verifying signatures when the coordinator holds a verify key.
+func (c *Coordinator) loadFallback(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("reading fallback snapshot dir: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".dpsnap") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var opts []dpgraph.UnsealOption
+	if c.cfg.VerifyKey != nil {
+		opts = append(opts, dpgraph.WithVerifyKey(c.cfg.VerifyKey))
+	}
+	loaded := 0
+	for _, fname := range names {
+		f, err := os.Open(filepath.Join(dir, fname))
+		if err != nil {
+			return loaded, fmt.Errorf("fallback snapshot %s: %w", fname, err)
+		}
+		sealed, err := dpgraph.Unseal(f, opts...)
+		f.Close()
+		if err != nil {
+			return loaded, fmt.Errorf("fallback snapshot %s: %w", fname, err)
+		}
+		name := strings.TrimSuffix(fname, ".dpsnap")
+		c.fallback[name] = &fallbackRelease{
+			oracle: sealed.Oracle(),
+			info:   sealed.Info(),
+			bound:  sealed.Bound(dpgraph.DefaultGamma),
+		}
+		loaded++
+	}
+	return loaded, nil
+}
+
+// fallbackFor returns the local fallback for a release, if loaded.
+func (c *Coordinator) fallbackFor(release string) (*fallbackRelease, bool) {
+	fb, ok := c.fallback[release]
+	return fb, ok
+}

@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ring is a consistent-hash ring over replica URLs: each replica owns
+// ringVnodes pseudo-random points, and a release name hashes to a
+// position whose clockwise walk yields the release's replica preference
+// order. Adding or removing one replica remaps only the keys that
+// replica's points covered, so a membership change never reshuffles the
+// whole fleet's cache working sets. The ring is immutable; membership
+// changes build a new one.
+type ring struct {
+	hashes []uint64
+	owners []string // parallel to hashes
+	urls   []string // distinct members, sorted
+}
+
+// ringVnodes is the virtual-node count per replica: enough that a
+// handful of replicas split the keyspace evenly, cheap enough that
+// rebuilds on registration are instant.
+const ringVnodes = 64
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s)) //nolint:errcheck // fnv never fails
+	return h.Sum64()
+}
+
+// buildRing constructs the ring for the given replica URLs. An empty
+// membership yields an empty ring whose sequence is always empty.
+func buildRing(urls []string) *ring {
+	r := &ring{
+		hashes: make([]uint64, 0, len(urls)*ringVnodes),
+		owners: make([]string, 0, len(urls)*ringVnodes),
+		urls:   append([]string(nil), urls...),
+	}
+	sort.Strings(r.urls)
+	type pt struct {
+		h uint64
+		u string
+	}
+	pts := make([]pt, 0, len(r.urls)*ringVnodes)
+	for _, u := range r.urls {
+		for i := 0; i < ringVnodes; i++ {
+			pts = append(pts, pt{hash64(u + "#" + strconv.Itoa(i)), u})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].h < pts[j].h })
+	for _, p := range pts {
+		r.hashes = append(r.hashes, p.h)
+		r.owners = append(r.owners, p.u)
+	}
+	return r
+}
+
+// sequence returns every member URL in the key's clockwise ring order:
+// the first entry is the key's primary owner, the rest the failover
+// preference order. Callers slice the prefix for a replication set.
+func (r *ring) sequence(key string) []string {
+	if len(r.urls) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(r.urls))
+	seen := make(map[string]bool, len(r.urls))
+	h := hash64(key)
+	start := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	for i := 0; i < len(r.hashes) && len(out) < len(r.urls); i++ {
+		u := r.owners[(start+i)%len(r.hashes)]
+		if !seen[u] {
+			seen[u] = true
+			out = append(out, u)
+		}
+	}
+	return out
+}

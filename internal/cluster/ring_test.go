@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingSequence: every member appears exactly once, the order is
+// deterministic, and different keys spread their primaries around.
+func TestRingSequence(t *testing.T) {
+	urls := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r := buildRing(urls)
+
+	seq := r.sequence("main")
+	if len(seq) != len(urls) {
+		t.Fatalf("sequence has %d members, want %d: %v", len(seq), len(urls), seq)
+	}
+	seen := map[string]bool{}
+	for _, u := range seq {
+		if seen[u] {
+			t.Fatalf("sequence repeats %s: %v", u, seq)
+		}
+		seen[u] = true
+	}
+	for i, u := range r.sequence("main") {
+		if seq[i] != u {
+			t.Fatalf("sequence not deterministic: %v vs %v", seq, r.sequence("main"))
+		}
+	}
+
+	// Primary ownership should spread over the members: with 64 vnodes
+	// each, no replica should own a wildly lopsided share of keys.
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.sequence(fmt.Sprintf("release-%d", i))[0]]++
+	}
+	for u, n := range counts {
+		if n < keys/len(urls)/4 || n > keys/len(urls)*4 {
+			t.Errorf("replica %s owns %d of %d keys (grossly unbalanced): %v", u, n, keys, counts)
+		}
+	}
+}
+
+// TestRingConsistency: adding one replica must not reshuffle ownership
+// wholesale — only the share of keys the newcomer claims may move.
+func TestRingConsistency(t *testing.T) {
+	urls := []string{"http://a:1", "http://b:1", "http://c:1"}
+	before := buildRing(urls)
+	after := buildRing(append(urls, "http://d:1"))
+
+	const keys = 2000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("release-%d", i)
+		b, a := before.sequence(k)[0], after.sequence(k)[0]
+		if b != a {
+			if a != "http://d:1" {
+				t.Fatalf("key %s moved %s -> %s, not to the new replica", k, b, a)
+			}
+			moved++
+		}
+	}
+	// The newcomer should claim roughly 1/4 of the keyspace; far more
+	// means the hash is not consistent.
+	if moved > keys/2 {
+		t.Errorf("%d of %d keys moved on one join; consistent hashing should move ~%d", moved, keys, keys/4)
+	}
+	if moved == 0 {
+		t.Error("no keys moved to the new replica at all")
+	}
+}
+
+// TestRingEmpty: an empty ring routes nowhere without panicking.
+func TestRingEmpty(t *testing.T) {
+	if seq := buildRing(nil).sequence("main"); seq != nil {
+		t.Errorf("empty ring sequence = %v, want nil", seq)
+	}
+}

@@ -17,7 +17,9 @@
 //	POST   /v1/releases/{name}/distances:stream  pipelined NDJSON: text "s t" lines in, one answer object per line out
 //	GET    /v1/releases/{name}/snapshot    download the sealed snapshot artifact (receipt-hash ETag)
 //	POST   /v1/releases/{name}:import      register a release from an uploaded snapshot (zero budget)
-//	GET    /healthz                        liveness
+//	GET    /livez                          liveness: the process is up
+//	GET    /readyz                         readiness: all releases materialized and not draining
+//	GET    /healthz                        legacy liveness alias (always ok while the process runs)
 //	GET    /metrics                        query/cache/latency counters per release
 //
 // Every error is a JSON envelope {"error": "..."}; unreachable pairs
@@ -43,6 +45,7 @@ import (
 	"net/http"
 	"regexp"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/dpgraph"
@@ -109,6 +112,11 @@ type Server struct {
 	cfg     Config
 	reg     registry
 	started time.Time
+	// draining flips readiness off and sheds new work during graceful
+	// shutdown: load balancers watching /readyz stop sending before the
+	// listener closes, and requests that race the drain get an explicit
+	// 503 + Retry-After instead of a mid-request connection reset.
+	draining atomic.Bool
 }
 
 // New returns a server holding the public topology and the private
@@ -123,10 +131,16 @@ func New(topology *dpgraph.Graph, private []float64, cfg Config) *Server {
 	return &Server{g: topology, private: private, cfg: cfg, started: time.Now()}
 }
 
-// Handler returns the server's HTTP routing table.
+// Handler returns the server's HTTP routing table. While the server is
+// draining, every endpoint except the health/metrics probes answers
+// 503 + Retry-After so a request racing the shutdown gets a clean,
+// retryable refusal instead of a connection reset when the listener
+// closes moments later.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /livez", s.handleLivez)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/releases", s.handleList)
 	mux.HandleFunc("POST /v1/releases", s.handleCreate)
@@ -143,7 +157,20 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no such endpoint %s", r.URL.Path)
 	})
-	return mux
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			switch r.URL.Path {
+			case "/healthz", "/livez", "/readyz", "/metrics":
+				// Probes keep answering so load balancers and operators
+				// can watch the drain progress.
+			default:
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusServiceUnavailable, "server is draining; retry against another replica")
+				return
+			}
+		}
+		mux.ServeHTTP(w, r)
+	})
 }
 
 // errorEnvelope is the JSON shape of every error response.
@@ -544,6 +571,70 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Releases int    `json:"releases"`
 	}{Status: "ok", Releases: len(s.reg.list())})
 }
+
+// handleLivez is pure process liveness: it answers ok as long as the
+// process can serve HTTP at all, draining or not. Orchestrators restart
+// on livez failures, so it must never flip during a graceful shutdown.
+func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{Status: "alive"})
+}
+
+// readyzResponse is the /readyz body. Releases names every ready
+// release so a coordinator probing readiness also learns the replica's
+// serving set from the same request.
+type readyzResponse struct {
+	Status string `json:"status"` // "ready", "draining", or "materializing"
+	// Releases lists the ready (queryable) releases.
+	Releases []string `json:"releases"`
+	// Materializing lists releases still building; non-empty only on a
+	// 503 "materializing" answer.
+	Materializing []string `json:"materializing,omitempty"`
+}
+
+// handleReadyz is the routing-readiness probe: 200 exactly when every
+// registered release is materialized and the server is not draining.
+// Draining flips it to 503 before the listener closes, so health-probed
+// load balancers stop sending ahead of the actual shutdown; a replica
+// mid-materialization likewise reports not-ready so coordinators do not
+// route queries it would answer with 503s.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	resp := readyzResponse{Status: "ready", Releases: []string{}}
+	for _, rel := range s.reg.list() {
+		select {
+		case <-rel.ready:
+			if rel.err == nil {
+				resp.Releases = append(resp.Releases, rel.name)
+			}
+		default:
+			resp.Materializing = append(resp.Materializing, rel.name)
+		}
+	}
+	status := http.StatusOK
+	switch {
+	case s.draining.Load():
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	case len(resp.Materializing) > 0:
+		resp.Status = "materializing"
+		status = http.StatusServiceUnavailable
+	}
+	if status != http.StatusOK {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, resp)
+}
+
+// StartDrain begins a graceful shutdown: /readyz flips to 503 and new
+// requests are refused with 503 + Retry-After while in-flight ones run
+// to completion. Callers should keep the listener open for a grace
+// period afterwards so probes observe the flip, then call Drain and
+// shut the HTTP server down.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // metricsTotals sums the countable columns across releases; latency
 // quantiles do not sum and stay per-release.

@@ -31,6 +31,14 @@
 #    pipelined NDJSON stream endpoint on a hub-label release; and with
 #    the cross-request coalescer on, 256 concurrent same-source clients
 #    against a CH release must see >= 2x the uncoalesced throughput.
+# 9. Fleet scaling + fault recovery: three single-core replicas behind
+#    the route coordinator must deliver >= 2x the aggregate qps of one
+#    replica (needs >= 6 cores: three pinned replicas plus coordinator
+#    plus bench client; skipped on smaller machines, where every process
+#    shares the same core and aggregate throughput physically cannot
+#    scale), and after a replica is killed -9 mid-fleet the coordinator
+#    must evict it within two probe intervals and keep serving within
+#    the bench error budget (runs everywhere).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -297,6 +305,119 @@ else
         fail=1
     else
         echo "OK: sweep coalescing >= 2x on 256 concurrent same-source clients"
+    fi
+fi
+
+# --- 9: fleet scaling + fault recovery ---------------------------------
+# (a) `dpgraph fleet` boots real replica and coordinator processes and
+# benches through the coordinator at every scale. The release is
+# unindexed so each query costs a real Dijkstra and a GOMAXPROCS=1
+# replica is CPU-bound — added replicas add real capacity.
+awk 'BEGIN {
+    side = 60
+    print "graph", side * side
+    for (r = 0; r < side; r++)
+        for (c = 0; c < side; c++) {
+            v = r * side + c
+            if (c + 1 < side) print "edge", v, v + 1, 1 + v % 7
+            if (r + 1 < side) print "edge", v, v + side, 1 + (v + 3) % 7
+        }
+}' > "$workdir/fleetgrid.txt"
+if [ "$procs" -ge 6 ]; then
+    out=$("$workdir/dpgraph" fleet -graph "$workdir/fleetgrid.txt" -n 3 -procs 1 -requests 4000 -c 16)
+    echo "$out"
+    one=$(echo "$out" | awk '/^fleet: scale 1 -> / {print $5}')
+    three=$(echo "$out" | awk '/^fleet: scale 3 -> / {print $5}')
+    if [ -z "$one" ] || [ -z "$three" ]; then
+        echo "FAIL: could not parse the fleet scaling output" >&2
+        fail=1
+    else
+        ratio=$(awk -v a="$one" -v b="$three" 'BEGIN {printf "%.2f", b / a}')
+        echo "fleet scaling 1 -> 3 replicas: ${ratio}x (${three} vs ${one} requests/s)"
+        if awk -v x="$ratio" 'BEGIN {exit !(x < 2)}'; then
+            echo "FAIL: 3-replica aggregate qps ${ratio}x < 2x a single replica" >&2
+            fail=1
+        else
+            echo "OK: 3 replicas deliver >= 2x single-replica throughput"
+        fi
+    fi
+else
+    echo "SKIP: fleet scaling guard needs >= 6 cores (have $procs)"
+fi
+
+# (b) Kill -9 one of three live replicas: the coordinator must mark it
+# evicted within two probe intervals (plus scheduling slack for the
+# shell poll loop) and the degraded pool must pass a bench within a 1%
+# error budget.
+mkdir -p "$workdir/fleetsnap"
+"$workdir/dpgraph" -graph "$workdir/fleetgrid.txt" -eps 1 -seed 7 seal release \
+    -out "$workdir/fleetsnap/bench.dpsnap"
+repurls=""
+reppids=""
+for i in 1 2 3; do
+    GOMAXPROCS=1 "$workdir/dpgraph" -graph "$workdir/fleetgrid.txt" serve -addr 127.0.0.1:0 \
+        -snapshot-dir "$workdir/fleetsnap" -drain-grace 0s > "$workdir/rep$i.log" 2>&1 &
+    pids="$pids $!"
+    reppids="$reppids $!"
+    url=$(wait_url "$workdir/rep$i.log") || exit 1
+    repurls="$repurls,$url"
+done
+repurls=${repurls#,}
+"$workdir/dpgraph" route -addr 127.0.0.1:0 -probe-interval 250ms -drain-grace 0s \
+    -replicas "$repurls" > "$workdir/route.log" 2>&1 &
+pids="$pids $!"
+routeurl=""
+for _ in $(seq 1 150); do
+    routeurl=$(awk '/routing .* on http/ {print $NF; exit}' "$workdir/route.log" 2>/dev/null || true)
+    [ -n "$routeurl" ] && break
+    sleep 0.1
+done
+if [ -z "$routeurl" ]; then
+    echo "FAIL: route coordinator never started listening:" >&2
+    cat "$workdir/route.log" >&2
+    exit 1
+fi
+healthy=0
+for _ in $(seq 1 100); do
+    healthy=$(curl -s "$routeurl/v1/replicas" | grep -c '"healthy"' || true)
+    [ "$healthy" = 3 ] && break
+    sleep 0.05
+done
+if [ "$healthy" != 3 ]; then
+    echo "FAIL: only $healthy of 3 replicas became healthy at the coordinator" >&2
+    fail=1
+else
+    victim=$(echo "$reppids" | awk '{print $NF}')
+    kill -9 "$victim"
+    start=$(date +%s%N)
+    evicted=""
+    for _ in $(seq 1 60); do
+        if curl -s "$routeurl/v1/replicas" | grep -q '"evicted"'; then
+            evicted=1
+            break
+        fi
+        sleep 0.05
+    done
+    elapsed_ms=$(( ($(date +%s%N) - start) / 1000000 ))
+    # Two 250ms probe cycles cover the worst case (kill lands right
+    # after a probe); 500ms of slack absorbs curl + shell scheduling.
+    if [ -z "$evicted" ]; then
+        echo "FAIL: killed replica was never evicted" >&2
+        fail=1
+    elif [ "$elapsed_ms" -gt 1000 ]; then
+        echo "FAIL: eviction took ${elapsed_ms}ms, want <= 2 probe intervals (500ms + slack)" >&2
+        fail=1
+    else
+        echo "OK: killed replica evicted after ${elapsed_ms}ms (probe interval 250ms)"
+    fi
+    if out=$("$workdir/dpgraph" bench-serve -url "$routeurl" -release bench \
+            -n 2000 -c 8 -timeout 5s -max-error-rate 0.01); then
+        echo "$out"
+        echo "OK: degraded 2-replica pool served the bench within a 1% error budget"
+    else
+        echo "$out"
+        echo "FAIL: bench through the degraded pool exceeded the 1% error budget" >&2
+        fail=1
     fi
 fi
 
