@@ -1,0 +1,206 @@
+// Command dpvet runs the repository's static-analysis suite (see
+// internal/analysis). It supports two modes:
+//
+// Standalone, resolving packages itself:
+//
+//	go build -o dpvet ./cmd/dpvet && ./dpvet ./...
+//
+// As a go vet tool, speaking cmd/go's unitchecker protocol:
+//
+//	go vet -vettool=$PWD/dpvet ./...
+//
+// In vettool mode cmd/go invokes the binary once per package with a JSON
+// config file describing the already-compiled package (source files, the
+// import map, and export-data locations); dpvet type-checks the package
+// from source against that export data, runs the analyzers, prints
+// diagnostics to stderr, and exits 2 if any were found.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	// cmd/go's vettool handshake: `dpvet -V=full` must print a versioned
+	// identity line; `dpvet -flags` must describe supported flags as JSON.
+	if len(args) > 0 {
+		switch {
+		case strings.HasPrefix(args[0], "-V"):
+			fmt.Fprintf(stdout, "dpvet version devel buildID=%s\n", buildID())
+			return 0
+		case args[0] == "-flags":
+			fmt.Fprintln(stdout, "[]")
+			return 0
+		}
+	}
+
+	fs := flag.NewFlagSet("dpvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON lines")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	rest := fs.Args()
+
+	// Unitchecker mode: a single argument naming a .cfg JSON file.
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		if err := runUnitchecker(rest[0], stderr); err != nil {
+			if err == errDiagnostics {
+				return 2
+			}
+			fmt.Fprintf(stderr, "dpvet: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	// Standalone mode: load and check the named patterns.
+	patterns := rest
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "dpvet: %v\n", err)
+		return 1
+	}
+	pkgs, err := analysis.LoadPackages(wd, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "dpvet: %v\n", err)
+		return 1
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		for _, d := range analysis.RunPackage(pkg, analysis.Analyzers()) {
+			exit = 2
+			if *jsonOut {
+				enc, _ := json.Marshal(d)
+				fmt.Fprintln(stdout, string(enc))
+			} else {
+				fmt.Fprintln(stderr, d.String())
+			}
+		}
+	}
+	return exit
+}
+
+// buildID derives a stable content hash for the -V handshake: cmd/go
+// caches vet results keyed on this, so it must change when the checker
+// changes. The executable's modification time is a cheap, sufficiently
+// unique proxy for a from-source rebuild.
+func buildID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	st, err := os.Stat(exe)
+	if err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x-%x", st.Size(), st.ModTime().UnixNano())
+}
+
+// vetConfig is the unitchecker protocol's per-package configuration,
+// written by cmd/go to a *.cfg file.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+var errDiagnostics = fmt.Errorf("diagnostics reported")
+
+func runUnitchecker(cfgPath string, stderr io.Writer) error {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return fmt.Errorf("parsing %s: %v", cfgPath, err)
+	}
+
+	// cmd/go requires the facts file to exist even though dpvet exports
+	// no facts; write it before anything can fail.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("dpvet\n"), 0o666); err != nil {
+			return err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil // dependency pass: facts only, no diagnostics wanted
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil
+			}
+			return err
+		}
+		files = append(files, f)
+	}
+
+	// Imports resolve through the vet config: ImportMap canonicalizes the
+	// path, PackageFile locates its export data.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "source"
+	}
+	imp := importer.ForCompiler(fset, compiler, lookup)
+
+	pkg, err := analysis.TypeCheck(fset, imp, cfg.ImportPath, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil
+		}
+		return err
+	}
+
+	diags := analysis.RunPackage(pkg, analysis.Analyzers())
+	for _, d := range diags {
+		fmt.Fprintln(stderr, d.String())
+	}
+	if len(diags) > 0 {
+		return errDiagnostics
+	}
+	return nil
+}

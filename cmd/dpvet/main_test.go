@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildDpvet compiles the checker once per test binary.
+func buildDpvet(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "dpvet")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building dpvet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeModule lays out a scratch module with one privacy-critical package.
+func writeModule(t *testing.T, coreSrc string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod":                "module example.com/scratch\n\ngo 1.22\n",
+		"internal/core/core.go": coreSrc,
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const dirtyCore = `package core
+
+import "math/rand"
+
+func Sample() float64 { return rand.New(rand.NewSource(7)).Float64() }
+`
+
+const cleanCore = `package core
+
+func Sample() float64 { return 0.5 }
+`
+
+func runIn(t *testing.T, dir string, name string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(name, args...)
+	cmd.Dir = dir
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("running %s: %v\n%s", name, err, buf.String())
+	}
+	return buf.String(), code
+}
+
+// TestStandaloneCatchesViolation: dpvet ./... must exit 2 and name the
+// noiserand finding in a dirty module, and exit 0 in a clean one.
+func TestStandaloneCatchesViolation(t *testing.T) {
+	bin := buildDpvet(t)
+
+	dirty := writeModule(t, dirtyCore)
+	out, code := runIn(t, dirty, bin, "./...")
+	if code != 2 {
+		t.Fatalf("dirty module: got exit %d, want 2\n%s", code, out)
+	}
+	if !strings.Contains(out, "noiserand") || !strings.Contains(out, "math/rand") {
+		t.Fatalf("dirty module: diagnostics must name noiserand and math/rand:\n%s", out)
+	}
+	if !strings.Contains(out, "fixed-seed randomness") {
+		t.Fatalf("dirty module: constant seed must be flagged:\n%s", out)
+	}
+
+	clean := writeModule(t, cleanCore)
+	out, code = runIn(t, clean, bin, "./...")
+	if code != 0 {
+		t.Fatalf("clean module: got exit %d, want 0\n%s", code, out)
+	}
+}
+
+// TestVettoolCatchesViolation drives the unitchecker protocol the way CI
+// does: go vet -vettool=dpvet must fail on the dirty module and pass on
+// the clean one.
+func TestVettoolCatchesViolation(t *testing.T) {
+	bin := buildDpvet(t)
+
+	dirty := writeModule(t, dirtyCore)
+	out, code := runIn(t, dirty, "go", "vet", "-vettool="+bin, "./...")
+	if code == 0 {
+		t.Fatalf("dirty module: go vet -vettool must fail\n%s", out)
+	}
+	if !strings.Contains(out, "noiserand") {
+		t.Fatalf("dirty module: vet output must name noiserand:\n%s", out)
+	}
+
+	clean := writeModule(t, cleanCore)
+	out, code = runIn(t, clean, "go", "vet", "-vettool="+bin, "./...")
+	if code != 0 {
+		t.Fatalf("clean module: go vet -vettool must pass, got exit %d\n%s", code, out)
+	}
+}
+
+// TestHandshake pins the two cmd/go integration entry points.
+func TestHandshake(t *testing.T) {
+	bin := buildDpvet(t)
+	out, code := runIn(t, ".", bin, "-V=full")
+	if code != 0 || !strings.HasPrefix(out, "dpvet version ") {
+		t.Fatalf("-V=full handshake broken (exit %d): %q", code, out)
+	}
+	out, code = runIn(t, ".", bin, "-flags")
+	if code != 0 || strings.TrimSpace(out) != "[]" {
+		t.Fatalf("-flags handshake broken (exit %d): %q", code, out)
+	}
+}

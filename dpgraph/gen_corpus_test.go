@@ -1,0 +1,55 @@
+package dpgraph
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"repro/internal/snapshot"
+)
+
+// TestGenUnsealCorpus regenerates the checked-in FuzzUnseal seed corpus.
+func TestGenUnsealCorpus(t *testing.T) {
+	if os.Getenv("GEN_FUZZ_CORPUS") == "" {
+		t.Skip("set GEN_FUZZ_CORPUS=1 to regenerate")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzUnseal")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var entries [][]byte
+	for _, mode := range []QueryIndexMode{IndexOff, IndexCH, IndexALT, IndexHL} {
+		_, _, data := sealedRelease(t, 5, int64(mode)+1, mode)
+		entries = append(entries, data)
+	}
+	_, priv, err := snapshot.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, signed := sealedRelease(t, 5, 9, IndexCH, WithSigningKey(priv))
+	entries = append(entries, signed)
+	base := entries[1]
+	for _, cut := range []int{7, 56, 120, len(base) / 2, len(base) - 1} {
+		entries = append(entries, base[:cut])
+	}
+	for _, pos := range []int{9, 60, 200, len(base) - 30} {
+		mut := append([]byte(nil), base...)
+		mut[pos] ^= 0x10
+		entries = append(entries, mut)
+	}
+	mut := append([]byte(nil), base...)
+	for i := 24; i < 32; i++ {
+		mut[i] = 0xFF
+	}
+	entries = append(entries, mut)
+	for i, e := range entries {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(e)) + ")\n"
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Logf("wrote %d corpus entries", len(entries))
+}

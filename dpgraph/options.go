@@ -2,7 +2,7 @@ package dpgraph
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand" //dpvet:allow noiserand -- WithNoiseSource's public signature takes a caller-owned *rand.Rand; sampling stays inside dp.NoiseSource
 
 	"repro/internal/dp"
 	"repro/internal/graph/index"

@@ -244,10 +244,10 @@ func Unseal(r io.Reader, opts ...UnsealOption) (*Sealed, error) {
 	if receipt.Mechanism != meta.Mechanism {
 		return nil, fmt.Errorf("%w: receipt mechanism %q disagrees with metadata %q", ErrInvalidSnapshot, receipt.Mechanism, meta.Mechanism)
 	}
-	if receipt.Epsilon != meta.Epsilon {
+	if receipt.Epsilon != meta.Epsilon { //dpvet:allow floatcmp -- seal integrity: both sides round-trip the same JSON encoding, so equality is exact by construction
 		return nil, fmt.Errorf("%w: receipt epsilon %g disagrees with metadata %g", ErrInvalidSnapshot, receipt.Epsilon, meta.Epsilon)
 	}
-	if receipt.Delta != meta.Delta {
+	if receipt.Delta != meta.Delta { //dpvet:allow floatcmp -- seal integrity: both sides round-trip the same JSON encoding, so equality is exact by construction
 		return nil, fmt.Errorf("%w: receipt delta %g disagrees with metadata %g", ErrInvalidSnapshot, receipt.Delta, meta.Delta)
 	}
 

@@ -3,7 +3,7 @@ package dpgraph
 import (
 	"encoding/json"
 	"io"
-	"math/rand"
+	"math/rand" //dpvet:allow noiserand -- UniformRandomWeights generates public test topologies from a caller-supplied rng; weights are inputs, not releases
 	"os"
 	"strings"
 

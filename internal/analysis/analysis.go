@@ -1,0 +1,195 @@
+// Package analysis is dpvet: a suite of static analyzers that machine-check
+// the repository's load-bearing conventions — the DP-safety rules (all
+// mechanism noise flows through dp.NoiseSource, every non-error result is
+// paid for through the budget accountant), the zero-allocation serving hot
+// paths, lock discipline in the serving and cluster tiers, and float-equality
+// hygiene on noisy distances.
+//
+// The suite deliberately mirrors the golang.org/x/tools/go/analysis API
+// shape (Analyzer, Pass, Diagnostic) but is self-contained on the standard
+// library: packages are loaded through `go list -export -deps -json` and
+// type-checked from source with export data for imports, so the checker
+// builds and runs with no module downloads. cmd/dpvet drives it both
+// standalone (dpvet ./...) and as a `go vet -vettool` unitchecker.
+//
+// Violations are suppressed, one site at a time, with a justified directive:
+//
+//	//dpvet:allow <analyzer> -- <justification>
+//
+// placed either at the end of the offending line or in the doc comment of
+// the enclosing declaration (which suppresses the whole declaration). A
+// missing or empty justification is itself a diagnostic.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named static check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Diagnostic is one reported violation, carrying its resolved position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File // non-test files only
+	Pkg      *types.Package
+	PkgPath  string // normalized import path (test-variant suffix stripped)
+	Info     *types.Info
+
+	sink *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.sink = append(*p.sink, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if t, ok := p.Info.Types[e]; ok {
+		return t.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Info.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// Analyzers returns the full dpvet suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NoiseRandAnalyzer,
+		BudgetFlowAnalyzer,
+		HotPathAnalyzer,
+		LockHeldAnalyzer,
+		FloatCmpAnalyzer,
+	}
+}
+
+// analyzerNames is the set of valid names for //dpvet:allow directives.
+func analyzerNames() map[string]bool {
+	m := make(map[string]bool)
+	for _, a := range Analyzers() {
+		m[a.Name] = true
+	}
+	return m
+}
+
+// normalizePkgPath strips cmd/go's test-variant suffix
+// ("repro/dpgraph [repro/dpgraph.test]" -> "repro/dpgraph") so scope
+// matching behaves identically under `go vet` and standalone runs.
+func normalizePkgPath(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// RunPackage runs the analyzers over one loaded package and returns the
+// surviving diagnostics: directive-suppressed findings are dropped,
+// malformed directives are reported under the "dpvet" pseudo-analyzer,
+// and the result is sorted by position.
+func RunPackage(pkg *LoadedPackage, analyzers []*Analyzer) []Diagnostic {
+	var raw []Diagnostic
+	files := nonTestFiles(pkg.Fset, pkg.Files)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    files,
+			Pkg:      pkg.Types,
+			PkgPath:  normalizePkgPath(pkg.PkgPath),
+			Info:     pkg.Info,
+			sink:     &raw,
+		}
+		a.Run(pass)
+	}
+
+	dirs, dirDiags := parseDirectives(pkg.Fset, files)
+	var out []Diagnostic
+	for _, d := range raw {
+		if !suppressed(dirs, d) {
+			out = append(out, d)
+		}
+	}
+	out = append(out, dirDiags...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// nonTestFiles drops _test.go files: dpvet's invariants target production
+// code, and the analyzers' scope rules (noiserand, floatcmp) exempt tests
+// by design.
+func nonTestFiles(fset *token.FileSet, files []*ast.File) []*ast.File {
+	out := files[:0:0]
+	for _, f := range files {
+		name := fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// exprString renders a small expression for lock identities and messages.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.UnaryExpr:
+		return e.Op.String() + exprString(e.X)
+	}
+	return "<expr>"
+}

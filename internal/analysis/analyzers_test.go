@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// The five analyzers plus directive processing run over analysistest-style
+// fixtures. pkgPath is chosen per fixture so the scope rules fire the same
+// way they do on the real tree.
+func TestNoiseRand(t *testing.T) {
+	RunAnalyzerTest(t, []*Analyzer{NoiseRandAnalyzer},
+		"example.com/internal/core", filepath.Join("testdata", "src", "noiserand"))
+}
+
+func TestBudgetFlowCore(t *testing.T) {
+	RunAnalyzerTest(t, []*Analyzer{BudgetFlowAnalyzer},
+		"example.com/internal/core", filepath.Join("testdata", "src", "budgetflow"))
+}
+
+func TestBudgetFlowFacade(t *testing.T) {
+	RunAnalyzerTest(t, []*Analyzer{BudgetFlowAnalyzer},
+		"example.com/dpgraph", filepath.Join("testdata", "src", "budgetflowfacade"))
+}
+
+func TestHotPath(t *testing.T) {
+	RunAnalyzerTest(t, []*Analyzer{HotPathAnalyzer},
+		"example.com/internal/serve", filepath.Join("testdata", "src", "hotpath"))
+}
+
+func TestLockHeld(t *testing.T) {
+	RunAnalyzerTest(t, []*Analyzer{LockHeldAnalyzer},
+		"example.com/internal/serve", filepath.Join("testdata", "src", "lockheld"))
+}
+
+func TestFloatCmp(t *testing.T) {
+	RunAnalyzerTest(t, []*Analyzer{FloatCmpAnalyzer},
+		"example.com/internal/core", filepath.Join("testdata", "src", "floatcmp"))
+}
+
+// TestDirectives runs the floatcmp analyzer over fixtures whose allow
+// directives are malformed: the malformed directives are themselves
+// diagnostics and suppress nothing.
+func TestDirectives(t *testing.T) {
+	RunAnalyzerTest(t, []*Analyzer{FloatCmpAnalyzer},
+		"example.com/internal/core", filepath.Join("testdata", "src", "directive"))
+}
+
+// TestScopeRules pins the package-scope predicates: the analyzers must
+// fire on the privacy/serving tiers and stay quiet elsewhere.
+func TestScopeRules(t *testing.T) {
+	for _, tc := range []struct {
+		path string
+		want bool
+	}{
+		{"repro/internal/core", true},
+		{"repro/internal/dp", true},
+		{"repro/dpgraph", true},
+		{"repro/dpgraph [repro/dpgraph.test]", false}, // normalized before the call
+		{"repro/cmd/dpgraph", false},
+		{"repro/internal/serve", false},
+	} {
+		if got := privacyCriticalPkg(tc.path); got != tc.want {
+			t.Errorf("privacyCriticalPkg(%q) = %v, want %v", tc.path, got, tc.want)
+		}
+	}
+	if got := privacyCriticalPkg(normalizePkgPath("repro/dpgraph [repro/dpgraph.test]")); !got {
+		t.Errorf("normalized test-variant path must stay privacy-critical")
+	}
+	for _, tc := range []struct {
+		path string
+		want bool
+	}{
+		{"repro/internal/serve", true},
+		{"repro/internal/cluster", true},
+		{"repro/internal/core", false},
+	} {
+		if got := lockTierPkg(tc.path); got != tc.want {
+			t.Errorf("lockTierPkg(%q) = %v, want %v", tc.path, got, tc.want)
+		}
+	}
+}

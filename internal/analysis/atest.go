@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunAnalyzerTest is the analysistest-style harness: it type-checks the
+// .go files in dir as a package named pkgPath (chosen so the analyzers'
+// scope rules fire), runs the given analyzers plus directive processing,
+// and matches the resulting diagnostics against `// want "regex"` comments
+// in the sources. Every diagnostic must be wanted on its line, and every
+// want must be matched.
+func RunAnalyzerTest(t *testing.T, analyzers []*Analyzer, pkgPath, dir string) {
+	t.Helper()
+
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading testdata dir: %v", err)
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", path, err)
+		}
+		files = append(files, f)
+		names = append(names, path)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no .go files in %s", dir)
+	}
+
+	imp, err := stdImporter(fset, files)
+	if err != nil {
+		t.Fatalf("resolving std imports: %v", err)
+	}
+	pkg, err := TypeCheck(fset, imp, pkgPath, files)
+	if err != nil {
+		t.Fatalf("type-checking: %v", err)
+	}
+
+	diags := RunPackage(pkg, analyzers)
+	wants := parseWants(t, names)
+
+	type wantKey struct {
+		file string
+		line int
+		idx  int
+	}
+	used := make(map[wantKey]bool)
+
+	for _, d := range diags {
+		res := wants[wantLoc{file: d.Pos.Filename, line: d.Pos.Line}]
+		ok := false
+		for i, re := range res {
+			k := wantKey{d.Pos.Filename, d.Pos.Line, i}
+			if !used[k] && re.MatchString(d.Message) {
+				used[k] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic at %s:%d: %s: %s", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Analyzer, d.Message)
+		}
+	}
+
+	var locs []wantLoc
+	for loc := range wants {
+		locs = append(locs, loc)
+	}
+	sort.Slice(locs, func(i, j int) bool {
+		if locs[i].file != locs[j].file {
+			return locs[i].file < locs[j].file
+		}
+		return locs[i].line < locs[j].line
+	})
+	for _, loc := range locs {
+		for i, re := range wants[loc] {
+			if !used[wantKey{loc.file, loc.line, i}] {
+				t.Errorf("no diagnostic matched want %q at %s:%d", re.String(), filepath.Base(loc.file), loc.line)
+			}
+		}
+	}
+}
+
+type wantLoc struct {
+	file string
+	line int
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+// parseWants extracts `// want "re" ["re" ...]` expectations per line.
+func parseWants(t *testing.T, paths []string) map[wantLoc][]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[wantLoc][]*regexp.Regexp)
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading %s: %v", path, err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			loc := wantLoc{file: path, line: i + 1}
+			rest := strings.TrimSpace(m[1])
+			for rest != "" {
+				if rest[0] != '"' {
+					t.Fatalf("%s:%d: malformed want clause %q", path, i+1, rest)
+				}
+				end := -1
+				for j := 1; j < len(rest); j++ {
+					if rest[j] == '"' && rest[j-1] != '\\' {
+						end = j
+						break
+					}
+				}
+				if end < 0 {
+					t.Fatalf("%s:%d: unterminated want pattern %q", path, i+1, rest)
+				}
+				pat, err := strconv.Unquote(rest[:end+1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", path, i+1, rest[:end+1], err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, pat, err)
+				}
+				wants[loc] = append(wants[loc], re)
+				rest = strings.TrimSpace(rest[end+1:])
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,523 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// BudgetFlowAnalyzer checks that every mechanism entry point pays for its
+// result.
+//
+// The accounting contract has two sides. First, an exported mechanism in
+// internal/core (any exported function taking a core.Options parameter) or
+// dpgraph (any exported *PrivateGraph method returning a value plus error)
+// must invoke the accountant's charge on every path that returns a
+// successful result — a release that skips the charge hands out private
+// data for free and invalidates every receipt issued afterwards. Second,
+// the repo's documented convention is "a failed release never burns
+// budget": constructing a fresh error *after* the charge has succeeded
+// leaks a budget reservation the caller never benefits from, so such
+// returns are flagged too.
+//
+// Charging is recognized syntactically and transitively: a call to a
+// method named charge/Charge/Spend, a call into internal/core passing an
+// Options value (the core mechanisms charge internally), or a call to a
+// same-package function that itself charges (computed to a fixpoint).
+// Function literals are descended into, so the dpgraph
+// pg.exec("name", pure, func(o core.Options) error { ... }) idiom counts.
+var BudgetFlowAnalyzer = &Analyzer{
+	Name: "budgetflow",
+	Doc:  "mechanism entry points must charge the budget accountant before returning a result",
+	Run:  runBudgetFlow,
+}
+
+var chargeMethodNames = map[string]bool{"charge": true, "Charge": true, "Spend": true}
+
+func runBudgetFlow(pass *Pass) {
+	inCore := strings.Contains(pass.PkgPath, "internal/core")
+	inFacade := strings.HasSuffix(pass.PkgPath, "dpgraph")
+	if !inCore && !inFacade {
+		return
+	}
+
+	w := &bfWalker{pass: pass}
+	w.buildChargeClosure()
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			if inCore && !hasOptionsParam(fn) {
+				continue // exported helpers without Options are not releases
+			}
+			if inFacade && !isPrivateGraphMethod(fn) {
+				continue
+			}
+			if !lastResultIsError(fn) {
+				continue // pure accessors; nothing to pay for
+			}
+			w.checkFunc(fn)
+		}
+	}
+}
+
+// hasOptionsParam reports whether fn takes a parameter of a named type
+// Options (core's budget-carrying options struct).
+func hasOptionsParam(fn *ast.FuncDecl) bool {
+	if fn.Type.Params == nil {
+		return false
+	}
+	for _, field := range fn.Type.Params.List {
+		if typeNameIs(field.Type, "Options") {
+			return true
+		}
+	}
+	return false
+}
+
+func isPrivateGraphMethod(fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return false
+	}
+	return typeNameIs(fn.Recv.List[0].Type, "PrivateGraph")
+}
+
+// typeNameIs reports whether a type expression names (possibly via * or a
+// package qualifier) the given identifier.
+func typeNameIs(t ast.Expr, name string) bool {
+	switch t := t.(type) {
+	case *ast.Ident:
+		return t.Name == name
+	case *ast.StarExpr:
+		return typeNameIs(t.X, name)
+	case *ast.SelectorExpr:
+		return t.Sel.Name == name
+	case *ast.IndexExpr: // generic instantiation
+		return typeNameIs(t.X, name)
+	}
+	return false
+}
+
+func lastResultIsError(fn *ast.FuncDecl) bool {
+	rs := fn.Type.Results
+	if rs == nil || len(rs.List) == 0 {
+		return false
+	}
+	last := rs.List[len(rs.List)-1].Type
+	if id, ok := last.(*ast.Ident); ok {
+		return id.Name == "error"
+	}
+	return false
+}
+
+// resultCount counts individual result values (fields may name several).
+func resultCount(fn *ast.FuncDecl) int {
+	n := 0
+	if fn.Type.Results == nil {
+		return 0
+	}
+	for _, f := range fn.Type.Results.List {
+		if len(f.Names) == 0 {
+			n++
+		} else {
+			n += len(f.Names)
+		}
+	}
+	return n
+}
+
+// bfWalker carries the per-package charge closure and per-function state.
+type bfWalker struct {
+	pass          *Pass
+	alwaysCharges map[string]bool // same-package funcs that (somewhere) charge
+	fn            *ast.FuncDecl
+	nResults      int
+}
+
+// buildChargeClosure computes, to a fixpoint, the set of same-package
+// top-level functions whose bodies contain a charging call.
+func (w *bfWalker) buildChargeClosure() {
+	w.alwaysCharges = make(map[string]bool)
+	bodies := make(map[string]*ast.FuncDecl)
+	for _, f := range w.pass.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				bodies[funcKey(fn)] = fn
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for key, fn := range bodies {
+			if w.alwaysCharges[key] {
+				continue
+			}
+			if w.nodeCharges(fn.Body) {
+				w.alwaysCharges[key] = true
+				changed = true
+			}
+		}
+	}
+}
+
+// funcKey names a top-level function or method for the charge closure.
+// Methods are keyed by bare name: call sites rarely carry enough type
+// information here to resolve the receiver, and a name collision only
+// makes the analysis more permissive, never noisier.
+func funcKey(fn *ast.FuncDecl) string { return fn.Name.Name }
+
+// nodeCharges reports whether the subtree contains a charging call,
+// descending into function literals.
+func (w *bfWalker) nodeCharges(n ast.Node) bool {
+	if n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if w.callCharges(n) {
+				found = true
+				return false
+			}
+		case *ast.SelectorExpr:
+			// A core mechanism passed as a function value (the
+			// pg.matching("name", core.MaximalMatching) delegation idiom)
+			// routes the charge through the callee.
+			if w.coreMechanismRef(n) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// coreMechanismRef reports whether sel references (without calling) an
+// internal/core function whose signature takes an Options parameter.
+func (w *bfWalker) coreMechanismRef(sel *ast.SelectorExpr) bool {
+	pkgIdent, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := w.pass.Info.Uses[pkgIdent].(*types.PkgName)
+	if !ok || !strings.Contains(pn.Imported().Path(), "internal/core") {
+		return false
+	}
+	obj := w.pass.Info.Uses[sel.Sel]
+	if obj == nil {
+		return false
+	}
+	sig, ok := obj.Type().Underlying().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if namedTypeIs(sig.Params().At(i).Type(), "Options") {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *bfWalker) callCharges(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return w.alwaysCharges[fun.Name]
+	case *ast.SelectorExpr:
+		if chargeMethodNames[fun.Sel.Name] {
+			return true
+		}
+		if w.alwaysCharges[fun.Sel.Name] {
+			return true // same-package method (pg.exec-style) that charges
+		}
+		// Cross-package call into internal/core with an Options argument:
+		// core mechanisms charge internally before returning success.
+		if pkgIdent, ok := fun.X.(*ast.Ident); ok {
+			if obj, ok := w.pass.Info.Uses[pkgIdent].(*types.PkgName); ok {
+				if strings.Contains(obj.Imported().Path(), "internal/core") {
+					for _, arg := range call.Args {
+						if t := w.pass.TypeOf(arg); t != nil && namedTypeIs(t, "Options") {
+							return true
+						}
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// namedTypeIs reports whether t (or its pointer element) is a named type
+// with the given name.
+func namedTypeIs(t types.Type, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == name
+}
+
+// bfState is the walker's path state.
+type bfState struct {
+	charged    bool            // a charge definitely happened on this path
+	exempt     bool            // inside the charge's own error guard
+	nonNil     map[string]bool // idents known non-nil (enclosing err != nil)
+	chargeErrs map[string]bool // error idents produced by the charging call
+}
+
+func (s bfState) withNonNil(name string) bfState {
+	m := make(map[string]bool, len(s.nonNil)+1)
+	for k := range s.nonNil {
+		m[k] = true
+	}
+	m[name] = true
+	s.nonNil = m
+	return s
+}
+
+func (w *bfWalker) checkFunc(fn *ast.FuncDecl) {
+	w.fn = fn
+	w.nResults = resultCount(fn)
+	st := bfState{
+		nonNil:     map[string]bool{},
+		chargeErrs: map[string]bool{},
+	}
+	w.walkStmts(fn.Body.List, st)
+}
+
+// walkStmts walks a statement list, threading path state; returns the
+// state at fallthrough and whether every path terminated.
+func (w *bfWalker) walkStmts(stmts []ast.Stmt, st bfState) (bfState, bool) {
+	for _, s := range stmts {
+		var term bool
+		st, term = w.walkStmt(s, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (w *bfWalker) walkStmt(s ast.Stmt, st bfState) (bfState, bool) {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		w.checkReturn(s, st)
+		return st, true
+
+	case *ast.IfStmt:
+		initCharges := s.Init != nil && w.nodeCharges(s.Init)
+		condCharges := w.nodeCharges(s.Cond)
+		entry := st
+		if initCharges || condCharges {
+			entry.charged = true
+			entry.exempt = true // the guard's error branch is the charge failing
+			if s.Init != nil {
+				for _, name := range assignedIdents(s.Init) {
+					st.chargeErrs[name] = true // shared map: entry sees it too
+				}
+			}
+		}
+		thenEntry := entry
+		if name, ok := nonNilGuard(s.Cond); ok {
+			thenEntry = entry.withNonNil(name)
+		}
+		_, thenTerm := w.walkStmts(s.Body.List, thenEntry)
+		elseTerm := false
+		if s.Else != nil {
+			elseEntry := entry
+			if name, ok := nilGuard(s.Cond); ok {
+				elseEntry = entry.withNonNil(name)
+			}
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				_, elseTerm = w.walkStmts(e.List, elseEntry)
+			case *ast.IfStmt:
+				_, elseTerm = w.walkStmt(e, elseEntry)
+			}
+		}
+		after := st
+		if initCharges || condCharges {
+			after.charged = true // guard's Init/Cond ran on the fallthrough path too
+		}
+		return after, thenTerm && elseTerm && s.Else != nil
+
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, st)
+
+	case *ast.ForStmt:
+		body := st
+		if s.Init != nil && w.nodeCharges(s.Init) {
+			body.charged = true
+			st.charged = true
+		}
+		w.walkStmts(s.Body.List, body)
+		return st, false // body may run zero times: no charge credit
+
+	case *ast.RangeStmt:
+		w.walkStmts(s.Body.List, st)
+		return st, false
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		var clauses []ast.Stmt
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			clauses = sw.Body.List
+		case *ast.TypeSwitchStmt:
+			clauses = sw.Body.List
+		case *ast.SelectStmt:
+			clauses = sw.Body.List
+		}
+		for _, c := range clauses {
+			switch cc := c.(type) {
+			case *ast.CaseClause:
+				w.walkStmts(cc.Body, st)
+			case *ast.CommClause:
+				w.walkStmts(cc.Body, st)
+			}
+		}
+		return st, false
+
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, st)
+
+	default:
+		if w.stmtCharges(s) {
+			st.charged = true
+			for _, name := range assignedIdents(s) {
+				st.chargeErrs[name] = true
+			}
+		}
+		return st, false
+	}
+}
+
+// stmtCharges is nodeCharges specialized to a single statement, skipping
+// statement kinds walked structurally above.
+func (w *bfWalker) stmtCharges(s ast.Stmt) bool { return w.nodeCharges(s) }
+
+// assignedIdents returns the identifiers assigned by an assign or define
+// statement (used to track which variables hold the charging call's error).
+func assignedIdents(s ast.Stmt) []string {
+	var out []string
+	if as, ok := s.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				out = append(out, id.Name)
+			}
+		}
+	}
+	return out
+}
+
+// nonNilGuard matches `x != nil` and returns x's name.
+func nonNilGuard(cond ast.Expr) (string, bool) {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || be.Op != token.NEQ {
+		return "", false
+	}
+	return identVsNil(be.X, be.Y)
+}
+
+// nilGuard matches `x == nil` and returns x's name (so the else branch
+// knows x is non-nil).
+func nilGuard(cond ast.Expr) (string, bool) {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || be.Op != token.EQL {
+		return "", false
+	}
+	return identVsNil(be.X, be.Y)
+}
+
+func identVsNil(x, y ast.Expr) (string, bool) {
+	if isNilIdent(y) {
+		if id, ok := x.(*ast.Ident); ok {
+			return id.Name, true
+		}
+	}
+	if isNilIdent(x) {
+		if id, ok := y.(*ast.Ident); ok {
+			return id.Name, true
+		}
+	}
+	return "", false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// checkReturn applies both budgetflow rules to one return statement.
+func (w *bfWalker) checkReturn(s *ast.ReturnStmt, st bfState) {
+	retCharges := false
+	for _, r := range s.Results {
+		if w.nodeCharges(r) {
+			retCharges = true
+		}
+	}
+	state := st.charged || retCharges
+
+	var errExpr ast.Expr
+	if len(s.Results) == w.nResults && w.nResults > 0 {
+		errExpr = s.Results[len(s.Results)-1]
+	}
+
+	success, definiteErr := classifyErrorOperand(errExpr, st)
+
+	if w.nResults > 1 && success && !state {
+		w.pass.Reportf(s.Pos(), "%s returns a result on a path that never charges the budget accountant: every successful release must be paid for", w.fn.Name.Name)
+	}
+	if definiteErr && state && !st.exempt && !retCharges && !w.errFromCharge(errExpr, st) {
+		w.pass.Reportf(s.Pos(), "%s returns an error after the budget was charged: a failed release must not burn budget (charge last, or refund)", w.fn.Name.Name)
+	}
+}
+
+// classifyErrorOperand decides whether the return's error operand admits a
+// success path and/or is a definite error.
+//
+//	nil literal        -> success only
+//	bare return        -> treated as success (named results)
+//	plain ident err    -> success unless known non-nil; definite if known non-nil
+//	call/&composite/.. -> definite error
+func classifyErrorOperand(e ast.Expr, st bfState) (success, definiteErr bool) {
+	if e == nil {
+		return true, false // bare return or mismatched arity: assume success path
+	}
+	e = ast.Unparen(e)
+	if isNilIdent(e) {
+		return true, false
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if st.nonNil[id.Name] {
+			return false, true
+		}
+		return true, false // err may be nil: a possible success path
+	}
+	return false, true // fresh error value (call, &T{...}, selector)
+}
+
+// errFromCharge reports whether the returned error expression passes
+// through the charging call's own error (returning or wrapping the charge
+// failure is legitimate).
+func (w *bfWalker) errFromCharge(e ast.Expr, st bfState) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && st.chargeErrs[id.Name] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix introduces a suppression directive:
+//
+//	//dpvet:allow <analyzer> -- <justification>
+//
+// An inline directive (sharing a line with code) suppresses matching
+// diagnostics on that line only. A directive inside the doc comment of a
+// top-level declaration suppresses matching diagnostics anywhere in that
+// declaration. The justification after "--" is mandatory: it is the audit
+// trail a reviewer reads instead of re-deriving why the violation is safe.
+const allowPrefix = "//dpvet:allow"
+
+// hotpathDirective marks a function whose body must stay allocation-free;
+// see the hotpath analyzer.
+const hotpathDirective = "//dpvet:hotpath"
+
+// minJustificationWords is the floor for an allow justification: a bare
+// "ok" or "legacy" explains nothing to the next reader.
+const minJustificationWords = 3
+
+// allowDirective is one parsed suppression with its effective line span.
+type allowDirective struct {
+	analyzer string
+	file     string
+	fromLine int
+	toLine   int
+}
+
+// parseDirectives extracts every //dpvet:allow directive from the files,
+// returning the usable suppressions plus diagnostics for malformed ones
+// (unknown analyzer, missing or trivial justification). Malformed
+// directives suppress nothing.
+func parseDirectives(fset *token.FileSet, files []*ast.File) ([]allowDirective, []Diagnostic) {
+	valid := analyzerNames()
+	var dirs []allowDirective
+	var diags []Diagnostic
+
+	report := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:      fset.Position(pos),
+			Analyzer: "dpvet",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+
+	for _, f := range files {
+		// Map each comment to the span it governs: doc comments of
+		// top-level declarations cover the declaration; everything else
+		// covers its own line.
+		docSpan := make(map[*ast.CommentGroup][2]int)
+		for _, decl := range f.Decls {
+			var doc *ast.CommentGroup
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				doc = d.Doc
+			case *ast.GenDecl:
+				doc = d.Doc
+			}
+			if doc != nil {
+				docSpan[doc] = [2]int{
+					fset.Position(decl.Pos()).Line,
+					fset.Position(decl.End()).Line,
+				}
+			}
+		}
+
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //dpvet:allowother — not ours
+				}
+				name, just, hasJust := cutJustification(rest)
+				if name == "" {
+					report(c.Pos(), "malformed directive: want %s <analyzer> -- <justification>", allowPrefix)
+					continue
+				}
+				if !valid[name] {
+					report(c.Pos(), "directive names unknown analyzer %q (valid: %s)", name, strings.Join(sortedNames(valid), ", "))
+					continue
+				}
+				if !hasJust {
+					report(c.Pos(), "allow directive for %q is missing its justification (want %s %s -- <why this is safe>)", name, allowPrefix, name)
+					continue
+				}
+				if len(strings.Fields(just)) < minJustificationWords {
+					report(c.Pos(), "allow directive for %q has a trivial justification %q: explain why the violation is safe (>= %d words)", name, just, minJustificationWords)
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				d := allowDirective{analyzer: name, file: pos.Filename, fromLine: pos.Line, toLine: pos.Line}
+				if span, ok := docSpan[cg]; ok {
+					d.fromLine, d.toLine = span[0], span[1]
+					// The doc comment itself is part of the governed decl
+					// as far as reporting goes (import blocks, consts).
+					if pos.Line < d.fromLine {
+						d.fromLine = pos.Line
+					}
+				}
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	return dirs, diags
+}
+
+// cutJustification splits " noiserand -- reason..." into the analyzer name
+// and the justification text, reporting whether the "--" separator was
+// present. A nested trailing comment (" // ...") is not part of the
+// justification.
+func cutJustification(rest string) (name, just string, hasJust bool) {
+	rest = strings.TrimSpace(rest)
+	if i := strings.Index(rest, " // "); i >= 0 {
+		rest = strings.TrimSpace(rest[:i])
+	}
+	if i := strings.Index(rest, "--"); i >= 0 {
+		name = strings.TrimSpace(rest[:i])
+		just = strings.TrimSpace(rest[i+2:])
+		hasJust = true
+	} else {
+		name = rest
+	}
+	if fields := strings.Fields(name); len(fields) > 0 {
+		name = fields[0]
+	} else {
+		name = ""
+	}
+	return name, just, hasJust
+}
+
+// suppressed reports whether a diagnostic is covered by a directive.
+func suppressed(dirs []allowDirective, d Diagnostic) bool {
+	for _, dir := range dirs {
+		if dir.analyzer == d.Analyzer &&
+			dir.file == d.Pos.Filename &&
+			d.Pos.Line >= dir.fromLine && d.Pos.Line <= dir.toLine {
+			return true
+		}
+	}
+	return false
+}
+
+// hasHotpathDirective reports whether a function's doc comment carries
+// //dpvet:hotpath.
+func hasHotpathDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := c.Text
+		if text == hotpathDirective || strings.HasPrefix(text, hotpathDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedNames(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	// Insertion sort: the set is tiny and this avoids another import.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmpAnalyzer flags == and != between float64 values outside test
+// files. Released distances carry Laplace noise: exact equality on them is
+// either a bug (the comparison was meant to be a tolerance check) or an
+// accident waiting for an optimization pass to change rounding. The two
+// sanctioned idioms are exempt: comparing a value to itself (the x != x
+// NaN probe) and comparing against an explicit math.Inf sentinel (the
+// FiniteOrNil family's documented ±Inf unreachability checks). Anything
+// else needs a justified //dpvet:allow floatcmp.
+var FloatCmpAnalyzer = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "no ==/!= on float64 outside tests, NaN probes, and ±Inf sentinel checks",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.TypeOf(be.X)) || !isFloat(pass.TypeOf(be.Y)) {
+				return true
+			}
+			if sameExpr(be.X, be.Y) {
+				return true // x != x: the portable NaN check
+			}
+			if isInfSentinel(pass, be.X) || isInfSentinel(pass, be.Y) {
+				return true // documented ±Inf sentinel comparison
+			}
+			if isConstZero(pass, be.X) || isConstZero(pass, be.Y) {
+				return true // exact-zero sentinel: IEEE-exact, the unset/degenerate-config idiom
+			}
+			pass.Reportf(be.Pos(), "float equality %s %s %s: noisy values must be compared with a tolerance (or suppress with //dpvet:allow floatcmp for exact sentinels)", exprString(be.X), be.Op, exprString(be.Y))
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// sameExpr reports whether two expressions are textually identical simple
+// expressions (covers the x != x NaN idiom).
+func sameExpr(a, b ast.Expr) bool {
+	sa, sb := exprString(a), exprString(b)
+	return sa == sb && sa != "<expr>"
+}
+
+// isConstZero reports whether e is the compile-time constant 0: comparing
+// a float against exact zero is the standard division-guard and
+// unset-field idiom, and 0 is exactly representable, so it is exempt.
+func isConstZero(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return tv.Value.String() == "0"
+}
+
+// isInfSentinel matches direct math.Inf(...) calls. Identifiers bound to
+// ±Inf elsewhere are not traced; those sites need an allow directive.
+func isInfSentinel(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Inf" {
+		return false
+	}
+	pkgIdent, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if pn, ok := pass.Info.Uses[pkgIdent].(*types.PkgName); ok {
+		return pn.Imported().Path() == "math"
+	}
+	return pkgIdent.Name == "math"
+}

@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+)
+
+// LoadedPackage is one type-checked package ready for analysis.
+type LoadedPackage struct {
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// LoadPackages loads and type-checks the packages matched by patterns in
+// dir, using `go list -e -deps -export -json` to resolve and compile the
+// import graph. Dependencies are imported from gc export data (built into
+// the go build cache by -export), so only the matched packages themselves
+// are parsed from source — the same strategy go vet uses, with no module
+// downloads.
+func LoadPackages(dir string, patterns ...string) ([]*LoadedPackage, error) {
+	args := append([]string{"list", "-e", "-deps", "-export", "-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+
+	exportFor := make(map[string]string) // import path -> export data file
+	var targets []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exportFor[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && len(p.GoFiles) > 0 {
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := exportDataImporter(fset, exportFor)
+
+	var pkgs []*LoadedPackage
+	for _, t := range targets {
+		lp, err := typeCheckListed(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+// exportDataImporter returns a gc-export-data importer that resolves import
+// paths through the go list Export map.
+func exportDataImporter(fset *token.FileSet, exportFor map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exportFor[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// stdImporter builds an export-data importer covering the (standard
+// library) imports of already-parsed files — the test harness's package
+// resolver. One `go list` invocation compiles export data for the whole
+// dependency closure.
+func stdImporter(fset *token.FileSet, files []*ast.File) (types.Importer, error) {
+	seen := make(map[string]bool)
+	var paths []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || seen[path] {
+				continue
+			}
+			seen[path] = true
+			paths = append(paths, path)
+		}
+	}
+	exportFor := make(map[string]string)
+	if len(paths) > 0 {
+		args := append([]string{"list", "-e", "-deps", "-export", "-json=ImportPath,Export"}, paths...)
+		cmd := exec.Command("go", args...)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("go list %v: %v\n%s", paths, err, stderr.String())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p listedPackage
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			if p.Export != "" {
+				exportFor[p.ImportPath] = p.Export
+			}
+		}
+	}
+	return exportDataImporter(fset, exportFor), nil
+}
+
+// typeCheckListed parses and type-checks one go list target from source.
+func typeCheckListed(fset *token.FileSet, imp types.Importer, p *listedPackage) (*LoadedPackage, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	return TypeCheck(fset, imp, p.ImportPath, files)
+}
+
+// TypeCheck type-checks already-parsed files as the package at pkgPath.
+// Type errors are tolerated (matching `go vet`'s -e behavior): analyzers
+// see as much type information as could be computed.
+func TypeCheck(fset *token.FileSet, imp types.Importer, pkgPath string, files []*ast.File) (*LoadedPackage, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(error) {}, // collect best-effort info despite errors
+	}
+	tpkg, _ := conf.Check(normalizePkgPath(pkgPath), fset, files, info)
+	return &LoadedPackage{
+		PkgPath: pkgPath,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}

@@ -1,0 +1,388 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockHeldAnalyzer enforces lock discipline in the serving and cluster
+// tiers: a mutex in internal/serve or internal/cluster guards short
+// critical sections over in-memory state, never I/O. Blocking while one is
+// held (network calls, channel operations without a ready default,
+// time.Sleep, WaitGroup/Cond waits) stalls every request behind the lock
+// and is how the fleet tier deadlocks under partition. The analyzer also
+// records the order in which locks are taken while another is held and
+// flags A→B vs B→A inversions across the package.
+var LockHeldAnalyzer = &Analyzer{
+	Name: "lockheld",
+	Doc:  "no blocking operations while a mutex is held; consistent lock order",
+	Run:  runLockHeld,
+}
+
+func lockTierPkg(pkgPath string) bool {
+	return strings.Contains(pkgPath, "internal/serve") ||
+		strings.Contains(pkgPath, "internal/cluster")
+}
+
+// lockEdge is "to was acquired while from was held".
+type lockEdge struct{ from, to string }
+
+func runLockHeld(pass *Pass) {
+	if !lockTierPkg(pass.PkgPath) {
+		return
+	}
+	edges := make(map[lockEdge]token.Pos)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			w := &lockWalker{pass: pass, edges: edges}
+			w.walkStmts(fn.Body.List, map[string]bool{})
+		}
+	}
+
+	// Report each inversion once, deterministically: at whichever of the
+	// two acquisition sites appears later in the source.
+	reported := make(map[lockEdge]bool)
+	var inversions []lockEdge
+	for e := range edges {
+		rev := lockEdge{from: e.to, to: e.from}
+		if e.from == e.to || reported[e] || reported[rev] {
+			continue
+		}
+		if _, inverted := edges[rev]; inverted {
+			reported[e], reported[rev] = true, true
+			if edges[rev] > edges[e] {
+				e = rev
+			}
+			inversions = append(inversions, e)
+		}
+	}
+	sort.Slice(inversions, func(i, j int) bool { return edges[inversions[i]] < edges[inversions[j]] })
+	for _, e := range inversions {
+		pass.Reportf(edges[e], "inconsistent lock order: %s acquired while %s held here, but elsewhere %s is acquired while %s is held — pick one order", e.to, e.from, e.from, e.to)
+	}
+}
+
+type lockWalker struct {
+	pass  *Pass
+	edges map[lockEdge]token.Pos
+}
+
+// walkStmts threads the held-lock set through a statement list. Branch
+// bodies are walked with a copy of the entry set; their net effect is not
+// propagated (critical sections in this codebase open and close at the
+// same nesting level, and staying conservative here only under-reports
+// unlocks, never misses a held lock).
+func (w *lockWalker) walkStmts(stmts []ast.Stmt, held map[string]bool) {
+	for _, s := range stmts {
+		w.walkStmt(s, held)
+	}
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt, held map[string]bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if key, op, ok := w.lockOp(s.X); ok {
+			w.applyLockOp(key, op, s.X.(*ast.CallExpr).Pos(), held)
+			return
+		}
+		w.checkBlocking(s, held)
+
+	case *ast.DeferStmt:
+		// defer mu.Unlock() releases at return; the lock stays held for
+		// the remainder of the function, which is exactly what the
+		// blocking checks below must see — so: no state change.
+		if _, _, ok := w.lockOp(s.Call); ok {
+			return
+		}
+		w.checkBlocking(s, held)
+
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			w.reportBlocked(s.Pos(), "channel send", held)
+		}
+
+	case *ast.SelectStmt:
+		if len(held) > 0 && !selectHasDefault(s) {
+			w.reportBlocked(s.Pos(), "select without default", held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		w.checkBlockingExpr(s.Cond, s.Cond.Pos(), held)
+		w.walkStmts(s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			w.walkStmt(s.Else, copyHeld(held))
+		}
+
+	case *ast.BlockStmt:
+		w.walkStmts(s.List, held)
+
+	case *ast.ForStmt:
+		w.walkStmts(s.Body.List, copyHeld(held))
+
+	case *ast.RangeStmt:
+		w.checkBlockingExpr(s.X, s.X.Pos(), held)
+		w.walkStmts(s.Body.List, copyHeld(held))
+
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt, held)
+
+	case *ast.GoStmt:
+		// The goroutine runs with its own stack; the held set does not
+		// transfer. Nothing to check at the launch site.
+
+	default:
+		w.checkBlocking(s, held)
+	}
+}
+
+// applyLockOp mutates the held set and records lock-order edges.
+func (w *lockWalker) applyLockOp(key, op string, pos token.Pos, held map[string]bool) {
+	switch op {
+	case "Lock", "RLock":
+		for h := range held {
+			e := lockEdge{from: h, to: key}
+			if _, ok := w.edges[e]; !ok {
+				w.edges[e] = pos
+			}
+		}
+		held[key] = true
+	case "Unlock", "RUnlock":
+		delete(held, key)
+	}
+}
+
+// lockOp recognizes x.mu.Lock()-style calls on sync.Mutex/RWMutex and
+// returns the lock identity and operation.
+func (w *lockWalker) lockOp(e ast.Expr) (key, op string, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	if !w.isMutexRecv(sel) {
+		return "", "", false
+	}
+	return w.lockKey(sel.X), sel.Sel.Name, true
+}
+
+// isMutexRecv reports whether the selector resolves to a sync mutex —
+// either directly (x.mu is a sync.Mutex) or through embedding.
+func (w *lockWalker) isMutexRecv(sel *ast.SelectorExpr) bool {
+	if t := w.pass.TypeOf(sel.X); t != nil && isMutexType(t) {
+		return true
+	}
+	if s, ok := w.pass.Info.Selections[sel]; ok {
+		if obj := s.Obj(); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			return true
+		}
+	}
+	return false
+}
+
+func isMutexType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// lockKey names a lock stably across methods: "OwnerType.field" when the
+// lock is a field, the receiver expression otherwise.
+func (w *lockWalker) lockKey(x ast.Expr) string {
+	if sel, ok := x.(*ast.SelectorExpr); ok {
+		if t := w.pass.TypeOf(sel.X); t != nil {
+			return baseTypeName(t) + "." + sel.Sel.Name
+		}
+	}
+	return exprString(x)
+}
+
+func baseTypeName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+// checkBlocking scans one non-control-flow statement for blocking
+// constructs while locks are held. Function literals are skipped: they
+// execute elsewhere.
+func (w *lockWalker) checkBlocking(s ast.Stmt, held map[string]bool) {
+	if len(held) == 0 {
+		return
+	}
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.reportBlocked(n.Pos(), "channel receive", held)
+			}
+		case *ast.CallExpr:
+			if what, ok := w.blockingCall(n); ok {
+				w.reportBlocked(n.Pos(), what, held)
+			}
+		}
+		return true
+	})
+}
+
+func (w *lockWalker) checkBlockingExpr(e ast.Expr, pos token.Pos, held map[string]bool) {
+	if len(held) == 0 || e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.reportBlocked(n.Pos(), "channel receive", held)
+			}
+		case *ast.CallExpr:
+			if what, ok := w.blockingCall(n); ok {
+				w.reportBlocked(n.Pos(), what, held)
+			}
+		}
+		return true
+	})
+}
+
+// blockingCall recognizes the blocking calls the serving tier must never
+// make under a lock.
+func (w *lockWalker) blockingCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	// Package-level functions: time.Sleep, net.Dial*, http.Get/Post/...
+	if pkgIdent, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := w.pass.Info.Uses[pkgIdent].(*types.PkgName); ok {
+			path := pn.Imported().Path()
+			name := sel.Sel.Name
+			switch {
+			case path == "time" && name == "Sleep":
+				return "time.Sleep", true
+			case path == "net" && strings.HasPrefix(name, "Dial"):
+				return "net." + name, true
+			case path == "net/http" && (name == "Get" || name == "Post" || name == "PostForm" || name == "Head"):
+				return "http." + name, true
+			}
+			return "", false
+		}
+	}
+	// Methods: WaitGroup.Wait, Cond.Wait, http.Client.Do/Get/Post.
+	recvT := w.pass.TypeOf(sel.X)
+	if recvT == nil {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if name == "Wait" && (isSyncType(recvT, "WaitGroup") || isSyncType(recvT, "Cond")) {
+		return baseTypeName(recvT) + ".Wait", true
+	}
+	if isHTTPClient(recvT) {
+		switch name {
+		case "Do", "Get", "Post", "PostForm", "Head":
+			return "http.Client." + name, true
+		}
+	}
+	return "", false
+}
+
+func isSyncType(t types.Type, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == name
+}
+
+func isHTTPClient(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "net/http" && named.Obj().Name() == "Client"
+}
+
+func (w *lockWalker) reportBlocked(pos token.Pos, what string, held map[string]bool) {
+	names := make([]string, 0, len(held))
+	for h := range held {
+		names = append(names, h)
+	}
+	// Tiny set; sort for deterministic messages.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	w.pass.Reportf(pos, "%s while holding %s: blocking under a lock stalls every request behind it", what, strings.Join(names, ", "))
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k := range held {
+		out[k] = true
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// NoiseRandAnalyzer forbids math/rand in privacy-critical packages.
+//
+// Differential privacy demands cryptographically secure noise: a Laplace
+// sample drawn from a predictable PRNG lets an attacker reconstruct the
+// noise stream and strip the mechanism's protection. All sampling in
+// internal/core, internal/dp, and dpgraph must flow through dp.NoiseSource,
+// whose default implementation is ChaCha8-keyed from crypto/rand. The only
+// legitimate math/rand uses are the deterministic replay source and
+// public-API parameter types, each of which carries a justified
+// //dpvet:allow noiserand directive.
+var NoiseRandAnalyzer = &Analyzer{
+	Name: "noiserand",
+	Doc:  "forbid math/rand imports and fixed-seed randomness in privacy-critical packages",
+	Run:  runNoiseRand,
+}
+
+// privacyCriticalPkg reports whether pkgPath holds mechanism or noise code.
+// Commands (cmd/...) are out of scope: they drive benchmarks and demos, not
+// releases.
+func privacyCriticalPkg(pkgPath string) bool {
+	if strings.Contains(pkgPath, "cmd/") {
+		return false
+	}
+	return strings.Contains(pkgPath, "internal/core") ||
+		strings.Contains(pkgPath, "internal/dp") ||
+		strings.HasSuffix(pkgPath, "dpgraph")
+}
+
+func runNoiseRand(pass *Pass) {
+	if !privacyCriticalPkg(pass.PkgPath) {
+		return
+	}
+	for _, f := range pass.Files {
+		randNames := make(map[string]string) // local name -> import path
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path != "math/rand" && path != "math/rand/v2" {
+				continue
+			}
+			pass.Reportf(imp.Pos(), "import of %q in privacy-critical package %s: noise must flow through dp.NoiseSource (crypto-grade); suppress only with a justified //dpvet:allow noiserand", path, pass.PkgPath)
+			name := "rand"
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			randNames[name] = path
+		}
+
+		// Fixed-seed constructors are a second, independent hazard: even a
+		// blessed math/rand import must never be seeded with a constant,
+		// or every "random" noise stream is the same stream.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgIdent, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if _, isRand := randNames[pkgIdent.Name]; !isRand {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "NewSource", "NewPCG", "NewChaCha8", "Seed":
+				if callHasConstantArg(pass, call) {
+					pass.Reportf(call.Pos(), "fixed-seed randomness (%s.%s with constant seed) in privacy-critical package: seeds must come from crypto/rand or caller-supplied entropy", pkgIdent.Name, sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// callHasConstantArg reports whether any argument is a compile-time
+// constant (literal, const ident, or constant expression).
+func callHasConstantArg(pass *Pass, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if tv, ok := pass.Info.Types[arg]; ok && tv.Value != nil {
+			return true
+		}
+		// Fallback when type info is incomplete: literal or unary literal.
+		switch a := ast.Unparen(arg).(type) {
+		case *ast.BasicLit:
+			return true
+		case *ast.UnaryExpr:
+			if _, lit := a.X.(*ast.BasicLit); lit && (a.Op == token.SUB || a.Op == token.ADD) {
+				return true
+			}
+		}
+	}
+	return false
+}

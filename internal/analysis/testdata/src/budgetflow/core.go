@@ -1,0 +1,77 @@
+package core
+
+import "errors"
+
+// PrivacyParams and Accountant mirror the real internal/dp accounting
+// surface closely enough for name-keyed charge detection.
+type PrivacyParams struct{ Epsilon, Delta float64 }
+
+type Accountant struct{ spent float64 }
+
+func (a *Accountant) Spend(label string, p PrivacyParams) error {
+	a.spent += p.Epsilon
+	return nil
+}
+
+// Options mirrors core.Options: the budget-carrying parameter that marks
+// a function as a mechanism entry point.
+type Options struct{ Acct *Accountant }
+
+func (o Options) charge(label string, p PrivacyParams) error {
+	return o.Acct.Spend(label, p)
+}
+
+// GoodRelease is the canonical pattern: validate, charge under an error
+// guard, then return the result.
+func GoodRelease(x float64, o Options) (float64, error) {
+	if x < 0 {
+		return 0, errors.New("negative input")
+	}
+	if err := o.charge("good", PrivacyParams{Epsilon: 1}); err != nil {
+		return 0, err
+	}
+	return x + 1, nil
+}
+
+// FreeRelease hands out a result without ever paying for it.
+func FreeRelease(x float64, o Options) (float64, error) {
+	return x + 1, nil // want "returns a result on a path that never charges"
+}
+
+// HalfCharged only pays on the positive branch.
+func HalfCharged(x float64, o Options) (float64, error) {
+	if x > 0 {
+		if err := o.charge("half", PrivacyParams{Epsilon: 1}); err != nil {
+			return 0, err
+		}
+		return x, nil
+	}
+	return -x, nil // want "never charges"
+}
+
+// LeakyRelease burns budget and then fails anyway.
+func LeakyRelease(x float64, o Options) (float64, error) {
+	if err := o.charge("leaky", PrivacyParams{Epsilon: 1}); err != nil {
+		return 0, err
+	}
+	if x < 0 {
+		return 0, errors.New("too late to fail") // want "returns an error after the budget was charged"
+	}
+	return x, nil
+}
+
+// DelegatedRelease pays through a same-package helper; the fixpoint over
+// the package call graph credits it.
+func DelegatedRelease(x float64, o Options) (float64, error) {
+	return chargedHelper(x, o)
+}
+
+func chargedHelper(x float64, o Options) (float64, error) {
+	if err := o.charge("helper", PrivacyParams{Epsilon: 1}); err != nil {
+		return 0, err
+	}
+	return x, nil
+}
+
+// Helper has no Options parameter: out of scope even though exported.
+func Helper(x float64) float64 { return x * 2 }

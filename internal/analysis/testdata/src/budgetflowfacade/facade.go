@@ -1,0 +1,47 @@
+package dpgraph
+
+// Receipt and PrivateGraph mirror the facade: exported methods returning
+// (result, error) are releases and must route through the accountant.
+type Receipt struct{ Mechanism string }
+
+type accountant struct{}
+
+func (a *accountant) Spend(label string) error { return nil }
+
+type PrivateGraph struct {
+	acct *accountant
+	n    int
+}
+
+// exec charges and records; methods that delegate to it are covered by
+// the same-package fixpoint.
+func (pg *PrivateGraph) exec(name string, run func() error) (Receipt, error) {
+	if err := pg.acct.Spend(name); err != nil {
+		return Receipt{}, err
+	}
+	if err := run(); err != nil {
+		return Receipt{}, err
+	}
+	return Receipt{Mechanism: name}, nil
+}
+
+// Value routes through exec: paid for.
+func (pg *PrivateGraph) Value() (float64, Receipt, error) {
+	var v float64
+	rec, err := pg.exec("value", func() error {
+		v = float64(pg.n)
+		return nil
+	})
+	if err != nil {
+		return 0, Receipt{}, err
+	}
+	return v, rec, nil
+}
+
+// Freebie returns a release-shaped result without charging.
+func (pg *PrivateGraph) Freebie() (float64, error) {
+	return 42, nil // want "never charges"
+}
+
+// N is an accessor without an error result: out of scope.
+func (pg *PrivateGraph) N() int { return pg.n }

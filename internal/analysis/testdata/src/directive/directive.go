@@ -1,0 +1,22 @@
+package directive
+
+// unknownName suppresses nothing: the analyzer name is not real, which is
+// itself a diagnostic, and the underlying finding still fires.
+func unknownName(a, b float64) bool {
+	return a == b //dpvet:allow nosuchcheck -- not a real analyzer // want "unknown analyzer" "float equality"
+}
+
+// missingJust omits the mandatory justification.
+func missingJust(a, b float64) bool {
+	return a == b //dpvet:allow floatcmp // want "missing its justification" "float equality"
+}
+
+// trivialJust justifies with a shrug.
+func trivialJust(a, b float64) bool {
+	return a == b //dpvet:allow floatcmp -- ok // want "trivial justification" "float equality"
+}
+
+// valid suppresses the finding with a real justification.
+func valid(a, b float64) bool {
+	return a == b //dpvet:allow floatcmp -- exact comparison against a deterministic fixture value
+}

@@ -1,0 +1,33 @@
+package core
+
+import "math"
+
+// Bad compares two noisy values exactly.
+func Bad(a, b float64) bool {
+	return a == b // want "float equality a == b"
+}
+
+// BadNeq is the != spelling of the same bug.
+func BadNeq(a, b float64) bool {
+	return a != b // want "float equality a != b"
+}
+
+// NaNCheck is the portable NaN probe: self-comparison is exempt.
+func NaNCheck(x float64) bool {
+	return x != x
+}
+
+// InfSentinel compares against the documented unreachability sentinel.
+func InfSentinel(d float64) bool {
+	return d == math.Inf(1)
+}
+
+// ZeroGuard is the exact-zero division guard idiom: exempt.
+func ZeroGuard(d float64) bool {
+	return d == 0
+}
+
+// Allowed carries a justified suppression.
+func Allowed(a, b float64) bool {
+	return a == b //dpvet:allow floatcmp -- exact golden comparison against a checked-in replay value
+}

@@ -1,0 +1,52 @@
+package hot
+
+import "fmt"
+
+type pair struct{ s, t int }
+
+func release()           {}
+func sink(x interface{}) { _ = x }
+
+// Bad collects one of each forbidden construct.
+//
+//dpvet:hotpath
+func Bad(b []byte, v int) []byte {
+	defer release()       // want "defer in hotpath"
+	f := func() { _ = v } // want "function literal in hotpath"
+	f()
+	m := make([]int, v) // want "make\\(\\) in hotpath"
+	_ = m
+	fmt.Println(v)   // want "fmt.Println call in hotpath"
+	p := &pair{s: v} // want "escapes to the heap"
+	_ = p
+	xs := []int{v} // want "slice literal in hotpath"
+	_ = xs
+	sink(v) // want "boxes int into interface parameter"
+	return append(b, byte(v))
+}
+
+// Good uses only non-allocating constructs: appends, value literals,
+// pointer arguments to interface parameters.
+//
+//dpvet:hotpath
+func Good(b []byte, p pair) []byte {
+	b = append(b, byte(p.s), byte(p.t))
+	q := pair{s: p.t, t: p.s}
+	sink(&q)
+	var arr [4]byte
+	_ = arr
+	return b
+}
+
+// Allowed demonstrates a justified cold-path suppression inside a hot
+// function.
+//
+//dpvet:hotpath
+func Allowed(v int) {
+	sink(v) //dpvet:allow hotpath -- cold diagnostic path, unreachable for well-formed input
+}
+
+// Unannotated is free to allocate: no directive, no diagnostics.
+func Unannotated(v int) []int {
+	return []int{v, v + 1}
+}

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+type registry struct {
+	mu    sync.Mutex
+	probe sync.Mutex
+	ch    chan int
+	wg    sync.WaitGroup
+}
+
+// BadSleep blocks the lock for a full probe interval.
+func (r *registry) BadSleep() {
+	r.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding registry.mu"
+	r.mu.Unlock()
+}
+
+// GoodSleep releases before sleeping.
+func (r *registry) GoodSleep() {
+	r.mu.Lock()
+	r.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// BadRecv blocks on a channel under a deferred unlock.
+func (r *registry) BadRecv() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return <-r.ch // want "channel receive while holding registry.mu"
+}
+
+// BadSend blocks on an unbuffered send while locked.
+func (r *registry) BadSend(v int) {
+	r.mu.Lock()
+	r.ch <- v // want "channel send while holding registry.mu"
+	r.mu.Unlock()
+}
+
+// BadWait parks on a WaitGroup while locked.
+func (r *registry) BadWait() {
+	r.mu.Lock()
+	r.wg.Wait() // want "WaitGroup.Wait while holding registry.mu"
+	r.mu.Unlock()
+}
+
+// BadSelect has no default: it parks while locked.
+func (r *registry) BadSelect() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select { // want "select without default while holding registry.mu"
+	case v := <-r.ch:
+		return v
+	}
+}
+
+// GoodSelect polls: the default case means it cannot park.
+func (r *registry) GoodSelect() (int, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select {
+	case v := <-r.ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// OrderAB takes mu then probe ...
+func (r *registry) OrderAB() {
+	r.mu.Lock()
+	r.probe.Lock()
+	r.probe.Unlock()
+	r.mu.Unlock()
+}
+
+// OrderBA takes probe then mu: inverted with OrderAB.
+func (r *registry) OrderBA() {
+	r.probe.Lock()
+	r.mu.Lock() // want "inconsistent lock order"
+	r.mu.Unlock()
+	r.probe.Unlock()
+}

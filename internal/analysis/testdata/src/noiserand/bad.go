@@ -1,0 +1,17 @@
+package core
+
+import (
+	"math/rand" // want "import of \"math/rand\" in privacy-critical package"
+)
+
+// FixedSeed builds a predictable generator: both the import and the
+// constant seed are violations.
+func FixedSeed() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want "fixed-seed randomness"
+}
+
+// VariableSeed still trips the import diagnostic, but the seed itself is
+// caller-supplied entropy so no fixed-seed diagnostic fires here.
+func VariableSeed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -19,7 +19,7 @@ package dp
 import (
 	"fmt"
 	"math"
-	"math/rand"
+	"math/rand" //dpvet:allow noiserand -- Laplace.Sample's public API accepts a caller-supplied *rand.Rand; this file never constructs or seeds one
 )
 
 // Laplace is the Laplace distribution with mean 0 and scale b:

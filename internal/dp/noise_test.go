@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 )
 
 // moments estimates the mean and variance of n draws pulled through fn.
@@ -266,5 +267,52 @@ func TestAddLaplaceCryptoParallelShape(t *testing.T) {
 	}
 	if v[0] != 5 {
 		t.Error("input mutated")
+	}
+}
+
+// TestSeededFillLaplaceLockNotLeakedOnBadScale is the regression test for
+// replacing defer s.mu.Unlock() with an explicit Unlock in
+// seededNoise.FillLaplace (flagged by the hotpath analyzer): the scale
+// check must panic BEFORE the lock is taken, so a recovered caller can
+// keep using the source. If the panic ever moved after mu.Lock, this
+// test would deadlock instead of passing.
+func TestSeededFillLaplaceLockNotLeakedOnBadScale(t *testing.T) {
+	src := NewSeededNoise(99)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("FillLaplace accepted a non-positive scale")
+			}
+		}()
+		src.FillLaplace(-1, make([]float64, 4))
+	}()
+
+	// The source must still be fully usable: both entry points take the
+	// stream lock, so either call hangs forever if the panic leaked it.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = src.SampleLaplace(1)
+		src.FillLaplace(1, make([]float64, 4))
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream lock leaked by the failed FillLaplace call: follow-up draws deadlocked")
+	}
+
+	// And the draw-order contract must be unaffected by the failed call:
+	// a fresh same-seed source that skips the panicking call replays the
+	// same post-recovery sequence the survivor produces next.
+	replay := NewSeededNoise(99)
+	_ = replay.SampleLaplace(1)
+	replay.FillLaplace(1, make([]float64, 4))
+	a, b := make([]float64, 8), make([]float64, 8)
+	src.FillLaplace(1, a)
+	replay.FillLaplace(1, b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d diverged after recovered panic: %g vs %g", i, a[i], b[i])
+		}
 	}
 }

@@ -52,6 +52,8 @@ func (c *chIndex) Kind() string { return "ch" }
 // best candidate. Stall-on-demand: a popped vertex whose label is
 // dominated via an edge from a higher-ranked, already-labeled neighbor
 // cannot lie on a shortest up-down path, so its expansion is skipped.
+//
+//dpvet:hotpath
 func (c *chIndex) Distance(s, t int) float64 {
 	if s == t {
 		return 0

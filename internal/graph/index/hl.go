@@ -55,6 +55,8 @@ func (x *hlIndex) Kind() string { return "hl" }
 // hub-distance sum. No scratch state: the merge reads only the shared
 // immutable arena, so queries are allocation-free and trivially
 // concurrent.
+//
+//dpvet:hotpath
 func (x *hlIndex) Distance(s, t int) float64 {
 	if s == t {
 		return 0
@@ -85,6 +87,8 @@ func (x *hlIndex) Distance(s, t int) float64 {
 
 // DistancesFrom answers a one-to-many batch with a single PHAST sweep
 // over the retained hierarchy (see phast.go).
+//
+//dpvet:hotpath
 func (x *hlIndex) DistancesFrom(s int, targets []int, out []float64) {
 	x.ch.DistancesFrom(s, targets, out)
 }

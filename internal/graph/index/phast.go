@@ -50,6 +50,8 @@ func (c *chIndex) MinSweepTargets() int { return 16 + c.n/1024 }
 // DistancesFrom runs one upward search from s and one downward scan,
 // then gathers the requested targets. Allocation-free in steady state:
 // both phases run on a pooled sweepState.
+//
+//dpvet:hotpath
 func (c *chIndex) DistancesFrom(s int, targets []int, out []float64) {
 	ws := c.sweepPool.Get().(*sweepState)
 	st, dist := ws.st, ws.dist

@@ -30,6 +30,8 @@ func newSearchState(n int) *searchState {
 }
 
 // begin starts a new search; all previous labels become stale.
+//
+//dpvet:hotpath
 func (s *searchState) begin() {
 	s.epoch++
 	s.heap = s.heap[:0]
@@ -42,9 +44,13 @@ func (s *searchState) begin() {
 }
 
 // labeled reports whether v carries a label in the current search.
+//
+//dpvet:hotpath
 func (s *searchState) labeled(v int32) bool { return s.ver[v] == s.epoch }
 
 // distance returns v's tentative distance, Inf when unlabeled.
+//
+//dpvet:hotpath
 func (s *searchState) distance(v int32) float64 {
 	if s.ver[v] == s.epoch {
 		return s.dist[v]
@@ -53,6 +59,8 @@ func (s *searchState) distance(v int32) float64 {
 }
 
 // touch makes v live in the current epoch with cleared state.
+//
+//dpvet:hotpath
 func (s *searchState) touch(v int32) {
 	if s.ver[v] != s.epoch {
 		s.ver[v] = s.epoch
@@ -64,6 +72,8 @@ func (s *searchState) touch(v int32) {
 }
 
 // update sets v's label and key, pushing or decreasing as needed.
+//
+//dpvet:hotpath
 func (s *searchState) update(v int32, dist, key float64) {
 	s.touch(v)
 	s.dist[v] = dist
@@ -78,9 +88,13 @@ func (s *searchState) update(v int32, dist, key float64) {
 }
 
 // empty reports whether the frontier is exhausted.
+//
+//dpvet:hotpath
 func (s *searchState) empty() bool { return len(s.heap) == 0 }
 
 // minKey returns the smallest frontier key, Inf when empty.
+//
+//dpvet:hotpath
 func (s *searchState) minKey() float64 {
 	if len(s.heap) == 0 {
 		return math.Inf(1)
@@ -89,6 +103,8 @@ func (s *searchState) minKey() float64 {
 }
 
 // pop removes and returns the frontier vertex with the minimum key.
+//
+//dpvet:hotpath
 func (s *searchState) pop() int32 {
 	top := s.heap[0]
 	last := len(s.heap) - 1
@@ -102,6 +118,7 @@ func (s *searchState) pop() int32 {
 	return top
 }
 
+//dpvet:hotpath
 func (s *searchState) siftUp(i int) {
 	v := s.heap[i]
 	k := s.key[v]
@@ -119,6 +136,7 @@ func (s *searchState) siftUp(i int) {
 	s.pos[v] = int32(i)
 }
 
+//dpvet:hotpath
 func (s *searchState) siftDown(i int) {
 	v := s.heap[i]
 	k := s.key[v]

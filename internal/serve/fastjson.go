@@ -77,6 +77,8 @@ func setContentTypeJSON(h http.Header) {
 // appendJSONFloat appends f exactly as encoding/json renders a float64:
 // shortest round-trip form, scientific notation only outside
 // [1e-6, 1e21), and a minimal exponent ("e-9", not "e-09").
+//
+//dpvet:hotpath
 func appendJSONFloat(b []byte, f float64) []byte {
 	abs := math.Abs(f)
 	format := byte('f')
@@ -95,6 +97,8 @@ func appendJSONFloat(b []byte, f float64) []byte {
 
 // appendPairAnswer appends one answered pair in PairAnswer's wire form,
 // including its null+unreachable convention for ±Inf.
+//
+//dpvet:hotpath
 func appendPairAnswer(b []byte, s, t int, v float64) []byte {
 	b = append(b, `{"s":`...)
 	b = strconv.AppendInt(b, int64(s), 10)
@@ -126,6 +130,8 @@ func appendErrorLine(b []byte, err error) []byte {
 // url.Values.Get, first occurrence wins); percent escapes, '+', or ';'
 // make it report !ok so the caller re-parses through url.Values with
 // unchanged semantics.
+//
+//dpvet:hotpath
 func scanQueryPair(raw string) (s, t int, ok bool) {
 	var haveS, haveT bool
 	for len(raw) > 0 {
@@ -174,8 +180,11 @@ func scanQueryPair(raw string) (s, t int, ok bool) {
 }
 
 // isJSONSpace reports JSON (RFC 8259) insignificant whitespace.
+//
+//dpvet:hotpath
 func isJSONSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
 
+//dpvet:hotpath
 func skipJSONSpace(data []byte, i int) int {
 	for i < len(data) && isJSONSpace(data[i]) {
 		i++
@@ -186,6 +195,8 @@ func skipJSONSpace(data []byte, i int) int {
 // parseJSONInt parses one JSON integer literal (no fraction, exponent,
 // or leading zeros) starting at i, reporting the value and the index
 // past it.
+//
+//dpvet:hotpath
 func parseJSONInt(data []byte, i int) (val, next int, ok bool) {
 	neg := false
 	if i < len(data) && data[i] == '-' {
@@ -215,6 +226,8 @@ func parseJSONInt(data []byte, i int) (val, next int, ok bool) {
 // parseATOI parses an optionally signed ASCII integer over the whole
 // byte range, with strconv.Atoi's acceptance (leading zeros fine,
 // leading '+' fine) minus its allocation.
+//
+//dpvet:hotpath
 func parseATOI(data []byte) (val int, ok bool) {
 	i := 0
 	neg := false
@@ -245,6 +258,8 @@ func parseATOI(data []byte) (val int, ok bool) {
 // key order, duplicate keys last-wins like encoding/json). Anything
 // else — unknown keys, escapes, non-integer values, trailing content —
 // reports !ok for the strict decoder to re-parse.
+//
+//dpvet:hotpath
 func parsePointBodyFast(data []byte) (s, t int, ok bool) {
 	i := skipJSONSpace(data, 0)
 	if i >= len(data) || data[i] != '{' {
@@ -305,6 +320,8 @@ func parsePointBodyFast(data []byte) (s, t int, ok bool) {
 // allocating beyond dst's growth. It reports !ok (with dst contents
 // unspecified) for any input it is not certain ParsePairs would accept
 // with the identical result, so the caller can fall back.
+//
+//dpvet:hotpath
 func parsePairsFast(dst []dpgraph.VertexPair, data []byte) ([]dpgraph.VertexPair, bool) {
 	i := skipJSONSpace(data, 0)
 	if i >= len(data) {
@@ -321,6 +338,8 @@ func parsePairsFast(dst []dpgraph.VertexPair, data []byte) ([]dpgraph.VertexPair
 }
 
 // parseTuplePairsFast decodes [[s,t], ...] starting at the '[' at i.
+//
+//dpvet:hotpath
 func parseTuplePairsFast(dst []dpgraph.VertexPair, data []byte, i int) ([]dpgraph.VertexPair, bool) {
 	i = skipJSONSpace(data, i+1)
 	if i < len(data) && data[i] == ']' {
@@ -365,6 +384,8 @@ func parseTuplePairsFast(dst []dpgraph.VertexPair, data []byte, i int) ([]dpgrap
 // parseObjectPairsFast decodes [{"s":..,"t":..}, ...] starting at the
 // '[' at i, with encoding/json's member semantics for the two known
 // keys (missing key defaults to zero, duplicate key last-wins).
+//
+//dpvet:hotpath
 func parseObjectPairsFast(dst []dpgraph.VertexPair, data []byte, i int) ([]dpgraph.VertexPair, bool) {
 	i = skipJSONSpace(data, i+1)
 	for {
@@ -423,6 +444,8 @@ func parseObjectPairsFast(dst []dpgraph.VertexPair, data []byte, i int) ([]dpgra
 
 // isTextSpace matches the ASCII whitespace strings.Fields would split
 // on within a line (the line separator '\n' is handled by the caller).
+//
+//dpvet:hotpath
 func isTextSpace(c byte) bool {
 	return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f'
 }
@@ -431,6 +454,8 @@ func isTextSpace(c byte) bool {
 // lines skipped, exactly two integer fields otherwise. Any byte outside
 // digits, signs, '#', and ASCII whitespace defers to the strict parser
 // (which also owns all error reporting).
+//
+//dpvet:hotpath
 func parseTextPairsFast(dst []dpgraph.VertexPair, data []byte) ([]dpgraph.VertexPair, bool) {
 	for len(data) > 0 {
 		var line []byte
@@ -489,6 +514,8 @@ func (e *bodyTooLargeError) Error() string {
 // once more than limit bytes arrive. It replaces the
 // io.ReadAll(http.MaxBytesReader(...)) pair, which allocates a fresh
 // reader and result slice per request.
+//
+//dpvet:hotpath
 func readBodyLimit(dst []byte, r io.Reader, limit int64) ([]byte, error) {
 	for {
 		if len(dst) == cap(dst) {
@@ -497,7 +524,7 @@ func readBodyLimit(dst []byte, r io.Reader, limit int64) ([]byte, error) {
 		n, err := r.Read(dst[len(dst):cap(dst)])
 		dst = dst[:len(dst)+n]
 		if int64(len(dst)) > limit {
-			return dst, &bodyTooLargeError{limit: limit}
+			return dst, &bodyTooLargeError{limit: limit} //dpvet:allow hotpath -- oversized-body rejection is a cold error path; well-formed requests never reach it
 		}
 		if err == io.EOF {
 			return dst, nil

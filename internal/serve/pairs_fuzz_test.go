@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParsePairs drives arbitrary bodies through both pair decoders.
+// Neither may panic, and the differential contract of parsePairsFast
+// holds for every input: when the fast path reports ok, the strict
+// ParsePairs must accept the same bytes and produce the identical pair
+// sequence — otherwise the serving hot path would silently answer
+// queries the CLI/slow path would have rejected (or vice versa).
+func FuzzParsePairs(f *testing.F) {
+	seeds := []string{
+		"0 1\n2 3\n",
+		"  7   9  \n\n# comment\n4 5\r\n",
+		"-1 +2\n007 8\n",
+		"[[0,1],[2,3]]",
+		" [ [ 0 , 1 ] , [ 2 , 3 ] ] ",
+		"[]",
+		`[{"s":0,"t":1},{"t":3,"s":2}]`,
+		`[{"s":0}]`,
+		`[{"s":1,"s":2,"t":3}]`,
+		"",
+		"0 1 2\n",
+		"[[0,1],]",
+		"[[0,1]] extra",
+		`[{"s":0,"x":1}]`,
+		"[[0,01]]",
+		"[[0,1.5]]",
+		"9999999999999999999 1\n",
+		"[[9223372036854775807,-9223372036854775808]]",
+		"[\x00]",
+		"\xff\xfe 1 2",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fastPairs, ok := parsePairsFast(nil, data)
+		slowPairs, slowErr := ParsePairs(data)
+		if !ok {
+			return // fast path declined; slow path owns the verdict
+		}
+		if slowErr != nil {
+			t.Fatalf("parsePairsFast accepted %q but ParsePairs rejects it: %v", truncate(data), slowErr)
+		}
+		if len(fastPairs) != len(slowPairs) {
+			t.Fatalf("parsePairsFast(%q): %d pairs, ParsePairs: %d", truncate(data), len(fastPairs), len(slowPairs))
+		}
+		for i := range fastPairs {
+			if fastPairs[i] != slowPairs[i] {
+				t.Fatalf("parsePairsFast(%q)[%d] = %+v, ParsePairs = %+v", truncate(data), i, fastPairs[i], slowPairs[i])
+			}
+		}
+	})
+}
+
+// truncate keeps failure messages readable for large or binary inputs.
+func truncate(data []byte) string {
+	const max = 200
+	if len(data) > max {
+		data = data[:max]
+	}
+	if !utf8.Valid(data) {
+		return string([]rune(string(data))) // replace invalid bytes
+	}
+	return string(data)
+}
